@@ -1,0 +1,111 @@
+//! Shared helpers for baseline planners.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spindle_cluster::ClusterSpec;
+use spindle_estimator::{ScalabilityEstimator, ScalingCurve};
+use spindle_graph::{ComputationGraph, TaskId};
+use spindle_core::{curves_for, MetaGraph, MetaOpId, PlanError};
+
+/// Contracted graph, per-MetaOp curves and per-task MetaOp lists — the inputs
+/// every baseline planner needs.
+#[derive(Debug)]
+pub struct BaselineContext {
+    /// The contracted MetaGraph.
+    pub metagraph: MetaGraph,
+    /// Scaling curves per MetaOp.
+    pub curves: BTreeMap<MetaOpId, Arc<ScalingCurve>>,
+    /// The estimator (for memory queries).
+    pub estimator: ScalabilityEstimator,
+    /// MetaOps of each task, in dependency-level order.
+    pub task_metaops: BTreeMap<TaskId, Vec<MetaOpId>>,
+    /// Cluster size in devices.
+    pub num_devices: u32,
+}
+
+impl BaselineContext {
+    /// Builds the context for a workload on a cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the cluster is empty or an operator cannot be
+    /// profiled.
+    pub fn build(graph: &ComputationGraph, cluster: &ClusterSpec) -> Result<Self, PlanError> {
+        let num_devices = cluster.num_devices() as u32;
+        if num_devices == 0 {
+            return Err(PlanError::EmptyCluster);
+        }
+        let metagraph = MetaGraph::contract(graph);
+        let estimator = ScalabilityEstimator::new(cluster);
+        let curves = curves_for(&metagraph, &estimator)?;
+        let mut task_metaops: BTreeMap<TaskId, Vec<MetaOpId>> = BTreeMap::new();
+        // Level-major order gives a valid sequential execution order per task.
+        for level in metagraph.levels() {
+            for &id in &level.metaops {
+                task_metaops
+                    .entry(metagraph.metaop(id).task())
+                    .or_default()
+                    .push(id);
+            }
+        }
+        Ok(Self {
+            metagraph,
+            curves,
+            estimator,
+            task_metaops,
+            num_devices,
+        })
+    }
+
+    /// Per-device memory bytes of `layers` operators of a MetaOp at allocation
+    /// `devices`.
+    #[must_use]
+    pub fn memory_per_device(&self, metaop: MetaOpId, devices: u32, layers: u32) -> u64 {
+        let rep = self.metagraph.metaop(metaop).representative();
+        self.estimator
+            .memory_bytes(rep, devices)
+            .saturating_mul(u64::from(layers))
+    }
+
+    /// The largest valid allocation of a MetaOp not exceeding `limit`.
+    #[must_use]
+    pub fn largest_valid_allocation(&self, metaop: MetaOpId, limit: u32) -> u32 {
+        self.curves[&metaop]
+            .valid_allocations()
+            .iter()
+            .filter(|&&(n, _)| n <= limit)
+            .map(|&(n, _)| n)
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    #[test]
+    fn context_collects_per_task_metaops_in_level_order() {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("vl", [Modality::Vision, Modality::Text], 8);
+        let enc = b
+            .add_op_chain(t, OpKind::Encoder(Modality::Vision), TensorShape::new(8, 257, 768), 4)
+            .unwrap();
+        let lm = b
+            .add_op_chain(t, OpKind::LmDecoderOnly, TensorShape::new(8, 512, 1024), 4)
+            .unwrap();
+        b.add_flow(*enc.last().unwrap(), lm[0]).unwrap();
+        let graph = b.build().unwrap();
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let ctx = BaselineContext::build(&graph, &cluster).unwrap();
+        assert_eq!(ctx.num_devices, 8);
+        assert_eq!(ctx.task_metaops.len(), 1);
+        let metaops = &ctx.task_metaops[&TaskId(0)];
+        assert_eq!(metaops.len(), 2);
+        assert!(ctx.metagraph.metaop(metaops[0]).level() <= ctx.metagraph.metaop(metaops[1]).level());
+        assert!(ctx.largest_valid_allocation(metaops[0], 8) >= 4);
+        assert!(ctx.memory_per_device(metaops[0], 8, 4) > 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Uniform dispatch over all evaluated systems (Spindle + baselines).
+
+use std::fmt;
+
+use spindle_cluster::ClusterSpec;
+use spindle_core::{ExecutionPlan, PlanError, Planner};
+use spindle_graph::ComputationGraph;
+
+use crate::{DecoupledParallelism, DecoupledPlanner, DistMmMtPlanner, OptimusPlanner};
+
+/// Every system compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SystemKind {
+    /// Spindle: the full wavefront-scheduling planner.
+    Spindle,
+    /// Spindle-Optimus: task-level marginal-gain allocation.
+    SpindleOptimus,
+    /// DistMM-MT: intra-task allocation, tasks executed sequentially.
+    DistMmMt,
+    /// Megatron-LM-style decoupled execution (hybrid parallelism per operator).
+    MegatronLM,
+    /// DeepSpeed-style decoupled execution (ZeRO data parallelism).
+    DeepSpeed,
+    /// Spindle-Seq: the decoupled strategy on Spindle's machinery (Appendix H).
+    SpindleSeq,
+}
+
+impl SystemKind {
+    /// All systems of Fig. 8, in the paper's legend order.
+    pub const ALL: [SystemKind; 5] = [
+        SystemKind::Spindle,
+        SystemKind::SpindleOptimus,
+        SystemKind::DistMmMt,
+        SystemKind::MegatronLM,
+        SystemKind::DeepSpeed,
+    ];
+
+    /// Display label used by the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::Spindle => "Spindle",
+            SystemKind::SpindleOptimus => "Spindle-Optimus",
+            SystemKind::DistMmMt => "DistMM-MT",
+            SystemKind::MegatronLM => "Megatron-LM",
+            SystemKind::DeepSpeed => "DeepSpeed",
+            SystemKind::SpindleSeq => "Spindle-Seq",
+        }
+    }
+
+    /// Whether the system is aware of inter-task workload heterogeneity
+    /// (Tab. 1a, first column).
+    #[must_use]
+    pub fn inter_task_aware(&self) -> bool {
+        matches!(
+            self,
+            SystemKind::Spindle | SystemKind::SpindleOptimus
+        )
+    }
+
+    /// Whether the system is aware of intra-task workload heterogeneity
+    /// (Tab. 1a, second column).
+    #[must_use]
+    pub fn intra_task_aware(&self) -> bool {
+        matches!(self, SystemKind::Spindle | SystemKind::DistMmMt)
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A system under evaluation: produces an [`ExecutionPlan`] for any workload /
+/// cluster pair, so that the same runtime engine can measure all of them.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineSystem {
+    kind: SystemKind,
+}
+
+impl BaselineSystem {
+    /// Creates the system of the given kind.
+    #[must_use]
+    pub fn new(kind: SystemKind) -> Self {
+        Self { kind }
+    }
+
+    /// The system's kind.
+    #[must_use]
+    pub fn kind(&self) -> SystemKind {
+        self.kind
+    }
+
+    /// Plans one training iteration of `graph` on `cluster` with this system's
+    /// strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the cluster is empty or profiling fails.
+    pub fn plan(
+        &self,
+        graph: &ComputationGraph,
+        cluster: &ClusterSpec,
+    ) -> Result<ExecutionPlan, PlanError> {
+        match self.kind {
+            SystemKind::Spindle => Planner::new(graph, cluster).plan(),
+            SystemKind::SpindleOptimus => OptimusPlanner::new().plan(graph, cluster),
+            SystemKind::DistMmMt => DistMmMtPlanner::new().plan(graph, cluster),
+            SystemKind::MegatronLM => {
+                DecoupledPlanner::new(DecoupledParallelism::HybridBest).plan(graph, cluster)
+            }
+            SystemKind::DeepSpeed | SystemKind::SpindleSeq => {
+                DecoupledPlanner::new(DecoupledParallelism::DataParallelOnly).plan(graph, cluster)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_runtime::RuntimeEngine;
+    use spindle_workloads::multitask_clip;
+
+    #[test]
+    fn labels_and_awareness_match_table_1a() {
+        assert_eq!(SystemKind::ALL.len(), 5);
+        assert!(SystemKind::Spindle.inter_task_aware() && SystemKind::Spindle.intra_task_aware());
+        assert!(SystemKind::SpindleOptimus.inter_task_aware());
+        assert!(!SystemKind::SpindleOptimus.intra_task_aware());
+        assert!(!SystemKind::DistMmMt.inter_task_aware());
+        assert!(SystemKind::DistMmMt.intra_task_aware());
+        assert!(!SystemKind::DeepSpeed.inter_task_aware());
+        assert!(!SystemKind::MegatronLM.intra_task_aware());
+        assert_eq!(SystemKind::Spindle.to_string(), "Spindle");
+        assert_eq!(SystemKind::DistMmMt.label(), "DistMM-MT");
+    }
+
+    #[test]
+    fn every_system_plans_and_runs_the_same_workload() {
+        let graph = multitask_clip(4).unwrap();
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        for kind in SystemKind::ALL {
+            let system = BaselineSystem::new(kind);
+            assert_eq!(system.kind(), kind);
+            let plan = system.plan(&graph, &cluster).unwrap();
+            plan.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let report = RuntimeEngine::new(&plan, &cluster)
+                .with_graph(&graph)
+                .run_iteration()
+                .unwrap();
+            assert!(report.iteration_time_ms() > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn spindle_is_fastest_on_the_case_study_workload() {
+        // The headline claim (Fig. 8 / Fig. 9): on Multitask-CLIP with 4 tasks
+        // and 16 GPUs, Spindle beats every baseline end to end.
+        let graph = multitask_clip(4).unwrap();
+        let cluster = ClusterSpec::homogeneous(2, 8);
+        let mut times = std::collections::BTreeMap::new();
+        for kind in SystemKind::ALL {
+            let plan = BaselineSystem::new(kind).plan(&graph, &cluster).unwrap();
+            let report = RuntimeEngine::new(&plan, &cluster)
+                .with_graph(&graph)
+                .run_iteration()
+                .unwrap();
+            times.insert(kind, report.iteration_time_ms());
+        }
+        let spindle = times[&SystemKind::Spindle];
+        for (kind, time) in &times {
+            if *kind != SystemKind::Spindle {
+                assert!(
+                    spindle <= *time * 1.02,
+                    "Spindle ({spindle:.1} ms) should not lose to {kind} ({time:.1} ms)"
+                );
+            }
+        }
+        // And it should meaningfully beat the task-sequential SOTA systems.
+        assert!(times[&SystemKind::DeepSpeed] / spindle > 1.1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion benchmarks over the *measured quantity* of the paper's headline
+//! figure: simulated end-to-end iteration time of each system (Fig. 8 cells).
+//!
+//! `cargo bench -p spindle-bench --bench experiments` reports, for the
+//! Multitask-CLIP 4-task workload on 16 GPUs, how long it takes each system's
+//! planner + simulated runtime to produce its iteration measurement. The
+//! experiment binaries in `src/bin/` print the full tables; these benches keep
+//! the planning+simulation pipeline itself under performance regression watch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spindle_baselines::{BaselineSystem, SystemKind};
+use spindle_cluster::ClusterSpec;
+use spindle_runtime::RuntimeEngine;
+use spindle_workloads::multitask_clip;
+
+fn bench_fig8_cell(c: &mut Criterion) {
+    let graph = multitask_clip(4).unwrap();
+    let cluster = ClusterSpec::homogeneous(2, 8);
+    let mut group = c.benchmark_group("fig8-clip4t-16gpu");
+    group.sample_size(10);
+    for kind in SystemKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let plan = BaselineSystem::new(kind).plan(&graph, &cluster).unwrap();
+                RuntimeEngine::new(&plan, &cluster)
+                    .with_graph(&graph)
+                    .run_iteration()
+                    .unwrap()
+                    .iteration_time_ms()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation_only(c: &mut Criterion) {
+    let graph = multitask_clip(10).unwrap();
+    let cluster = ClusterSpec::homogeneous(4, 8);
+    let plan = BaselineSystem::new(SystemKind::Spindle).plan(&graph, &cluster).unwrap();
+    c.bench_function("runtime-simulation/clip-10t-32gpu", |b| {
+        b.iter(|| {
+            RuntimeEngine::new(&plan, &cluster)
+                .with_graph(&graph)
+                .run_iteration()
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_fig8_cell, bench_simulation_only);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the Spindle execution planner's components
+//! (Fig. 12's complexity analysis, broken down by stage): graph contraction,
+//! the continuous MPSP solve, wavefront scheduling, device placement and the
+//! end-to-end `Planner::plan` call.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spindle_cluster::ClusterSpec;
+use spindle_core::{
+    allocator, curves_for, mpsp, placement, wavefront, MetaGraph, PlacementStrategy, Planner,
+};
+use spindle_estimator::ScalabilityEstimator;
+use spindle_workloads::{multitask_clip, ofasys, qwen_val, QwenValSize};
+
+fn bench_contraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contraction");
+    for (name, graph) in [
+        ("clip-10t", multitask_clip(10).unwrap()),
+        ("ofasys-7t", ofasys(7).unwrap()),
+        ("qwen-val", qwen_val(QwenValSize::B9).unwrap()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| MetaGraph::contract(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpsp(c: &mut Criterion) {
+    let graph = multitask_clip(10).unwrap();
+    let cluster = ClusterSpec::homogeneous(4, 8);
+    let metagraph = MetaGraph::contract(&graph);
+    let estimator = ScalabilityEstimator::new(&cluster);
+    let curves = curves_for(&metagraph, &estimator).unwrap();
+    let level = &metagraph.levels()[0];
+    let items: Vec<mpsp::MpspItem> = level
+        .metaops
+        .iter()
+        .map(|&id| mpsp::MpspItem {
+            metaop: id,
+            num_ops: metagraph.metaop(id).num_ops(),
+            curve: Arc::clone(&curves[&id]),
+        })
+        .collect();
+    c.bench_function("mpsp-bisection/clip-10t-level0", |b| {
+        b.iter(|| mpsp::solve(&items, 32, mpsp::DEFAULT_EPSILON));
+    });
+    let solution = mpsp::solve(&items, 32, mpsp::DEFAULT_EPSILON);
+    c.bench_function("bi-point-discretisation/clip-10t-level0", |b| {
+        b.iter(|| allocator::discretize(&solution, &items));
+    });
+    let plan = allocator::discretize(&solution, &items);
+    c.bench_function("wavefront-scheduling/clip-10t-level0", |b| {
+        b.iter(|| wavefront::schedule_level(&plan, &curves, 32, 0, 0.0, 0));
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let graph = multitask_clip(10).unwrap();
+    let cluster = ClusterSpec::homogeneous(4, 8);
+    let unplaced = Planner::new(&graph, &cluster).plan().unwrap();
+    let mut group = c.benchmark_group("device-placement");
+    for strategy in [PlacementStrategy::Locality, PlacementStrategy::Sequential] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut plan = unplaced.clone();
+                    placement::place(&mut plan, &cluster, strategy).unwrap();
+                    plan
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner-end-to-end");
+    group.sample_size(10);
+    for (name, graph, gpus) in [
+        ("clip-4t/16gpu", multitask_clip(4).unwrap(), 16usize),
+        ("clip-10t/32gpu", multitask_clip(10).unwrap(), 32),
+        ("ofasys-7t/16gpu", ofasys(7).unwrap(), 16),
+        ("qwen-val/64gpu", qwen_val(QwenValSize::B9).unwrap(), 64),
+    ] {
+        let cluster = ClusterSpec::homogeneous(gpus / 8, 8);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| Planner::new(&graph, &cluster).plan().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_contraction,
+    bench_mpsp,
+    bench_placement,
+    bench_end_to_end_planning
+);
+criterion_main!(benches);

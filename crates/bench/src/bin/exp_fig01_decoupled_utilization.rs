@@ -1,0 +1,55 @@
+//! Fig. 1 (lower): device utilization over time during *decoupled* execution
+//! of four Multitask-CLIP tasks across two iterations.
+//!
+//! The paper uses this figure to motivate Spindle: when tasks are decoupled
+//! and executed one after another with the whole cluster, utilization
+//! fluctuates heavily both within a task (intra-task heterogeneity) and across
+//! tasks (inter-task heterogeneity). The series printed here is the cluster
+//! TFLOP/s trace of the DeepSpeed-style decoupled plan; per-task device counts
+//! in the paper's caption (8/4/2/2 GPUs) correspond to the per-task allocation
+//! of the decoupled baseline.
+
+use spindle_baselines::SystemKind;
+use spindle_bench::{measure, paper_cluster, render_table};
+use spindle_workloads::multitask_clip;
+
+fn main() {
+    let graph = multitask_clip(4).expect("workload builds");
+    let cluster = paper_cluster(16);
+    let measurement = measure(SystemKind::DeepSpeed, &graph, &cluster);
+    let trace = measurement.report.utilization_trace();
+
+    println!("Fig. 1 (lower): cluster utilization during decoupled execution");
+    println!(
+        "Multitask-CLIP, 4 tasks, 16 GPUs, one iteration = {:.1} ms\n",
+        measurement.iteration_ms
+    );
+
+    // Print a coarse 40-bucket series (time fraction of iteration, TFLOP/s).
+    let buckets = 40usize;
+    let mut rows = Vec::new();
+    for b in 0..buckets {
+        let lo = b * trace.len() / buckets;
+        let hi = ((b + 1) * trace.len() / buckets).max(lo + 1);
+        let avg: f64 =
+            trace[lo..hi].iter().map(|s| s.tflops_per_s).sum::<f64>() / (hi - lo) as f64;
+        let t = trace[lo].time_s / measurement.report.iteration_time_s();
+        rows.push(vec![
+            format!("{:.2}x", t * 2.0), // two-iteration timeline, as in the paper
+            format!("{avg:.0}"),
+            "#".repeat((avg / 40.0).round() as usize),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Timeline", "TFLOPs/s", "Utilization"], &rows)
+    );
+
+    let max = trace.iter().map(|s| s.tflops_per_s).fold(0.0, f64::max);
+    let busy_min = trace
+        .iter()
+        .filter(|s| s.tflops_per_s > 0.0)
+        .map(|s| s.tflops_per_s)
+        .fold(f64::INFINITY, f64::min);
+    println!("\npeak {max:.0} TFLOP/s, trough {busy_min:.0} TFLOP/s (fluctuation {:.1}x)", max / busy_min);
+}

@@ -1,0 +1,55 @@
+//! Fig. 4: execution time and resource scalability of the MetaOps of the
+//! 4-task Multitask-CLIP workload (the *scaling curves*).
+//!
+//! For each encoder MetaOp of each task the binary prints `T_m(n)` and the
+//! scalability `ς_m(n) = T_m(1)/T_m(n)` at 1–32 GPUs, fitted by the
+//! scalability estimator's piecewise α–β model over the analytic hardware
+//! profile. The paper's observation to reproduce: heavyweight operators
+//! (vision towers) scale close to linearly while lightweight operators
+//! (text/motion towers with small batches) barely reach 2–3× — and the curves
+//! differ per task because batch sizes differ.
+
+use spindle_bench::render_table;
+use spindle_cluster::ClusterSpec;
+use spindle_core::MetaGraph;
+use spindle_estimator::ScalabilityEstimator;
+use spindle_graph::OpKind;
+use spindle_workloads::multitask_clip;
+
+fn main() {
+    let graph = multitask_clip(4).expect("workload builds");
+    let cluster = ClusterSpec::homogeneous(4, 8);
+    let estimator = ScalabilityEstimator::new(&cluster);
+    let metagraph = MetaGraph::contract(&graph);
+    let gpus = [1u32, 2, 4, 8, 16, 32];
+
+    println!("Fig. 4: MetaOp execution time (ms per operator) and resource scalability\n");
+    let mut time_rows = Vec::new();
+    let mut scal_rows = Vec::new();
+    for metaop in metagraph.metaops() {
+        let rep = metaop.representative();
+        // The figure shows the modality-encoder MetaOps of each task.
+        if !matches!(rep.kind(), OpKind::Encoder(_)) {
+            continue;
+        }
+        let task = graph.task(rep.task()).expect("task exists");
+        let label = format!("Task{}-{}", rep.task().0 + 1, rep.kind());
+        let curve = estimator.curve_for(rep);
+        let mut times = vec![label.clone()];
+        let mut scals = vec![label];
+        for &n in &gpus {
+            times.push(format!("{:.2}", curve.time(f64::from(n)) * 1e3));
+            scals.push(format!("{:.2}", curve.scalability(f64::from(n))));
+        }
+        times.push(format!("batch {}", task.batch_size()));
+        scals.push(format!("batch {}", task.batch_size()));
+        time_rows.push(times);
+        scal_rows.push(scals);
+    }
+
+    let header = ["MetaOp", "1", "2", "4", "8", "16", "32", "task"];
+    println!("Execution time per operator (ms):");
+    println!("{}", render_table(&header, &time_rows));
+    println!("Resource scalability sigma(n) = T(1)/T(n):");
+    println!("{}", render_table(&header, &scal_rows));
+}

@@ -1,0 +1,68 @@
+//! Fig. 10: iteration-time breakdown (parameter sync / forward+backward /
+//! inter-wave send & receive) for DeepSpeed, Spindle and Spindle without its
+//! device-placement mechanism ("Sp*" = sequential placement), across the
+//! paper's three largest workload configurations.
+//!
+//! The reproduction targets: forward+backward dominates the iteration;
+//! Spindle's inter-wave send & receive stays a small fraction of the total;
+//! and disabling the locality-aware placement inflates that fraction severalfold
+//! (the paper reports 3–6×, up to 27% of the iteration).
+
+use spindle_baselines::SystemKind;
+use spindle_bench::{
+    cluster_label, measure, measure_spindle_with_placement, paper_cluster, render_table,
+};
+use spindle_core::PlacementStrategy;
+use spindle_graph::ComputationGraph;
+use spindle_runtime::TimeBreakdown;
+use spindle_workloads::{multitask_clip, ofasys, qwen_val, QwenValSize};
+
+fn row(label: &str, cluster: &str, b: TimeBreakdown) -> Vec<String> {
+    vec![
+        cluster.to_string(),
+        label.to_string(),
+        format!("{:.1}", b.fwd_bwd_s * 1e3),
+        format!("{:.1}", b.sync_s * 1e3),
+        format!("{:.1}", b.send_recv_s * 1e3),
+        format!("{:.1}", b.total_s() * 1e3),
+        format!("{:.1}%", b.send_recv_fraction() * 100.0),
+    ]
+}
+
+fn breakdown_for(graph: &ComputationGraph, gpus_list: &[usize], rows: &mut Vec<Vec<String>>) {
+    for &gpus in gpus_list {
+        let cluster = paper_cluster(gpus);
+        let label = cluster_label(gpus);
+        let ds = measure(SystemKind::DeepSpeed, graph, &cluster);
+        rows.push(row("DeepSpeed (DS)", &label, ds.report.breakdown()));
+        let sp = measure(SystemKind::Spindle, graph, &cluster);
+        rows.push(row("Spindle (Sp)", &label, sp.report.breakdown()));
+        let seq = measure_spindle_with_placement(graph, &cluster, PlacementStrategy::Sequential);
+        rows.push(row("Spindle w/o DP (Sp*)", &label, seq.report.breakdown()));
+    }
+}
+
+fn main() {
+    println!("Fig. 10: time breakdown (ms) and device-placement ablation\n");
+    let header = [
+        "Cluster",
+        "System",
+        "Fwd&Bwd",
+        "Sync",
+        "Send&Recv",
+        "Total",
+        "Send&Recv %",
+    ];
+
+    let cases: [(&str, ComputationGraph, Vec<usize>); 3] = [
+        ("Multitask-CLIP, 10 Tasks", multitask_clip(10).expect("clip"), vec![8, 16]),
+        ("OFASys, 7 Tasks", ofasys(7).expect("ofasys"), vec![8, 16]),
+        ("QWen-VAL, 3 Tasks", qwen_val(QwenValSize::B9).expect("qwen"), vec![32, 64]),
+    ];
+    for (name, graph, gpus) in cases {
+        println!("== {name} ==");
+        let mut rows = Vec::new();
+        breakdown_for(&graph, &gpus, &mut rows);
+        println!("{}", render_table(&header, &rows));
+    }
+}

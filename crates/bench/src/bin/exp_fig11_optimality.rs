@@ -1,0 +1,39 @@
+//! Fig. 11: optimality analysis of the Spindle execution planner.
+//!
+//! Compares the compute makespan of the practical plan with the theoretical
+//! optimum `Σ C̃*` obtained from the continuous MPSP relaxation (Theorem 1),
+//! which is an unachievable lower bound. The paper reports deviations below 7%
+//! across Multitask-CLIP configurations on 16 and 32 GPUs; the deviations
+//! printed here are the equivalent measurement on the simulated substrate.
+
+use spindle_bench::{cluster_label, paper_cluster, render_table};
+use spindle_core::Planner;
+use spindle_workloads::multitask_clip;
+
+fn main() {
+    println!("Fig. 11: Spindle plan makespan vs theoretical optimum\n");
+    let mut rows = Vec::new();
+    for gpus in [16usize, 32] {
+        for tasks in [4usize, 7, 10] {
+            let graph = multitask_clip(tasks).expect("workload builds");
+            let cluster = paper_cluster(gpus);
+            let plan = Planner::new(&graph, &cluster).plan().expect("plan");
+            let optimum_ms = plan.theoretical_optimum() * 1e3;
+            let makespan_ms = plan.makespan() * 1e3;
+            rows.push(vec![
+                cluster_label(gpus),
+                format!("{tasks} Tasks"),
+                format!("{optimum_ms:.1}"),
+                format!("{makespan_ms:.1}"),
+                format!("{:.2}x", makespan_ms / optimum_ms),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Cluster", "Workload", "Theoretical optimum (ms)", "Spindle (ms)", "Ratio"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 15 (Appendix G): per-device memory consumption of Multitask-CLIP
+//! (4 tasks, 16 GPUs) under every system.
+//!
+//! Reproduction targets: Spindle's per-device peak memory is generally lower
+//! than Megatron-LM/DeepSpeed (selective parameter storage — only devices that
+//! execute an operator hold its parameters) and far better balanced than
+//! Spindle-Optimus' task-level allocation, thanks to the memory-balance
+//! guideline of the device-placement step.
+
+use spindle_baselines::SystemKind;
+use spindle_bench::{measure, paper_cluster, render_table};
+use spindle_workloads::multitask_clip;
+
+fn main() {
+    println!("Fig. 15: per-device memory consumption (GiB), Multitask-CLIP 4 tasks, 16 GPUs\n");
+    let graph = multitask_clip(4).expect("workload builds");
+    let cluster = paper_cluster(16);
+
+    let mut rows = Vec::new();
+    for kind in SystemKind::ALL {
+        let m = measure(kind, &graph, &cluster);
+        let memory = m.report.device_memory_gib();
+        let values: Vec<f64> = memory.values().copied().collect();
+        let max = values.iter().copied().fold(0.0, f64::max);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        let mut row = vec![
+            kind.label().to_string(),
+            format!("{avg:.1}"),
+            format!("{max:.1}"),
+            format!("{min:.1}"),
+            format!("{:.2}", m.report.memory_imbalance()),
+        ];
+        // First eight devices, to mirror the spider chart's per-device view.
+        for v in values.iter().take(8) {
+            row.push(format!("{v:.1}"));
+        }
+        rows.push(row);
+    }
+    let mut header = vec![
+        "System".to_string(),
+        "Avg".to_string(),
+        "Max".to_string(),
+        "Min".to_string(),
+        "Imbalance".to_string(),
+    ];
+    header.extend((0..8).map(|d| format!("gpu{d}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &rows));
+}

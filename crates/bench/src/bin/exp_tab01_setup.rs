@@ -1,0 +1,52 @@
+//! Tab. 1: experimental setup — the heterogeneity-awareness matrix of the
+//! evaluated systems (1a) and the configuration of the MT MM models (1b).
+
+use spindle_baselines::SystemKind;
+use spindle_bench::render_table;
+use spindle_workloads::{QwenValSize, WorkloadPreset};
+
+fn main() {
+    println!("Tab. 1a: heterogeneity awareness of system competitors\n");
+    let rows: Vec<Vec<String>> = SystemKind::ALL
+        .iter()
+        .map(|kind| {
+            vec![
+                kind.label().to_string(),
+                if kind.inter_task_aware() { "yes" } else { "no" }.to_string(),
+                if kind.intra_task_aware() { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Competitor", "Inter-Task", "Intra-Task"], &rows)
+    );
+
+    println!("Tab. 1b: configuration of MT MM models for evaluation\n");
+    let presets = [
+        WorkloadPreset::MultitaskClip { tasks: 10 },
+        WorkloadPreset::Ofasys { tasks: 7 },
+        WorkloadPreset::QwenVal { size: QwenValSize::B9 },
+    ];
+    let rows: Vec<Vec<String>> = presets
+        .iter()
+        .map(|p| {
+            let (name, params_b, modalities, tasks, cross_modal) =
+                p.table1b_row().expect("preset builds");
+            vec![
+                name,
+                format!("{params_b:.2}B"),
+                modalities.to_string(),
+                tasks.to_string(),
+                cross_modal.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["MT MM Model", "# Param.", "# Modalities", "# Tasks", "Cross-Modal Module"],
+            &rows
+        )
+    );
+}

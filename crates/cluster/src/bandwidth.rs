@@ -1,0 +1,152 @@
+//! Interconnect description: link classes, bandwidths and latencies.
+
+use std::fmt;
+
+/// Classification of the link between two devices (or a device and itself).
+///
+/// Spindle's device-placement step (§3.5 of the paper) reasons about exactly
+/// these three classes: copies within a device, transfers within a device
+/// island (NVLink), and transfers across islands (InfiniBand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkClass {
+    /// Source and destination are the same device; the transfer is a local copy.
+    IntraDevice,
+    /// Devices live on the same node / device island and communicate via the
+    /// high-bandwidth intra-node interconnect (NVLink).
+    IntraIsland,
+    /// Devices live on different nodes and communicate via the inter-node
+    /// network (InfiniBand).
+    InterIsland,
+}
+
+impl fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkClass::IntraDevice => "intra-device",
+            LinkClass::IntraIsland => "intra-island",
+            LinkClass::InterIsland => "inter-island",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Bandwidth and latency parameters of the cluster interconnect.
+///
+/// All bandwidths are *effective per-link, unidirectional* bandwidths in
+/// bytes/second as observed by large transfers; latencies are per-message
+/// fixed costs in seconds (the α term of the classic α–β model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectSpec {
+    /// Effective bandwidth of a local (intra-device) copy, bytes/s.
+    pub intra_device_bandwidth: f64,
+    /// Effective NVLink bandwidth between two GPUs on the same node, bytes/s.
+    pub intra_island_bandwidth: f64,
+    /// Effective network bandwidth between two GPUs on different nodes, bytes/s.
+    pub inter_island_bandwidth: f64,
+    /// Latency of an intra-device copy, seconds.
+    pub intra_device_latency_s: f64,
+    /// Latency of an intra-island (NVLink) message, seconds.
+    pub intra_island_latency_s: f64,
+    /// Latency of an inter-island (network) message, seconds.
+    pub inter_island_latency_s: f64,
+}
+
+impl InterconnectSpec {
+    /// NVLink (NVSwitch, A800 = 400 GB/s aggregate / ~200 GB/s effective
+    /// unidirectional pairwise) + 400 Gbps InfiniBand, as in the paper's
+    /// testbed.
+    #[must_use]
+    pub fn nvlink_plus_infiniband_400g() -> Self {
+        Self {
+            // HBM-to-HBM copy on device: bounded by memory bandwidth.
+            intra_device_bandwidth: 1.6e12,
+            // A800 NVLink: 400 GB/s bidirectional -> ~200 GB/s effective.
+            intra_island_bandwidth: 200.0e9,
+            // 400 Gbps IB = 50 GB/s line rate, ~42 GB/s effective.
+            inter_island_bandwidth: 42.0e9,
+            intra_device_latency_s: 2.0e-6,
+            intra_island_latency_s: 5.0e-6,
+            inter_island_latency_s: 12.0e-6,
+        }
+    }
+
+    /// Effective bandwidth (bytes/s) for the given link class.
+    #[must_use]
+    pub fn bandwidth(&self, class: LinkClass) -> f64 {
+        match class {
+            LinkClass::IntraDevice => self.intra_device_bandwidth,
+            LinkClass::IntraIsland => self.intra_island_bandwidth,
+            LinkClass::InterIsland => self.inter_island_bandwidth,
+        }
+    }
+
+    /// Per-message latency (seconds) for the given link class.
+    #[must_use]
+    pub fn latency(&self, class: LinkClass) -> f64 {
+        match class {
+            LinkClass::IntraDevice => self.intra_device_latency_s,
+            LinkClass::IntraIsland => self.intra_island_latency_s,
+            LinkClass::InterIsland => self.inter_island_latency_s,
+        }
+    }
+
+    /// Time in seconds to move `bytes` over a single link of class `class`
+    /// using the α–β model: `latency + bytes / bandwidth`.
+    #[must_use]
+    pub fn transfer_time(&self, class: LinkClass, bytes: u64) -> f64 {
+        self.latency(class) + bytes as f64 / self.bandwidth(class)
+    }
+}
+
+impl Default for InterconnectSpec {
+    fn default() -> Self {
+        Self::nvlink_plus_infiniband_400g()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_class_ordering_reflects_cost() {
+        // Cheaper link classes order first; placement relies on this.
+        assert!(LinkClass::IntraDevice < LinkClass::IntraIsland);
+        assert!(LinkClass::IntraIsland < LinkClass::InterIsland);
+    }
+
+    #[test]
+    fn default_bandwidth_hierarchy() {
+        let ic = InterconnectSpec::default();
+        assert!(ic.bandwidth(LinkClass::IntraDevice) > ic.bandwidth(LinkClass::IntraIsland));
+        assert!(ic.bandwidth(LinkClass::IntraIsland) > ic.bandwidth(LinkClass::InterIsland));
+        assert!(ic.latency(LinkClass::IntraDevice) < ic.latency(LinkClass::InterIsland));
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes() {
+        let ic = InterconnectSpec::default();
+        for class in [
+            LinkClass::IntraDevice,
+            LinkClass::IntraIsland,
+            LinkClass::InterIsland,
+        ] {
+            let small = ic.transfer_time(class, 1 << 20);
+            let large = ic.transfer_time(class, 1 << 30);
+            assert!(large > small, "{class}: {large} <= {small}");
+        }
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_floor() {
+        let ic = InterconnectSpec::default();
+        assert!(ic.transfer_time(LinkClass::InterIsland, 0) >= ic.inter_island_latency_s);
+    }
+
+    #[test]
+    fn link_class_display() {
+        assert_eq!(LinkClass::IntraIsland.to_string(), "intra-island");
+        assert_eq!(LinkClass::InterIsland.to_string(), "inter-island");
+        assert_eq!(LinkClass::IntraDevice.to_string(), "intra-device");
+    }
+}

@@ -1,0 +1,151 @@
+//! Device and node identities plus the per-GPU hardware description.
+
+use std::fmt;
+
+/// Identifier of a single accelerator device (GPU) in the cluster.
+///
+/// Devices are numbered globally and densely: device `k` lives on node
+/// `k / gpus_per_node` for homogeneous clusters built with
+/// [`ClusterSpec::homogeneous`](crate::ClusterSpec::homogeneous).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Returns the raw index of this device.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+impl From<u32> for DeviceId {
+    fn from(value: u32) -> Self {
+        DeviceId(value)
+    }
+}
+
+impl From<DeviceId> for u32 {
+    fn from(value: DeviceId) -> Self {
+        value.0
+    }
+}
+
+/// Identifier of a node (server) in the cluster. A node is also a *device
+/// island*: its GPUs are connected by a high-bandwidth interconnect (NVLink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+/// Hardware description of a single GPU.
+///
+/// Defaults model an NVIDIA A800 80 GB SXM GPU, the accelerator used in the
+/// paper's evaluation cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Peak dense compute throughput in TFLOP/s (BF16 tensor cores).
+    pub peak_tflops: f64,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Device memory bandwidth in GB/s.
+    pub memory_bandwidth_gbps: f64,
+    /// Fixed per-kernel launch overhead in seconds. Small, but it is what
+    /// prevents tiny operators from scaling to many devices.
+    pub kernel_launch_overhead_s: f64,
+}
+
+impl GpuSpec {
+    /// An NVIDIA A800 80 GB SXM-like accelerator (the paper's testbed GPU).
+    ///
+    /// The A800 is the export variant of the A100; its dense BF16 throughput is
+    /// ~312 TFLOP/s and HBM2e bandwidth ~2 TB/s.
+    #[must_use]
+    pub fn a800_80gb() -> Self {
+        Self {
+            peak_tflops: 312.0,
+            memory_bytes: 80 * (1u64 << 30),
+            memory_bandwidth_gbps: 2039.0,
+            kernel_launch_overhead_s: 12.0e-6,
+        }
+    }
+
+    /// Peak throughput in FLOP/s.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_tflops * 1e12
+    }
+
+    /// Device memory capacity in GiB.
+    #[must_use]
+    pub fn memory_gib(&self) -> f64 {
+        self.memory_bytes as f64 / (1u64 << 30) as f64
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::a800_80gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_id_roundtrip() {
+        let d = DeviceId::from(7u32);
+        assert_eq!(d.index(), 7);
+        assert_eq!(u32::from(d), 7);
+        assert_eq!(d.to_string(), "gpu7");
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(NodeId::from(3u32).index(), 3);
+    }
+
+    #[test]
+    fn device_ordering_is_by_index() {
+        assert!(DeviceId(1) < DeviceId(2));
+        assert!(DeviceId(10) > DeviceId(2));
+    }
+
+    #[test]
+    fn a800_spec_sane() {
+        let g = GpuSpec::a800_80gb();
+        assert!(g.peak_flops() > 3.0e14);
+        assert!((g.memory_gib() - 80.0).abs() < 1e-9);
+        assert!(g.kernel_launch_overhead_s > 0.0);
+    }
+
+    #[test]
+    fn default_gpu_is_a800() {
+        assert_eq!(GpuSpec::default(), GpuSpec::a800_80gb());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for cluster construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::DeviceId;
+
+/// Errors produced while constructing or querying a cluster description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The cluster was described with zero nodes or zero devices.
+    EmptyCluster,
+    /// A device id referenced a device that does not exist in the cluster.
+    UnknownDevice(DeviceId),
+    /// A device group was empty where a non-empty group was required.
+    EmptyGroup,
+    /// A device group contained duplicate devices.
+    DuplicateDevice(DeviceId),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyCluster => write!(f, "cluster must contain at least one device"),
+            ClusterError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            ClusterError::EmptyGroup => write!(f, "device group must not be empty"),
+            ClusterError::DuplicateDevice(d) => {
+                write!(f, "device {d} appears more than once in group")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            ClusterError::EmptyCluster.to_string(),
+            ClusterError::UnknownDevice(DeviceId(3)).to_string(),
+            ClusterError::EmptyGroup.to_string(),
+            ClusterError::DuplicateDevice(DeviceId(1)).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ClusterError>();
+    }
+}

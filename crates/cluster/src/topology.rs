@@ -1,0 +1,328 @@
+//! Cluster topology: nodes, device islands and the overall cluster spec.
+
+use std::fmt;
+
+use crate::{ClusterError, DeviceGroup, DeviceId, GpuSpec, InterconnectSpec, LinkClass, NodeId};
+
+/// Description of a single node (server) of the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Identity of the node.
+    pub id: NodeId,
+    /// Devices hosted by this node, in local order.
+    pub devices: Vec<DeviceId>,
+}
+
+impl NodeSpec {
+    /// Number of devices on this node.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+/// A device island: the set of devices connected by the high-bandwidth
+/// intra-node interconnect. In this model an island coincides with a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Island {
+    /// Island identity (same as the node id).
+    pub id: NodeId,
+    /// Devices belonging to the island.
+    pub devices: DeviceGroup,
+}
+
+/// Full description of the training cluster: per-GPU spec, node layout and
+/// interconnect parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    gpu: GpuSpec,
+    interconnect: InterconnectSpec,
+    nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// Builds a homogeneous cluster of `num_nodes` nodes with `gpus_per_node`
+    /// A800-like GPUs each, connected by NVLink within a node and 400 Gbps
+    /// InfiniBand across nodes — the paper's testbed configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` or `gpus_per_node` is zero.
+    #[must_use]
+    pub fn homogeneous(num_nodes: usize, gpus_per_node: usize) -> Self {
+        Self::with_specs(
+            num_nodes,
+            gpus_per_node,
+            GpuSpec::a800_80gb(),
+            InterconnectSpec::nvlink_plus_infiniband_400g(),
+        )
+    }
+
+    /// Builds a homogeneous cluster with explicit GPU and interconnect specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` or `gpus_per_node` is zero.
+    #[must_use]
+    pub fn with_specs(
+        num_nodes: usize,
+        gpus_per_node: usize,
+        gpu: GpuSpec,
+        interconnect: InterconnectSpec,
+    ) -> Self {
+        assert!(num_nodes > 0, "cluster must have at least one node");
+        assert!(gpus_per_node > 0, "nodes must have at least one GPU");
+        let nodes = (0..num_nodes)
+            .map(|n| NodeSpec {
+                id: NodeId(n as u32),
+                devices: (0..gpus_per_node)
+                    .map(|g| DeviceId((n * gpus_per_node + g) as u32))
+                    .collect(),
+            })
+            .collect();
+        Self {
+            gpu,
+            interconnect,
+            nodes,
+        }
+    }
+
+    /// The per-GPU hardware description.
+    #[must_use]
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The interconnect description.
+    #[must_use]
+    pub fn interconnect(&self) -> &InterconnectSpec {
+        &self.interconnect
+    }
+
+    /// The nodes of the cluster.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Total number of devices in the cluster.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.nodes.iter().map(NodeSpec::num_devices).sum()
+    }
+
+    /// Number of nodes (device islands).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All devices of the cluster in global order.
+    #[must_use]
+    pub fn all_devices(&self) -> DeviceGroup {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.devices.iter().copied())
+            .collect()
+    }
+
+    /// The device islands of the cluster (one per node).
+    #[must_use]
+    pub fn islands(&self) -> Vec<Island> {
+        self.nodes
+            .iter()
+            .map(|n| Island {
+                id: n.id,
+                devices: n.devices.iter().copied().collect(),
+            })
+            .collect()
+    }
+
+    /// The node hosting `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownDevice`] if the device is not part of the
+    /// cluster.
+    pub fn node_of(&self, device: DeviceId) -> Result<NodeId, ClusterError> {
+        self.nodes
+            .iter()
+            .find(|n| n.devices.contains(&device))
+            .map(|n| n.id)
+            .ok_or(ClusterError::UnknownDevice(device))
+    }
+
+    /// Returns `true` if `device` exists in this cluster.
+    #[must_use]
+    pub fn contains(&self, device: DeviceId) -> bool {
+        self.nodes.iter().any(|n| n.devices.contains(&device))
+    }
+
+    /// Link class between two devices of the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownDevice`] if either device is unknown.
+    pub fn link_class(&self, a: DeviceId, b: DeviceId) -> Result<LinkClass, ClusterError> {
+        if a == b {
+            // Still validate the device exists.
+            self.node_of(a)?;
+            return Ok(LinkClass::IntraDevice);
+        }
+        let na = self.node_of(a)?;
+        let nb = self.node_of(b)?;
+        Ok(if na == nb {
+            LinkClass::IntraIsland
+        } else {
+            LinkClass::InterIsland
+        })
+    }
+
+    /// Returns `true` if every device of `group` lives on the same island.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownDevice`] if any device is unknown, or
+    /// [`ClusterError::EmptyGroup`] for an empty group.
+    pub fn is_intra_island(&self, group: &DeviceGroup) -> Result<bool, ClusterError> {
+        let mut nodes = group.iter().map(|d| self.node_of(d));
+        let first = nodes.next().ok_or(ClusterError::EmptyGroup)??;
+        for n in nodes {
+            if n? != first {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Number of distinct islands spanned by `group`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownDevice`] if any device is unknown.
+    pub fn islands_spanned(&self, group: &DeviceGroup) -> Result<usize, ClusterError> {
+        let mut nodes: Vec<NodeId> = group
+            .iter()
+            .map(|d| self.node_of(d))
+            .collect::<Result<_, _>>()?;
+        nodes.sort_unstable();
+        nodes.dedup();
+        Ok(nodes.len())
+    }
+
+    /// Per-device memory capacity in bytes.
+    #[must_use]
+    pub fn device_memory_bytes(&self) -> u64 {
+        self.gpu.memory_bytes
+    }
+
+    /// Aggregate peak compute of the whole cluster in FLOP/s.
+    #[must_use]
+    pub fn aggregate_peak_flops(&self) -> f64 {
+        self.gpu.peak_flops() * self.num_devices() as f64
+    }
+}
+
+impl fmt::Display for ClusterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} node(s) x {} GPU(s), {:.0} TFLOP/s each, {:.0} GiB memory",
+            self.num_nodes(),
+            self.nodes.first().map_or(0, NodeSpec::num_devices),
+            self.gpu.peak_tflops,
+            self.gpu.memory_gib()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_layout() {
+        let c = ClusterSpec::homogeneous(2, 8);
+        assert_eq!(c.num_devices(), 16);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.nodes()[1].devices[0], DeviceId(8));
+        assert_eq!(c.all_devices().len(), 16);
+        assert_eq!(c.islands().len(), 2);
+        assert!(c.contains(DeviceId(15)));
+        assert!(!c.contains(DeviceId(16)));
+    }
+
+    #[test]
+    fn node_of_and_link_class() {
+        let c = ClusterSpec::homogeneous(2, 4);
+        assert_eq!(c.node_of(DeviceId(3)).unwrap(), NodeId(0));
+        assert_eq!(c.node_of(DeviceId(4)).unwrap(), NodeId(1));
+        assert_eq!(
+            c.node_of(DeviceId(99)),
+            Err(ClusterError::UnknownDevice(DeviceId(99)))
+        );
+        assert_eq!(
+            c.link_class(DeviceId(1), DeviceId(1)).unwrap(),
+            LinkClass::IntraDevice
+        );
+        assert_eq!(
+            c.link_class(DeviceId(1), DeviceId(3)).unwrap(),
+            LinkClass::IntraIsland
+        );
+        assert_eq!(
+            c.link_class(DeviceId(1), DeviceId(5)).unwrap(),
+            LinkClass::InterIsland
+        );
+    }
+
+    #[test]
+    fn island_queries() {
+        let c = ClusterSpec::homogeneous(4, 8);
+        let intra = DeviceGroup::contiguous(DeviceId(8), 8);
+        let cross = DeviceGroup::contiguous(DeviceId(4), 8);
+        assert!(c.is_intra_island(&intra).unwrap());
+        assert!(!c.is_intra_island(&cross).unwrap());
+        assert_eq!(c.islands_spanned(&intra).unwrap(), 1);
+        assert_eq!(c.islands_spanned(&cross).unwrap(), 2);
+        let all = c.all_devices();
+        assert_eq!(c.islands_spanned(&all).unwrap(), 4);
+    }
+
+    #[test]
+    fn aggregate_compute_scales_with_devices() {
+        let small = ClusterSpec::homogeneous(1, 8);
+        let large = ClusterSpec::homogeneous(4, 8);
+        assert!((large.aggregate_peak_flops() / small.aggregate_peak_flops() - 4.0).abs() < 1e-9);
+        assert_eq!(small.device_memory_bytes(), 80 * (1 << 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = ClusterSpec::homogeneous(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_panics() {
+        let _ = ClusterSpec::homogeneous(1, 0);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let c = ClusterSpec::homogeneous(2, 8);
+        let s = c.to_string();
+        assert!(s.contains("2 node"));
+        assert!(s.contains("8 GPU"));
+    }
+
+    #[test]
+    fn is_intra_island_rejects_unknown_device() {
+        let c = ClusterSpec::homogeneous(1, 4);
+        let g = DeviceGroup::contiguous(DeviceId(2), 4);
+        assert_eq!(
+            c.is_intra_island(&g),
+            Err(ClusterError::UnknownDevice(DeviceId(4)))
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for the execution planner.
+
+use std::error::Error;
+use std::fmt;
+
+use spindle_graph::GraphError;
+
+use crate::MetaOpId;
+
+/// Errors produced while planning or validating an execution plan.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// The underlying computation graph was invalid.
+    Graph(GraphError),
+    /// The cluster has no devices.
+    EmptyCluster,
+    /// A MetaOp has no scaling curve / no valid allocation.
+    NoCurve(MetaOpId),
+    /// A wave allocates more devices than the cluster provides.
+    CapacityExceeded {
+        /// Index of the offending wave.
+        wave: usize,
+        /// Devices requested by the wave.
+        requested: u32,
+        /// Devices available in the cluster.
+        available: u32,
+    },
+    /// Some operators of a MetaOp were never scheduled.
+    IncompleteSchedule {
+        /// The MetaOp whose layers are missing.
+        metaop: MetaOpId,
+        /// Layers scheduled across all waves.
+        scheduled: u32,
+        /// Layers required.
+        required: u32,
+    },
+    /// Waves are not ordered by start time.
+    UnorderedWaves {
+        /// Index of the first out-of-order wave.
+        wave: usize,
+    },
+    /// A wave entry has no device placement but one was required.
+    MissingPlacement {
+        /// Index of the offending wave.
+        wave: usize,
+        /// The MetaOp lacking placement.
+        metaop: MetaOpId,
+    },
+    /// Two entries of the same wave were placed on overlapping devices.
+    PlacementOverlap {
+        /// Index of the offending wave.
+        wave: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Graph(e) => write!(f, "invalid computation graph: {e}"),
+            PlanError::EmptyCluster => write!(f, "cluster has no devices"),
+            PlanError::NoCurve(m) => write!(f, "no scaling curve for {m}"),
+            PlanError::CapacityExceeded {
+                wave,
+                requested,
+                available,
+            } => write!(
+                f,
+                "wave {wave} requests {requested} devices but only {available} exist"
+            ),
+            PlanError::IncompleteSchedule {
+                metaop,
+                scheduled,
+                required,
+            } => write!(
+                f,
+                "{metaop} scheduled {scheduled} of {required} operators"
+            ),
+            PlanError::UnorderedWaves { wave } => {
+                write!(f, "wave {wave} starts before its predecessor")
+            }
+            PlanError::MissingPlacement { wave, metaop } => {
+                write!(f, "wave {wave} entry {metaop} has no device placement")
+            }
+            PlanError::PlacementOverlap { wave } => {
+                write!(f, "wave {wave} places two entries on the same device")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for PlanError {
+    fn from(value: GraphError) -> Self {
+        PlanError::Graph(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PlanError>();
+        let e = PlanError::Graph(GraphError::CycleDetected);
+        assert!(e.to_string().contains("cycle"));
+        assert!(e.source().is_some());
+        assert!(PlanError::EmptyCluster.source().is_none());
+        let cap = PlanError::CapacityExceeded {
+            wave: 3,
+            requested: 9,
+            available: 8,
+        };
+        assert!(cap.to_string().contains("wave 3"));
+    }
+}

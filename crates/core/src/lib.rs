@@ -1,0 +1,75 @@
+//! # spindle-core
+//!
+//! The Spindle execution planner — the primary contribution of the paper.
+//!
+//! Given the unified computation graph of a multi-task multi-modal workload
+//! (`spindle-graph`), a cluster description (`spindle-cluster`) and per-operator
+//! scaling curves (`spindle-estimator`), the planner produces an
+//! [`ExecutionPlan`]: a sequence of *waves*, each wave being a set of sliced
+//! MetaOps that execute concurrently on disjoint, placed device groups with
+//! aligned time spans.
+//!
+//! The pipeline follows §3 of the paper:
+//!
+//! 1. **Graph contraction** (§3.1, [`MetaGraph::contract`]) fuses chains of
+//!    identical operators into [`MetaOp`]s and assigns them to dependency
+//!    [`MetaLevel`]s.
+//! 2. **Scalability estimation** (§3.2, `spindle-estimator`) produces each
+//!    MetaOp's execution-time function `T_m(n)`.
+//! 3. **Resource allocation** (§3.3, [`mpsp`] + [`allocator`]) solves the
+//!    relaxed malleable-project-scheduling problem by bisection and
+//!    discretises the continuous optimum into at most two ASL-tuples per
+//!    MetaOp.
+//! 4. **Wavefront scheduling** (§3.4, [`wavefront`]) greedily slices the
+//!    tuples into compact waves that keep every device busy.
+//! 5. **Device placement** (§3.5, [`placement`]) maps each wave entry onto
+//!    concrete devices, preferring device islands, prioritising
+//!    high-communication flows and balancing memory.
+//!
+//! ## Example
+//!
+//! ```
+//! use spindle_cluster::ClusterSpec;
+//! use spindle_core::Planner;
+//! use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A tiny two-tower contrastive task.
+//! let mut b = GraphBuilder::new();
+//! let t = b.add_task("audio-text", [Modality::Audio, Modality::Text], 8);
+//! let audio = b.add_op_chain(t, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 6)?;
+//! let text = b.add_op_chain(t, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), 6)?;
+//! let loss = b.add_op(t, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768))?;
+//! b.add_flow(*audio.last().unwrap(), loss)?;
+//! b.add_flow(*text.last().unwrap(), loss)?;
+//! let graph = b.build()?;
+//!
+//! let cluster = ClusterSpec::homogeneous(1, 8);
+//! let plan = Planner::new(&graph, &cluster).plan()?;
+//! assert!(plan.makespan() > 0.0);
+//! assert!(plan.validate().is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod allocator;
+mod error;
+mod metagraph;
+mod metaop;
+pub mod mpsp;
+pub mod placement;
+mod plan;
+mod planner;
+pub mod wavefront;
+
+pub use allocator::{AllocationPlan, DiscreteAllocation, MetaOpAllocation};
+pub use error::PlanError;
+pub use metagraph::{MetaGraph, MetaLevel};
+pub use metaop::{MetaOp, MetaOpId};
+pub use mpsp::ContinuousSolution;
+pub use placement::PlacementStrategy;
+pub use plan::{ExecutionPlan, Wave, WaveEntry};
+pub use planner::{curves_for, Planner, PlannerConfig};

@@ -1,0 +1,338 @@
+//! The contracted MetaGraph and its dependency levels (§3.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use spindle_graph::{ComputationGraph, OpId};
+
+use crate::{MetaOp, MetaOpId};
+
+/// A dependency level of the MetaGraph: the set of MetaOps whose longest
+/// dependency chain from any graph input has the same length. MetaOps within
+/// one level have no dependencies among each other, so the per-level
+/// sub-problem of the resource allocator needs no dependency constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaLevel {
+    /// Index of the level (0 = graph inputs).
+    pub index: usize,
+    /// MetaOps belonging to the level.
+    pub metaops: Vec<MetaOpId>,
+}
+
+/// The contracted computation graph `G_M = (V_M, E_M)` whose nodes are
+/// [`MetaOp`]s, plus the derived MetaLevel decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaGraph {
+    metaops: Vec<MetaOp>,
+    edges: Vec<(MetaOpId, MetaOpId)>,
+    levels: Vec<MetaLevel>,
+    op_to_metaop: BTreeMap<OpId, MetaOpId>,
+}
+
+impl MetaGraph {
+    /// Contracts a computation graph into a MetaGraph.
+    ///
+    /// Two adjacent operators `i → j` are fused when the edge is the only
+    /// outgoing edge of `i` and the only incoming edge of `j` (direct
+    /// predecessor/successor) and both share the same operator type and input
+    /// data size — the two criteria of §3.1. Contraction proceeds in
+    /// topological order until no more pairs qualify; levels are then assigned
+    /// by dependency depth.
+    #[must_use]
+    pub fn contract(graph: &ComputationGraph) -> Self {
+        let order = graph.topological_order();
+        let mut op_to_metaop: BTreeMap<OpId, MetaOpId> = BTreeMap::new();
+        let mut chains: Vec<Vec<OpId>> = Vec::new();
+
+        for &op in &order {
+            let operator = graph.op(op);
+            // Candidate for fusion into the predecessor's chain?
+            let fuse_into = if graph.in_degree(op) == 1 {
+                let pred = graph.predecessors(op)[0];
+                let pred_op = graph.op(pred);
+                if graph.out_degree(pred) == 1 && pred_op.signature() == operator.signature() {
+                    op_to_metaop.get(&pred).copied()
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            match fuse_into {
+                Some(mid) => {
+                    chains[mid.index()].push(op);
+                    op_to_metaop.insert(op, mid);
+                }
+                None => {
+                    let mid = MetaOpId(chains.len() as u32);
+                    chains.push(vec![op]);
+                    op_to_metaop.insert(op, mid);
+                }
+            }
+        }
+
+        let mut metaops: Vec<MetaOp> = chains
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                let representative = graph.op(ops[0]).clone();
+                MetaOp::new(MetaOpId(i as u32), ops.clone(), representative)
+            })
+            .collect();
+
+        // MetaGraph edges: graph edges whose endpoints live in different MetaOps.
+        let mut edges: Vec<(MetaOpId, MetaOpId)> = graph
+            .edges()
+            .iter()
+            .filter_map(|&(a, b)| {
+                let ma = op_to_metaop[&a];
+                let mb = op_to_metaop[&b];
+                (ma != mb).then_some((ma, mb))
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+
+        // Dependency depth of each MetaOp (longest path), which guarantees
+        // that no two MetaOps of the same level depend on each other.
+        let n = metaops.len();
+        let mut preds: Vec<Vec<MetaOpId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<MetaOpId>> = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            preds[b.index()].push(a);
+            succs[a.index()].push(b);
+        }
+        let mut depth = vec![0usize; n];
+        // MetaOps were created in a topological order of the original graph, so
+        // index order is a valid processing order.
+        for i in 0..n {
+            for &p in &preds[i] {
+                depth[i] = depth[i].max(depth[p.index()] + 1);
+            }
+        }
+        for (i, d) in depth.iter().enumerate() {
+            metaops[i].set_level(*d);
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let levels = (0..=max_depth)
+            .map(|lvl| MetaLevel {
+                index: lvl,
+                metaops: (0..n)
+                    .filter(|&i| depth[i] == lvl)
+                    .map(|i| MetaOpId(i as u32))
+                    .collect(),
+            })
+            .collect();
+
+        Self {
+            metaops,
+            edges,
+            levels,
+            op_to_metaop,
+        }
+    }
+
+    /// The MetaOps of the graph, indexed by [`MetaOpId`].
+    #[must_use]
+    pub fn metaops(&self) -> &[MetaOp] {
+        &self.metaops
+    }
+
+    /// The MetaOp with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn metaop(&self, id: MetaOpId) -> &MetaOp {
+        &self.metaops[id.index()]
+    }
+
+    /// Number of MetaOps.
+    #[must_use]
+    pub fn num_metaops(&self) -> usize {
+        self.metaops.len()
+    }
+
+    /// Data-flow edges between MetaOps.
+    #[must_use]
+    pub fn edges(&self) -> &[(MetaOpId, MetaOpId)] {
+        &self.edges
+    }
+
+    /// The dependency levels, in execution order.
+    #[must_use]
+    pub fn levels(&self) -> &[MetaLevel] {
+        &self.levels
+    }
+
+    /// The MetaOp that a given original operator was fused into.
+    #[must_use]
+    pub fn metaop_of(&self, op: OpId) -> Option<MetaOpId> {
+        self.op_to_metaop.get(&op).copied()
+    }
+
+    /// Direct predecessor MetaOps of `id`.
+    #[must_use]
+    pub fn predecessors(&self, id: MetaOpId) -> Vec<MetaOpId> {
+        self.edges
+            .iter()
+            .filter(|&&(_, b)| b == id)
+            .map(|&(a, _)| a)
+            .collect()
+    }
+
+    /// Direct successor MetaOps of `id`.
+    #[must_use]
+    pub fn successors(&self, id: MetaOpId) -> Vec<MetaOpId> {
+        self.edges
+            .iter()
+            .filter(|&&(a, _)| a == id)
+            .map(|&(_, b)| b)
+            .collect()
+    }
+
+    /// Total number of original operators represented by the MetaGraph.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.metaops.iter().map(|m| m.num_ops() as usize).sum()
+    }
+}
+
+impl fmt::Display for MetaGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "metagraph: {} metaops over {} levels ({} original ops, {} edges)",
+            self.num_metaops(),
+            self.levels.len(),
+            self.total_ops(),
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    /// The two-task example of Fig. 3: an audio-language task (audio + text
+    /// encoders feeding an LM) and a vision-language task (vision + text).
+    fn fig3_like_graph() -> ComputationGraph {
+        let mut b = GraphBuilder::new();
+        let tal = b.add_task("audio-lang", [Modality::Audio, Modality::Text], 8);
+        let tvl = b.add_task("vision-lang", [Modality::Vision, Modality::Text], 4);
+        // Task AL: 3 audio ops, 2 text ops, 3 LM ops.
+        let audio = b
+            .add_op_chain(tal, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 3)
+            .unwrap();
+        let text_a = b
+            .add_op_chain(tal, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), 2)
+            .unwrap();
+        let lm_a = b
+            .add_op_chain(tal, OpKind::LmEncoder, TensorShape::new(8, 512, 1024), 3)
+            .unwrap();
+        b.add_flow(*audio.last().unwrap(), lm_a[0]).unwrap();
+        b.add_flow(*text_a.last().unwrap(), lm_a[0]).unwrap();
+        // Task VL: 2 text ops, 2+2 vision ops (different resolutions), 3 LM ops.
+        let text_v = b
+            .add_op_chain(tvl, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768), 2)
+            .unwrap();
+        let vis_hi = b
+            .add_op_chain(tvl, OpKind::Encoder(Modality::Vision), TensorShape::new(4, 257, 768), 2)
+            .unwrap();
+        let vis_lo = b
+            .add_op_chain(tvl, OpKind::Encoder(Modality::Vision), TensorShape::new(4, 197, 768), 2)
+            .unwrap();
+        let lm_v = b
+            .add_op_chain(tvl, OpKind::LmEncoder, TensorShape::new(4, 512, 1024), 3)
+            .unwrap();
+        b.add_flow(*vis_hi.last().unwrap(), vis_lo[0]).unwrap();
+        b.add_flow(*text_v.last().unwrap(), lm_v[0]).unwrap();
+        b.add_flow(*vis_lo.last().unwrap(), lm_v[0]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn contraction_produces_seven_metaops_like_fig3() {
+        let g = fig3_like_graph();
+        let mg = MetaGraph::contract(&g);
+        // Fig. 3 contracts this structure into 7 MetaOps.
+        assert_eq!(mg.num_metaops(), 7);
+        assert_eq!(mg.total_ops(), g.num_ops());
+        // Chains keep their lengths.
+        let sizes: Vec<u32> = mg.metaops().iter().map(MetaOp::num_ops).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn fusion_requires_identical_signature() {
+        let g = fig3_like_graph();
+        let mg = MetaGraph::contract(&g);
+        // The two vision chains have different input sizes (257 vs 197 tokens),
+        // so they are distinct MetaOps even though they form one long chain.
+        let vision_metaops: Vec<&MetaOp> = mg
+            .metaops()
+            .iter()
+            .filter(|m| m.representative().kind() == OpKind::Encoder(Modality::Vision))
+            .collect();
+        assert_eq!(vision_metaops.len(), 2);
+    }
+
+    #[test]
+    fn levels_have_no_internal_dependencies() {
+        let g = fig3_like_graph();
+        let mg = MetaGraph::contract(&g);
+        for level in mg.levels() {
+            for &a in &level.metaops {
+                for &b in &level.metaops {
+                    if a != b {
+                        assert!(!mg.edges().contains(&(a, b)), "{a} -> {b} within level");
+                    }
+                }
+            }
+        }
+        // Encoders sit below the LM modules.
+        assert!(mg.levels().len() >= 2);
+    }
+
+    #[test]
+    fn edges_connect_encoder_chains_to_lm() {
+        let g = fig3_like_graph();
+        let mg = MetaGraph::contract(&g);
+        assert!(!mg.edges().is_empty());
+        for &(a, b) in mg.edges() {
+            assert!(mg.metaop(a).level() < mg.metaop(b).level());
+        }
+        // Predecessor / successor lookups agree with the edge list.
+        let (a, b) = mg.edges()[0];
+        assert!(mg.successors(a).contains(&b));
+        assert!(mg.predecessors(b).contains(&a));
+    }
+
+    #[test]
+    fn op_to_metaop_is_total() {
+        let g = fig3_like_graph();
+        let mg = MetaGraph::contract(&g);
+        for op in g.ops() {
+            let mid = mg.metaop_of(op.id()).expect("every op maps to a metaop");
+            assert!(mg.metaop(mid).ops().contains(&op.id()));
+        }
+        assert!(mg.to_string().contains("metaops"));
+    }
+
+    #[test]
+    fn single_op_graph_contracts_to_single_metaop() {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("t", [Modality::Text], 4);
+        b.add_op(t, OpKind::Embedding, TensorShape::new(4, 77, 768)).unwrap();
+        let g = b.build().unwrap();
+        let mg = MetaGraph::contract(&g);
+        assert_eq!(mg.num_metaops(), 1);
+        assert_eq!(mg.levels().len(), 1);
+        assert_eq!(mg.levels()[0].metaops.len(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Continuous relaxation of the per-level allocation problem: the malleable
+//! project scheduling problem (MPSP), solved by bisection (§3.3, Appendix B).
+//!
+//! Theorem 1: when every execution-time function `T_m(n)` is positive and
+//! non-increasing, the optimum of the continuous problem has all MetaOps start
+//! at time zero, run all their operators with a constant (real-valued)
+//! allocation `n*_m`, and finish together at the common completion time `C̃*`
+//! defined by `T_m(n*_m)·L_m = C̃*` and `Σ n*_m = N`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spindle_estimator::ScalingCurve;
+
+use crate::MetaOpId;
+
+/// One MetaOp's inputs to the continuous problem.
+#[derive(Debug, Clone)]
+pub struct MpspItem {
+    /// The MetaOp being allocated.
+    pub metaop: MetaOpId,
+    /// Number of operators in the MetaOp (`L_m`).
+    pub num_ops: u32,
+    /// Its execution-time function `T_m(n)`.
+    pub curve: Arc<ScalingCurve>,
+}
+
+/// The continuous optimum of one MetaLevel's allocation problem.
+#[derive(Debug, Clone)]
+pub struct ContinuousSolution {
+    /// The common completion time `C̃*` (theoretical optimum of the level).
+    pub optimal_time: f64,
+    /// Real-valued device allocation `n*_m` per MetaOp. Values below 1 mean
+    /// the MetaOp needs less than one device to finish within `C̃*` (a
+    /// "dummy allocation" candidate in the discretisation step).
+    pub allocations: BTreeMap<MetaOpId, f64>,
+}
+
+/// Default convergence tolerance of the bisection, in seconds.
+pub const DEFAULT_EPSILON: f64 = 1e-7;
+
+/// Evaluates the continuous execution-time function at a possibly fractional
+/// allocation. Allocations below one device are extrapolated hyperbolically
+/// (`T(n) = T(1)/n` for `n < 1`), modelling time-sharing of a single device —
+/// this is what allows levels with more MetaOps than devices to remain
+/// feasible.
+#[must_use]
+pub fn continuous_time(curve: &ScalingCurve, n: f64) -> f64 {
+    if n >= 1.0 {
+        curve.time(n)
+    } else {
+        curve.time(1.0) / n.max(1e-6)
+    }
+}
+
+/// Inverse of [`continuous_time`]: the fractional allocation at which one
+/// operator of the MetaOp takes `time` seconds.
+#[must_use]
+pub fn continuous_inverse(curve: &ScalingCurve, time: f64) -> f64 {
+    let t1 = curve.time(1.0);
+    if time >= t1 {
+        // Less than one device suffices.
+        (t1 / time).max(1e-6)
+    } else {
+        curve.inverse(time)
+    }
+}
+
+/// Solves the relaxed MPSP for one MetaLevel by bisection search over the
+/// common completion time `C̃*` (Alg. 2 of Appendix B).
+///
+/// `num_devices` is the cluster size `N`. Items with zero operators are
+/// ignored. If the level is empty the solution has zero time and no
+/// allocations.
+#[must_use]
+pub fn solve(items: &[MpspItem], num_devices: u32, epsilon: f64) -> ContinuousSolution {
+    let items: Vec<&MpspItem> = items.iter().filter(|i| i.num_ops > 0).collect();
+    if items.is_empty() || num_devices == 0 {
+        return ContinuousSolution {
+            optimal_time: 0.0,
+            allocations: BTreeMap::new(),
+        };
+    }
+    let n = f64::from(num_devices);
+
+    // Lower bound: every MetaOp gets the whole cluster (fastest possible);
+    // upper bound: MetaOps run one after another on a single device.
+    let t_min = items
+        .iter()
+        .map(|i| continuous_time(&i.curve, n) * f64::from(i.num_ops))
+        .fold(0.0_f64, f64::max);
+    let t_max: f64 = items
+        .iter()
+        .map(|i| i.curve.time(1.0) * f64::from(i.num_ops))
+        .sum();
+
+    let allocation_at = |c: f64| -> BTreeMap<MetaOpId, f64> {
+        items
+            .iter()
+            .map(|i| {
+                let per_op = c / f64::from(i.num_ops);
+                let alloc = continuous_inverse(&i.curve, per_op).min(n);
+                (i.metaop, alloc)
+            })
+            .collect()
+    };
+
+    let mut low = t_min;
+    let mut high = t_max.max(t_min);
+    let eps = epsilon.max(f64::EPSILON);
+    while high - low > eps {
+        let mid = 0.5 * (low + high);
+        let total: f64 = allocation_at(mid).values().sum();
+        if total < n {
+            // The cluster is not fully used at this completion time: we can
+            // afford to finish faster.
+            high = mid;
+        } else {
+            low = mid;
+        }
+    }
+    let optimal_time = high;
+    let allocations = allocation_at(optimal_time);
+    ContinuousSolution {
+        optimal_time,
+        allocations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_estimator::ProfileSample;
+
+    /// A synthetic curve with near-perfect scaling: T(n) = base / n.
+    fn linear_curve(base: f64, max_n: u32) -> Arc<ScalingCurve> {
+        let samples: Vec<ProfileSample> = (0..)
+            .map(|k| 1u32 << k)
+            .take_while(|&n| n <= max_n)
+            .map(|n| ProfileSample {
+                devices: n,
+                time_s: base / f64::from(n),
+            })
+            .collect();
+        Arc::new(ScalingCurve::from_samples(&samples).unwrap())
+    }
+
+    /// A curve that stops scaling beyond 2 devices.
+    fn saturating_curve(base: f64, max_n: u32) -> Arc<ScalingCurve> {
+        let samples: Vec<ProfileSample> = (0..)
+            .map(|k| 1u32 << k)
+            .take_while(|&n| n <= max_n)
+            .map(|n| ProfileSample {
+                devices: n,
+                time_s: base / f64::from(n.min(2)),
+            })
+            .collect();
+        Arc::new(ScalingCurve::from_samples(&samples).unwrap())
+    }
+
+    fn item(id: u32, num_ops: u32, curve: Arc<ScalingCurve>) -> MpspItem {
+        MpspItem {
+            metaop: MetaOpId(id),
+            num_ops,
+            curve,
+        }
+    }
+
+    #[test]
+    fn equal_workloads_split_evenly() {
+        let items = vec![
+            item(0, 10, linear_curve(1.0, 16)),
+            item(1, 10, linear_curve(1.0, 16)),
+        ];
+        let sol = solve(&items, 16, DEFAULT_EPSILON);
+        let a0 = sol.allocations[&MetaOpId(0)];
+        let a1 = sol.allocations[&MetaOpId(1)];
+        assert!((a0 - 8.0).abs() < 0.05, "a0 = {a0}");
+        assert!((a1 - 8.0).abs() < 0.05);
+        // C* = T(8) * 10 = 10/8.
+        assert!((sol.optimal_time - 1.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn heavier_workload_gets_more_devices() {
+        let items = vec![
+            item(0, 30, linear_curve(1.0, 32)),
+            item(1, 10, linear_curve(1.0, 32)),
+        ];
+        let sol = solve(&items, 16, DEFAULT_EPSILON);
+        assert!(sol.allocations[&MetaOpId(0)] > 2.5 * sol.allocations[&MetaOpId(1)]);
+    }
+
+    #[test]
+    fn all_metaops_finish_together_at_optimum() {
+        let items = vec![
+            item(0, 12, linear_curve(2.0, 32)),
+            item(1, 6, saturating_curve(1.0, 32)),
+            item(2, 20, linear_curve(0.5, 32)),
+        ];
+        let sol = solve(&items, 32, DEFAULT_EPSILON);
+        for it in &items {
+            let n = sol.allocations[&it.metaop];
+            let finish = continuous_time(&it.curve, n) * f64::from(it.num_ops);
+            // Items pinned at the cluster bound may finish early; all others
+            // must finish exactly at C*.
+            assert!(
+                finish <= sol.optimal_time + 1e-3,
+                "{} finishes at {finish} > {}",
+                it.metaop,
+                sol.optimal_time
+            );
+        }
+        let total: f64 = sol.allocations.values().sum();
+        assert!(total <= 32.0 + 1e-6);
+    }
+
+    #[test]
+    fn poor_scalability_caps_useful_allocation() {
+        let items = vec![
+            item(0, 10, saturating_curve(1.0, 32)),
+            item(1, 10, linear_curve(1.0, 32)),
+        ];
+        let sol = solve(&items, 32, DEFAULT_EPSILON);
+        // The saturating MetaOp gains nothing beyond 2 devices, so it must not
+        // hoard more than that even though the cluster has 32; the level's
+        // optimum is pinned by its floor of T(2)·L = 5.
+        assert!(sol.allocations[&MetaOpId(0)] <= 2.0 + 1e-6);
+        assert!((sol.optimal_time - 5.0).abs() < 0.01);
+        let total: f64 = sol.allocations.values().sum();
+        assert!(total <= 32.0 + 1e-6);
+    }
+
+    #[test]
+    fn more_metaops_than_devices_yields_fractional_allocations() {
+        let items: Vec<MpspItem> = (0..8)
+            .map(|i| item(i, 4, linear_curve(1.0, 4)))
+            .collect();
+        let sol = solve(&items, 4, DEFAULT_EPSILON);
+        let total: f64 = sol.allocations.values().sum();
+        assert!((total - 4.0).abs() < 0.1);
+        assert!(sol.allocations.values().all(|&a| a < 1.0 + 1e-9));
+        assert!(sol.optimal_time > 0.0);
+    }
+
+    #[test]
+    fn empty_level_is_trivial() {
+        let sol = solve(&[], 8, DEFAULT_EPSILON);
+        assert_eq!(sol.optimal_time, 0.0);
+        assert!(sol.allocations.is_empty());
+    }
+
+    #[test]
+    fn single_metaop_takes_whole_cluster_or_its_max() {
+        let items = vec![item(0, 10, linear_curve(1.0, 8))];
+        let sol = solve(&items, 8, DEFAULT_EPSILON);
+        let a = sol.allocations[&MetaOpId(0)];
+        assert!(a >= 7.9, "allocation {a}");
+    }
+
+    #[test]
+    fn continuous_time_extends_below_one_device() {
+        let c = linear_curve(1.0, 8);
+        assert!((continuous_time(&c, 0.5) - 2.0).abs() < 1e-9);
+        assert!((continuous_inverse(&c, 2.0) - 0.5).abs() < 1e-9);
+        assert!((continuous_inverse(&c, 0.25) - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,305 @@
+//! Device placement (§3.5): mapping wave entries onto concrete devices.
+//!
+//! Three guidelines steer placement:
+//!
+//! 1. **Intra-device-island placement** — keep each entry (and the data flows
+//!    it participates in) inside one NVLink island whenever possible.
+//! 2. **Prioritising high communication workloads** — entries moving the most
+//!    data get first pick of the best-connected devices.
+//! 3. **Device memory balance** — entries prefer devices with the most free
+//!    memory, and an entry that would overflow a device falls back to a
+//!    memory-first assignment (the paper's "alternative placements with
+//!    sub-optimal communication costs and better memory balance").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use spindle_cluster::{ClusterSpec, DeviceGroup, DeviceId};
+
+use crate::{ExecutionPlan, MetaOpId, PlanError};
+
+/// The placement strategy to apply to a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// The locality-, communication- and memory-aware strategy of §3.5.
+    #[default]
+    Locality,
+    /// A naïve strategy that assigns each entry consecutive devices starting
+    /// from device 0, ignoring locality — the ablation baseline of Fig. 10
+    /// ("Spindle w/o DP", i.e. without the device-placement mechanism).
+    Sequential,
+}
+
+/// Assigns concrete devices to every wave entry of `plan`.
+///
+/// # Errors
+///
+/// Returns [`PlanError::CapacityExceeded`] if some wave requests more devices
+/// than the cluster provides.
+pub fn place(
+    plan: &mut ExecutionPlan,
+    cluster: &ClusterSpec,
+    strategy: PlacementStrategy,
+) -> Result<(), PlanError> {
+    let total_devices = cluster.num_devices() as u32;
+    for wave in plan.waves() {
+        if wave.devices_used() > total_devices {
+            return Err(PlanError::CapacityExceeded {
+                wave: wave.index,
+                requested: wave.devices_used(),
+                available: total_devices,
+            });
+        }
+    }
+    match strategy {
+        PlacementStrategy::Sequential => place_sequential(plan),
+        PlacementStrategy::Locality => place_locality(plan, cluster),
+    }
+    Ok(())
+}
+
+/// Naïve consecutive-device placement.
+fn place_sequential(plan: &mut ExecutionPlan) {
+    for wave in plan.waves_mut() {
+        let mut next = 0u32;
+        for entry in &mut wave.entries {
+            entry.placement = Some(DeviceGroup::contiguous(DeviceId(next), entry.devices as usize));
+            next += entry.devices;
+        }
+    }
+}
+
+/// Locality-, communication- and memory-aware placement.
+fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
+    let islands = cluster.islands();
+    let capacity = cluster.device_memory_bytes();
+    let num_devices = cluster.num_devices();
+    let mut memory_used: Vec<u64> = vec![0; num_devices];
+    let mut resident: BTreeSet<(MetaOpId, DeviceId)> = BTreeSet::new();
+    let mut last_placement: BTreeMap<MetaOpId, DeviceGroup> = BTreeMap::new();
+
+    // Communication volume of each MetaOp: bytes it receives plus bytes it
+    // sends along MetaGraph edges (guides guideline 2).
+    let metagraph = plan.metagraph().clone();
+    let mut volume: BTreeMap<MetaOpId, u64> = BTreeMap::new();
+    for metaop in metagraph.metaops() {
+        let incoming: u64 = metagraph
+            .predecessors(metaop.id())
+            .iter()
+            .map(|&p| metagraph.metaop(p).representative().output_bytes())
+            .sum();
+        let outgoing = metaop.representative().output_bytes()
+            * metagraph.successors(metaop.id()).len() as u64;
+        volume.insert(metaop.id(), incoming + outgoing);
+    }
+
+    for wave in plan.waves_mut() {
+        let mut free: BTreeSet<DeviceId> = cluster.all_devices().iter().collect();
+        // Guideline 2: place the most communication-intensive entries first.
+        let mut order: Vec<usize> = (0..wave.entries.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(volume.get(&wave.entries[i].metaop).copied().unwrap_or(0)));
+
+        for idx in order {
+            let entry = &wave.entries[idx];
+            let needed = (entry.devices as usize).min(num_devices);
+            // Affinity of each free device for this entry.
+            let mut affinity: BTreeMap<DeviceId, i64> = BTreeMap::new();
+            let mark = |group: Option<&DeviceGroup>, weight: i64, affinity: &mut BTreeMap<DeviceId, i64>| {
+                if let Some(g) = group {
+                    for d in g.iter() {
+                        *affinity.entry(d).or_insert(0) += weight;
+                    }
+                }
+            };
+            mark(last_placement.get(&entry.metaop), 4, &mut affinity);
+            for pred in metagraph.predecessors(entry.metaop) {
+                mark(last_placement.get(&pred), 2, &mut affinity);
+            }
+            // Sibling affinity: co-locate with MetaOps that feed the same
+            // successor, so the successor's inputs end up on one island.
+            for succ in metagraph.successors(entry.metaop) {
+                for sibling in metagraph.predecessors(succ) {
+                    if sibling != entry.metaop {
+                        mark(last_placement.get(&sibling), 1, &mut affinity);
+                    }
+                }
+            }
+
+            // Guideline 1: choose islands first, preferring islands with
+            // enough free devices, high affinity and plenty of free memory.
+            let mut island_order: Vec<usize> = (0..islands.len()).collect();
+            island_order.sort_by_key(|&k| {
+                let island = &islands[k];
+                let free_here: Vec<DeviceId> =
+                    island.devices.iter().filter(|d| free.contains(d)).collect();
+                let fits = free_here.len() >= needed;
+                // Affinity counts every device of the island (even occupied
+                // ones): being on the same island as a producer is what makes
+                // the data flow cheap, regardless of which sibling occupies it.
+                let aff: i64 = island
+                    .devices
+                    .iter()
+                    .map(|d| affinity.get(&d).copied().unwrap_or(0))
+                    .sum();
+                let free_mem: u64 = free_here
+                    .iter()
+                    .map(|d| capacity.saturating_sub(memory_used[d.index()]))
+                    .sum();
+                (std::cmp::Reverse(fits), std::cmp::Reverse(aff), std::cmp::Reverse(free_mem))
+            });
+
+            let mut chosen: Vec<DeviceId> = Vec::with_capacity(needed);
+            for &k in &island_order {
+                if chosen.len() >= needed {
+                    break;
+                }
+                let mut candidates: Vec<DeviceId> = islands[k]
+                    .devices
+                    .iter()
+                    .filter(|d| free.contains(d))
+                    .collect();
+                // Guideline 3 tie-break: most affine, then most free memory.
+                candidates.sort_by_key(|d| {
+                    (
+                        std::cmp::Reverse(affinity.get(d).copied().unwrap_or(0)),
+                        memory_used[d.index()],
+                        d.0,
+                    )
+                });
+                for d in candidates {
+                    if chosen.len() >= needed {
+                        break;
+                    }
+                    chosen.push(d);
+                }
+            }
+
+            // Memory-balance fallback: if any chosen device would exceed its
+            // capacity, redo the choice ordering devices purely by free memory.
+            let per_device = wave.entries[idx].memory_per_device;
+            let would_overflow = chosen
+                .iter()
+                .any(|d| memory_used[d.index()] + per_device > capacity);
+            if would_overflow {
+                let mut by_memory: Vec<DeviceId> = free.iter().copied().collect();
+                by_memory.sort_by_key(|d| (memory_used[d.index()], d.0));
+                chosen = by_memory.into_iter().take(needed).collect();
+            }
+
+            for &d in &chosen {
+                free.remove(&d);
+                if resident.insert((wave.entries[idx].metaop, d)) {
+                    memory_used[d.index()] =
+                        memory_used[d.index()].saturating_add(per_device);
+                }
+            }
+            let group: DeviceGroup = chosen.iter().copied().collect();
+            last_placement.insert(wave.entries[idx].metaop, group.clone());
+            wave.entries[idx].placement = Some(group);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetaGraph, Wave, WaveEntry};
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+    use std::time::Duration;
+
+    /// Builds a plan with two encoder MetaOps feeding an LM MetaOp, scheduled
+    /// in two waves (encoders, then LM).
+    fn unplaced_plan() -> (ExecutionPlan, ClusterSpec) {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("al", [Modality::Audio, Modality::Text], 8);
+        let audio = b
+            .add_op_chain(t, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 4)
+            .unwrap();
+        let text = b
+            .add_op_chain(t, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), 4)
+            .unwrap();
+        let lm = b
+            .add_op_chain(t, OpKind::LmEncoder, TensorShape::new(8, 512, 1024), 4)
+            .unwrap();
+        b.add_flow(*audio.last().unwrap(), lm[0]).unwrap();
+        b.add_flow(*text.last().unwrap(), lm[0]).unwrap();
+        let graph = b.build().unwrap();
+        let mg = MetaGraph::contract(&graph);
+        assert_eq!(mg.num_metaops(), 3);
+        let audio_id = mg.metaop_of(audio[0]).unwrap();
+        let text_id = mg.metaop_of(text[0]).unwrap();
+        let lm_id = mg.metaop_of(lm[0]).unwrap();
+
+        let mut e0 = WaveEntry::new(audio_id, 4, 4, 1.0);
+        e0.memory_per_device = 1 << 30;
+        let mut e1 = WaveEntry::new(text_id, 4, 4, 0.9);
+        e1.memory_per_device = 1 << 30;
+        let mut e2 = WaveEntry::new(lm_id, 4, 8, 0.7);
+        e2.memory_per_device = 2 << 30;
+        let waves = vec![
+            Wave { index: 0, level: 0, start: 0.0, duration: 4.0, entries: vec![e0, e1] },
+            Wave { index: 1, level: 1, start: 4.0, duration: 2.8, entries: vec![e2] },
+        ];
+        let plan = ExecutionPlan::new(waves, mg, 16, 6.0, Duration::ZERO);
+        (plan, ClusterSpec::homogeneous(2, 8))
+    }
+
+    #[test]
+    fn sequential_placement_is_consecutive() {
+        let (mut plan, cluster) = unplaced_plan();
+        place(&mut plan, &cluster, PlacementStrategy::Sequential).unwrap();
+        plan.require_placement().unwrap();
+        plan.validate().unwrap();
+        let first = plan.waves()[0].entries[0].placement.as_ref().unwrap();
+        assert_eq!(first.devices()[0], DeviceId(0));
+        let second = plan.waves()[0].entries[1].placement.as_ref().unwrap();
+        assert_eq!(second.devices()[0], DeviceId(4));
+    }
+
+    #[test]
+    fn locality_placement_is_valid_and_disjoint_per_wave() {
+        let (mut plan, cluster) = unplaced_plan();
+        place(&mut plan, &cluster, PlacementStrategy::Locality).unwrap();
+        plan.require_placement().unwrap();
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn locality_prefers_single_island_groups() {
+        let (mut plan, cluster) = unplaced_plan();
+        place(&mut plan, &cluster, PlacementStrategy::Locality).unwrap();
+        // 4-device entries fit inside one 8-GPU island and must stay there.
+        for entry in &plan.waves()[0].entries {
+            let group = entry.placement.as_ref().unwrap();
+            assert!(cluster.is_intra_island(group).unwrap(), "group {group} spans islands");
+        }
+    }
+
+    #[test]
+    fn capacity_violation_rejected() {
+        let (plan, _) = unplaced_plan();
+        let small_cluster = ClusterSpec::homogeneous(1, 4);
+        let mut plan = plan;
+        let err = place(&mut plan, &small_cluster, PlacementStrategy::Locality).unwrap_err();
+        assert!(matches!(err, PlanError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn successor_lands_near_predecessors() {
+        let (mut plan, cluster) = unplaced_plan();
+        place(&mut plan, &cluster, PlacementStrategy::Locality).unwrap();
+        // The LM entry (8 devices) must reuse every device its two 4-device
+        // predecessors used, because affinity pulls it there.
+        let wave0 = &plan.waves()[0];
+        let wave1 = &plan.waves()[1];
+        let mut pred_devices: Vec<DeviceId> = wave0
+            .entries
+            .iter()
+            .flat_map(|e| e.placement.as_ref().unwrap().iter())
+            .collect();
+        pred_devices.sort_unstable();
+        let mut lm_devices: Vec<DeviceId> =
+            wave1.entries[0].placement.as_ref().unwrap().iter().collect();
+        lm_devices.sort_unstable();
+        assert_eq!(pred_devices, lm_devices);
+    }
+}

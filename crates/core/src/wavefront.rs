@@ -1,0 +1,411 @@
+//! Wavefront scheduling (§3.4, Alg. 1).
+//!
+//! Given the discretised allocation plan of one MetaLevel, the wavefront
+//! scheduler crafts *waves*: maximal sets of sliced MetaOps that execute
+//! concurrently on disjoint device groups. Each wave (1) occupies as many
+//! devices as possible, (2) extends allocations when devices would otherwise
+//! idle, and (3) aligns the time spans of its entries by slicing MetaOps, so
+//! that no device waits for a straggler.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spindle_estimator::ScalingCurve;
+
+use crate::allocator::AllocationPlan;
+use crate::{MetaOpId, Wave, WaveEntry};
+
+/// Per-MetaOp scaling curves, needed when the scheduler extends allocations.
+pub type CurveMap = BTreeMap<MetaOpId, Arc<ScalingCurve>>;
+
+#[derive(Debug, Clone)]
+struct PendingTuple {
+    devices: u32,
+    layers_left: u32,
+    time_per_op: f64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingMetaOp {
+    metaop: MetaOpId,
+    tuples: Vec<PendingTuple>,
+}
+
+impl PendingMetaOp {
+    fn remaining_time(&self) -> f64 {
+        self.tuples
+            .iter()
+            .map(|t| f64::from(t.layers_left) * t.time_per_op)
+            .sum()
+    }
+
+    fn is_done(&self) -> bool {
+        self.tuples.iter().all(|t| t.layers_left == 0)
+    }
+}
+
+/// Schedules one MetaLevel into waves.
+///
+/// * `plan` — the level's discretised allocation plan;
+/// * `curves` — scaling curves for resource extension;
+/// * `num_devices` — cluster size `N`;
+/// * `level` — the MetaLevel index (recorded on the produced waves);
+/// * `start_time` — the end time of the previous level;
+/// * `first_wave_index` — index to assign to the first produced wave.
+///
+/// Returns the produced waves and the end time of the level.
+#[must_use]
+pub fn schedule_level(
+    plan: &AllocationPlan,
+    curves: &CurveMap,
+    num_devices: u32,
+    level: usize,
+    start_time: f64,
+    first_wave_index: usize,
+) -> (Vec<Wave>, f64) {
+    let mut pending: Vec<PendingMetaOp> = plan
+        .allocations
+        .iter()
+        .map(|a| PendingMetaOp {
+            metaop: a.metaop,
+            tuples: a
+                .tuples
+                .iter()
+                .filter(|t| t.layers > 0)
+                .map(|t| PendingTuple {
+                    devices: t.devices.max(1),
+                    layers_left: t.layers,
+                    time_per_op: t.time_per_op,
+                })
+                .collect(),
+        })
+        .filter(|p| !p.is_done())
+        .collect();
+
+    let mut waves = Vec::new();
+    let mut now = start_time;
+    let mut wave_index = first_wave_index;
+
+    while !pending.is_empty() {
+        let wave = craft_wave(&mut pending, curves, num_devices, level, now, wave_index);
+        now = wave.end();
+        wave_index += 1;
+        waves.push(wave);
+        pending.retain(|p| !p.is_done());
+    }
+    (waves, now)
+}
+
+/// Crafts a single wave, mutating the pending set (Alg. 1 lines 3–7).
+fn craft_wave(
+    pending: &mut [PendingMetaOp],
+    curves: &CurveMap,
+    num_devices: u32,
+    level: usize,
+    start: f64,
+    index: usize,
+) -> Wave {
+    // Step 1: propose a candidate set, greedily filling devices. Candidates
+    // are the head tuple of each unfinished MetaOp, largest allocations first.
+    let mut order: Vec<usize> = (0..pending.len())
+        .filter(|&i| !pending[i].is_done())
+        .collect();
+    order.sort_by(|&a, &b| {
+        let ta = &pending[a].tuples[head(&pending[a])];
+        let tb = &pending[b].tuples[head(&pending[b])];
+        tb.devices
+            .cmp(&ta.devices)
+            .then(pending[b].remaining_time().total_cmp(&pending[a].remaining_time()))
+    });
+    let mut selected: Vec<usize> = Vec::new();
+    let mut used = 0u32;
+    for &i in &order {
+        let n = pending[i].tuples[head(&pending[i])].devices.min(num_devices);
+        if used + n <= num_devices {
+            selected.push(i);
+            used += n;
+        }
+    }
+    if selected.is_empty() {
+        // Guaranteed progress: schedule the smallest candidate alone.
+        if let Some(&i) = order.last() {
+            selected.push(i);
+            used = pending[i].tuples[head(&pending[i])].devices.min(num_devices);
+        }
+    }
+
+    // Step 2: extend allocations if devices would idle, prioritising MetaOps
+    // with the largest remaining execution time.
+    let mut spare = num_devices.saturating_sub(used);
+    if spare > 0 {
+        let mut by_remaining: Vec<usize> = selected.clone();
+        by_remaining
+            .sort_by(|&a, &b| pending[b].remaining_time().total_cmp(&pending[a].remaining_time()));
+        let mut progressed = true;
+        while spare > 0 && progressed {
+            progressed = false;
+            for &i in &by_remaining {
+                let h = head(&pending[i]);
+                let tuple = &pending[i].tuples[h];
+                let current = tuple.devices.min(num_devices);
+                if let Some((next_n, next_t)) =
+                    next_valid_allocation(curves.get(&pending[i].metaop), current, current + spare)
+                {
+                    let extra = next_n - current;
+                    let tuple = &mut pending[i].tuples[h];
+                    tuple.devices = next_n;
+                    tuple.time_per_op = next_t;
+                    spare -= extra;
+                    progressed = true;
+                    if spare == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 3: align time spans to the shortest proposed tuple by dissecting
+    // the longer ones (scheduling only part of their operators).
+    let wave_span = selected
+        .iter()
+        .map(|&i| {
+            let t = &pending[i].tuples[head(&pending[i])];
+            f64::from(t.layers_left) * t.time_per_op
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    let mut entries = Vec::with_capacity(selected.len());
+    for &i in &selected {
+        let h = head(&pending[i]);
+        let metaop = pending[i].metaop;
+        let tuple = &mut pending[i].tuples[h];
+        let fit = if tuple.time_per_op > 0.0 {
+            ((wave_span / tuple.time_per_op) + 1e-9).floor() as u32
+        } else {
+            tuple.layers_left
+        };
+        let layers = fit.clamp(1, tuple.layers_left);
+        tuple.layers_left -= layers;
+        entries.push(WaveEntry::new(
+            metaop,
+            layers,
+            tuple.devices.min(num_devices),
+            tuple.time_per_op,
+        ));
+    }
+
+    // Step 4: conclude the wave.
+    let duration = entries
+        .iter()
+        .map(|e| e.exec_time)
+        .fold(0.0_f64, f64::max);
+    Wave {
+        index,
+        level,
+        start,
+        duration,
+        entries,
+    }
+}
+
+/// Index of the first unfinished tuple of a pending MetaOp.
+fn head(p: &PendingMetaOp) -> usize {
+    p.tuples
+        .iter()
+        .position(|t| t.layers_left > 0)
+        .expect("head() is only called on unfinished MetaOps")
+}
+
+/// The next valid allocation strictly larger than `current` but no larger than
+/// `limit`, with its per-operator time.
+fn next_valid_allocation(
+    curve: Option<&Arc<ScalingCurve>>,
+    current: u32,
+    limit: u32,
+) -> Option<(u32, f64)> {
+    let curve = curve?;
+    curve
+        .valid_allocations()
+        .iter()
+        .find(|&&(n, _)| n > current && n <= limit)
+        .map(|&(n, t)| (n, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::{AllocationPlan, DiscreteAllocation, MetaOpAllocation};
+    use spindle_estimator::ProfileSample;
+
+    fn curve(points: &[(u32, f64)]) -> Arc<ScalingCurve> {
+        let samples: Vec<ProfileSample> = points
+            .iter()
+            .map(|&(n, t)| ProfileSample { devices: n, time_s: t })
+            .collect();
+        Arc::new(ScalingCurve::from_samples(&samples).unwrap())
+    }
+
+    fn linear(base: f64, max_n: u32) -> Arc<ScalingCurve> {
+        let pts: Vec<(u32, f64)> = (0..)
+            .map(|k| 1u32 << k)
+            .take_while(|&n| n <= max_n)
+            .map(|n| (n, base / f64::from(n)))
+            .collect();
+        curve(&pts)
+    }
+
+    fn alloc(metaop: u32, tuples: &[(u32, u32, f64)]) -> MetaOpAllocation {
+        MetaOpAllocation {
+            metaop: MetaOpId(metaop),
+            tuples: tuples
+                .iter()
+                .map(|&(devices, layers, time_per_op)| DiscreteAllocation {
+                    devices,
+                    layers,
+                    time_per_op,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn single_metaop_single_wave() {
+        let plan = AllocationPlan {
+            allocations: vec![alloc(0, &[(8, 4, 0.5)])],
+            target_time: 2.0,
+        };
+        let curves: CurveMap = [(MetaOpId(0), linear(4.0, 8))].into_iter().collect();
+        let (waves, end) = schedule_level(&plan, &curves, 8, 0, 0.0, 0);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].entries.len(), 1);
+        assert_eq!(waves[0].entries[0].layers, 4);
+        assert!((end - 2.0).abs() < 1e-9);
+        assert_eq!(waves[0].devices_used(), 8);
+    }
+
+    #[test]
+    fn all_operators_scheduled_exactly_once() {
+        let plan = AllocationPlan {
+            allocations: vec![
+                alloc(0, &[(4, 9, 0.5), (2, 2, 0.9)]),
+                alloc(1, &[(2, 14, 0.3), (1, 2, 0.55)]),
+                alloc(2, &[(2, 3, 0.4), (1, 13, 0.7)]),
+            ],
+            target_time: 6.0,
+        };
+        let curves: CurveMap = [
+            (MetaOpId(0), linear(2.0, 8)),
+            (MetaOpId(1), linear(0.6, 8)),
+            (MetaOpId(2), linear(0.8, 8)),
+        ]
+        .into_iter()
+        .collect();
+        let (waves, end) = schedule_level(&plan, &curves, 8, 0, 0.0, 0);
+        assert!(end > 0.0);
+        let mut layers: BTreeMap<MetaOpId, u32> = BTreeMap::new();
+        for w in &waves {
+            assert!(w.devices_used() <= 8, "wave {} overflows", w.index);
+            for e in &w.entries {
+                *layers.entry(e.metaop).or_insert(0) += e.layers;
+            }
+        }
+        assert_eq!(layers[&MetaOpId(0)], 11);
+        assert_eq!(layers[&MetaOpId(1)], 16);
+        assert_eq!(layers[&MetaOpId(2)], 16);
+    }
+
+    #[test]
+    fn waves_are_contiguous_in_time() {
+        let plan = AllocationPlan {
+            allocations: vec![alloc(0, &[(4, 6, 0.5)]), alloc(1, &[(4, 3, 1.1)])],
+            target_time: 3.3,
+        };
+        let curves: CurveMap = [(MetaOpId(0), linear(2.0, 8)), (MetaOpId(1), linear(4.4, 8))]
+            .into_iter()
+            .collect();
+        let (waves, end) = schedule_level(&plan, &curves, 8, 2, 1.5, 7);
+        assert!(!waves.is_empty());
+        assert_eq!(waves[0].start, 1.5);
+        assert_eq!(waves[0].index, 7);
+        assert_eq!(waves[0].level, 2);
+        for pair in waves.windows(2) {
+            assert!((pair[1].start - pair[0].end()).abs() < 1e-9);
+            assert_eq!(pair[1].index, pair[0].index + 1);
+        }
+        assert!((end - waves.last().unwrap().end()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn number_of_waves_bounded_by_twice_metaops() {
+        // Complexity analysis (§5.5): each wave consumes all layers of at least
+        // one ASL-tuple and each MetaOp produces at most two tuples.
+        let plan = AllocationPlan {
+            allocations: vec![
+                alloc(0, &[(8, 2, 0.2), (4, 9, 0.4)]),
+                alloc(1, &[(2, 14, 0.25), (1, 2, 0.45)]),
+                alloc(2, &[(2, 3, 0.3), (1, 13, 0.5)]),
+                alloc(3, &[(1, 6, 0.6)]),
+                alloc(4, &[(1, 6, 0.55)]),
+            ],
+            target_time: 6.0,
+        };
+        let curves: CurveMap = (0..5)
+            .map(|i| (MetaOpId(i), linear(1.0, 8)))
+            .collect();
+        let (waves, _) = schedule_level(&plan, &curves, 8, 0, 0.0, 0);
+        assert!(waves.len() <= 2 * 5);
+    }
+
+    #[test]
+    fn resource_extension_fills_idle_devices() {
+        // One MetaOp with a small allocation and plenty of spare devices: the
+        // scheduler should extend it to use the whole cluster.
+        let c = linear(4.0, 8);
+        let t1 = c.time_at(1).unwrap();
+        let plan = AllocationPlan {
+            allocations: vec![alloc(0, &[(1, 8, t1)])],
+            target_time: 8.0 * t1,
+        };
+        let curves: CurveMap = [(MetaOpId(0), Arc::clone(&c))].into_iter().collect();
+        let (waves, end) = schedule_level(&plan, &curves, 8, 0, 0.0, 0);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].entries[0].devices, 8);
+        // Extension uses the faster per-op time from the curve.
+        assert!(end < 8.0 * t1);
+    }
+
+    #[test]
+    fn alignment_slices_long_metaops() {
+        // A long MetaOp next to a short one: the first wave must cut the long
+        // one so both entries span (roughly) the same time.
+        let plan = AllocationPlan {
+            allocations: vec![alloc(0, &[(4, 20, 0.5)]), alloc(1, &[(4, 2, 0.5)])],
+            target_time: 10.0,
+        };
+        let curves: CurveMap = [(MetaOpId(0), linear(2.0, 4)), (MetaOpId(1), linear(2.0, 4))]
+            .into_iter()
+            .collect();
+        let (waves, _) = schedule_level(&plan, &curves, 8, 0, 0.0, 0);
+        let first = &waves[0];
+        let e0 = first.entry_for(MetaOpId(0)).unwrap();
+        let e1 = first.entry_for(MetaOpId(1)).unwrap();
+        assert_eq!(e1.layers, 2);
+        assert_eq!(e0.layers, 2, "long MetaOp must be dissected to align spans");
+        assert!((e0.exec_time - e1.exec_time).abs() < 1e-9);
+        // The remaining 18 layers appear in later waves.
+        let total: u32 = waves.iter().filter_map(|w| w.entry_for(MetaOpId(0))).map(|e| e.layers).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn empty_plan_produces_no_waves() {
+        let plan = AllocationPlan {
+            allocations: vec![],
+            target_time: 0.0,
+        };
+        let (waves, end) = schedule_level(&plan, &CurveMap::new(), 8, 0, 3.0, 0);
+        assert!(waves.is_empty());
+        assert_eq!(end, 3.0);
+    }
+}

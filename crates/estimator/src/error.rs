@@ -1,0 +1,49 @@
+//! Error type for the scalability estimator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while profiling or fitting scaling curves.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EstimatorError {
+    /// No valid device allocation exists for an operator under the given
+    /// cluster size (should not happen: 1 device is always valid).
+    NoValidAllocation,
+    /// Fewer than two profile samples were available, so no curve can be fit.
+    InsufficientSamples(usize),
+    /// A profile sample carried a non-positive execution time.
+    NonPositiveTime(f64),
+}
+
+impl fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimatorError::NoValidAllocation => {
+                write!(f, "operator has no valid device allocation")
+            }
+            EstimatorError::InsufficientSamples(n) => {
+                write!(f, "need at least 2 profile samples, got {n}")
+            }
+            EstimatorError::NonPositiveTime(t) => {
+                write!(f, "profile sample has non-positive time {t}")
+            }
+        }
+    }
+}
+
+impl Error for EstimatorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<EstimatorError>();
+        assert!(EstimatorError::InsufficientSamples(1).to_string().contains("2"));
+        assert!(EstimatorError::NonPositiveTime(-1.0).to_string().contains("-1"));
+        assert!(!EstimatorError::NoValidAllocation.to_string().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! The scalability estimator facade with curve caching.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spindle_cluster::ClusterSpec;
+use spindle_graph::{OpSignature, Operator};
+
+use crate::{AnalyticGpuModel, EstimatorError, PerfModel, Profiler, ScalingCurve};
+
+/// The scalability estimator of §3.2: profiles each distinct operator workload
+/// and fits its piecewise α–β scaling curve, with results cached by operator
+/// signature so that the thousands of identical layers of a workload only pay
+/// the cost once.
+pub struct ScalabilityEstimator {
+    model: Arc<dyn PerfModel>,
+    profiler: Profiler,
+    max_devices: u32,
+    cache: Mutex<HashMap<OpSignature, Arc<ScalingCurve>>>,
+}
+
+impl std::fmt::Debug for ScalabilityEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScalabilityEstimator")
+            .field("max_devices", &self.max_devices)
+            .field("cached_curves", &self.cache.lock().len())
+            .finish()
+    }
+}
+
+impl ScalabilityEstimator {
+    /// Creates an estimator backed by the default analytic GPU model for
+    /// `cluster`.
+    #[must_use]
+    pub fn new(cluster: &ClusterSpec) -> Self {
+        Self::with_model(
+            Arc::new(AnalyticGpuModel::new(cluster)),
+            cluster.num_devices() as u32,
+        )
+    }
+
+    /// Creates an estimator backed by an arbitrary performance model
+    /// (e.g. a replayer of real profiling traces).
+    #[must_use]
+    pub fn with_model(model: Arc<dyn PerfModel>, max_devices: u32) -> Self {
+        Self {
+            model,
+            profiler: Profiler::new(),
+            max_devices: max_devices.max(1),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The largest allocation the estimator profiles up to (the cluster size).
+    #[must_use]
+    pub fn max_devices(&self) -> u32 {
+        self.max_devices
+    }
+
+    /// The scaling curve `T_m(n)` of the given operator (cached by signature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator cannot be profiled at any allocation, which
+    /// cannot happen for operators built through `spindle-graph` (allocation 1
+    /// is always valid). Use [`try_curve_for`](Self::try_curve_for) to handle
+    /// the error explicitly.
+    #[must_use]
+    pub fn curve_for(&self, op: &Operator) -> Arc<ScalingCurve> {
+        self.try_curve_for(op)
+            .expect("operator must admit at least the single-device allocation")
+    }
+
+    /// The scaling curve of the given operator, or an error if profiling fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimatorError::NoValidAllocation`] if no allocation of the
+    /// operator is executable under the performance model.
+    pub fn try_curve_for(&self, op: &Operator) -> Result<Arc<ScalingCurve>, EstimatorError> {
+        let signature = op.signature();
+        if let Some(curve) = self.cache.lock().get(&signature) {
+            return Ok(Arc::clone(curve));
+        }
+        let samples = self
+            .profiler
+            .profile(self.model.as_ref(), op, self.max_devices)?;
+        let curve = Arc::new(ScalingCurve::from_samples(&samples)?);
+        self.cache
+            .lock()
+            .insert(signature, Arc::clone(&curve));
+        Ok(curve)
+    }
+
+    /// Per-device memory in bytes of one operator at allocation `n`.
+    #[must_use]
+    pub fn memory_bytes(&self, op: &Operator, n: u32) -> u64 {
+        self.model.memory_bytes(op, n.max(1))
+    }
+
+    /// Number of distinct operator signatures profiled so far.
+    #[must_use]
+    pub fn cached_curves(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_graph::{Modality, OpId, OpKind, TaskId, TensorShape};
+
+    fn estimator() -> ScalabilityEstimator {
+        ScalabilityEstimator::new(&ClusterSpec::homogeneous(4, 8))
+    }
+
+    fn op(id: u32, kind: OpKind, shape: TensorShape) -> Operator {
+        Operator::new(OpId(id), kind, TaskId(0), shape)
+    }
+
+    #[test]
+    fn curves_are_cached_by_signature() {
+        let est = estimator();
+        let a = op(0, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768));
+        let b = op(7, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768));
+        let c = op(9, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768));
+        let ca = est.curve_for(&a);
+        let cb = est.curve_for(&b);
+        let cc = est.curve_for(&c);
+        assert!(Arc::ptr_eq(&ca, &cb));
+        assert!(!Arc::ptr_eq(&ca, &cc));
+        assert_eq!(est.cached_curves(), 2);
+    }
+
+    #[test]
+    fn heavy_ops_have_better_scalability() {
+        let est = estimator();
+        let llm = op(0, OpKind::LmDecoderOnly, TensorShape::new(8, 512, 4096));
+        let text = op(1, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768));
+        assert!(est.curve_for(&llm).scalability(16.0) > est.curve_for(&text).scalability(16.0));
+    }
+
+    #[test]
+    fn memory_positive_and_shrinks() {
+        let est = estimator();
+        let llm = op(0, OpKind::LmDecoderOnly, TensorShape::new(8, 512, 4096));
+        assert!(est.memory_bytes(&llm, 1) > est.memory_bytes(&llm, 8));
+        assert!(est.memory_bytes(&llm, 8) > 0);
+    }
+
+    #[test]
+    fn max_devices_bounds_curve() {
+        let est = estimator();
+        assert_eq!(est.max_devices(), 32);
+        let a = op(0, OpKind::Encoder(Modality::Vision), TensorShape::new(8, 257, 768));
+        assert!(est.curve_for(&a).max_allocation() <= 32);
+    }
+
+    #[test]
+    fn debug_does_not_leak_internals() {
+        let est = estimator();
+        let s = format!("{est:?}");
+        assert!(s.contains("ScalabilityEstimator"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Piecewise α–β execution-time model (Appendix A of the paper).
+
+use crate::EstimatorError;
+
+/// One piece of the piecewise model, valid on the allocation interval
+/// `[n_lo, n_hi]`:  `T(n) = alpha + beta_w / n`.
+///
+/// The paper's general form is `T(n) = α + β·c + β'·w/n`; the constant
+/// `β·c` term (communication volume that does not scale with `n`) is folded
+/// into `alpha` because the fit only observes their sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Piece {
+    n_lo: f64,
+    n_hi: f64,
+    alpha: f64,
+    beta_w: f64,
+}
+
+impl Piece {
+    fn eval(&self, n: f64) -> f64 {
+        self.alpha + self.beta_w / n
+    }
+}
+
+/// A fitted piecewise α–β execution-time function `T(n)` over a continuous
+/// device count `n ∈ [n_min, n_max]`.
+///
+/// Between every pair of adjacent profile samples the model interpolates with
+/// an `α + β'·w/n` piece that passes exactly through both samples — under
+/// varying resource scales the coefficients differ because the invoked kernels
+/// (and their efficiency) differ, which is precisely why the paper uses a
+/// *piecewise* fit for heterogeneous MT MM workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseAlphaBeta {
+    pieces: Vec<Piece>,
+    samples: Vec<(f64, f64)>,
+}
+
+impl PiecewiseAlphaBeta {
+    /// Fits the piecewise model to profile samples `(n, time_seconds)`.
+    ///
+    /// Samples are sorted by `n`; times are clamped to be non-increasing in `n`
+    /// (execution time functions must be positive and non-increasing for the
+    /// MPSP optimality result, Theorem 1, to apply).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimatorError::InsufficientSamples`] for fewer than two
+    /// samples and [`EstimatorError::NonPositiveTime`] if any time is ≤ 0.
+    pub fn fit(samples: &[(u32, f64)]) -> Result<Self, EstimatorError> {
+        if samples.len() < 2 {
+            return Err(EstimatorError::InsufficientSamples(samples.len()));
+        }
+        let mut pts: Vec<(f64, f64)> = samples
+            .iter()
+            .map(|&(n, t)| (f64::from(n), t))
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        pts.dedup_by(|a, b| a.0 == b.0);
+        for &(_, t) in &pts {
+            if t <= 0.0 {
+                return Err(EstimatorError::NonPositiveTime(t));
+            }
+        }
+        // Enforce monotone non-increasing times.
+        for i in 1..pts.len() {
+            if pts[i].1 > pts[i - 1].1 {
+                pts[i].1 = pts[i - 1].1;
+            }
+        }
+        if pts.len() < 2 {
+            return Err(EstimatorError::InsufficientSamples(pts.len()));
+        }
+        let mut pieces = Vec::with_capacity(pts.len() - 1);
+        for w in pts.windows(2) {
+            let (n0, t0) = w[0];
+            let (n1, t1) = w[1];
+            let inv_diff = 1.0 / n0 - 1.0 / n1;
+            let beta_w = if inv_diff.abs() < f64::EPSILON {
+                0.0
+            } else {
+                (t0 - t1) / inv_diff
+            };
+            let alpha = t1 - beta_w / n1;
+            pieces.push(Piece {
+                n_lo: n0,
+                n_hi: n1,
+                alpha,
+                beta_w,
+            });
+        }
+        Ok(Self {
+            pieces,
+            samples: pts,
+        })
+    }
+
+    /// Smallest device count covered by the fit.
+    #[must_use]
+    pub fn min_devices(&self) -> f64 {
+        self.samples.first().map_or(1.0, |s| s.0)
+    }
+
+    /// Largest device count covered by the fit.
+    #[must_use]
+    pub fn max_devices(&self) -> f64 {
+        self.samples.last().map_or(1.0, |s| s.0)
+    }
+
+    /// The (sorted, monotone) samples the model was fitted to.
+    #[must_use]
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Estimated execution time at a (continuous) device count `n`.
+    /// Values outside the fitted range are clamped to the range boundary.
+    #[must_use]
+    pub fn estimate(&self, n: f64) -> f64 {
+        let n = n.clamp(self.min_devices(), self.max_devices());
+        let piece = self
+            .pieces
+            .iter()
+            .find(|p| n >= p.n_lo && n <= p.n_hi)
+            .unwrap_or_else(|| self.pieces.last().expect("fit produces at least one piece"));
+        piece.eval(n)
+    }
+
+    /// Inverse of the fitted function: the *smallest* (continuous) device
+    /// count at which the estimated time is no larger than `time`. Times
+    /// slower than the single-device time clamp to the minimum device count;
+    /// times faster than the best achievable clamp to the maximum. This is
+    /// `Find_Inverse_Value` of Appendix B; returning the smallest sufficient
+    /// allocation keeps flat (non-scaling) regions from hoarding devices.
+    #[must_use]
+    pub fn inverse(&self, time: f64) -> f64 {
+        let t_max = self.estimate(self.min_devices());
+        if time >= t_max {
+            return self.min_devices();
+        }
+        // Pieces are ordered by increasing n (decreasing time); the first piece
+        // whose fast end already meets the target contains the smallest
+        // sufficient allocation. Invert the α + β'·w/n form exactly so that
+        // estimate(inverse(t)) == t.
+        for p in &self.pieces {
+            let t_fast = p.eval(p.n_hi);
+            if time >= t_fast {
+                if p.beta_w.abs() < f64::EPSILON || (time - p.alpha) < f64::EPSILON {
+                    return p.n_lo;
+                }
+                let n = p.beta_w / (time - p.alpha);
+                return n.clamp(p.n_lo, p.n_hi);
+            }
+        }
+        self.max_devices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<(u32, f64)> {
+        vec![(1, 8.0), (2, 4.5), (4, 2.8), (8, 2.0), (16, 1.7)]
+    }
+
+    #[test]
+    fn fit_interpolates_samples_exactly() {
+        let f = PiecewiseAlphaBeta::fit(&samples()).unwrap();
+        for (n, t) in samples() {
+            assert!((f.estimate(f64::from(n)) - t).abs() < 1e-9, "n={n}");
+        }
+        assert_eq!(f.min_devices(), 1.0);
+        assert_eq!(f.max_devices(), 16.0);
+        assert_eq!(f.samples().len(), 5);
+    }
+
+    #[test]
+    fn estimate_is_monotone_non_increasing() {
+        let f = PiecewiseAlphaBeta::fit(&samples()).unwrap();
+        let mut prev = f.estimate(1.0);
+        let mut n = 1.0;
+        while n <= 16.0 {
+            let t = f.estimate(n);
+            assert!(t <= prev + 1e-9, "time increased at n={n}");
+            prev = t;
+            n += 0.25;
+        }
+    }
+
+    #[test]
+    fn estimate_clamps_out_of_range() {
+        let f = PiecewiseAlphaBeta::fit(&samples()).unwrap();
+        assert_eq!(f.estimate(0.5), f.estimate(1.0));
+        assert_eq!(f.estimate(64.0), f.estimate(16.0));
+    }
+
+    #[test]
+    fn inverse_roundtrips_within_range() {
+        let f = PiecewiseAlphaBeta::fit(&samples()).unwrap();
+        for target in [7.0, 5.0, 3.0, 2.2, 1.8] {
+            let n = f.inverse(target);
+            assert!((f.estimate(n) - target).abs() < 1e-6, "target {target}");
+        }
+    }
+
+    #[test]
+    fn inverse_clamps_extremes() {
+        let f = PiecewiseAlphaBeta::fit(&samples()).unwrap();
+        assert_eq!(f.inverse(100.0), 1.0);
+        assert_eq!(f.inverse(0.001), 16.0);
+    }
+
+    #[test]
+    fn non_monotone_samples_are_clamped() {
+        let f = PiecewiseAlphaBeta::fit(&[(1, 5.0), (2, 6.0), (4, 3.0)]).unwrap();
+        assert!(f.estimate(2.0) <= f.estimate(1.0));
+    }
+
+    #[test]
+    fn fit_errors() {
+        assert_eq!(
+            PiecewiseAlphaBeta::fit(&[(1, 1.0)]).unwrap_err(),
+            EstimatorError::InsufficientSamples(1)
+        );
+        assert_eq!(
+            PiecewiseAlphaBeta::fit(&[(1, 1.0), (2, 0.0)]).unwrap_err(),
+            EstimatorError::NonPositiveTime(0.0)
+        );
+    }
+}

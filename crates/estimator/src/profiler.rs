@@ -1,0 +1,117 @@
+//! Operator profiling against a [`PerfModel`].
+
+use spindle_graph::Operator;
+
+use crate::{EstimatorError, PerfModel};
+
+/// One measured point of an operator's execution time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileSample {
+    /// Device allocation.
+    pub devices: u32,
+    /// Measured execution time of one training step of one operator, seconds.
+    pub time_s: f64,
+}
+
+/// Profiles operators at a set of discrete allocations.
+///
+/// The paper profiles "several discrete data points `(n_i, T_m(n_i))` for each
+/// MetaOp under different parallel configurations" — in practice the powers of
+/// two up to the cluster size plus every other valid allocation, which is what
+/// this profiler samples. With the analytic model this takes microseconds; on
+/// real hardware the paper reports under five minutes per model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Profiler;
+
+impl Profiler {
+    /// Creates a profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The allocations at which an operator should be profiled: all valid
+    /// allocations up to `max_devices` (valid allocations are already sparse —
+    /// products of a batch divisor and a small power of two).
+    #[must_use]
+    pub fn sample_points(&self, op: &Operator, max_devices: u32) -> Vec<u32> {
+        op.valid_allocations(max_devices)
+    }
+
+    /// Profiles `op` on `model` at every sample point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimatorError::NoValidAllocation`] if the model cannot
+    /// execute the operator at any sampled allocation (never happens for
+    /// allocation 1).
+    pub fn profile(
+        &self,
+        model: &dyn PerfModel,
+        op: &Operator,
+        max_devices: u32,
+    ) -> Result<Vec<ProfileSample>, EstimatorError> {
+        let mut samples = Vec::new();
+        for n in self.sample_points(op, max_devices) {
+            if let Some(time_s) = model.execution_time(op, n) {
+                samples.push(ProfileSample { devices: n, time_s });
+            }
+        }
+        if samples.is_empty() {
+            return Err(EstimatorError::NoValidAllocation);
+        }
+        Ok(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AnalyticGpuModel;
+    use spindle_cluster::ClusterSpec;
+    use spindle_graph::{Modality, OpId, OpKind, TaskId, TensorShape};
+
+    fn setup() -> (AnalyticGpuModel, Operator) {
+        let cluster = ClusterSpec::homogeneous(2, 8);
+        let model = AnalyticGpuModel::new(&cluster);
+        let op = Operator::new(
+            OpId(0),
+            OpKind::Encoder(Modality::Audio),
+            TaskId(0),
+            TensorShape::new(8, 229, 768),
+        );
+        (model, op)
+    }
+
+    #[test]
+    fn profile_covers_valid_allocations() {
+        let (model, op) = setup();
+        let profiler = Profiler::new();
+        let samples = profiler.profile(&model, &op, 16).unwrap();
+        assert!(samples.len() >= 4);
+        assert_eq!(samples[0].devices, 1);
+        assert!(samples.iter().all(|s| s.time_s > 0.0));
+        // Sample points exclude invalid allocations such as 3.
+        assert!(!profiler.sample_points(&op, 16).contains(&3));
+    }
+
+    #[test]
+    fn profile_times_trend_downwards() {
+        // Raw samples may have local bumps when the best parallel configuration
+        // changes (e.g. forced tensor parallelism at large n); the scaling
+        // curve clamps them later. Overall, more devices must not be slower
+        // than one device, and the early part of the sweep must improve.
+        let (model, op) = setup();
+        let samples = Profiler::new().profile(&model, &op, 16).unwrap();
+        assert!(samples.last().unwrap().time_s <= samples[0].time_s);
+        assert!(samples[1].time_s < samples[0].time_s);
+    }
+
+    #[test]
+    fn single_device_always_profiled() {
+        let (model, op) = setup();
+        let samples = Profiler::new().profile(&model, &op, 1).unwrap();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].devices, 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Scaling curves: the per-MetaOp execution-time functions `T_m(n)`.
+
+use std::fmt;
+
+use crate::{EstimatorError, PiecewiseAlphaBeta, ProfileSample};
+
+/// The fitted execution-time function `T_m(n)` of one operator signature,
+/// together with the discrete valid allocations it was profiled at.
+///
+/// This is the "scaling curve" of Fig. 4: it exposes both the continuous
+/// estimate (used by the MPSP relaxation) and the discrete valid allocations
+/// (used by the bi-point discretisation and the wavefront scheduler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingCurve {
+    fit: PiecewiseAlphaBeta,
+    valid: Vec<(u32, f64)>,
+}
+
+impl ScalingCurve {
+    /// Builds a curve from profile samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than one sample is available. A single sample
+    /// (operators that only admit one device) is extended with a flat
+    /// extrapolation so the curve is still usable.
+    pub fn from_samples(samples: &[ProfileSample]) -> Result<Self, EstimatorError> {
+        if samples.is_empty() {
+            return Err(EstimatorError::InsufficientSamples(0));
+        }
+        let mut pts: Vec<(u32, f64)> = samples.iter().map(|s| (s.devices, s.time_s)).collect();
+        pts.sort_by_key(|&(n, _)| n);
+        pts.dedup_by_key(|&mut (n, _)| n);
+        // Make times monotone non-increasing (Theorem 1 requires it).
+        for i in 1..pts.len() {
+            if pts[i].1 > pts[i - 1].1 {
+                pts[i].1 = pts[i - 1].1;
+            }
+        }
+        let fit_pts = if pts.len() == 1 {
+            // Flat curve: more devices don't help a 1-device-only operator.
+            vec![pts[0], (pts[0].0 + 1, pts[0].1)]
+        } else {
+            pts.clone()
+        };
+        let fit = PiecewiseAlphaBeta::fit(&fit_pts)?;
+        Ok(Self { fit, valid: pts })
+    }
+
+    /// Estimated per-operator execution time at a continuous device count.
+    #[must_use]
+    pub fn time(&self, n: f64) -> f64 {
+        self.fit.estimate(n)
+    }
+
+    /// Exact profiled time at a valid discrete allocation, if it was sampled.
+    #[must_use]
+    pub fn time_at(&self, n: u32) -> Option<f64> {
+        self.valid.iter().find(|&&(v, _)| v == n).map(|&(_, t)| t)
+    }
+
+    /// Resource scalability `ς(n) = T(1)/T(n)` (Fig. 4, right side); values
+    /// close to `n` mean near-linear scaling.
+    #[must_use]
+    pub fn scalability(&self, n: f64) -> f64 {
+        self.fit.estimate(self.fit.min_devices()) / self.time(n)
+    }
+
+    /// The valid discrete allocations this operator admits, with their times.
+    #[must_use]
+    pub fn valid_allocations(&self) -> &[(u32, f64)] {
+        &self.valid
+    }
+
+    /// Largest valid allocation profiled.
+    #[must_use]
+    pub fn max_allocation(&self) -> u32 {
+        self.valid.last().map_or(1, |&(n, _)| n)
+    }
+
+    /// Continuous inverse `T⁻¹(time)` (Find_Inverse_Value of Appendix B).
+    #[must_use]
+    pub fn inverse(&self, time: f64) -> f64 {
+        self.fit.inverse(time)
+    }
+
+    /// The closest valid allocations `⌊n⌋, ⌈n⌉` bracketing a continuous
+    /// allocation `n*` (used by the bi-point discretisation of §3.3). If `n*`
+    /// lies outside the valid range the nearest valid allocation is returned
+    /// for both.
+    #[must_use]
+    pub fn bracketing_allocations(&self, n_star: f64) -> (u32, u32) {
+        let mut lower = self.valid.first().map_or(1, |&(n, _)| n);
+        let mut upper = self.valid.last().map_or(1, |&(n, _)| n);
+        for &(n, _) in &self.valid {
+            if f64::from(n) <= n_star {
+                lower = n;
+            }
+        }
+        for &(n, _) in self.valid.iter().rev() {
+            if f64::from(n) >= n_star {
+                upper = n;
+            }
+        }
+        if f64::from(lower) > n_star {
+            upper = lower;
+        }
+        if f64::from(upper) < n_star {
+            lower = upper;
+        }
+        (lower, upper)
+    }
+}
+
+impl fmt::Display for ScalingCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scaling curve over {} allocations: ", self.valid.len())?;
+        for (i, (n, t)) in self.valid.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "T({n})={:.3}ms", t * 1e3)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> ScalingCurve {
+        let samples = [
+            ProfileSample { devices: 1, time_s: 10.0 },
+            ProfileSample { devices: 2, time_s: 5.6 },
+            ProfileSample { devices: 4, time_s: 3.2 },
+            ProfileSample { devices: 8, time_s: 2.1 },
+            ProfileSample { devices: 16, time_s: 1.6 },
+        ];
+        ScalingCurve::from_samples(&samples).unwrap()
+    }
+
+    #[test]
+    fn time_and_scalability() {
+        let c = curve();
+        assert!((c.time(1.0) - 10.0).abs() < 1e-9);
+        assert!((c.time_at(4).unwrap() - 3.2).abs() < 1e-9);
+        assert!(c.time_at(3).is_none());
+        assert!((c.scalability(1.0) - 1.0).abs() < 1e-9);
+        assert!(c.scalability(16.0) > 5.0);
+        assert_eq!(c.max_allocation(), 16);
+    }
+
+    #[test]
+    fn bracketing_allocations_clamp_correctly() {
+        let c = curve();
+        assert_eq!(c.bracketing_allocations(3.0), (2, 4));
+        assert_eq!(c.bracketing_allocations(4.0), (4, 4));
+        assert_eq!(c.bracketing_allocations(0.3), (1, 1));
+        assert_eq!(c.bracketing_allocations(40.0), (16, 16));
+    }
+
+    #[test]
+    fn inverse_consistent_with_time() {
+        let c = curve();
+        let n = c.inverse(4.0);
+        assert!((c.time(n) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_sample_curve_is_flat() {
+        let c = ScalingCurve::from_samples(&[ProfileSample { devices: 1, time_s: 2.0 }]).unwrap();
+        assert!((c.time(1.0) - 2.0).abs() < 1e-9);
+        assert!((c.time(8.0) - 2.0).abs() < 1e-9);
+        assert_eq!(c.valid_allocations().len(), 1);
+    }
+
+    #[test]
+    fn empty_samples_rejected() {
+        assert!(ScalingCurve::from_samples(&[]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_times() {
+        assert!(curve().to_string().contains("T(1)"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{OpId, TaskId};
+
+/// Errors produced while building or validating a computation graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An operator id referenced an operator that does not exist.
+    UnknownOp(OpId),
+    /// A task id referenced a task that does not exist.
+    UnknownTask(TaskId),
+    /// The graph contains a cycle and therefore is not a valid computation DAG.
+    CycleDetected,
+    /// The same edge was added twice.
+    DuplicateEdge(OpId, OpId),
+    /// An edge would connect an operator to itself.
+    SelfLoop(OpId),
+    /// The graph has no operators.
+    EmptyGraph,
+    /// A parameter/shape was invalid (zero batch, zero hidden size, ...).
+    InvalidShape(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownOp(id) => write!(f, "unknown operator {id}"),
+            GraphError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            GraphError::CycleDetected => write!(f, "computation graph contains a cycle"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::SelfLoop(id) => write!(f, "operator {id} cannot depend on itself"),
+            GraphError::EmptyGraph => write!(f, "computation graph has no operators"),
+            GraphError::InvalidShape(msg) => write!(f, "invalid tensor shape: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+        assert!(GraphError::CycleDetected.to_string().contains("cycle"));
+        assert!(GraphError::UnknownOp(OpId(3)).to_string().contains("op3"));
+        assert!(GraphError::SelfLoop(OpId(1)).to_string().contains("itself"));
+        assert!(GraphError::InvalidShape("batch is zero".into())
+            .to_string()
+            .contains("batch is zero"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Data modalities handled by multi-task multi-modal models.
+
+use std::fmt;
+
+/// A data modality processed by an MT MM model.
+///
+/// The set mirrors the modalities used by the paper's evaluation workloads:
+/// ImageBind-style Multitask-CLIP covers the first six, OFASys additionally
+/// uses bounding boxes and structured data, and QWen-VAL uses text, vision and
+/// audio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Modality {
+    /// Natural-language text.
+    Text,
+    /// Images.
+    Vision,
+    /// Audio waveforms / spectrograms.
+    Audio,
+    /// Depth maps.
+    Depth,
+    /// Thermal images.
+    Thermal,
+    /// IMU / motion capture streams.
+    Motion,
+    /// Video clips.
+    Video,
+    /// Bounding boxes (visual grounding targets).
+    BoundingBox,
+    /// Structured data such as tables or SQL.
+    Structured,
+}
+
+impl Modality {
+    /// All modalities known to the model zoo, in a stable order.
+    pub const ALL: [Modality; 9] = [
+        Modality::Text,
+        Modality::Vision,
+        Modality::Audio,
+        Modality::Depth,
+        Modality::Thermal,
+        Modality::Motion,
+        Modality::Video,
+        Modality::BoundingBox,
+        Modality::Structured,
+    ];
+
+    /// Short lowercase name of the modality (stable, used in labels and CSV).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Modality::Text => "text",
+            Modality::Vision => "vision",
+            Modality::Audio => "audio",
+            Modality::Depth => "depth",
+            Modality::Thermal => "thermal",
+            Modality::Motion => "motion",
+            Modality::Video => "video",
+            Modality::BoundingBox => "box",
+            Modality::Structured => "struct",
+        }
+    }
+
+    /// Typical token-sequence length produced by this modality's encoder input
+    /// in the paper's workloads (Fig. 3 lists e.g. audio = 229 tokens, vision =
+    /// 257 or 197 tokens, text = 77 tokens).
+    #[must_use]
+    pub fn typical_sequence_length(self) -> u32 {
+        match self {
+            Modality::Text => 77,
+            Modality::Vision => 257,
+            Modality::Audio => 229,
+            Modality::Depth => 197,
+            Modality::Thermal => 197,
+            Modality::Motion => 128,
+            Modality::Video => 512,
+            Modality::BoundingBox => 16,
+            Modality::Structured => 96,
+        }
+    }
+}
+
+impl fmt::Display for Modality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Modality::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Modality::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for m in Modality::ALL {
+            assert_eq!(m.to_string(), m.name());
+        }
+    }
+
+    #[test]
+    fn sequence_lengths_positive_and_text_is_short() {
+        for m in Modality::ALL {
+            assert!(m.typical_sequence_length() > 0);
+        }
+        assert!(Modality::Text.typical_sequence_length() < Modality::Vision.typical_sequence_length());
+    }
+}

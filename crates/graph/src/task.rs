@@ -1,0 +1,127 @@
+//! Training tasks of a multi-task multi-modal workload.
+
+use std::fmt;
+
+use crate::Modality;
+
+/// Identifier of a training task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Raw index of the task.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Description of one training task: the modalities it consumes and its
+/// per-iteration batch size.
+///
+/// A task corresponds to the paper's `SpindleTask`: a multi-modal training
+/// objective (e.g. "image captioning" or "audio-text contrastive") that
+/// activates a specific subset of the model's components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    id: TaskId,
+    name: String,
+    modalities: Vec<Modality>,
+    batch_size: u32,
+}
+
+impl TaskSpec {
+    /// Creates a task description.
+    #[must_use]
+    pub fn new(
+        id: TaskId,
+        name: impl Into<String>,
+        modalities: impl IntoIterator<Item = Modality>,
+        batch_size: u32,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            modalities: modalities.into_iter().collect(),
+            batch_size,
+        }
+    }
+
+    /// Task identity.
+    #[must_use]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Human-readable task name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The modalities this task consumes.
+    #[must_use]
+    pub fn modalities(&self) -> &[Modality] {
+        &self.modalities
+    }
+
+    /// Per-iteration (per-task global) batch size.
+    #[must_use]
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Returns `true` if the task consumes `modality`.
+    #[must_use]
+    pub fn uses_modality(&self, modality: Modality) -> bool {
+        self.modalities.contains(&modality)
+    }
+}
+
+impl fmt::Display for TaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}", self.id, self.name)?;
+        for m in &self.modalities {
+            write!(f, " {m}")?;
+        }
+        write!(f, ", batch {})", self.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_accessors() {
+        let t = TaskSpec::new(TaskId(2), "audio-text", [Modality::Audio, Modality::Text], 8);
+        assert_eq!(t.id(), TaskId(2));
+        assert_eq!(t.name(), "audio-text");
+        assert_eq!(t.batch_size(), 8);
+        assert!(t.uses_modality(Modality::Audio));
+        assert!(!t.uses_modality(Modality::Vision));
+        assert_eq!(t.modalities().len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_name_and_modalities() {
+        let t = TaskSpec::new(TaskId(0), "vl", [Modality::Vision, Modality::Text], 4);
+        let s = t.to_string();
+        assert!(s.contains("task0"));
+        assert!(s.contains("vl"));
+        assert!(s.contains("vision"));
+        assert!(s.contains("batch 4"));
+    }
+
+    #[test]
+    fn task_id_index_and_display() {
+        assert_eq!(TaskId(5).index(), 5);
+        assert_eq!(TaskId(5).to_string(), "task5");
+    }
+}

@@ -1,0 +1,236 @@
+//! Metrics collected by the runtime engine: the quantities reported in the
+//! paper's evaluation (Figs. 8, 9, 10, 15).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use spindle_cluster::DeviceId;
+use spindle_core::MetaOpId;
+
+/// Iteration-time breakdown (Fig. 10): forward+backward computation, parameter
+/// synchronisation, and inter-wave send & receive.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeBreakdown {
+    /// Forward + backward computation time, seconds (includes intra-wave
+    /// alignment idle time).
+    pub fwd_bwd_s: f64,
+    /// Group-wise parameter synchronisation time, seconds.
+    pub sync_s: f64,
+    /// Inter-wave send & receive time, seconds.
+    pub send_recv_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total iteration time, seconds.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.fwd_bwd_s + self.sync_s + self.send_recv_s
+    }
+
+    /// Fraction of the iteration spent in inter-wave send & receive.
+    #[must_use]
+    pub fn send_recv_fraction(&self) -> f64 {
+        if self.total_s() <= 0.0 {
+            0.0
+        } else {
+            self.send_recv_s / self.total_s()
+        }
+    }
+
+    /// Fraction of the iteration spent in parameter synchronisation.
+    #[must_use]
+    pub fn sync_fraction(&self) -> f64 {
+        if self.total_s() <= 0.0 {
+            0.0
+        } else {
+            self.sync_s / self.total_s()
+        }
+    }
+}
+
+/// One sample of the cluster-utilization-over-time trace (Fig. 9a / Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationSample {
+    /// Time since the start of the iteration, seconds.
+    pub time_s: f64,
+    /// Achieved cluster throughput at that instant, TFLOP/s.
+    pub tflops_per_s: f64,
+}
+
+/// The full report of one simulated training iteration.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    pub(crate) breakdown: TimeBreakdown,
+    pub(crate) utilization_trace: Vec<UtilizationSample>,
+    pub(crate) device_utilization: BTreeMap<DeviceId, f64>,
+    pub(crate) metaop_utilization: BTreeMap<MetaOpId, f64>,
+    pub(crate) device_memory: BTreeMap<DeviceId, u64>,
+    pub(crate) total_flops: f64,
+    pub(crate) num_devices: u32,
+    pub(crate) peak_flops_per_device: f64,
+}
+
+impl IterationReport {
+    /// End-to-end iteration time in milliseconds (the headline metric of
+    /// Fig. 8).
+    #[must_use]
+    pub fn iteration_time_ms(&self) -> f64 {
+        self.breakdown.total_s() * 1e3
+    }
+
+    /// End-to-end iteration time in seconds.
+    #[must_use]
+    pub fn iteration_time_s(&self) -> f64 {
+        self.breakdown.total_s()
+    }
+
+    /// The iteration-time breakdown (Fig. 10).
+    #[must_use]
+    pub fn breakdown(&self) -> TimeBreakdown {
+        self.breakdown
+    }
+
+    /// Cluster utilization over time (Fig. 9a), sampled at uniform intervals
+    /// over the compute portion of the iteration.
+    #[must_use]
+    pub fn utilization_trace(&self) -> &[UtilizationSample] {
+        &self.utilization_trace
+    }
+
+    /// Average achieved cluster throughput over the whole iteration, TFLOP/s.
+    #[must_use]
+    pub fn average_cluster_tflops(&self) -> f64 {
+        if self.breakdown.total_s() <= 0.0 {
+            return 0.0;
+        }
+        self.total_flops / self.breakdown.total_s() / 1e12
+    }
+
+    /// Average utilization of each device as a fraction of its peak compute
+    /// (Fig. 9b, left spider chart).
+    #[must_use]
+    pub fn device_utilization(&self) -> &BTreeMap<DeviceId, f64> {
+        &self.device_utilization
+    }
+
+    /// Average computational utilization of each MetaOp: achieved FLOP/s on
+    /// its devices divided by their aggregate peak (Fig. 9b, right spider
+    /// chart).
+    #[must_use]
+    pub fn metaop_utilization(&self) -> &BTreeMap<MetaOpId, f64> {
+        &self.metaop_utilization
+    }
+
+    /// Peak memory consumption of each device in bytes (Fig. 15).
+    #[must_use]
+    pub fn device_memory(&self) -> &BTreeMap<DeviceId, u64> {
+        &self.device_memory
+    }
+
+    /// Peak memory consumption of each device in GiB.
+    #[must_use]
+    pub fn device_memory_gib(&self) -> BTreeMap<DeviceId, f64> {
+        self.device_memory
+            .iter()
+            .map(|(&d, &b)| (d, b as f64 / f64::from(1u32 << 30)))
+            .collect()
+    }
+
+    /// Largest-to-smallest ratio of per-device memory (memory balance metric).
+    #[must_use]
+    pub fn memory_imbalance(&self) -> f64 {
+        let max = self.device_memory.values().copied().max().unwrap_or(0) as f64;
+        let min = self.device_memory.values().copied().min().unwrap_or(0) as f64;
+        if min <= 0.0 {
+            if max <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max / min
+        }
+    }
+
+    /// Total FLOPs executed in the iteration.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.total_flops
+    }
+
+    /// Average cluster utilization as a fraction of aggregate peak compute.
+    #[must_use]
+    pub fn average_utilization(&self) -> f64 {
+        let peak = self.peak_flops_per_device * f64::from(self.num_devices);
+        if peak <= 0.0 || self.breakdown.total_s() <= 0.0 {
+            return 0.0;
+        }
+        (self.total_flops / self.breakdown.total_s()) / peak
+    }
+}
+
+impl fmt::Display for IterationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "iteration {:.1} ms (fwd+bwd {:.1} ms, sync {:.1} ms, send/recv {:.1} ms), avg util {:.0}%",
+            self.iteration_time_ms(),
+            self.breakdown.fwd_bwd_s * 1e3,
+            self.breakdown.sync_s * 1e3,
+            self.breakdown.send_recv_s * 1e3,
+            self.average_utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> IterationReport {
+        IterationReport {
+            breakdown: TimeBreakdown {
+                fwd_bwd_s: 0.8,
+                sync_s: 0.1,
+                send_recv_s: 0.1,
+            },
+            utilization_trace: vec![
+                UtilizationSample { time_s: 0.0, tflops_per_s: 100.0 },
+                UtilizationSample { time_s: 0.5, tflops_per_s: 50.0 },
+            ],
+            device_utilization: [(DeviceId(0), 0.5), (DeviceId(1), 0.25)].into_iter().collect(),
+            metaop_utilization: [(MetaOpId(0), 0.6)].into_iter().collect(),
+            device_memory: [(DeviceId(0), 2 << 30), (DeviceId(1), 1 << 30)].into_iter().collect(),
+            total_flops: 1e14,
+            num_devices: 2,
+            peak_flops_per_device: 312e12,
+        }
+    }
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let r = report();
+        assert!((r.iteration_time_s() - 1.0).abs() < 1e-12);
+        assert!((r.iteration_time_ms() - 1000.0).abs() < 1e-9);
+        assert!((r.breakdown().send_recv_fraction() - 0.1).abs() < 1e-12);
+        assert!((r.breakdown().sync_fraction() - 0.1).abs() < 1e-12);
+        let zero = TimeBreakdown::default();
+        assert_eq!(zero.total_s(), 0.0);
+        assert_eq!(zero.send_recv_fraction(), 0.0);
+        assert_eq!(zero.sync_fraction(), 0.0);
+    }
+
+    #[test]
+    fn utilization_and_memory_accessors() {
+        let r = report();
+        assert_eq!(r.utilization_trace().len(), 2);
+        assert!((r.average_cluster_tflops() - 100.0).abs() < 1e-9);
+        assert_eq!(r.device_utilization().len(), 2);
+        assert_eq!(r.metaop_utilization().len(), 1);
+        assert!((r.device_memory_gib()[&DeviceId(0)] - 2.0).abs() < 1e-9);
+        assert!((r.memory_imbalance() - 2.0).abs() < 1e-9);
+        assert!(r.average_utilization() > 0.0 && r.average_utilization() < 1.0);
+        assert!(r.to_string().contains("iteration"));
+        assert!((r.total_flops() - 1e14).abs() < 1.0);
+    }
+}

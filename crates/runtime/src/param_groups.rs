@@ -1,0 +1,240 @@
+//! Parameter device groups and group-wise synchronisation (§3.6 step 3).
+//!
+//! For every (possibly shared) parameter, all devices that hold a replica must
+//! accumulate and synchronise its gradient once per iteration. Spindle scans
+//! the placed plan before training, determines the device group of each
+//! parameter, and maintains a pool `{D_i → {W_j}}` mapping device groups to the
+//! parameter sets synchronised within them — one all-reduce per group per
+//! iteration instead of one per parameter.
+
+use std::collections::BTreeMap;
+
+use spindle_cluster::{CommModel, DeviceGroup, DeviceId};
+use spindle_core::{ExecutionPlan, MetaOpId};
+use spindle_graph::{ComputationGraph, OpId, ParamId};
+
+/// The global parameter device-group pool of a placed plan.
+#[derive(Debug, Clone, Default)]
+pub struct ParamGroupPool {
+    /// Sorted device group → total parameter bytes synchronised in it.
+    groups: BTreeMap<Vec<DeviceId>, u64>,
+}
+
+impl ParamGroupPool {
+    /// Builds the pool from a placed plan, using the original computation graph
+    /// to resolve per-operator parameter identity (required to capture
+    /// cross-task parameter sharing exactly).
+    #[must_use]
+    pub fn from_plan(plan: &ExecutionPlan, graph: &ComputationGraph) -> Self {
+        let op_devices = op_device_map(plan);
+        // Parameter -> (devices holding it, bytes).
+        let mut params: BTreeMap<ParamId, (Vec<DeviceId>, u64)> = BTreeMap::new();
+        for op in graph.ops() {
+            let Some(devices) = op_devices.get(&op.id()) else {
+                continue;
+            };
+            if op.params().is_empty() {
+                // Unshared, anonymous parameters still need data-parallel
+                // gradient sync within their own device group.
+                if devices.len() > 1 && op.param_bytes() > 0 {
+                    params.insert(
+                        ParamId(u32::MAX - op.id().0),
+                        (sorted(devices), op.param_bytes()),
+                    );
+                }
+                continue;
+            }
+            let share = op.param_bytes() / op.params().len() as u64;
+            for &p in op.params() {
+                let entry = params.entry(p).or_insert_with(|| (Vec::new(), 0));
+                for &d in devices {
+                    if !entry.0.contains(&d) {
+                        entry.0.push(d);
+                    }
+                }
+                entry.1 = entry.1.max(share);
+            }
+        }
+        let mut groups: BTreeMap<Vec<DeviceId>, u64> = BTreeMap::new();
+        for (devices, bytes) in params.into_values() {
+            if devices.len() > 1 {
+                let mut key = devices;
+                key.sort_unstable();
+                *groups.entry(key).or_insert(0) += bytes;
+            }
+        }
+        Self { groups }
+    }
+
+    /// Builds an approximate pool from the plan alone (no original graph):
+    /// every MetaOp entry executing on more than one device pays a gradient
+    /// all-reduce of its parameters within its own group, and parameter sharing
+    /// is derived from the representative operators' parameter ids.
+    #[must_use]
+    pub fn from_plan_approximate(plan: &ExecutionPlan) -> Self {
+        let mut metaop_devices: BTreeMap<MetaOpId, Vec<DeviceId>> = BTreeMap::new();
+        for wave in plan.waves() {
+            for entry in &wave.entries {
+                if let Some(group) = &entry.placement {
+                    let devices = metaop_devices.entry(entry.metaop).or_default();
+                    for d in group.iter() {
+                        if !devices.contains(&d) {
+                            devices.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        let mut groups: BTreeMap<Vec<DeviceId>, u64> = BTreeMap::new();
+        for metaop in plan.metagraph().metaops() {
+            let Some(devices) = metaop_devices.get(&metaop.id()) else {
+                continue;
+            };
+            if devices.len() <= 1 {
+                continue;
+            }
+            let mut key = devices.clone();
+            key.sort_unstable();
+            let bytes =
+                metaop.representative().param_bytes() * u64::from(metaop.num_ops());
+            *groups.entry(key).or_insert(0) += bytes;
+        }
+        Self { groups }
+    }
+
+    /// Number of distinct device groups in the pool.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total bytes of parameters requiring synchronisation.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.groups.values().sum()
+    }
+
+    /// The groups and their synchronised byte volumes.
+    #[must_use]
+    pub fn groups(&self) -> Vec<(DeviceGroup, u64)> {
+        self.groups
+            .iter()
+            .map(|(devices, &bytes)| (devices.iter().copied().collect(), bytes))
+            .collect()
+    }
+
+    /// Total group-wise synchronisation time per iteration, seconds.
+    #[must_use]
+    pub fn sync_time(&self, comm: &CommModel) -> f64 {
+        self.groups()
+            .iter()
+            .map(|(group, bytes)| comm.all_reduce_time(group, *bytes))
+            .sum()
+    }
+}
+
+/// Maps every original operator to the devices of the wave entry that executed
+/// it, by walking each MetaOp's slices in order.
+fn op_device_map(plan: &ExecutionPlan) -> BTreeMap<OpId, Vec<DeviceId>> {
+    let mut consumed: BTreeMap<MetaOpId, usize> = BTreeMap::new();
+    let mut map = BTreeMap::new();
+    for wave in plan.waves() {
+        for entry in &wave.entries {
+            let metaop = plan.metagraph().metaop(entry.metaop);
+            let start = *consumed.get(&entry.metaop).unwrap_or(&0);
+            let end = (start + entry.layers as usize).min(metaop.ops().len());
+            let devices: Vec<DeviceId> = entry
+                .placement
+                .as_ref()
+                .map(|g| g.iter().collect())
+                .unwrap_or_default();
+            for &op in &metaop.ops()[start..end] {
+                map.insert(op, devices.clone());
+            }
+            consumed.insert(entry.metaop, end);
+        }
+    }
+    map
+}
+
+fn sorted(devices: &[DeviceId]) -> Vec<DeviceId> {
+    let mut v = devices.to_vec();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_cluster::ClusterSpec;
+    use spindle_core::Planner;
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    /// Two tasks sharing a text encoder (same ParamIds) — the textbook case
+    /// for cross-task parameter device groups.
+    fn shared_encoder_graph() -> spindle_graph::ComputationGraph {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task("audio-text", [Modality::Audio, Modality::Text], 8);
+        let t1 = b.add_task("vision-text", [Modality::Vision, Modality::Text], 8);
+        let shared: Vec<_> = (0..6).map(|_| b.new_param()).collect();
+        let a = b
+            .add_op_chain(t0, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 6)
+            .unwrap();
+        let x0 = b
+            .add_op_chain_with_params(t0, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), &shared)
+            .unwrap();
+        let l0 = b.add_op(t0, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768)).unwrap();
+        b.add_flow(*a.last().unwrap(), l0).unwrap();
+        b.add_flow(*x0.last().unwrap(), l0).unwrap();
+        let v = b
+            .add_op_chain(t1, OpKind::Encoder(Modality::Vision), TensorShape::new(8, 257, 768), 6)
+            .unwrap();
+        let x1 = b
+            .add_op_chain_with_params(t1, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), &shared)
+            .unwrap();
+        let l1 = b.add_op(t1, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768)).unwrap();
+        b.add_flow(*v.last().unwrap(), l1).unwrap();
+        b.add_flow(*x1.last().unwrap(), l1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shared_parameters_form_cross_task_groups() {
+        let graph = shared_encoder_graph();
+        let cluster = ClusterSpec::homogeneous(2, 8);
+        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let pool = ParamGroupPool::from_plan(&plan, &graph);
+        assert!(pool.num_groups() >= 1);
+        assert!(pool.total_bytes() > 0);
+        let comm = CommModel::new(&cluster);
+        assert!(pool.sync_time(&comm) > 0.0);
+        // The shared text-encoder parameters must be synchronised across a
+        // group that is at least as large as either task's text placement.
+        let largest = pool.groups().iter().map(|(g, _)| g.len()).max().unwrap();
+        assert!(largest >= 2);
+    }
+
+    #[test]
+    fn approximate_pool_is_usable_without_graph() {
+        let graph = shared_encoder_graph();
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let approx = ParamGroupPool::from_plan_approximate(&plan);
+        let comm = CommModel::new(&cluster);
+        assert!(approx.sync_time(&comm) >= 0.0);
+    }
+
+    #[test]
+    fn single_device_entries_need_no_sync() {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("t", [Modality::Text], 1);
+        b.add_op(t, OpKind::Encoder(Modality::Text), TensorShape::new(1, 77, 768)).unwrap();
+        let graph = b.build().unwrap();
+        let cluster = ClusterSpec::homogeneous(1, 1);
+        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let pool = ParamGroupPool::from_plan(&plan, &graph);
+        assert_eq!(pool.num_groups(), 0);
+        assert_eq!(pool.total_bytes(), 0);
+        assert!(pool.groups().is_empty());
+    }
+}

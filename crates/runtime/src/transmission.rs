@@ -1,0 +1,199 @@
+//! Inter-wave transmission operators (§3.6 step 2).
+//!
+//! Data flows cross wave boundaries in two situations:
+//!
+//! * a MetaGraph edge `m1 → m2`: the output activation of `m1`'s last operator
+//!   must reach the devices executing `m2`'s first operator (and the gradient
+//!   flows back during the backward pass);
+//! * a MetaOp sliced across waves whose consecutive slices run on different
+//!   device groups: the intermediate activation must be handed over.
+//!
+//! The runtime prices each transmission with the cluster's communication model
+//! (copy / shard / send / receive collapse into a group-to-group transfer).
+
+use std::collections::BTreeMap;
+
+use spindle_cluster::{CommModel, DeviceGroup};
+use spindle_core::{ExecutionPlan, MetaOpId};
+
+/// Why a transmission exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmissionKind {
+    /// A data flow along a MetaGraph edge (activation forward, gradient back).
+    DataFlow,
+    /// A hand-over between consecutive slices of the same MetaOp placed on
+    /// different device groups.
+    SliceHandover,
+}
+
+/// One inter-wave transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transmission {
+    /// Producing MetaOp.
+    pub from: MetaOpId,
+    /// Consuming MetaOp (equal to `from` for slice hand-overs).
+    pub to: MetaOpId,
+    /// Source device group.
+    pub src: DeviceGroup,
+    /// Destination device group.
+    pub dst: DeviceGroup,
+    /// Bytes moved in the forward direction (the backward pass moves the same
+    /// volume of gradients in reverse).
+    pub bytes: u64,
+    /// Why this transmission exists.
+    pub kind: TransmissionKind,
+}
+
+impl Transmission {
+    /// Time in seconds for one direction of this transmission.
+    #[must_use]
+    pub fn one_way_time(&self, comm: &CommModel) -> f64 {
+        comm.group_transfer_time(&self.src, &self.dst, self.bytes)
+    }
+
+    /// Time in seconds for forward activation plus backward gradient.
+    #[must_use]
+    pub fn round_trip_time(&self, comm: &CommModel) -> f64 {
+        self.one_way_time(comm) + comm.group_transfer_time(&self.dst, &self.src, self.bytes)
+    }
+}
+
+/// Derives every inter-wave transmission of a placed execution plan.
+///
+/// Entries without placement are skipped (the planner guarantees placement for
+/// plans headed to the runtime; baselines constructing partial plans can still
+/// inspect transmissions of the placed subset).
+#[must_use]
+pub fn derive_transmissions(plan: &ExecutionPlan) -> Vec<Transmission> {
+    // Ordered placements of each MetaOp's slices across waves.
+    let mut slices: BTreeMap<MetaOpId, Vec<DeviceGroup>> = BTreeMap::new();
+    for wave in plan.waves() {
+        for entry in &wave.entries {
+            if let Some(group) = &entry.placement {
+                slices.entry(entry.metaop).or_default().push(group.clone());
+            }
+        }
+    }
+
+    let mut transmissions = Vec::new();
+    // Slice hand-overs within a MetaOp.
+    for (metaop, groups) in &slices {
+        let bytes = plan
+            .metagraph()
+            .metaop(*metaop)
+            .representative()
+            .output_bytes();
+        for pair in groups.windows(2) {
+            if pair[0] != pair[1] {
+                transmissions.push(Transmission {
+                    from: *metaop,
+                    to: *metaop,
+                    src: pair[0].clone(),
+                    dst: pair[1].clone(),
+                    bytes,
+                    kind: TransmissionKind::SliceHandover,
+                });
+            }
+        }
+    }
+    // Data flows along MetaGraph edges: from the producer's last slice to the
+    // consumer's first slice.
+    for &(from, to) in plan.metagraph().edges() {
+        let (Some(src), Some(dst)) = (
+            slices.get(&from).and_then(|g| g.last()),
+            slices.get(&to).and_then(|g| g.first()),
+        ) else {
+            continue;
+        };
+        let bytes = plan.metagraph().metaop(from).representative().output_bytes();
+        transmissions.push(Transmission {
+            from,
+            to,
+            src: src.clone(),
+            dst: dst.clone(),
+            bytes,
+            kind: TransmissionKind::DataFlow,
+        });
+    }
+    transmissions
+}
+
+/// Total forward+backward transmission time of a placed plan, in seconds.
+#[must_use]
+pub fn total_transmission_time(plan: &ExecutionPlan, comm: &CommModel) -> f64 {
+    derive_transmissions(plan)
+        .iter()
+        .map(|t| t.round_trip_time(comm))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_cluster::ClusterSpec;
+    use spindle_core::{PlacementStrategy, Planner, PlannerConfig};
+    use spindle_graph::{ComputationGraph, GraphBuilder, Modality, OpKind, TensorShape};
+
+    fn pipeline_graph() -> ComputationGraph {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("vl", [Modality::Vision, Modality::Text], 8);
+        let vis = b
+            .add_op_chain(t, OpKind::Encoder(Modality::Vision), TensorShape::new(8, 257, 768), 8)
+            .unwrap();
+        let lm = b
+            .add_op_chain(t, OpKind::LmDecoderOnly, TensorShape::new(8, 512, 2048), 8)
+            .unwrap();
+        b.add_flow(*vis.last().unwrap(), lm[0]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn data_flow_transmissions_follow_metagraph_edges() {
+        let graph = pipeline_graph();
+        let cluster = ClusterSpec::homogeneous(2, 8);
+        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let transmissions = derive_transmissions(&plan);
+        let data_flows: Vec<&Transmission> = transmissions
+            .iter()
+            .filter(|t| t.kind == TransmissionKind::DataFlow)
+            .collect();
+        assert_eq!(data_flows.len(), plan.metagraph().edges().len());
+        for t in &transmissions {
+            assert!(t.bytes > 0);
+            assert!(!t.src.is_empty());
+            assert!(!t.dst.is_empty());
+        }
+    }
+
+    #[test]
+    fn locality_placement_transmits_no_more_than_sequential() {
+        let graph = pipeline_graph();
+        let cluster = ClusterSpec::homogeneous(2, 8);
+        let comm = CommModel::new(&cluster);
+        let locality = Planner::new(&graph, &cluster).plan().unwrap();
+        let sequential = Planner::with_config(
+            &graph,
+            &cluster,
+            PlannerConfig {
+                placement: PlacementStrategy::Sequential,
+                ..PlannerConfig::default()
+            },
+        )
+        .plan()
+        .unwrap();
+        let t_loc = total_transmission_time(&locality, &comm);
+        let t_seq = total_transmission_time(&sequential, &comm);
+        assert!(t_loc <= t_seq + 1e-9, "locality {t_loc} vs sequential {t_seq}");
+    }
+
+    #[test]
+    fn round_trip_is_two_one_way_transfers() {
+        let graph = pipeline_graph();
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let comm = CommModel::new(&cluster);
+        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        for t in derive_transmissions(&plan) {
+            assert!(t.round_trip_time(&comm) >= t.one_way_time(&comm));
+        }
+    }
+}

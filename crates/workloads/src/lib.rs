@@ -1,0 +1,54 @@
+//! # spindle-workloads
+//!
+//! The multi-task multi-modal workload presets used throughout the Spindle
+//! evaluation (Tab. 1b and Appendix C of the paper):
+//!
+//! * [`multitask_clip`] — an ImageBind-style multi-task extension of CLIP:
+//!   six modality encoders, up to ten contrastive tasks over modality pairs,
+//!   ~1.2 B parameters, a lightweight cross-modal module (the contrastive
+//!   loss).
+//! * [`ofasys`] — an OFASys-style generalist model: lightweight modality
+//!   adaptors feeding a shared encoder-decoder LM with a generative loss,
+//!   up to seven tasks, ~0.66 B parameters.
+//! * [`qwen_val`] — a QWen-VL/QWen-Audio-style model: heavy vision and audio
+//!   encoders feeding a shared decoder-only LLM, three tasks
+//!   (vision-language, audio-language, vision-audio-language), 9.25 B
+//!   parameters, with 30 B and 70 B variants for the large-scale simulations
+//!   of Appendix E.
+//! * [`DynamicWorkload`] — the changing task sets of Appendix D.
+//!
+//! All builders return ordinary [`ComputationGraph`](spindle_graph::ComputationGraph)s;
+//! parameters of components shared across tasks (modality encoders, the
+//! unified LM) carry the same [`ParamId`](spindle_graph::ParamId)s so the
+//! runtime synchronises them exactly as the paper's system does.
+//!
+//! ## Example
+//!
+//! ```
+//! use spindle_workloads::{multitask_clip, WorkloadPreset};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = multitask_clip(4)?;
+//! assert_eq!(graph.tasks().len(), 4);
+//! // Roughly the 1.2 B parameters of Tab. 1b (shared encoders counted once).
+//! let billions = WorkloadPreset::MultitaskClip { tasks: 10 }.build()?.total_param_bytes() as f64
+//!     / 2.0 / 1e9;
+//! assert!(billions > 0.9 && billions < 1.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dynamic;
+mod multitask_clip;
+mod ofasys;
+mod presets;
+mod qwen_val;
+
+pub use dynamic::{figure13_presets, DynamicPhase, DynamicWorkload};
+pub use multitask_clip::{multitask_clip, multitask_clip_with_batch};
+pub use ofasys::ofasys;
+pub use presets::WorkloadPreset;
+pub use qwen_val::{qwen_val, QwenValSize};

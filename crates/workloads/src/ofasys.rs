@@ -1,0 +1,166 @@
+//! OFASys: a generalist multi-task model with a shared encoder-decoder LM.
+
+use spindle_graph::{
+    ComputationGraph, GraphBuilder, GraphError, Modality, OpKind, ParamId, TensorShape,
+};
+
+/// Hidden size of the unified encoder-decoder LM.
+const LM_HIDDEN: u32 = 1280;
+/// Encoder / decoder depth of the unified LM.
+const LM_LAYERS: usize = 12;
+/// Sequence length processed by the LM (multi-modal tokens + text).
+const LM_SEQ: u32 = 512;
+/// Depth of the lightweight modality adaptors.
+const ADAPTOR_LAYERS: usize = 4;
+
+/// The seven OFASys tasks: (name, input modalities besides text, batch size).
+/// Workload heterogeneity comes from the mix of adaptors activated and from
+/// the differing batch sizes.
+const TASKS: [(&str, &[Modality], u32); 7] = [
+    ("text-summarization", &[], 96),
+    ("image-captioning", &[Modality::Vision], 48),
+    ("visual-grounding", &[Modality::Vision, Modality::BoundingBox], 32),
+    ("speech-recognition", &[Modality::Audio], 64),
+    ("text-to-sql", &[Modality::Structured], 96),
+    ("video-captioning", &[Modality::Video], 16),
+    ("visual-question-answering", &[Modality::Vision], 48),
+];
+
+/// Builds the OFASys workload with the first `num_tasks` tasks
+/// (1 ≤ `num_tasks` ≤ 7).
+///
+/// Every task runs its modality adaptors, then the shared LM encoder and
+/// decoder (same parameters across tasks), and ends in a generative loss —
+/// the cross-modal module's workload is comparable to the modality encoders,
+/// as the paper notes when explaining DistMM-MT's weakness on this model.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if `num_tasks` is 0.
+pub fn ofasys(num_tasks: usize) -> Result<ComputationGraph, GraphError> {
+    let num_tasks = num_tasks.min(TASKS.len());
+    let mut b = GraphBuilder::new();
+
+    // Shared LM parameters (encoder + decoder), reused by every task, plus the
+    // shared token embedding and output head.
+    let lm_encoder_params: Vec<ParamId> = (0..LM_LAYERS).map(|_| b.new_param()).collect();
+    let lm_decoder_params: Vec<ParamId> = (0..LM_LAYERS).map(|_| b.new_param()).collect();
+    let embedding_param = b.new_param();
+    let head_param = b.new_param();
+    // Shared per-modality adaptor parameters.
+    let mut adaptor_params: Vec<(Modality, Vec<ParamId>)> = Vec::new();
+
+    for &(name, extra_modalities, batch) in TASKS.iter().take(num_tasks) {
+        let mut modalities = vec![Modality::Text];
+        modalities.extend_from_slice(extra_modalities);
+        let task = b.add_task(name, modalities.clone(), batch);
+
+        // Text embedding plus each extra modality's adaptor feed the LM encoder.
+        let text_in = b.add_op_with_params(
+            task,
+            OpKind::Embedding,
+            TensorShape::new(batch, 128, LM_HIDDEN),
+            &[embedding_param],
+        )?;
+        let mut inputs = vec![text_in];
+        for &m in extra_modalities {
+            let params = match adaptor_params.iter().find(|(pm, _)| *pm == m) {
+                Some((_, p)) => p.clone(),
+                None => {
+                    let p: Vec<ParamId> = (0..ADAPTOR_LAYERS).map(|_| b.new_param()).collect();
+                    adaptor_params.push((m, p.clone()));
+                    p
+                }
+            };
+            let shape = TensorShape::new(batch, m.typical_sequence_length(), 768);
+            let chain = b.add_op_chain_with_params(task, OpKind::Adaptor(m), shape, &params)?;
+            inputs.push(*chain.last().expect("adaptor chains are non-empty"));
+        }
+
+        let lm_shape = TensorShape::new(batch, LM_SEQ, LM_HIDDEN);
+        let encoder =
+            b.add_op_chain_with_params(task, OpKind::LmEncoder, lm_shape, &lm_encoder_params)?;
+        for input in inputs {
+            b.add_flow(input, encoder[0])?;
+        }
+        let decoder =
+            b.add_op_chain_with_params(task, OpKind::LmDecoder, lm_shape, &lm_decoder_params)?;
+        b.add_flow(*encoder.last().expect("lm chains are non-empty"), decoder[0])?;
+        let loss = b.add_op_with_params(
+            task,
+            OpKind::GenerativeLoss,
+            TensorShape::new(batch, LM_SEQ, LM_HIDDEN),
+            &[head_param],
+        )?;
+        b.add_flow(*decoder.last().expect("lm chains are non-empty"), loss)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_graph::TaskId;
+
+    #[test]
+    fn seven_task_structure() {
+        let g = ofasys(7).unwrap();
+        assert_eq!(g.tasks().len(), 7);
+        assert!(g.num_ops() > 7 * (2 * LM_LAYERS + 2));
+        // Every task ends in exactly one generative loss.
+        let losses = g.ops().iter().filter(|o| o.kind() == OpKind::GenerativeLoss).count();
+        assert_eq!(losses, 7);
+    }
+
+    #[test]
+    fn parameter_count_matches_table_1b() {
+        // Tab. 1b: 0.66 B parameters, dominated by the shared LM.
+        let g = ofasys(7).unwrap();
+        let billions = g.total_param_bytes() as f64 / 2.0 / 1e9;
+        assert!(billions > 0.4 && billions < 0.9, "got {billions:.2} B params");
+    }
+
+    #[test]
+    fn lm_parameters_are_shared_across_tasks() {
+        let g = ofasys(3).unwrap();
+        // The LM encoder layers of task 0 and task 1 carry the same ParamIds.
+        let lm_ops_t0: Vec<_> = g
+            .ops()
+            .iter()
+            .filter(|o| o.task() == TaskId(0) && o.kind() == OpKind::LmEncoder)
+            .collect();
+        let lm_ops_t1: Vec<_> = g
+            .ops()
+            .iter()
+            .filter(|o| o.task() == TaskId(1) && o.kind() == OpKind::LmEncoder)
+            .collect();
+        assert_eq!(lm_ops_t0.len(), LM_LAYERS);
+        assert_eq!(lm_ops_t0[0].params(), lm_ops_t1[0].params());
+    }
+
+    #[test]
+    fn cross_modal_module_is_heavy() {
+        // In OFASys the LM (cross-modal module) workload is comparable to or
+        // larger than the modality adaptors.
+        let g = ofasys(4).unwrap();
+        let lm_flops: f64 = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind(), OpKind::LmEncoder | OpKind::LmDecoder))
+            .map(|o| o.flops_total())
+            .sum();
+        let adaptor_flops: f64 = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind(), OpKind::Adaptor(_)))
+            .map(|o| o.flops_total())
+            .sum();
+        assert!(lm_flops > adaptor_flops);
+    }
+
+    #[test]
+    fn task_count_clamped_and_zero_rejected() {
+        assert_eq!(ofasys(20).unwrap().tasks().len(), 7);
+        assert!(ofasys(0).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Named workload presets and the setup table of the evaluation (Tab. 1b).
+
+use std::fmt;
+
+use spindle_graph::{ComputationGraph, GraphError};
+
+use crate::{multitask_clip, ofasys, qwen_val, QwenValSize};
+
+/// A named workload configuration from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadPreset {
+    /// Multitask-CLIP with the given number of tasks (1, 4, 7 or 10 in the
+    /// paper).
+    MultitaskClip {
+        /// Number of contrastive tasks (clamped to 10).
+        tasks: usize,
+    },
+    /// OFASys with the given number of tasks (4 or 7 in the paper).
+    Ofasys {
+        /// Number of generative tasks (clamped to 7).
+        tasks: usize,
+    },
+    /// QWen-VAL at one of its three sizes, always with 3 tasks.
+    QwenVal {
+        /// Model size variant.
+        size: QwenValSize,
+    },
+}
+
+impl WorkloadPreset {
+    /// Every configuration appearing in Fig. 8 of the paper.
+    #[must_use]
+    pub fn figure8_presets() -> Vec<WorkloadPreset> {
+        vec![
+            WorkloadPreset::MultitaskClip { tasks: 4 },
+            WorkloadPreset::MultitaskClip { tasks: 7 },
+            WorkloadPreset::MultitaskClip { tasks: 10 },
+            WorkloadPreset::Ofasys { tasks: 4 },
+            WorkloadPreset::Ofasys { tasks: 7 },
+            WorkloadPreset::QwenVal { size: QwenValSize::B9 },
+        ]
+    }
+
+    /// Builds the preset's computation graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the preset has zero tasks.
+    pub fn build(&self) -> Result<ComputationGraph, GraphError> {
+        match *self {
+            WorkloadPreset::MultitaskClip { tasks } => multitask_clip(tasks),
+            WorkloadPreset::Ofasys { tasks } => ofasys(tasks),
+            WorkloadPreset::QwenVal { size } => qwen_val(size),
+        }
+    }
+
+    /// Number of tasks in the preset.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        match *self {
+            WorkloadPreset::MultitaskClip { tasks } => tasks.clamp(1, 10),
+            WorkloadPreset::Ofasys { tasks } => tasks.clamp(1, 7),
+            WorkloadPreset::QwenVal { .. } => 3,
+        }
+    }
+
+    /// The cluster sizes (in GPUs) the paper evaluates this preset on.
+    #[must_use]
+    pub fn paper_cluster_sizes(&self) -> Vec<usize> {
+        match self {
+            WorkloadPreset::QwenVal { size: QwenValSize::B9 } => vec![32, 64],
+            WorkloadPreset::QwenVal { .. } => vec![256],
+            _ => vec![8, 16, 32],
+        }
+    }
+
+    /// One row of Tab. 1b: (model, #parameters in billions, #modalities,
+    /// #tasks, cross-modal module description).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the graph cannot be built.
+    pub fn table1b_row(&self) -> Result<(String, f64, usize, usize, &'static str), GraphError> {
+        let graph = self.build()?;
+        let params_b = graph.total_param_bytes() as f64 / 2.0 / 1e9;
+        let modalities: std::collections::BTreeSet<_> = graph
+            .tasks()
+            .iter()
+            .flat_map(|t| t.modalities().iter().copied())
+            .collect();
+        let cross_modal = match self {
+            WorkloadPreset::MultitaskClip { .. } => "Contrastive Loss",
+            WorkloadPreset::Ofasys { .. } => "Enc-Dec LLM",
+            WorkloadPreset::QwenVal { .. } => "Dec-only LLM",
+        };
+        Ok((
+            self.to_string(),
+            params_b,
+            modalities.len(),
+            graph.tasks().len(),
+            cross_modal,
+        ))
+    }
+}
+
+impl fmt::Display for WorkloadPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WorkloadPreset::MultitaskClip { tasks } => {
+                write!(f, "Multitask-CLIP, {tasks} Tasks")
+            }
+            WorkloadPreset::Ofasys { tasks } => write!(f, "OFASys, {tasks} Tasks"),
+            WorkloadPreset::QwenVal { size } => write!(f, "{}, 3 Tasks", size.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8_presets_all_build() {
+        for preset in WorkloadPreset::figure8_presets() {
+            let graph = preset.build().unwrap();
+            assert_eq!(graph.tasks().len(), preset.num_tasks());
+            assert!(!preset.paper_cluster_sizes().is_empty());
+        }
+    }
+
+    #[test]
+    fn table1b_matches_paper_shape() {
+        let (name, params, modalities, tasks, cm) =
+            WorkloadPreset::MultitaskClip { tasks: 10 }.table1b_row().unwrap();
+        assert!(name.contains("CLIP"));
+        assert!(params > 0.9 && params < 1.5);
+        assert_eq!(modalities, 6);
+        assert_eq!(tasks, 10);
+        assert_eq!(cm, "Contrastive Loss");
+
+        let (_, params, modalities, tasks, cm) =
+            WorkloadPreset::QwenVal { size: QwenValSize::B9 }.table1b_row().unwrap();
+        assert!(params > 7.5 && params < 11.5);
+        assert_eq!(modalities, 3);
+        assert_eq!(tasks, 3);
+        assert_eq!(cm, "Dec-only LLM");
+
+        let (_, _, modalities, tasks, cm) =
+            WorkloadPreset::Ofasys { tasks: 7 }.table1b_row().unwrap();
+        assert!(modalities >= 5);
+        assert_eq!(tasks, 7);
+        assert_eq!(cm, "Enc-Dec LLM");
+    }
+
+    #[test]
+    fn display_labels_match_figure_captions() {
+        assert_eq!(
+            WorkloadPreset::MultitaskClip { tasks: 4 }.to_string(),
+            "Multitask-CLIP, 4 Tasks"
+        );
+        assert_eq!(WorkloadPreset::Ofasys { tasks: 7 }.to_string(), "OFASys, 7 Tasks");
+        assert_eq!(
+            WorkloadPreset::QwenVal { size: QwenValSize::B9 }.to_string(),
+            "QWen-VAL 10B, 3 Tasks"
+        );
+    }
+}

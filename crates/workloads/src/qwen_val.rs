@@ -1,0 +1,205 @@
+//! QWen-VAL: vision + audio encoders feeding a shared decoder-only LLM.
+
+use spindle_graph::{
+    ComputationGraph, GraphBuilder, GraphError, Modality, OpKind, ParamId, TensorShape,
+};
+
+/// Model-size variants of QWen-VAL. `B9` is the 9.25 B-parameter model of
+/// Tab. 1b; `B30` and `B70` are the larger variants used by the simulation
+/// study of Appendix E (Tab. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QwenValSize {
+    /// The 9.25 B-parameter model evaluated on real clusters (Fig. 8).
+    #[default]
+    B9,
+    /// The ~30 B-parameter variant (Appendix E).
+    B30,
+    /// The ~70 B-parameter variant (Appendix E).
+    B70,
+}
+
+impl QwenValSize {
+    /// LLM depth and hidden size for this variant.
+    fn llm_shape(self) -> (usize, u32) {
+        match self {
+            QwenValSize::B9 => (32, 4096),
+            QwenValSize::B30 => (60, 6656),
+            QwenValSize::B70 => (80, 8192),
+        }
+    }
+
+    /// Human-readable label ("QWen-VAL 10B" style, as used in Fig. 8).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            QwenValSize::B9 => "QWen-VAL 10B",
+            QwenValSize::B30 => "QWen-VAL 30B",
+            QwenValSize::B70 => "QWen-VAL 70B",
+        }
+    }
+}
+
+/// Vision encoder: ViT-bigG-ish (48 layers, 1664 hidden in QWen-VL; rounded).
+const VISION_LAYERS: usize = 40;
+const VISION_HIDDEN: u32 = 1664;
+const VISION_SEQ: u32 = 1024;
+/// Audio encoder: Whisper-large-v2-ish (32 layers, 1280 hidden).
+const AUDIO_LAYERS: usize = 32;
+const AUDIO_HIDDEN: u32 = 1280;
+const AUDIO_SEQ: u32 = 1500;
+/// LLM sequence length (text + modality tokens).
+const LLM_SEQ: u32 = 1024;
+
+/// The three tasks of QWen-VAL: vision-language, audio-language and
+/// vision-audio-language.
+const TASKS: [(&str, bool, bool, u32); 3] = [
+    ("vision-language", true, false, 16),
+    ("audio-language", false, true, 16),
+    ("vision-audio-language", true, true, 8),
+];
+
+/// Builds the QWen-VAL workload at the requested size.
+///
+/// The decoder-only LLM (the cross-modal module) dominates the computation,
+/// which is the regime where the paper reports Spindle's largest-model
+/// results; its parameters are shared across all three tasks.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] if graph assembly fails (it does not for the
+/// built-in configurations).
+pub fn qwen_val(size: QwenValSize) -> Result<ComputationGraph, GraphError> {
+    let (llm_layers, llm_hidden) = size.llm_shape();
+    let mut b = GraphBuilder::new();
+
+    let llm_params: Vec<ParamId> = (0..llm_layers).map(|_| b.new_param()).collect();
+    let vision_params: Vec<ParamId> = (0..VISION_LAYERS).map(|_| b.new_param()).collect();
+    let audio_params: Vec<ParamId> = (0..AUDIO_LAYERS).map(|_| b.new_param()).collect();
+
+    for &(name, vision, audio, batch) in &TASKS {
+        let mut modalities = vec![Modality::Text];
+        if vision {
+            modalities.push(Modality::Vision);
+        }
+        if audio {
+            modalities.push(Modality::Audio);
+        }
+        let task = b.add_task(name, modalities, batch);
+
+        let embed = b.add_op(task, OpKind::Embedding, TensorShape::new(batch, LLM_SEQ, llm_hidden))?;
+        let mut inputs = vec![embed];
+        if vision {
+            let chain = b.add_op_chain_with_params(
+                task,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(batch, VISION_SEQ, VISION_HIDDEN),
+                &vision_params,
+            )?;
+            let proj = b.add_op(task, OpKind::Projection, TensorShape::new(batch, 256, llm_hidden))?;
+            b.add_flow(*chain.last().expect("vision chain non-empty"), proj)?;
+            inputs.push(proj);
+        }
+        if audio {
+            let chain = b.add_op_chain_with_params(
+                task,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(batch, AUDIO_SEQ, AUDIO_HIDDEN),
+                &audio_params,
+            )?;
+            let proj = b.add_op(task, OpKind::Projection, TensorShape::new(batch, 256, llm_hidden))?;
+            b.add_flow(*chain.last().expect("audio chain non-empty"), proj)?;
+            inputs.push(proj);
+        }
+
+        let llm = b.add_op_chain_with_params(
+            task,
+            OpKind::LmDecoderOnly,
+            TensorShape::new(batch, LLM_SEQ, llm_hidden),
+            &llm_params,
+        )?;
+        for input in inputs {
+            b.add_flow(input, llm[0])?;
+        }
+        let loss = b.add_op(task, OpKind::GenerativeLoss, TensorShape::new(batch, LLM_SEQ, llm_hidden))?;
+        b.add_flow(*llm.last().expect("llm chain non-empty"), loss)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_matches_table_1b() {
+        // Tab. 1b: 9.25 B parameters for the base model.
+        let g = qwen_val(QwenValSize::B9).unwrap();
+        let billions = g.total_param_bytes() as f64 / 2.0 / 1e9;
+        assert!(billions > 7.5 && billions < 11.5, "got {billions:.2} B params");
+    }
+
+    #[test]
+    fn larger_variants_scale_parameters() {
+        let b9 = qwen_val(QwenValSize::B9).unwrap().total_param_bytes() as f64 / 2e9;
+        let b30 = qwen_val(QwenValSize::B30).unwrap().total_param_bytes() as f64 / 2e9;
+        let b70 = qwen_val(QwenValSize::B70).unwrap().total_param_bytes() as f64 / 2e9;
+        assert!(b30 > 25.0 && b30 < 40.0, "30B variant got {b30:.1}");
+        assert!(b70 > 58.0 && b70 < 85.0, "70B variant got {b70:.1}");
+        assert!(b9 < b30 && b30 < b70);
+    }
+
+    #[test]
+    fn three_tasks_with_expected_modalities() {
+        let g = qwen_val(QwenValSize::B9).unwrap();
+        assert_eq!(g.tasks().len(), 3);
+        assert!(g.tasks()[0].uses_modality(Modality::Vision));
+        assert!(g.tasks()[1].uses_modality(Modality::Audio));
+        assert!(g.tasks()[2].uses_modality(Modality::Vision));
+        assert!(g.tasks()[2].uses_modality(Modality::Audio));
+    }
+
+    #[test]
+    fn cross_modal_module_dominates_compute() {
+        // The decoder-only LLM is heavier than the modality encoders, the
+        // defining trait of this workload class (Tab. 1b discussion).
+        let g = qwen_val(QwenValSize::B9).unwrap();
+        let llm: f64 = g
+            .ops()
+            .iter()
+            .filter(|o| o.kind() == OpKind::LmDecoderOnly)
+            .map(|o| o.flops_total())
+            .sum();
+        let encoders: f64 = g
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind(), OpKind::Encoder(_)))
+            .map(|o| o.flops_total())
+            .sum();
+        assert!(llm > encoders);
+    }
+
+    #[test]
+    fn llm_parameters_shared_across_tasks() {
+        let g = qwen_val(QwenValSize::B9).unwrap();
+        let first_llm_per_task: Vec<_> = g
+            .tasks()
+            .iter()
+            .map(|t| {
+                g.ops()
+                    .iter()
+                    .find(|o| o.task() == t.id() && o.kind() == OpKind::LmDecoderOnly)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(first_llm_per_task[0].params(), first_llm_per_task[1].params());
+        assert_eq!(first_llm_per_task[1].params(), first_llm_per_task[2].params());
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(QwenValSize::B9.label(), "QWen-VAL 10B");
+        assert_eq!(QwenValSize::B30.label(), "QWen-VAL 30B");
+        assert_eq!(QwenValSize::B70.label(), "QWen-VAL 70B");
+        assert_eq!(QwenValSize::default(), QwenValSize::B9);
+    }
+}

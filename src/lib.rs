@@ -1,0 +1,62 @@
+//! # Spindle
+//!
+//! A simulation-based reproduction of *Spindle: Efficient Distributed Training of
+//! Multi-Task Large Models via Wavefront Scheduling* (ASPLOS 2025).
+//!
+//! Spindle plans and executes the training of multi-task multi-modal (MT MM)
+//! models by decomposing the heterogeneous, dependent computation graph into
+//! sequentially executed *waves*: within a wave, sliced [`MetaOp`]s run
+//! concurrently on disjoint device groups with balanced execution times.
+//!
+//! This crate is a facade that re-exports the whole workspace:
+//!
+//! * [`cluster`] — GPU-cluster topology and communication cost model.
+//! * [`graph`] — operator-level computation-graph IR for MT MM workloads.
+//! * [`estimator`] — scalability estimator (piecewise α–β fitting over an
+//!   analytic hardware model).
+//! * [`core`] — the execution planner: graph contraction, MPSP resource
+//!   allocation, wavefront scheduling and device placement.
+//! * [`runtime`] — a deterministic discrete-event runtime engine that executes
+//!   an [`ExecutionPlan`] wave by wave and records metrics.
+//! * [`baselines`] — the comparison systems from the paper's evaluation.
+//! * [`workloads`] — the Multitask-CLIP / OFASys / QWen-VAL workload presets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spindle::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 2-node cluster of 8 GPUs each (A800-like).
+//! let cluster = ClusterSpec::homogeneous(2, 8);
+//! // The 4-task Multitask-CLIP workload from the paper's evaluation.
+//! let model = multitask_clip(4)?;
+//! // Plan and simulate one training iteration.
+//! let plan = Planner::new(&model, &cluster).plan()?;
+//! let report = RuntimeEngine::new(&plan, &cluster).run_iteration()?;
+//! println!("iteration time: {:.1} ms", report.iteration_time_ms());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`MetaOp`]: spindle_core::MetaOp
+//! [`ExecutionPlan`]: spindle_core::ExecutionPlan
+
+pub use spindle_baselines as baselines;
+pub use spindle_cluster as cluster;
+pub use spindle_core as core;
+pub use spindle_estimator as estimator;
+pub use spindle_graph as graph;
+pub use spindle_runtime as runtime;
+pub use spindle_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use spindle_baselines::{BaselineSystem, SystemKind};
+    pub use spindle_cluster::{ClusterSpec, DeviceId};
+    pub use spindle_core::{ExecutionPlan, Planner, PlannerConfig};
+    pub use spindle_estimator::{ScalabilityEstimator, ScalingCurve};
+    pub use spindle_graph::{ComputationGraph, Modality, OpKind, TaskSpec};
+    pub use spindle_runtime::{IterationReport, RuntimeEngine};
+    pub use spindle_workloads::{multitask_clip, ofasys, qwen_val, WorkloadPreset};
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the planner's core invariants, driven by randomly
+//! generated multi-task workloads and cluster shapes.
+
+use proptest::prelude::*;
+use spindle_cluster::ClusterSpec;
+use spindle_core::{MetaGraph, Planner};
+use spindle_graph::{ComputationGraph, GraphBuilder, Modality, OpKind, TensorShape};
+use spindle_runtime::RuntimeEngine;
+
+/// A randomly shaped contrastive task: modality pair, batch, tower depths.
+#[derive(Debug, Clone)]
+struct RandomTask {
+    modality: Modality,
+    batch: u32,
+    seq: u32,
+    hidden_index: usize,
+    layers_a: usize,
+    layers_b: usize,
+}
+
+fn task_strategy() -> impl Strategy<Value = RandomTask> {
+    (
+        prop_oneof![
+            Just(Modality::Vision),
+            Just(Modality::Audio),
+            Just(Modality::Depth),
+            Just(Modality::Thermal),
+            Just(Modality::Motion),
+        ],
+        prop_oneof![Just(4u32), Just(8), Just(16), Just(32), Just(48)],
+        16u32..512,
+        0usize..3,
+        1usize..12,
+        1usize..12,
+    )
+        .prop_map(
+            |(modality, batch, seq, hidden_index, layers_a, layers_b)| RandomTask {
+                modality,
+                batch,
+                seq,
+                hidden_index,
+                layers_a,
+                layers_b,
+            },
+        )
+}
+
+fn build_graph(tasks: &[RandomTask]) -> ComputationGraph {
+    const HIDDENS: [u32; 3] = [512, 768, 1024];
+    let mut b = GraphBuilder::new();
+    for (i, t) in tasks.iter().enumerate() {
+        let task = b.add_task(format!("task{i}"), [t.modality, Modality::Text], t.batch);
+        let hidden = HIDDENS[t.hidden_index];
+        let tower = b
+            .add_op_chain(
+                task,
+                OpKind::Encoder(t.modality),
+                TensorShape::new(t.batch, t.seq, hidden),
+                t.layers_a,
+            )
+            .expect("valid chain");
+        let text = b
+            .add_op_chain(
+                task,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(t.batch, 77, hidden),
+                t.layers_b,
+            )
+            .expect("valid chain");
+        let loss = b
+            .add_op(task, OpKind::ContrastiveLoss, TensorShape::new(t.batch, 1, hidden))
+            .expect("valid op");
+        b.add_flow(*tower.last().unwrap(), loss).expect("flow");
+        b.add_flow(*text.last().unwrap(), loss).expect("flow");
+    }
+    b.build().expect("graph builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Graph contraction never loses or duplicates operators, and MetaLevels
+    /// never contain dependent MetaOps.
+    #[test]
+    fn contraction_preserves_operators(tasks in prop::collection::vec(task_strategy(), 1..5)) {
+        let graph = build_graph(&tasks);
+        let metagraph = MetaGraph::contract(&graph);
+        prop_assert_eq!(metagraph.total_ops(), graph.num_ops());
+        // Every operator maps to exactly one MetaOp.
+        for op in graph.ops() {
+            prop_assert!(metagraph.metaop_of(op.id()).is_some());
+        }
+        // Edges always go from a lower to a strictly higher level.
+        for &(a, b) in metagraph.edges() {
+            prop_assert!(metagraph.metaop(a).level() < metagraph.metaop(b).level());
+        }
+    }
+
+    /// Every plan produced by the planner passes validation: full coverage of
+    /// all operators, per-wave capacity, disjoint placements, and a makespan
+    /// no better than the theoretical optimum.
+    #[test]
+    fn plans_are_always_valid(
+        tasks in prop::collection::vec(task_strategy(), 1..4),
+        nodes in 1usize..3,
+    ) {
+        let graph = build_graph(&tasks);
+        let cluster = ClusterSpec::homogeneous(nodes, 8);
+        let plan = Planner::new(&graph, &cluster).plan().expect("plan");
+        prop_assert!(plan.validate().is_ok());
+        prop_assert!(plan.require_placement().is_ok());
+        prop_assert!(plan.makespan() > 0.0);
+        prop_assert!(plan.makespan() + 1e-9 >= plan.theoretical_optimum() * 0.99);
+        // Devices used by any wave never exceed the cluster.
+        for wave in plan.waves() {
+            prop_assert!(wave.devices_used() <= cluster.num_devices() as u32);
+        }
+    }
+
+    /// The simulated iteration is internally consistent: the breakdown sums to
+    /// the iteration time, every device appears in the metrics, and total
+    /// FLOPs match the workload exactly.
+    #[test]
+    fn simulation_is_consistent(
+        tasks in prop::collection::vec(task_strategy(), 1..4),
+    ) {
+        let graph = build_graph(&tasks);
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let plan = Planner::new(&graph, &cluster).plan().expect("plan");
+        let report = RuntimeEngine::new(&plan, &cluster)
+            .with_graph(&graph)
+            .run_iteration()
+            .expect("simulation");
+        let b = report.breakdown();
+        prop_assert!((b.total_s() - report.iteration_time_s()).abs() < 1e-12);
+        prop_assert_eq!(report.device_utilization().len(), 8);
+        prop_assert_eq!(report.device_memory().len(), 8);
+        let expected = graph.total_flops();
+        prop_assert!((report.total_flops() - expected).abs() / expected < 1e-9);
+        for util in report.device_utilization().values() {
+            prop_assert!((0.0..=1.0).contains(util));
+        }
+    }
+}
