@@ -4,9 +4,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use spindle_cluster::ClusterSpec;
+use spindle_core::{curves_for, MetaGraph, MetaOpId, PlanError, SpindleSession};
 use spindle_estimator::{ScalabilityEstimator, ScalingCurve};
 use spindle_graph::{ComputationGraph, TaskId};
-use spindle_core::{curves_for, MetaGraph, MetaOpId, PlanError};
 
 /// Contracted graph, per-MetaOp curves and per-task MetaOp lists — the inputs
 /// every baseline planner needs.
@@ -16,8 +16,10 @@ pub struct BaselineContext {
     pub metagraph: MetaGraph,
     /// Scaling curves per MetaOp.
     pub curves: BTreeMap<MetaOpId, Arc<ScalingCurve>>,
-    /// The estimator (for memory queries).
-    pub estimator: ScalabilityEstimator,
+    /// The estimator (for memory queries). Shared with the planning session
+    /// when the context is built through [`from_session`](Self::from_session),
+    /// so baselines profile through the same persistent curve cache.
+    pub estimator: Arc<ScalabilityEstimator>,
     /// MetaOps of each task, in dependency-level order.
     pub task_metaops: BTreeMap<TaskId, Vec<MetaOpId>>,
     /// Cluster size in devices.
@@ -25,19 +27,48 @@ pub struct BaselineContext {
 }
 
 impl BaselineContext {
-    /// Builds the context for a workload on a cluster.
+    /// Builds the context for a workload on a cluster, with a fresh estimator
+    /// (cold curve cache).
     ///
     /// # Errors
     ///
     /// Returns [`PlanError`] if the cluster is empty or an operator cannot be
     /// profiled.
     pub fn build(graph: &ComputationGraph, cluster: &ClusterSpec) -> Result<Self, PlanError> {
-        let num_devices = cluster.num_devices() as u32;
+        Self::with_estimator(
+            graph,
+            Arc::new(ScalabilityEstimator::new(cluster)),
+            cluster.num_devices() as u32,
+        )
+    }
+
+    /// Builds the context for a workload inside a planning session, reusing
+    /// the session's estimator and therefore its cross-plan curve cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the cluster is empty or an operator cannot be
+    /// profiled.
+    pub fn from_session(
+        graph: &ComputationGraph,
+        session: &SpindleSession,
+    ) -> Result<Self, PlanError> {
+        Self::with_estimator(
+            graph,
+            session.estimator_handle(),
+            session.cluster().num_devices() as u32,
+        )
+    }
+
+    fn with_estimator(
+        graph: &ComputationGraph,
+        estimator: Arc<ScalabilityEstimator>,
+        num_devices: u32,
+    ) -> Result<Self, PlanError> {
         if num_devices == 0 {
             return Err(PlanError::EmptyCluster);
         }
         let metagraph = MetaGraph::contract(graph);
-        let estimator = ScalabilityEstimator::new(cluster);
         let curves = curves_for(&metagraph, &estimator)?;
         let mut task_metaops: BTreeMap<TaskId, Vec<MetaOpId>> = BTreeMap::new();
         // Level-major order gives a valid sequential execution order per task.
@@ -91,7 +122,12 @@ mod tests {
         let mut b = GraphBuilder::new();
         let t = b.add_task("vl", [Modality::Vision, Modality::Text], 8);
         let enc = b
-            .add_op_chain(t, OpKind::Encoder(Modality::Vision), TensorShape::new(8, 257, 768), 4)
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(8, 257, 768),
+                4,
+            )
             .unwrap();
         let lm = b
             .add_op_chain(t, OpKind::LmDecoderOnly, TensorShape::new(8, 512, 1024), 4)
@@ -104,8 +140,32 @@ mod tests {
         assert_eq!(ctx.task_metaops.len(), 1);
         let metaops = &ctx.task_metaops[&TaskId(0)];
         assert_eq!(metaops.len(), 2);
-        assert!(ctx.metagraph.metaop(metaops[0]).level() <= ctx.metagraph.metaop(metaops[1]).level());
+        assert!(
+            ctx.metagraph.metaop(metaops[0]).level() <= ctx.metagraph.metaop(metaops[1]).level()
+        );
         assert!(ctx.largest_valid_allocation(metaops[0], 8) >= 4);
         assert!(ctx.memory_per_device(metaops[0], 8, 4) > 0);
+    }
+
+    #[test]
+    fn session_contexts_share_the_curve_cache() {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("vl", [Modality::Vision, Modality::Text], 8);
+        b.add_op_chain(
+            t,
+            OpKind::Encoder(Modality::Vision),
+            TensorShape::new(8, 257, 768),
+            4,
+        )
+        .unwrap();
+        let graph = b.build().unwrap();
+        let session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        let first = BaselineContext::from_session(&graph, &session).unwrap();
+        let fits = session.curve_fits();
+        assert!(fits > 0);
+        let second = BaselineContext::from_session(&graph, &session).unwrap();
+        // The second context re-used every curve the first one fitted.
+        assert_eq!(session.curve_fits(), fits);
+        assert!(Arc::ptr_eq(&first.estimator, &second.estimator));
     }
 }

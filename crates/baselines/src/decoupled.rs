@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use spindle_cluster::{ClusterSpec, DeviceGroup, DeviceId};
-use spindle_core::{ExecutionPlan, PlanError, Wave, WaveEntry};
+use spindle_core::{ExecutionPlan, PlanError, PlanningSystem, SpindleSession, Wave, WaveEntry};
 use spindle_estimator::{AnalyticGpuModel, ParallelConfig};
 use spindle_graph::ComputationGraph;
 
@@ -52,6 +52,16 @@ impl DecoupledPlanner {
     ) -> Result<ExecutionPlan, PlanError> {
         let started = Instant::now();
         let ctx = BaselineContext::build(graph, cluster)?;
+        self.plan_with_context(ctx, cluster, started)
+    }
+
+    /// Lays out the decoupled schedule over an already-built context.
+    fn plan_with_context(
+        &self,
+        ctx: BaselineContext,
+        cluster: &ClusterSpec,
+        started: Instant,
+    ) -> Result<ExecutionPlan, PlanError> {
         let model = AnalyticGpuModel::new(cluster);
         let mut waves: Vec<Wave> = Vec::new();
         let mut now = 0.0f64;
@@ -106,6 +116,25 @@ impl DecoupledPlanner {
             0.0,
             started.elapsed(),
         ))
+    }
+}
+
+impl PlanningSystem for DecoupledPlanner {
+    fn name(&self) -> &str {
+        match self.parallelism {
+            DecoupledParallelism::HybridBest => "Megatron-LM",
+            DecoupledParallelism::DataParallelOnly => "DeepSpeed",
+        }
+    }
+
+    fn plan(
+        &mut self,
+        graph: &ComputationGraph,
+        session: &mut SpindleSession,
+    ) -> Result<ExecutionPlan, PlanError> {
+        let started = Instant::now();
+        let ctx = BaselineContext::from_session(graph, session)?;
+        self.plan_with_context(ctx, session.cluster(), started)
     }
 }
 
@@ -178,6 +207,9 @@ mod tests {
             .filter(|s| s.tflops_per_s > 0.0)
             .map(|s| s.tflops_per_s)
             .fold(f64::INFINITY, f64::min);
-        assert!(max / min_busy > 2.0, "expected fluctuating utilisation, got {min_busy}..{max}");
+        assert!(
+            max / min_busy > 2.0,
+            "expected fluctuating utilisation, got {min_busy}..{max}"
+        );
     }
 }

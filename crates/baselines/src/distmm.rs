@@ -15,7 +15,7 @@ use std::time::Instant;
 use spindle_cluster::ClusterSpec;
 use spindle_core::{
     allocator, mpsp, placement, wavefront, ExecutionPlan, MetaOpId, PlacementStrategy, PlanError,
-    Wave,
+    PlanningSystem, SpindleSession, Wave,
 };
 use spindle_graph::ComputationGraph;
 
@@ -44,6 +44,16 @@ impl DistMmMtPlanner {
     ) -> Result<ExecutionPlan, PlanError> {
         let started = Instant::now();
         let ctx = BaselineContext::build(graph, cluster)?;
+        self.plan_with_context(ctx, cluster, started)
+    }
+
+    /// Lays out the DistMM-MT schedule over an already-built context.
+    fn plan_with_context(
+        &self,
+        ctx: BaselineContext,
+        cluster: &ClusterSpec,
+        started: Instant,
+    ) -> Result<ExecutionPlan, PlanError> {
         let mut waves: Vec<Wave> = Vec::new();
         let mut now = 0.0f64;
 
@@ -51,7 +61,10 @@ impl DistMmMtPlanner {
             // Group this task's MetaOps by dependency level.
             let mut by_level: BTreeMap<usize, Vec<MetaOpId>> = BTreeMap::new();
             for &id in metaops {
-                by_level.entry(ctx.metagraph.metaop(id).level()).or_default().push(id);
+                by_level
+                    .entry(ctx.metagraph.metaop(id).level())
+                    .or_default()
+                    .push(id);
             }
             for (level, ids) in by_level {
                 let items: Vec<mpsp::MpspItem> = ids
@@ -90,9 +103,31 @@ impl DistMmMtPlanner {
         // DistMM-MT plans every task against the full cluster, so waves of the
         // same task never overlap and placement can reuse Spindle's
         // locality-aware mechanism.
-        let mut plan = ExecutionPlan::new(waves, ctx.metagraph, ctx.num_devices, 0.0, started.elapsed());
+        let mut plan = ExecutionPlan::new(
+            waves,
+            ctx.metagraph,
+            ctx.num_devices,
+            0.0,
+            started.elapsed(),
+        );
         placement::place(&mut plan, cluster, PlacementStrategy::Locality)?;
         Ok(plan)
+    }
+}
+
+impl PlanningSystem for DistMmMtPlanner {
+    fn name(&self) -> &str {
+        "DistMM-MT"
+    }
+
+    fn plan(
+        &mut self,
+        graph: &ComputationGraph,
+        session: &mut SpindleSession,
+    ) -> Result<ExecutionPlan, PlanError> {
+        let started = Instant::now();
+        let ctx = BaselineContext::from_session(graph, session)?;
+        self.plan_with_context(ctx, session.cluster(), started)
     }
 }
 

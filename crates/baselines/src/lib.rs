@@ -42,3 +42,7 @@ pub use decoupled::{DecoupledParallelism, DecoupledPlanner};
 pub use distmm::DistMmMtPlanner;
 pub use optimus::OptimusPlanner;
 pub use system::{BaselineSystem, SystemKind};
+
+// Every planner here implements `PlanningSystem` against a `SpindleSession`;
+// re-exported so harnesses depending on this crate get the trait in one hop.
+pub use spindle_core::{PlanningSystem, SpindlePlanner, SpindleSession};

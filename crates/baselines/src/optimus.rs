@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use spindle_cluster::{ClusterSpec, DeviceGroup, DeviceId};
-use spindle_core::{ExecutionPlan, PlanError, Wave, WaveEntry};
+use spindle_core::{ExecutionPlan, PlanError, PlanningSystem, SpindleSession, Wave, WaveEntry};
 use spindle_graph::{ComputationGraph, TaskId};
 
 use crate::common::BaselineContext;
@@ -42,6 +42,15 @@ impl OptimusPlanner {
     ) -> Result<ExecutionPlan, PlanError> {
         let started = Instant::now();
         let ctx = BaselineContext::build(graph, cluster)?;
+        self.plan_with_context(ctx, started)
+    }
+
+    /// Lays out the Spindle-Optimus schedule over an already-built context.
+    fn plan_with_context(
+        &self,
+        ctx: BaselineContext,
+        started: Instant,
+    ) -> Result<ExecutionPlan, PlanError> {
         let tasks: Vec<TaskId> = ctx.task_metaops.keys().copied().collect();
         let n = ctx.num_devices;
 
@@ -63,6 +72,21 @@ impl OptimusPlanner {
         );
         sort_waves_by_start(&mut plan);
         Ok(plan)
+    }
+
+    /// Plans within a session, reusing its curve cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the cluster is empty or profiling fails.
+    pub fn plan_in_session(
+        &self,
+        graph: &ComputationGraph,
+        session: &SpindleSession,
+    ) -> Result<ExecutionPlan, PlanError> {
+        let started = Instant::now();
+        let ctx = BaselineContext::from_session(graph, session)?;
+        self.plan_with_context(ctx, started)
     }
 
     /// Lays out each task's sequential operator execution on its contiguous
@@ -106,6 +130,20 @@ impl OptimusPlanner {
             first_device += devices;
         }
         group_end
+    }
+}
+
+impl PlanningSystem for OptimusPlanner {
+    fn name(&self) -> &str {
+        "Spindle-Optimus"
+    }
+
+    fn plan(
+        &mut self,
+        graph: &ComputationGraph,
+        session: &mut SpindleSession,
+    ) -> Result<ExecutionPlan, PlanError> {
+        self.plan_in_session(graph, session)
     }
 }
 
@@ -231,7 +269,12 @@ mod tests {
                     for eb in &b.entries {
                         let ga = ea.placement.as_ref().unwrap();
                         let gb = eb.placement.as_ref().unwrap();
-                        assert!(!ga.overlaps(gb), "waves {} and {} overlap on devices", a.index, b.index);
+                        assert!(
+                            !ga.overlaps(gb),
+                            "waves {} and {} overlap on devices",
+                            a.index,
+                            b.index
+                        );
                     }
                 }
             }

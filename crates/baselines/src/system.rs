@@ -3,7 +3,7 @@
 use std::fmt;
 
 use spindle_cluster::ClusterSpec;
-use spindle_core::{ExecutionPlan, PlanError, Planner};
+use spindle_core::{ExecutionPlan, PlanError, PlanningSystem, SpindlePlanner, SpindleSession};
 use spindle_graph::ComputationGraph;
 
 use crate::{DecoupledParallelism, DecoupledPlanner, DistMmMtPlanner, OptimusPlanner};
@@ -52,10 +52,7 @@ impl SystemKind {
     /// (Tab. 1a, first column).
     #[must_use]
     pub fn inter_task_aware(&self) -> bool {
-        matches!(
-            self,
-            SystemKind::Spindle | SystemKind::SpindleOptimus
-        )
+        matches!(self, SystemKind::Spindle | SystemKind::SpindleOptimus)
     }
 
     /// Whether the system is aware of intra-task workload heterogeneity
@@ -63,6 +60,24 @@ impl SystemKind {
     #[must_use]
     pub fn intra_task_aware(&self) -> bool {
         matches!(self, SystemKind::Spindle | SystemKind::DistMmMt)
+    }
+
+    /// Instantiates the [`PlanningSystem`] implementing this kind — the single
+    /// place that maps kinds to planners. Experiment harnesses call this once
+    /// and then drive every system through the trait.
+    #[must_use]
+    pub fn planning_system(self) -> Box<dyn PlanningSystem> {
+        match self {
+            SystemKind::Spindle => Box::new(SpindlePlanner::new()),
+            SystemKind::SpindleOptimus => Box::new(OptimusPlanner::new()),
+            SystemKind::DistMmMt => Box::new(DistMmMtPlanner::new()),
+            SystemKind::MegatronLM => {
+                Box::new(DecoupledPlanner::new(DecoupledParallelism::HybridBest))
+            }
+            SystemKind::DeepSpeed | SystemKind::SpindleSeq => Box::new(DecoupledPlanner::new(
+                DecoupledParallelism::DataParallelOnly,
+            )),
+        }
     }
 }
 
@@ -74,6 +89,10 @@ impl fmt::Display for SystemKind {
 
 /// A system under evaluation: produces an [`ExecutionPlan`] for any workload /
 /// cluster pair, so that the same runtime engine can measure all of them.
+///
+/// `BaselineSystem` is itself a [`PlanningSystem`], dispatching to the planner
+/// of its kind; harnesses that iterate over [`SystemKind::ALL`] usually call
+/// [`SystemKind::planning_system`] directly instead.
 #[derive(Debug, Clone, Copy)]
 pub struct BaselineSystem {
     kind: SystemKind,
@@ -93,27 +112,38 @@ impl BaselineSystem {
     }
 
     /// Plans one training iteration of `graph` on `cluster` with this system's
-    /// strategy.
+    /// strategy, using a throwaway single-plan session.
     ///
     /// # Errors
     ///
     /// Returns [`PlanError`] if the cluster is empty or profiling fails.
+    #[deprecated(
+        since = "0.2.0",
+        note = "create a `SpindleSession` and plan through the `PlanningSystem` \
+                trait (`SystemKind::planning_system`) so curve fits are cached \
+                across plans"
+    )]
     pub fn plan(
         &self,
         graph: &ComputationGraph,
         cluster: &ClusterSpec,
     ) -> Result<ExecutionPlan, PlanError> {
-        match self.kind {
-            SystemKind::Spindle => Planner::new(graph, cluster).plan(),
-            SystemKind::SpindleOptimus => OptimusPlanner::new().plan(graph, cluster),
-            SystemKind::DistMmMt => DistMmMtPlanner::new().plan(graph, cluster),
-            SystemKind::MegatronLM => {
-                DecoupledPlanner::new(DecoupledParallelism::HybridBest).plan(graph, cluster)
-            }
-            SystemKind::DeepSpeed | SystemKind::SpindleSeq => {
-                DecoupledPlanner::new(DecoupledParallelism::DataParallelOnly).plan(graph, cluster)
-            }
-        }
+        let mut session = SpindleSession::new(cluster.clone());
+        self.kind.planning_system().plan(graph, &mut session)
+    }
+}
+
+impl PlanningSystem for BaselineSystem {
+    fn name(&self) -> &str {
+        self.kind.label()
+    }
+
+    fn plan(
+        &mut self,
+        graph: &ComputationGraph,
+        session: &mut SpindleSession,
+    ) -> Result<ExecutionPlan, PlanError> {
+        self.kind.planning_system().plan(graph, session)
     }
 }
 
@@ -141,17 +171,49 @@ mod tests {
     fn every_system_plans_and_runs_the_same_workload() {
         let graph = multitask_clip(4).unwrap();
         let cluster = ClusterSpec::homogeneous(1, 8);
+        // One shared session: every system profiles through one curve cache.
+        let mut session = SpindleSession::new(cluster.clone());
         for kind in SystemKind::ALL {
-            let system = BaselineSystem::new(kind);
-            assert_eq!(system.kind(), kind);
-            let plan = system.plan(&graph, &cluster).unwrap();
+            let mut system = kind.planning_system();
+            let plan = system.plan(&graph, &mut session).unwrap();
             plan.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
-            let report = RuntimeEngine::new(&plan, &cluster)
+            let report = RuntimeEngine::new(plan, &cluster)
                 .with_graph(&graph)
                 .run_iteration()
                 .unwrap();
             assert!(report.iteration_time_ms() > 0.0, "{kind}");
         }
+        // After the first system fitted the curves, the rest were cache-served.
+        assert!(session.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn trait_names_match_kind_labels() {
+        for kind in SystemKind::ALL {
+            let system = kind.planning_system();
+            assert_eq!(system.name(), kind.label(), "{kind}");
+        }
+        let spindle_seq = SystemKind::SpindleSeq.planning_system();
+        assert_eq!(spindle_seq.name(), "DeepSpeed"); // same decoupled strategy
+        let mut dispatcher = BaselineSystem::new(SystemKind::DistMmMt);
+        assert_eq!(dispatcher.kind(), SystemKind::DistMmMt);
+        assert_eq!(PlanningSystem::name(&dispatcher), "DistMM-MT");
+        let graph = multitask_clip(2).unwrap();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        let plan = PlanningSystem::plan(&mut dispatcher, &graph, &mut session).unwrap();
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_baseline_shim_still_plans() {
+        let graph = multitask_clip(2).unwrap();
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let plan = BaselineSystem::new(SystemKind::DeepSpeed)
+            .plan(&graph, &cluster)
+            .unwrap();
+        plan.validate().unwrap();
+        plan.require_placement().unwrap();
     }
 
     #[test]
@@ -160,10 +222,11 @@ mod tests {
         // and 16 GPUs, Spindle beats every baseline end to end.
         let graph = multitask_clip(4).unwrap();
         let cluster = ClusterSpec::homogeneous(2, 8);
+        let mut session = SpindleSession::new(cluster.clone());
         let mut times = std::collections::BTreeMap::new();
         for kind in SystemKind::ALL {
-            let plan = BaselineSystem::new(kind).plan(&graph, &cluster).unwrap();
-            let report = RuntimeEngine::new(&plan, &cluster)
+            let plan = kind.planning_system().plan(&graph, &mut session).unwrap();
+            let report = RuntimeEngine::new(plan, &cluster)
                 .with_graph(&graph)
                 .run_iteration()
                 .unwrap();

@@ -1,5 +1,5 @@
-//! Criterion benchmarks over the *measured quantity* of the paper's headline
-//! figure: simulated end-to-end iteration time of each system (Fig. 8 cells).
+//! Benchmarks over the *measured quantity* of the paper's headline figure:
+//! simulated end-to-end iteration time of each system (Fig. 8 cells).
 //!
 //! `cargo bench -p spindle-bench --bench experiments` reports, for the
 //! Multitask-CLIP 4-task workload on 16 GPUs, how long it takes each system's
@@ -7,45 +7,53 @@
 //! experiment binaries in `src/bin/` print the full tables; these benches keep
 //! the planning+simulation pipeline itself under performance regression watch.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spindle_baselines::{BaselineSystem, SystemKind};
+use std::sync::Arc;
+
+use spindle_baselines::{SpindleSession, SystemKind};
+use spindle_bench::microbench::{bench, group};
 use spindle_cluster::ClusterSpec;
 use spindle_runtime::RuntimeEngine;
 use spindle_workloads::multitask_clip;
 
-fn bench_fig8_cell(c: &mut Criterion) {
-    let graph = multitask_clip(4).unwrap();
+fn bench_fig8_cell() {
+    group("fig8-clip4t-16gpu (plan + simulate, warm session)");
+    // Arc handles are created outside the timed closure so the measurement
+    // covers planning + simulation, not deep copies of the workload graph.
+    let graph = Arc::new(multitask_clip(4).unwrap());
     let cluster = ClusterSpec::homogeneous(2, 8);
-    let mut group = c.benchmark_group("fig8-clip4t-16gpu");
-    group.sample_size(10);
+    let mut session = SpindleSession::new(cluster.clone());
     for kind in SystemKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let plan = BaselineSystem::new(kind).plan(&graph, &cluster).unwrap();
-                RuntimeEngine::new(&plan, &cluster)
-                    .with_graph(&graph)
-                    .run_iteration()
-                    .unwrap()
-                    .iteration_time_ms()
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_simulation_only(c: &mut Criterion) {
-    let graph = multitask_clip(10).unwrap();
-    let cluster = ClusterSpec::homogeneous(4, 8);
-    let plan = BaselineSystem::new(SystemKind::Spindle).plan(&graph, &cluster).unwrap();
-    c.bench_function("runtime-simulation/clip-10t-32gpu", |b| {
-        b.iter(|| {
-            RuntimeEngine::new(&plan, &cluster)
-                .with_graph(&graph)
+        bench(kind.label(), 1, 10, || {
+            let plan = kind.planning_system().plan(&graph, &mut session).unwrap();
+            let _ = RuntimeEngine::new(plan, &cluster)
+                .with_graph(Arc::clone(&graph))
                 .run_iteration()
                 .unwrap()
+                .iteration_time_ms();
         });
+    }
+}
+
+fn bench_simulation_only() {
+    group("runtime-simulation");
+    let graph = Arc::new(multitask_clip(10).unwrap());
+    let cluster = ClusterSpec::homogeneous(4, 8);
+    let mut session = SpindleSession::new(cluster.clone());
+    let plan = Arc::new(
+        SystemKind::Spindle
+            .planning_system()
+            .plan(&graph, &mut session)
+            .unwrap(),
+    );
+    bench("clip-10t-32gpu", 1, 10, || {
+        let _ = RuntimeEngine::new(Arc::clone(&plan), &cluster)
+            .with_graph(Arc::clone(&graph))
+            .run_iteration()
+            .unwrap();
     });
 }
 
-criterion_group!(benches, bench_fig8_cell, bench_simulation_only);
-criterion_main!(benches);
+fn main() {
+    bench_fig8_cell();
+    bench_simulation_only();
+}

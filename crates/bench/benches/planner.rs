@@ -1,33 +1,37 @@
-//! Criterion micro-benchmarks of the Spindle execution planner's components
+//! Micro-benchmarks of the Spindle execution planner's components
 //! (Fig. 12's complexity analysis, broken down by stage): graph contraction,
 //! the continuous MPSP solve, wavefront scheduling, device placement and the
-//! end-to-end `Planner::plan` call.
+//! end-to-end `SpindleSession::plan` call.
+//!
+//! ```bash
+//! cargo bench -p spindle-bench --bench planner
+//! ```
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spindle_bench::microbench::{bench, group};
 use spindle_cluster::ClusterSpec;
 use spindle_core::{
-    allocator, curves_for, mpsp, placement, wavefront, MetaGraph, PlacementStrategy, Planner,
+    allocator, curves_for, mpsp, placement, wavefront, MetaGraph, PlacementStrategy, SpindleSession,
 };
 use spindle_estimator::ScalabilityEstimator;
 use spindle_workloads::{multitask_clip, ofasys, qwen_val, QwenValSize};
 
-fn bench_contraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("contraction");
+fn bench_contraction() {
+    group("contraction");
     for (name, graph) in [
         ("clip-10t", multitask_clip(10).unwrap()),
         ("ofasys-7t", ofasys(7).unwrap()),
         ("qwen-val", qwen_val(QwenValSize::B9).unwrap()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
-            b.iter(|| MetaGraph::contract(g));
+        bench(name, 2, 20, || {
+            let _ = MetaGraph::contract(&graph);
         });
     }
-    group.finish();
 }
 
-fn bench_mpsp(c: &mut Criterion) {
+fn bench_mpsp() {
+    group("mpsp + discretisation + wavefront (clip-10t level 0)");
     let graph = multitask_clip(10).unwrap();
     let cluster = ClusterSpec::homogeneous(4, 8);
     let metagraph = MetaGraph::contract(&graph);
@@ -43,43 +47,34 @@ fn bench_mpsp(c: &mut Criterion) {
             curve: Arc::clone(&curves[&id]),
         })
         .collect();
-    c.bench_function("mpsp-bisection/clip-10t-level0", |b| {
-        b.iter(|| mpsp::solve(&items, 32, mpsp::DEFAULT_EPSILON));
+    bench("mpsp-bisection", 2, 20, || {
+        let _ = mpsp::solve(&items, 32, mpsp::DEFAULT_EPSILON);
     });
     let solution = mpsp::solve(&items, 32, mpsp::DEFAULT_EPSILON);
-    c.bench_function("bi-point-discretisation/clip-10t-level0", |b| {
-        b.iter(|| allocator::discretize(&solution, &items));
+    bench("bi-point-discretisation", 2, 20, || {
+        let _ = allocator::discretize(&solution, &items);
     });
     let plan = allocator::discretize(&solution, &items);
-    c.bench_function("wavefront-scheduling/clip-10t-level0", |b| {
-        b.iter(|| wavefront::schedule_level(&plan, &curves, 32, 0, 0.0, 0));
+    bench("wavefront-scheduling", 2, 20, || {
+        let _ = wavefront::schedule_level(&plan, &curves, 32, 0, 0.0, 0);
     });
 }
 
-fn bench_placement(c: &mut Criterion) {
+fn bench_placement() {
+    group("device-placement");
     let graph = multitask_clip(10).unwrap();
     let cluster = ClusterSpec::homogeneous(4, 8);
-    let unplaced = Planner::new(&graph, &cluster).plan().unwrap();
-    let mut group = c.benchmark_group("device-placement");
+    let unplaced = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
     for strategy in [PlacementStrategy::Locality, PlacementStrategy::Sequential] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{strategy:?}")),
-            &strategy,
-            |b, &strategy| {
-                b.iter(|| {
-                    let mut plan = unplaced.clone();
-                    placement::place(&mut plan, &cluster, strategy).unwrap();
-                    plan
-                });
-            },
-        );
+        bench(&format!("{strategy:?}"), 2, 20, || {
+            let mut plan = unplaced.clone();
+            placement::place(&mut plan, &cluster, strategy).unwrap();
+        });
     }
-    group.finish();
 }
 
-fn bench_end_to_end_planning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("planner-end-to-end");
-    group.sample_size(10);
+fn bench_end_to_end_planning() {
+    group("planner-end-to-end (cold session per iteration)");
     for (name, graph, gpus) in [
         ("clip-4t/16gpu", multitask_clip(4).unwrap(), 16usize),
         ("clip-10t/32gpu", multitask_clip(10).unwrap(), 32),
@@ -87,18 +82,15 @@ fn bench_end_to_end_planning(c: &mut Criterion) {
         ("qwen-val/64gpu", qwen_val(QwenValSize::B9).unwrap(), 64),
     ] {
         let cluster = ClusterSpec::homogeneous(gpus / 8, 8);
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| Planner::new(&graph, &cluster).plan().unwrap());
+        bench(name, 1, 10, || {
+            let _ = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_contraction,
-    bench_mpsp,
-    bench_placement,
-    bench_end_to_end_planning
-);
-criterion_main!(benches);
+fn main() {
+    bench_contraction();
+    bench_mpsp();
+    bench_placement();
+    bench_end_to_end_planning();
+}

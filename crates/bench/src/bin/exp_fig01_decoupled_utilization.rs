@@ -9,14 +9,14 @@
 //! in the paper's caption (8/4/2/2 GPUs) correspond to the per-task allocation
 //! of the decoupled baseline.
 
-use spindle_baselines::SystemKind;
+use spindle_baselines::{SpindleSession, SystemKind};
 use spindle_bench::{measure, paper_cluster, render_table};
 use spindle_workloads::multitask_clip;
 
 fn main() {
     let graph = multitask_clip(4).expect("workload builds");
-    let cluster = paper_cluster(16);
-    let measurement = measure(SystemKind::DeepSpeed, &graph, &cluster);
+    let mut session = SpindleSession::new(paper_cluster(16));
+    let measurement = measure(SystemKind::DeepSpeed, &graph, &mut session);
     let trace = measurement.report.utilization_trace();
 
     println!("Fig. 1 (lower): cluster utilization during decoupled execution");
@@ -31,8 +31,7 @@ fn main() {
     for b in 0..buckets {
         let lo = b * trace.len() / buckets;
         let hi = ((b + 1) * trace.len() / buckets).max(lo + 1);
-        let avg: f64 =
-            trace[lo..hi].iter().map(|s| s.tflops_per_s).sum::<f64>() / (hi - lo) as f64;
+        let avg: f64 = trace[lo..hi].iter().map(|s| s.tflops_per_s).sum::<f64>() / (hi - lo) as f64;
         let t = trace[lo].time_s / measurement.report.iteration_time_s();
         rows.push(vec![
             format!("{:.2}x", t * 2.0), // two-iteration timeline, as in the paper
@@ -51,5 +50,8 @@ fn main() {
         .filter(|s| s.tflops_per_s > 0.0)
         .map(|s| s.tflops_per_s)
         .fold(f64::INFINITY, f64::min);
-    println!("\npeak {max:.0} TFLOP/s, trough {busy_min:.0} TFLOP/s (fluctuation {:.1}x)", max / busy_min);
+    println!(
+        "\npeak {max:.0} TFLOP/s, trough {busy_min:.0} TFLOP/s (fluctuation {:.1}x)",
+        max / busy_min
+    );
 }

@@ -30,7 +30,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["Cluster", "System", "Iteration (ms)", "vs DeepSpeed"], &rows)
+            render_table(
+                &["Cluster", "System", "Iteration (ms)", "vs DeepSpeed"],
+                &rows
+            )
         );
     }
 }

@@ -10,13 +10,14 @@
 //! finish; Spindle keeps utilization consistently high across the iteration,
 //! across devices and across MetaOps.
 
-use spindle_baselines::SystemKind;
+use spindle_baselines::{SpindleSession, SystemKind};
 use spindle_bench::{measure, paper_cluster, render_table};
 use spindle_workloads::multitask_clip;
 
 fn main() {
     let graph = multitask_clip(4).expect("workload builds");
     let cluster = paper_cluster(16);
+    let mut session = SpindleSession::new(cluster.clone());
     let systems = [
         SystemKind::Spindle,
         SystemKind::SpindleOptimus,
@@ -31,7 +32,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut measurements = Vec::new();
     for kind in systems {
-        let m = measure(kind, &graph, &cluster);
+        let m = measure(kind, &graph, &mut session);
         let trace = m.report.utilization_trace();
         let busy: Vec<f64> = trace.iter().map(|s| s.tflops_per_s).collect();
         let avg = busy.iter().sum::<f64>() / busy.len() as f64;
@@ -48,7 +49,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["System", "Iteration (ms)", "Avg TFLOP/s", "Peak TFLOP/s", "Avg util"],
+            &[
+                "System",
+                "Iteration (ms)",
+                "Avg TFLOP/s",
+                "Peak TFLOP/s",
+                "Avg util"
+            ],
             &rows
         )
     );
@@ -58,7 +65,7 @@ fn main() {
     let mut rows = Vec::new();
     for (kind, m) in &measurements {
         let mut row = vec![kind.label().to_string()];
-        for (_, util) in m.report.device_utilization() {
+        for util in m.report.device_utilization().values() {
             row.push(format!("{:.0}", util * 100.0));
         }
         rows.push(row);
@@ -84,6 +91,14 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["System", "Avg MetaOp util %", "Min MetaOp util %", "#MetaOps"], &rows)
+        render_table(
+            &[
+                "System",
+                "Avg MetaOp util %",
+                "Min MetaOp util %",
+                "#MetaOps"
+            ],
+            &rows
+        )
     );
 }

@@ -8,7 +8,7 @@
 //! and disabling the locality-aware placement inflates that fraction severalfold
 //! (the paper reports 3–6×, up to 27% of the iteration).
 
-use spindle_baselines::SystemKind;
+use spindle_baselines::{SpindleSession, SystemKind};
 use spindle_bench::{
     cluster_label, measure, measure_spindle_with_placement, paper_cluster, render_table,
 };
@@ -33,9 +33,10 @@ fn breakdown_for(graph: &ComputationGraph, gpus_list: &[usize], rows: &mut Vec<V
     for &gpus in gpus_list {
         let cluster = paper_cluster(gpus);
         let label = cluster_label(gpus);
-        let ds = measure(SystemKind::DeepSpeed, graph, &cluster);
+        let mut session = SpindleSession::new(cluster.clone());
+        let ds = measure(SystemKind::DeepSpeed, graph, &mut session);
         rows.push(row("DeepSpeed (DS)", &label, ds.report.breakdown()));
-        let sp = measure(SystemKind::Spindle, graph, &cluster);
+        let sp = measure(SystemKind::Spindle, graph, &mut session);
         rows.push(row("Spindle (Sp)", &label, sp.report.breakdown()));
         let seq = measure_spindle_with_placement(graph, &cluster, PlacementStrategy::Sequential);
         rows.push(row("Spindle w/o DP (Sp*)", &label, seq.report.breakdown()));
@@ -55,9 +56,17 @@ fn main() {
     ];
 
     let cases: [(&str, ComputationGraph, Vec<usize>); 3] = [
-        ("Multitask-CLIP, 10 Tasks", multitask_clip(10).expect("clip"), vec![8, 16]),
+        (
+            "Multitask-CLIP, 10 Tasks",
+            multitask_clip(10).expect("clip"),
+            vec![8, 16],
+        ),
         ("OFASys, 7 Tasks", ofasys(7).expect("ofasys"), vec![8, 16]),
-        ("QWen-VAL, 3 Tasks", qwen_val(QwenValSize::B9).expect("qwen"), vec![32, 64]),
+        (
+            "QWen-VAL, 3 Tasks",
+            qwen_val(QwenValSize::B9).expect("qwen"),
+            vec![32, 64],
+        ),
     ];
     for (name, graph, gpus) in cases {
         println!("== {name} ==");

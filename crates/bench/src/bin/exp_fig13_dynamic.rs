@@ -7,7 +7,7 @@
 //! mix; re-planning cost (seconds) is negligible against the tens of thousands
 //! of iterations per phase.
 
-use spindle_baselines::SystemKind;
+use spindle_baselines::{SpindleSession, SystemKind};
 use spindle_bench::{measure, paper_cluster, render_table};
 use spindle_workloads::DynamicWorkload;
 
@@ -28,10 +28,13 @@ fn main() {
         );
         let mut rows = Vec::new();
         for kind in SystemKind::ALL {
+            // One long-lived session per system: re-planning at each phase
+            // change reuses every scaling curve fitted in earlier phases.
+            let mut session = SpindleSession::new(cluster.clone());
             let mut cumulative_s = 0.0;
             let mut checkpoints = Vec::new();
             for phase in schedule.phases() {
-                let m = measure(kind, &phase.graph, &cluster);
+                let m = measure(kind, &phase.graph, &mut session);
                 // Re-planning happens once per phase and costs planner time.
                 cumulative_s += m.plan.planning_time().as_secs_f64();
                 cumulative_s += m.report.iteration_time_s() * phase.iterations as f64;
@@ -39,6 +42,11 @@ fn main() {
             }
             let mut row = vec![kind.label().to_string()];
             row.extend(checkpoints);
+            row.push(format!(
+                "{} fits / {} hits",
+                session.cache_stats().fits,
+                session.cache_stats().hits
+            ));
             rows.push(row);
         }
         let mut header: Vec<String> = vec!["System".to_string()];
@@ -48,6 +56,7 @@ fn main() {
                 .iter()
                 .map(|p| format!("after {} ({}k iters)", p.label, p.iterations / 1000)),
         );
+        header.push("curve cache".to_string());
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         println!("{}", render_table(&header_refs, &rows));
         println!("(cumulative time in 10^3 seconds, as in the paper's y-axis)\n");

@@ -25,7 +25,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["Cluster", "System", "Iteration (ms)", "vs DeepSpeed"], &rows)
+        render_table(
+            &["Cluster", "System", "Iteration (ms)", "vs DeepSpeed"],
+            &rows
+        )
     );
     let _ = SystemKind::ALL; // systems enumerated by compare_systems
 }

@@ -7,18 +7,18 @@
 //! Spindle-Optimus' task-level allocation, thanks to the memory-balance
 //! guideline of the device-placement step.
 
-use spindle_baselines::SystemKind;
+use spindle_baselines::{SpindleSession, SystemKind};
 use spindle_bench::{measure, paper_cluster, render_table};
 use spindle_workloads::multitask_clip;
 
 fn main() {
     println!("Fig. 15: per-device memory consumption (GiB), Multitask-CLIP 4 tasks, 16 GPUs\n");
     let graph = multitask_clip(4).expect("workload builds");
-    let cluster = paper_cluster(16);
+    let mut session = SpindleSession::new(paper_cluster(16));
 
     let mut rows = Vec::new();
     for kind in SystemKind::ALL {
-        let m = measure(kind, &graph, &cluster);
+        let m = measure(kind, &graph, &mut session);
         let memory = m.report.device_memory_gib();
         let values: Vec<f64> = memory.values().copied().collect();
         let max = values.iter().copied().fold(0.0, f64::max);

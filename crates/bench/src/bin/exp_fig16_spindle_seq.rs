@@ -7,28 +7,57 @@
 //! therefore come from the scheduling strategy, not from implementation
 //! differences.
 
-use spindle_baselines::SystemKind;
+use spindle_baselines::{SpindleSession, SystemKind};
 use spindle_bench::{cluster_label, measure, ms, paper_cluster, render_table, speedup};
 use spindle_workloads::{multitask_clip, ofasys, qwen_val, QwenValSize};
 
 fn main() {
     println!("Fig. 16: Spindle-Seq vs Megatron-LM and DeepSpeed\n");
     let cases: Vec<(&str, spindle_graph::ComputationGraph, Vec<usize>)> = vec![
-        ("Multitask-CLIP, 4 Tasks", multitask_clip(4).expect("clip"), vec![8, 16, 32]),
-        ("Multitask-CLIP, 7 Tasks", multitask_clip(7).expect("clip"), vec![8, 16, 32]),
-        ("Multitask-CLIP, 10 Tasks", multitask_clip(10).expect("clip"), vec![8, 16, 32]),
-        ("OFASys, 4 Tasks", ofasys(4).expect("ofasys"), vec![8, 16, 32]),
-        ("OFASys, 7 Tasks", ofasys(7).expect("ofasys"), vec![8, 16, 32]),
-        ("QWen-VAL 10B, 3 Tasks", qwen_val(QwenValSize::B9).expect("qwen"), vec![32, 64]),
+        (
+            "Multitask-CLIP, 4 Tasks",
+            multitask_clip(4).expect("clip"),
+            vec![8, 16, 32],
+        ),
+        (
+            "Multitask-CLIP, 7 Tasks",
+            multitask_clip(7).expect("clip"),
+            vec![8, 16, 32],
+        ),
+        (
+            "Multitask-CLIP, 10 Tasks",
+            multitask_clip(10).expect("clip"),
+            vec![8, 16, 32],
+        ),
+        (
+            "OFASys, 4 Tasks",
+            ofasys(4).expect("ofasys"),
+            vec![8, 16, 32],
+        ),
+        (
+            "OFASys, 7 Tasks",
+            ofasys(7).expect("ofasys"),
+            vec![8, 16, 32],
+        ),
+        (
+            "QWen-VAL 10B, 3 Tasks",
+            qwen_val(QwenValSize::B9).expect("qwen"),
+            vec![32, 64],
+        ),
     ];
     for (name, graph, gpu_list) in cases {
         println!("== {name} ==");
         let mut rows = Vec::new();
         for gpus in gpu_list {
             let cluster = paper_cluster(gpus);
-            let deepspeed = measure(SystemKind::DeepSpeed, &graph, &cluster);
-            for kind in [SystemKind::SpindleSeq, SystemKind::MegatronLM, SystemKind::DeepSpeed] {
-                let m = measure(kind, &graph, &cluster);
+            let mut session = SpindleSession::new(cluster);
+            let deepspeed = measure(SystemKind::DeepSpeed, &graph, &mut session);
+            for kind in [
+                SystemKind::SpindleSeq,
+                SystemKind::MegatronLM,
+                SystemKind::DeepSpeed,
+            ] {
+                let m = measure(kind, &graph, &mut session);
                 rows.push(vec![
                     cluster_label(gpus),
                     kind.label().to_string(),
@@ -39,7 +68,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["Cluster", "System", "Iteration (ms)", "vs DeepSpeed"], &rows)
+            render_table(
+                &["Cluster", "System", "Iteration (ms)", "vs DeepSpeed"],
+                &rows
+            )
         );
     }
 }

@@ -26,7 +26,9 @@ fn main() {
     let presets = [
         WorkloadPreset::MultitaskClip { tasks: 10 },
         WorkloadPreset::Ofasys { tasks: 7 },
-        WorkloadPreset::QwenVal { size: QwenValSize::B9 },
+        WorkloadPreset::QwenVal {
+            size: QwenValSize::B9,
+        },
     ];
     let rows: Vec<Vec<String>> = presets
         .iter()
@@ -45,7 +47,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["MT MM Model", "# Param.", "# Modalities", "# Tasks", "Cross-Modal Module"],
+            &[
+                "MT MM Model",
+                "# Param.",
+                "# Modalities",
+                "# Tasks",
+                "Cross-Modal Module"
+            ],
             &rows
         )
     );

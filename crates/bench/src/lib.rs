@@ -3,7 +3,8 @@
 //! Benchmark harness reproducing every table and figure of the Spindle paper's
 //! evaluation (§5 and Appendices D–H). Each experiment is a standalone binary
 //! in `src/bin/` that prints the same rows / series the paper reports; the
-//! Criterion benches in `benches/` time the planner components themselves.
+//! [`microbench`]-based benches in `benches/` time the planner components
+//! themselves (criterion is unavailable offline, so timing is hand-rolled).
 //!
 //! | Binary | Paper artefact |
 //! |---|---|
@@ -23,11 +24,15 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use std::fmt::Write as _;
 
-use spindle_baselines::{BaselineSystem, SystemKind};
+use spindle_baselines::SystemKind;
 use spindle_cluster::ClusterSpec;
-use spindle_core::{ExecutionPlan, PlacementStrategy, Planner, PlannerConfig};
+use std::sync::Arc;
+
+use spindle_core::{ExecutionPlan, PlacementStrategy, PlannerConfig, SpindleSession};
 use spindle_graph::ComputationGraph;
 use spindle_runtime::{IterationReport, RuntimeEngine};
 use spindle_workloads::WorkloadPreset;
@@ -41,8 +46,9 @@ pub struct Measurement {
     pub iteration_ms: f64,
     /// Full iteration report (breakdown, utilization, memory).
     pub report: IterationReport,
-    /// The execution plan (for plan-level statistics).
-    pub plan: ExecutionPlan,
+    /// The execution plan (for plan-level statistics), shared with the engine
+    /// that executed it — no copy is made.
+    pub plan: Arc<ExecutionPlan>,
 }
 
 impl Measurement {
@@ -53,18 +59,28 @@ impl Measurement {
     }
 }
 
-/// Plans and simulates one iteration of `graph` on `cluster` with `system`.
+/// Plans and simulates one iteration of `graph` within `session` with
+/// `system`, going through the [`PlanningSystem`] trait. Reusing one session
+/// across systems and phases shares the curve cache, exactly as a long-lived
+/// deployment would.
 ///
 /// # Panics
 ///
 /// Panics if planning or simulation fails — experiment binaries treat that as
 /// a fatal configuration error.
 #[must_use]
-pub fn measure(system: SystemKind, graph: &ComputationGraph, cluster: &ClusterSpec) -> Measurement {
-    let plan = BaselineSystem::new(system)
-        .plan(graph, cluster)
-        .unwrap_or_else(|e| panic!("{system} failed to plan: {e}"));
-    let report = RuntimeEngine::new(&plan, cluster)
+pub fn measure(
+    system: SystemKind,
+    graph: &ComputationGraph,
+    session: &mut SpindleSession,
+) -> Measurement {
+    let plan = Arc::new(
+        system
+            .planning_system()
+            .plan(graph, session)
+            .unwrap_or_else(|e| panic!("{system} failed to plan: {e}")),
+    );
+    let report = RuntimeEngine::new(Arc::clone(&plan), session.cluster())
         .with_graph(graph)
         .run_iteration()
         .unwrap_or_else(|e| panic!("{system} failed to run: {e}"));
@@ -76,6 +92,18 @@ pub fn measure(system: SystemKind, graph: &ComputationGraph, cluster: &ClusterSp
     }
 }
 
+/// Convenience wrapper: measures `system` on a throwaway cold session for
+/// `cluster`.
+#[must_use]
+pub fn measure_on_cluster(
+    system: SystemKind,
+    graph: &ComputationGraph,
+    cluster: &ClusterSpec,
+) -> Measurement {
+    let mut session = SpindleSession::new(cluster.clone());
+    measure(system, graph, &mut session)
+}
+
 /// Measures Spindle with an explicit placement strategy (used by the Fig. 10
 /// ablation, where `Sequential` is the "w/o DP" variant).
 #[must_use]
@@ -84,26 +112,14 @@ pub fn measure_spindle_with_placement(
     cluster: &ClusterSpec,
     placement: PlacementStrategy,
 ) -> Measurement {
-    let plan = Planner::with_config(
-        graph,
-        cluster,
+    let mut session = SpindleSession::with_config(
+        cluster.clone(),
         PlannerConfig {
             placement,
             ..PlannerConfig::default()
         },
-    )
-    .plan()
-    .expect("Spindle planning failed");
-    let report = RuntimeEngine::new(&plan, cluster)
-        .with_graph(graph)
-        .run_iteration()
-        .expect("Spindle simulation failed");
-    Measurement {
-        system: SystemKind::Spindle,
-        iteration_ms: report.iteration_time_ms(),
-        report,
-        plan,
-    }
+    );
+    measure(SystemKind::Spindle, graph, &mut session)
 }
 
 /// The standard cluster used throughout the evaluation: `num_gpus` A800s in
@@ -118,7 +134,10 @@ pub fn paper_cluster(num_gpus: usize) -> ClusterSpec {
     if num_gpus < 8 {
         ClusterSpec::homogeneous(1, num_gpus)
     } else {
-        assert!(num_gpus % 8 == 0, "multi-node clusters come in units of 8 GPUs");
+        assert!(
+            num_gpus % 8 == 0,
+            "multi-node clusters come in units of 8 GPUs"
+        );
         ClusterSpec::homogeneous(num_gpus / 8, 8)
     }
 }
@@ -127,7 +146,10 @@ pub fn paper_cluster(num_gpus: usize) -> ClusterSpec {
 #[must_use]
 pub fn cluster_label(num_gpus: usize) -> String {
     let nodes = (num_gpus / 8).max(1);
-    format!("{nodes}Node{}({num_gpus}GPUs)", if nodes > 1 { "s" } else { "" })
+    format!(
+        "{nodes}Node{}({num_gpus}GPUs)",
+        if nodes > 1 { "s" } else { "" }
+    )
 }
 
 /// Runs the full Fig. 8 comparison for one workload preset on one cluster
@@ -135,10 +157,10 @@ pub fn cluster_label(num_gpus: usize) -> String {
 #[must_use]
 pub fn compare_systems(preset: WorkloadPreset, num_gpus: usize) -> Vec<(SystemKind, f64, f64)> {
     let graph = preset.build().expect("preset builds");
-    let cluster = paper_cluster(num_gpus);
+    let mut session = SpindleSession::new(paper_cluster(num_gpus));
     let measurements: Vec<Measurement> = SystemKind::ALL
         .iter()
-        .map(|&kind| measure(kind, &graph, &cluster))
+        .map(|&kind| measure(kind, &graph, &mut session))
         .collect();
     let reference = measurements
         .iter()
@@ -162,7 +184,7 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    let mut write_row = |cells: &[String], out: &mut String| {
+    let write_row = |cells: &[String], out: &mut String| {
         for (i, cell) in cells.iter().enumerate().take(cols) {
             let _ = write!(out, "| {:width$} ", cell, width = widths[i]);
         }
@@ -213,9 +235,9 @@ mod tests {
     #[test]
     fn measure_and_compare_produce_consistent_speedups() {
         let graph = multitask_clip_with_batch(2, 0.5).unwrap();
-        let cluster = paper_cluster(8);
-        let spindle = measure(SystemKind::Spindle, &graph, &cluster);
-        let deepspeed = measure(SystemKind::DeepSpeed, &graph, &cluster);
+        let mut session = SpindleSession::new(paper_cluster(8));
+        let spindle = measure(SystemKind::Spindle, &graph, &mut session);
+        let deepspeed = measure(SystemKind::DeepSpeed, &graph, &mut session);
         assert!(spindle.iteration_ms > 0.0);
         assert!(deepspeed.iteration_ms > 0.0);
         let s = spindle.speedup_over(deepspeed.iteration_ms);
@@ -226,7 +248,8 @@ mod tests {
     fn placement_ablation_measurement_works() {
         let graph = multitask_clip_with_batch(2, 0.5).unwrap();
         let cluster = paper_cluster(8);
-        let locality = measure_spindle_with_placement(&graph, &cluster, PlacementStrategy::Locality);
+        let locality =
+            measure_spindle_with_placement(&graph, &cluster, PlacementStrategy::Locality);
         let sequential =
             measure_spindle_with_placement(&graph, &cluster, PlacementStrategy::Sequential);
         assert!(locality.iteration_ms > 0.0);

@@ -1,0 +1,85 @@
+//! A minimal timing harness for the `benches/` targets.
+//!
+//! Criterion is not available in the offline build environment, so the bench
+//! targets are compiled with `harness = false` and drive this hand-rolled
+//! harness instead: warm-up, a fixed number of timed iterations, and
+//! min/mean/max reporting. It is deliberately tiny — enough to watch for
+//! order-of-magnitude regressions and to compare variants (e.g. warm vs. cold
+//! sessions), not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// Result of timing one benchmark case.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl Timing {
+    /// Mean iteration time in milliseconds.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+}
+
+/// Times `f` over `iters` iterations after `warmup` untimed runs, printing a
+/// one-line summary.
+pub fn bench<F: FnMut()>(label: &str, warmup: u32, iters: u32, mut f: F) -> Timing {
+    for _ in 0..warmup {
+        f();
+    }
+    let iters = iters.max(1);
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        min = min.min(elapsed);
+        max = max.max(elapsed);
+        total += elapsed;
+    }
+    let timing = Timing {
+        iters,
+        min,
+        mean: total / iters,
+        max,
+    };
+    println!(
+        "{label:48} {:>9.3} ms/iter (min {:>9.3}, max {:>9.3}, n={})",
+        timing.mean.as_secs_f64() * 1e3,
+        timing.min.as_secs_f64() * 1e3,
+        timing.max.as_secs_f64() * 1e3,
+        timing.iters,
+    );
+    timing
+}
+
+/// Prints a section header for a group of related cases.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_statistics() {
+        let mut count = 0u64;
+        let t = bench("noop", 1, 5, || count += 1);
+        assert_eq!(t.iters, 5);
+        assert_eq!(count, 6); // warmup + timed
+        assert!(t.min <= t.mean && t.mean <= t.max);
+        assert!(t.mean_ms() >= 0.0);
+    }
+}

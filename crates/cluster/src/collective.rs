@@ -256,7 +256,9 @@ mod tests {
         let dst_near = DeviceGroup::contiguous(DeviceId(4), 4);
         let dst_far = DeviceGroup::contiguous(DeviceId(8), 4);
         let b = 64u64 << 20;
-        assert!(m.group_transfer_time(&src, &dst_near, b) < m.group_transfer_time(&src, &dst_far, b));
+        assert!(
+            m.group_transfer_time(&src, &dst_near, b) < m.group_transfer_time(&src, &dst_far, b)
+        );
         assert_eq!(m.group_transfer_time(&src, &dst_far, 0), 0.0);
     }
 

@@ -182,7 +182,9 @@ mod tests {
 
     #[test]
     fn from_iterator_dedups() {
-        let g: DeviceGroup = [DeviceId(3), DeviceId(1), DeviceId(3)].into_iter().collect();
+        let g: DeviceGroup = [DeviceId(3), DeviceId(1), DeviceId(3)]
+            .into_iter()
+            .collect();
         assert_eq!(g.devices(), &[DeviceId(3), DeviceId(1)]);
         assert_eq!(g.sorted().devices(), &[DeviceId(1), DeviceId(3)]);
     }

@@ -87,7 +87,11 @@ impl AllocationPlan {
 
 impl fmt::Display for AllocationPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "allocation plan (target {:.3} ms):", self.target_time * 1e3)?;
+        writeln!(
+            f,
+            "allocation plan (target {:.3} ms):",
+            self.target_time * 1e3
+        )?;
         for a in &self.allocations {
             write!(f, "  {}:", a.metaop)?;
             for t in &a.tuples {
@@ -155,8 +159,12 @@ fn discretize_one(
     if n_lo == n_hi {
         return single(n_lo);
     }
-    let t_lo = curve.time_at(n_lo).unwrap_or_else(|| curve.time(f64::from(n_lo)));
-    let t_hi = curve.time_at(n_hi).unwrap_or_else(|| curve.time(f64::from(n_hi)));
+    let t_lo = curve
+        .time_at(n_lo)
+        .unwrap_or_else(|| curve.time(f64::from(n_lo)));
+    let t_hi = curve
+        .time_at(n_hi)
+        .unwrap_or_else(|| curve.time(f64::from(n_hi)));
     if (t_lo - t_hi).abs() < f64::EPSILON {
         return single(n_lo);
     }
@@ -195,7 +203,10 @@ mod tests {
     fn curve(times: &[(u32, f64)]) -> Arc<ScalingCurve> {
         let samples: Vec<ProfileSample> = times
             .iter()
-            .map(|&(n, t)| ProfileSample { devices: n, time_s: t })
+            .map(|&(n, t)| ProfileSample {
+                devices: n,
+                time_s: t,
+            })
             .collect();
         Arc::new(ScalingCurve::from_samples(&samples).unwrap())
     }
@@ -223,7 +234,11 @@ mod tests {
         // integers so both get two tuples.
         let items = vec![
             item(0, 12, linear_curve(1.0, 16)),
-            item(1, 8, curve(&[(1, 1.0), (2, 0.7), (4, 0.55), (8, 0.5), (16, 0.48)])),
+            item(
+                1,
+                8,
+                curve(&[(1, 1.0), (2, 0.7), (4, 0.55), (8, 0.5), (16, 0.48)]),
+            ),
         ];
         let sol = mpsp::solve(&items, 12, DEFAULT_EPSILON);
         let plan = discretize(&sol, &items);
@@ -232,7 +247,11 @@ mod tests {
             // Cond. (10a): all operators covered.
             assert_eq!(alloc.total_layers(), original.num_ops);
             // Cond. (10b) up to rounding: total time close to the target.
-            let per_op_worst = alloc.tuples.iter().map(|t| t.time_per_op).fold(0.0, f64::max);
+            let per_op_worst = alloc
+                .tuples
+                .iter()
+                .map(|t| t.time_per_op)
+                .fold(0.0, f64::max);
             assert!(
                 alloc.total_time() <= plan.target_time + per_op_worst + 1e-9,
                 "{}: {} vs {}",
@@ -307,7 +326,10 @@ mod tests {
 
     #[test]
     fn display_lists_every_metaop() {
-        let items = vec![item(0, 4, linear_curve(1.0, 4)), item(1, 4, linear_curve(1.0, 4))];
+        let items = vec![
+            item(0, 4, linear_curve(1.0, 4)),
+            item(1, 4, linear_curve(1.0, 4)),
+        ];
         let sol = mpsp::solve(&items, 8, DEFAULT_EPSILON);
         let plan = discretize(&sol, &items);
         let text = plan.to_string();

@@ -72,10 +72,7 @@ impl fmt::Display for PlanError {
                 metaop,
                 scheduled,
                 required,
-            } => write!(
-                f,
-                "{metaop} scheduled {scheduled} of {required} operators"
-            ),
+            } => write!(f, "{metaop} scheduled {scheduled} of {required} operators"),
             PlanError::UnorderedWaves { wave } => {
                 write!(f, "wave {wave} starts before its predecessor")
             }

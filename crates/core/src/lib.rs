@@ -9,28 +9,33 @@
 //! MetaOps that execute concurrently on disjoint, placed device groups with
 //! aligned time spans.
 //!
-//! The pipeline follows §3 of the paper:
+//! The public entry point is the owned, long-lived [`SpindleSession`]: it is
+//! bound to one cluster, carries a persistent curve cache, and plans any
+//! number of workloads — re-planning a changed task mix reuses every scaling
+//! curve fitted before. Internally each plan is an explicit staged
+//! [`pipeline`] following §3 of the paper, with typed intermediate artifacts:
 //!
-//! 1. **Graph contraction** (§3.1, [`MetaGraph::contract`]) fuses chains of
+//! 1. **Graph contraction** (§3.1, [`ContractedGraph`]) fuses chains of
 //!    identical operators into [`MetaOp`]s and assigns them to dependency
 //!    [`MetaLevel`]s.
-//! 2. **Scalability estimation** (§3.2, `spindle-estimator`) produces each
-//!    MetaOp's execution-time function `T_m(n)`.
-//! 3. **Resource allocation** (§3.3, [`mpsp`] + [`allocator`]) solves the
-//!    relaxed malleable-project-scheduling problem by bisection and
-//!    discretises the continuous optimum into at most two ASL-tuples per
-//!    MetaOp.
-//! 4. **Wavefront scheduling** (§3.4, [`wavefront`]) greedily slices the
-//!    tuples into compact waves that keep every device busy.
-//! 5. **Device placement** (§3.5, [`placement`]) maps each wave entry onto
-//!    concrete devices, preferring device islands, prioritising
-//!    high-communication flows and balancing memory.
+//! 2. **Scalability estimation** (§3.2, [`CurveSet`]) resolves each MetaOp's
+//!    execution-time function `T_m(n)` through the session's curve cache.
+//! 3. **Resource allocation + wavefront scheduling** (§3.3–§3.4,
+//!    [`LevelSchedule`]) solves the relaxed malleable-project-scheduling
+//!    problem by bisection, discretises the continuous optimum into at most
+//!    two ASL-tuples per MetaOp, and greedily slices the tuples into compact
+//!    waves.
+//! 4. **Device placement** (§3.5) maps each wave entry onto concrete devices
+//!    behind the [`PlacementPolicy`] trait.
+//!
+//! Spindle and the baseline systems all implement the [`PlanningSystem`]
+//! trait, so experiment harnesses drive every system through one interface.
 //!
 //! ## Example
 //!
 //! ```
 //! use spindle_cluster::ClusterSpec;
-//! use spindle_core::Planner;
+//! use spindle_core::SpindleSession;
 //! use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,10 +49,14 @@
 //! b.add_flow(*text.last().unwrap(), loss)?;
 //! let graph = b.build()?;
 //!
-//! let cluster = ClusterSpec::homogeneous(1, 8);
-//! let plan = Planner::new(&graph, &cluster).plan()?;
+//! let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+//! let plan = session.plan(&graph)?;
 //! assert!(plan.makespan() > 0.0);
 //! assert!(plan.validate().is_ok());
+//! // Re-planning reuses every cached curve: zero new fits.
+//! let fits = session.curve_fits();
+//! session.plan(&graph)?;
+//! assert_eq!(session.curve_fits(), fits);
 //! # Ok(())
 //! # }
 //! ```
@@ -60,9 +69,12 @@ mod error;
 mod metagraph;
 mod metaop;
 pub mod mpsp;
+pub mod pipeline;
 pub mod placement;
 mod plan;
 mod planner;
+mod session;
+mod system;
 pub mod wavefront;
 
 pub use allocator::{AllocationPlan, DiscreteAllocation, MetaOpAllocation};
@@ -70,6 +82,11 @@ pub use error::PlanError;
 pub use metagraph::{MetaGraph, MetaLevel};
 pub use metaop::{MetaOp, MetaOpId};
 pub use mpsp::ContinuousSolution;
-pub use placement::PlacementStrategy;
+pub use pipeline::{ContractedGraph, CurveSet, LevelSchedule};
+pub use placement::{LocalityPlacement, PlacementPolicy, PlacementStrategy, SequentialPlacement};
 pub use plan::{ExecutionPlan, Wave, WaveEntry};
-pub use planner::{curves_for, Planner, PlannerConfig};
+pub use planner::curves_for;
+#[allow(deprecated)]
+pub use planner::Planner;
+pub use session::{PlannerConfig, SpindleSession};
+pub use system::{PlanningSystem, SpindlePlanner};

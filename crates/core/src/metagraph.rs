@@ -225,10 +225,20 @@ mod tests {
         let tvl = b.add_task("vision-lang", [Modality::Vision, Modality::Text], 4);
         // Task AL: 3 audio ops, 2 text ops, 3 LM ops.
         let audio = b
-            .add_op_chain(tal, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 3)
+            .add_op_chain(
+                tal,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(8, 229, 768),
+                3,
+            )
             .unwrap();
         let text_a = b
-            .add_op_chain(tal, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), 2)
+            .add_op_chain(
+                tal,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(8, 77, 768),
+                2,
+            )
             .unwrap();
         let lm_a = b
             .add_op_chain(tal, OpKind::LmEncoder, TensorShape::new(8, 512, 1024), 3)
@@ -237,13 +247,28 @@ mod tests {
         b.add_flow(*text_a.last().unwrap(), lm_a[0]).unwrap();
         // Task VL: 2 text ops, 2+2 vision ops (different resolutions), 3 LM ops.
         let text_v = b
-            .add_op_chain(tvl, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768), 2)
+            .add_op_chain(
+                tvl,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(4, 77, 768),
+                2,
+            )
             .unwrap();
         let vis_hi = b
-            .add_op_chain(tvl, OpKind::Encoder(Modality::Vision), TensorShape::new(4, 257, 768), 2)
+            .add_op_chain(
+                tvl,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(4, 257, 768),
+                2,
+            )
             .unwrap();
         let vis_lo = b
-            .add_op_chain(tvl, OpKind::Encoder(Modality::Vision), TensorShape::new(4, 197, 768), 2)
+            .add_op_chain(
+                tvl,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(4, 197, 768),
+                2,
+            )
             .unwrap();
         let lm_v = b
             .add_op_chain(tvl, OpKind::LmEncoder, TensorShape::new(4, 512, 1024), 3)
@@ -328,7 +353,8 @@ mod tests {
     fn single_op_graph_contracts_to_single_metaop() {
         let mut b = GraphBuilder::new();
         let t = b.add_task("t", [Modality::Text], 4);
-        b.add_op(t, OpKind::Embedding, TensorShape::new(4, 77, 768)).unwrap();
+        b.add_op(t, OpKind::Embedding, TensorShape::new(4, 77, 768))
+            .unwrap();
         let g = b.build().unwrap();
         let mg = MetaGraph::contract(&g);
         assert_eq!(mg.num_metaops(), 1);

@@ -47,7 +47,10 @@ impl MetaOp {
     /// Panics if `ops` is empty.
     #[must_use]
     pub fn new(id: MetaOpId, ops: Vec<OpId>, representative: Operator) -> Self {
-        assert!(!ops.is_empty(), "a MetaOp must contain at least one operator");
+        assert!(
+            !ops.is_empty(),
+            "a MetaOp must contain at least one operator"
+        );
         Self {
             id,
             ops,

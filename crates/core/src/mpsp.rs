@@ -233,9 +233,7 @@ mod tests {
 
     #[test]
     fn more_metaops_than_devices_yields_fractional_allocations() {
-        let items: Vec<MpspItem> = (0..8)
-            .map(|i| item(i, 4, linear_curve(1.0, 4)))
-            .collect();
+        let items: Vec<MpspItem> = (0..8).map(|i| item(i, 4, linear_curve(1.0, 4))).collect();
         let sol = solve(&items, 4, DEFAULT_EPSILON);
         let total: f64 = sol.allocations.values().sum();
         assert!((total - 4.0).abs() < 0.1);

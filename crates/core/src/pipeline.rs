@@ -1,0 +1,394 @@
+//! The staged planning pipeline with typed intermediate artifacts.
+//!
+//! [`SpindleSession::plan`](crate::SpindleSession::plan) is a composition of
+//! four explicit stages, each producing a typed artifact that can be built,
+//! inspected and tested independently:
+//!
+//! 1. [`ContractedGraph::new`] — graph contraction (§3.1);
+//! 2. [`CurveSet::resolve`] — scalability estimation (§3.2), served from the
+//!    session's persistent curve cache;
+//! 3. [`LevelSchedule::build`] — MPSP resource allocation + wavefront
+//!    scheduling (§3.3–§3.4);
+//! 4. [`LevelSchedule::place`] — device placement (§3.5) behind a
+//!    [`PlacementPolicy`].
+//!
+//! The split exists for the dynamic re-planning loop: a session re-planning a
+//! mutated workload re-runs stages 1 and 3–4 but stage 2 degenerates to cache
+//! lookups for every operator signature seen before.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spindle_cluster::ClusterSpec;
+use spindle_estimator::{ScalabilityEstimator, ScalingCurve};
+use spindle_graph::ComputationGraph;
+
+use crate::mpsp::{self, MpspItem};
+use crate::wavefront::CurveMap;
+use crate::{allocator, ExecutionPlan, MetaGraph, MetaOpId, PlacementPolicy, PlanError, Wave};
+
+/// Stage-1 artifact: the contracted MetaGraph of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContractedGraph {
+    metagraph: MetaGraph,
+}
+
+impl ContractedGraph {
+    /// Contracts a computation graph (§3.1).
+    #[must_use]
+    pub fn new(graph: &ComputationGraph) -> Self {
+        Self {
+            metagraph: MetaGraph::contract(graph),
+        }
+    }
+
+    /// The contracted MetaGraph.
+    #[must_use]
+    pub fn metagraph(&self) -> &MetaGraph {
+        &self.metagraph
+    }
+
+    /// Consumes the artifact, yielding the MetaGraph.
+    #[must_use]
+    pub fn into_metagraph(self) -> MetaGraph {
+        self.metagraph
+    }
+}
+
+impl From<MetaGraph> for ContractedGraph {
+    fn from(metagraph: MetaGraph) -> Self {
+        Self { metagraph }
+    }
+}
+
+/// Stage-2 artifact: one scaling curve per MetaOp of a [`ContractedGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct CurveSet {
+    curves: CurveMap,
+}
+
+impl CurveSet {
+    /// Resolves the curve of every MetaOp against `estimator`. Signatures the
+    /// estimator has already fitted are served from its cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::NoCurve`] for MetaOps whose representative cannot
+    /// be profiled.
+    pub fn resolve(
+        contracted: &ContractedGraph,
+        estimator: &ScalabilityEstimator,
+    ) -> Result<Self, PlanError> {
+        let mut curves = CurveMap::new();
+        for metaop in contracted.metagraph().metaops() {
+            let curve = estimator
+                .try_curve_for(metaop.representative())
+                .map_err(|_| PlanError::NoCurve(metaop.id()))?;
+            curves.insert(metaop.id(), curve);
+        }
+        Ok(Self { curves })
+    }
+
+    /// The curve of a MetaOp, if resolved.
+    #[must_use]
+    pub fn get(&self, id: MetaOpId) -> Option<&Arc<ScalingCurve>> {
+        self.curves.get(&id)
+    }
+
+    /// Number of resolved curves.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.curves.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.curves.is_empty()
+    }
+
+    /// The underlying per-MetaOp curve map.
+    #[must_use]
+    pub fn as_map(&self) -> &CurveMap {
+        &self.curves
+    }
+
+    /// Consumes the artifact, yielding the curve map.
+    #[must_use]
+    pub fn into_map(self) -> CurveMap {
+        self.curves
+    }
+}
+
+impl From<CurveMap> for CurveSet {
+    fn from(curves: CurveMap) -> Self {
+        Self { curves }
+    }
+}
+
+/// Stage-3 artifact: the unplaced wave schedule of every MetaLevel, plus the
+/// theoretical optimum `Σ C̃*` of the continuous relaxation.
+#[derive(Debug, Clone)]
+pub struct LevelSchedule {
+    waves: Vec<Wave>,
+    theoretical_optimum: f64,
+    num_devices: u32,
+}
+
+impl LevelSchedule {
+    /// Allocates and schedules every MetaLevel (§3.3 + §3.4) and attaches
+    /// per-entry memory estimates for the placement stage.
+    #[must_use]
+    pub fn build(
+        contracted: &ContractedGraph,
+        curves: &CurveSet,
+        estimator: &ScalabilityEstimator,
+        num_devices: u32,
+        epsilon: f64,
+    ) -> Self {
+        let metagraph = contracted.metagraph();
+        let mut waves: Vec<Wave> = Vec::new();
+        let mut theoretical_optimum = 0.0;
+        let mut now = 0.0;
+        for level in metagraph.levels() {
+            let items = level_items(metagraph, &level.metaops, curves);
+            let solution = mpsp::solve(&items, num_devices, epsilon);
+            theoretical_optimum += solution.optimal_time;
+            let alloc_plan = allocator::discretize(&solution, &items);
+            let (level_waves, end) = crate::wavefront::schedule_level(
+                &alloc_plan,
+                curves.as_map(),
+                num_devices,
+                level.index,
+                now,
+                waves.len(),
+            );
+            waves.extend(level_waves);
+            now = end;
+        }
+
+        // Per-entry memory estimates feed the placement's memory balancing.
+        for wave in &mut waves {
+            for entry in &mut wave.entries {
+                let rep = metagraph.metaop(entry.metaop).representative();
+                entry.memory_per_device = estimator
+                    .memory_bytes(rep, entry.devices)
+                    .saturating_mul(u64::from(entry.layers));
+            }
+        }
+
+        Self {
+            waves,
+            theoretical_optimum,
+            num_devices,
+        }
+    }
+
+    /// The scheduled waves, in execution order (unplaced).
+    #[must_use]
+    pub fn waves(&self) -> &[Wave] {
+        &self.waves
+    }
+
+    /// The theoretical optimum `Σ C̃*` accumulated over all levels.
+    #[must_use]
+    pub fn theoretical_optimum(&self) -> f64 {
+        self.theoretical_optimum
+    }
+
+    /// Cluster size the schedule was built for.
+    #[must_use]
+    pub fn num_devices(&self) -> u32 {
+        self.num_devices
+    }
+
+    /// End time of the last wave.
+    #[must_use]
+    pub fn makespan(&self) -> f64 {
+        self.waves.last().map_or(0.0, Wave::end)
+    }
+
+    /// Stage 4: assigns concrete devices to every wave entry through `policy`
+    /// and assembles the final [`ExecutionPlan`].
+    ///
+    /// `planning_time` is the wall-clock time attributed to planning so far
+    /// (sessions pass their pipeline timer; standalone callers may pass
+    /// [`Duration::ZERO`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::CapacityExceeded`] if a wave requests more devices
+    /// than the cluster provides.
+    pub fn place(
+        self,
+        contracted: &ContractedGraph,
+        cluster: &ClusterSpec,
+        policy: &dyn PlacementPolicy,
+        planning_time: Duration,
+    ) -> Result<ExecutionPlan, PlanError> {
+        let mut plan = ExecutionPlan::new(
+            self.waves,
+            contracted.metagraph().clone(),
+            self.num_devices,
+            self.theoretical_optimum,
+            planning_time,
+        );
+        policy.place(&mut plan, cluster)?;
+        Ok(plan)
+    }
+}
+
+/// Computes the theoretical optimum `Σ C̃*` directly from the per-level MPSP
+/// solutions, without discretisation, wavefront scheduling or placement — the
+/// cheap path behind [`SpindleSession::theoretical_optimum`](crate::SpindleSession::theoretical_optimum).
+#[must_use]
+pub fn theoretical_optimum(
+    contracted: &ContractedGraph,
+    curves: &CurveSet,
+    num_devices: u32,
+    epsilon: f64,
+) -> f64 {
+    let metagraph = contracted.metagraph();
+    metagraph
+        .levels()
+        .iter()
+        .map(|level| {
+            let items = level_items(metagraph, &level.metaops, curves);
+            mpsp::solve(&items, num_devices, epsilon).optimal_time
+        })
+        .sum()
+}
+
+fn level_items(metagraph: &MetaGraph, metaops: &[MetaOpId], curves: &CurveSet) -> Vec<MpspItem> {
+    metaops
+        .iter()
+        .map(|&id| MpspItem {
+            metaop: id,
+            num_ops: metagraph.metaop(id).num_ops(),
+            curve: Arc::clone(
+                curves
+                    .get(id)
+                    .expect("CurveSet::resolve covers every MetaOp of the ContractedGraph"),
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlacementStrategy, SpindleSession};
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    fn workload() -> ComputationGraph {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("al", [Modality::Audio, Modality::Text], 8);
+        let audio = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(8, 229, 768),
+                6,
+            )
+            .unwrap();
+        let text = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(8, 77, 768),
+                6,
+            )
+            .unwrap();
+        let loss = b
+            .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768))
+            .unwrap();
+        b.add_flow(*audio.last().unwrap(), loss).unwrap();
+        b.add_flow(*text.last().unwrap(), loss).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stages_compose_into_a_valid_plan() {
+        let graph = workload();
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let estimator = ScalabilityEstimator::new(&cluster);
+
+        let contracted = ContractedGraph::new(&graph);
+        assert_eq!(contracted.metagraph().total_ops(), graph.num_ops());
+
+        let curves = CurveSet::resolve(&contracted, &estimator).unwrap();
+        assert_eq!(curves.len(), contracted.metagraph().num_metaops());
+        assert!(!curves.is_empty());
+
+        let schedule =
+            LevelSchedule::build(&contracted, &curves, &estimator, 8, mpsp::DEFAULT_EPSILON);
+        assert!(schedule.makespan() > 0.0);
+        assert!(schedule.theoretical_optimum() > 0.0);
+        assert_eq!(schedule.num_devices(), 8);
+        assert!(schedule.waves().iter().all(|w| w.devices_used() <= 8));
+
+        let plan = schedule
+            .place(
+                &contracted,
+                &cluster,
+                PlacementStrategy::Locality.policy(),
+                Duration::ZERO,
+            )
+            .unwrap();
+        plan.validate().unwrap();
+        plan.require_placement().unwrap();
+    }
+
+    #[test]
+    fn staged_pipeline_matches_session_plan() {
+        let graph = workload();
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let mut session = SpindleSession::new(cluster.clone());
+        let via_session = session.plan(&graph).unwrap();
+
+        let estimator = ScalabilityEstimator::new(&cluster);
+        let contracted = ContractedGraph::new(&graph);
+        let curves = CurveSet::resolve(&contracted, &estimator).unwrap();
+        let schedule =
+            LevelSchedule::build(&contracted, &curves, &estimator, 8, mpsp::DEFAULT_EPSILON);
+        let by_hand = schedule
+            .place(
+                &contracted,
+                &cluster,
+                PlacementStrategy::Locality.policy(),
+                Duration::ZERO,
+            )
+            .unwrap();
+
+        assert_eq!(via_session.waves(), by_hand.waves());
+        assert!((via_session.theoretical_optimum() - by_hand.theoretical_optimum()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_theoretical_optimum_matches_full_schedule() {
+        let graph = workload();
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let estimator = ScalabilityEstimator::new(&cluster);
+        let contracted = ContractedGraph::new(&graph);
+        let curves = CurveSet::resolve(&contracted, &estimator).unwrap();
+        let direct = theoretical_optimum(&contracted, &curves, 8, mpsp::DEFAULT_EPSILON);
+        let schedule =
+            LevelSchedule::build(&contracted, &curves, &estimator, 8, mpsp::DEFAULT_EPSILON);
+        assert!((direct - schedule.theoretical_optimum()).abs() < 1e-12);
+        assert!(direct > 0.0);
+    }
+
+    #[test]
+    fn artifacts_convert_to_and_from_raw_parts() {
+        let graph = workload();
+        let contracted = ContractedGraph::new(&graph);
+        let roundtrip = ContractedGraph::from(contracted.clone().into_metagraph());
+        assert_eq!(contracted, roundtrip);
+
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let estimator = ScalabilityEstimator::new(&cluster);
+        let curves = CurveSet::resolve(&contracted, &estimator).unwrap();
+        let map = curves.clone().into_map();
+        assert_eq!(CurveSet::from(map).len(), curves.len());
+    }
+}

@@ -17,16 +17,83 @@ use spindle_cluster::{ClusterSpec, DeviceGroup, DeviceId};
 
 use crate::{ExecutionPlan, MetaOpId, PlanError};
 
-/// The placement strategy to apply to a plan.
+/// A device-placement policy: maps every wave entry of a plan onto concrete
+/// devices.
+///
+/// New placement strategies implement this trait instead of touching the
+/// planner core — [`SpindleSession`](crate::SpindleSession) invokes whatever
+/// policy its configuration selects after wavefront scheduling. Implementors
+/// must place *every* entry of *every* wave, keeping the entries of each wave
+/// on disjoint devices ([`ExecutionPlan::validate`] checks this).
+pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
+    /// Human-readable name of the policy.
+    fn name(&self) -> &'static str;
+
+    /// Assigns concrete devices to every wave entry of `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::CapacityExceeded`] if some wave requests more
+    /// devices than the cluster provides.
+    fn place(&self, plan: &mut ExecutionPlan, cluster: &ClusterSpec) -> Result<(), PlanError>;
+}
+
+/// The locality-, communication- and memory-aware policy of §3.5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LocalityPlacement;
+
+impl PlacementPolicy for LocalityPlacement {
+    fn name(&self) -> &'static str {
+        "locality"
+    }
+
+    fn place(&self, plan: &mut ExecutionPlan, cluster: &ClusterSpec) -> Result<(), PlanError> {
+        check_capacity(plan, cluster)?;
+        place_locality(plan, cluster);
+        Ok(())
+    }
+}
+
+/// A naïve policy that assigns each entry consecutive devices starting from
+/// device 0, ignoring locality — the ablation baseline of Fig. 10
+/// ("Spindle w/o DP", i.e. without the device-placement mechanism).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequentialPlacement;
+
+impl PlacementPolicy for SequentialPlacement {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn place(&self, plan: &mut ExecutionPlan, cluster: &ClusterSpec) -> Result<(), PlanError> {
+        check_capacity(plan, cluster)?;
+        place_sequential(plan);
+        Ok(())
+    }
+}
+
+/// The placement strategy to apply to a plan — a compact, copyable selector
+/// over the built-in [`PlacementPolicy`] implementations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PlacementStrategy {
-    /// The locality-, communication- and memory-aware strategy of §3.5.
+    /// The locality-, communication- and memory-aware strategy of §3.5
+    /// ([`LocalityPlacement`]).
     #[default]
     Locality,
-    /// A naïve strategy that assigns each entry consecutive devices starting
-    /// from device 0, ignoring locality — the ablation baseline of Fig. 10
-    /// ("Spindle w/o DP", i.e. without the device-placement mechanism).
+    /// Consecutive-device placement ignoring locality
+    /// ([`SequentialPlacement`]).
     Sequential,
+}
+
+impl PlacementStrategy {
+    /// The policy implementing this strategy.
+    #[must_use]
+    pub fn policy(self) -> &'static dyn PlacementPolicy {
+        match self {
+            PlacementStrategy::Locality => &LocalityPlacement,
+            PlacementStrategy::Sequential => &SequentialPlacement,
+        }
+    }
 }
 
 /// Assigns concrete devices to every wave entry of `plan`.
@@ -40,6 +107,12 @@ pub fn place(
     cluster: &ClusterSpec,
     strategy: PlacementStrategy,
 ) -> Result<(), PlanError> {
+    strategy.policy().place(plan, cluster)
+}
+
+/// Shared precondition of every built-in policy: no wave may request more
+/// devices than the cluster provides.
+fn check_capacity(plan: &ExecutionPlan, cluster: &ClusterSpec) -> Result<(), PlanError> {
     let total_devices = cluster.num_devices() as u32;
     for wave in plan.waves() {
         if wave.devices_used() > total_devices {
@@ -50,10 +123,6 @@ pub fn place(
             });
         }
     }
-    match strategy {
-        PlacementStrategy::Sequential => place_sequential(plan),
-        PlacementStrategy::Locality => place_locality(plan, cluster),
-    }
     Ok(())
 }
 
@@ -62,7 +131,10 @@ fn place_sequential(plan: &mut ExecutionPlan) {
     for wave in plan.waves_mut() {
         let mut next = 0u32;
         for entry in &mut wave.entries {
-            entry.placement = Some(DeviceGroup::contiguous(DeviceId(next), entry.devices as usize));
+            entry.placement = Some(DeviceGroup::contiguous(
+                DeviceId(next),
+                entry.devices as usize,
+            ));
             next += entry.devices;
         }
     }
@@ -87,8 +159,8 @@ fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
             .iter()
             .map(|&p| metagraph.metaop(p).representative().output_bytes())
             .sum();
-        let outgoing = metaop.representative().output_bytes()
-            * metagraph.successors(metaop.id()).len() as u64;
+        let outgoing =
+            metaop.representative().output_bytes() * metagraph.successors(metaop.id()).len() as u64;
         volume.insert(metaop.id(), incoming + outgoing);
     }
 
@@ -96,14 +168,18 @@ fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
         let mut free: BTreeSet<DeviceId> = cluster.all_devices().iter().collect();
         // Guideline 2: place the most communication-intensive entries first.
         let mut order: Vec<usize> = (0..wave.entries.len()).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(volume.get(&wave.entries[i].metaop).copied().unwrap_or(0)));
+        order.sort_by_key(|&i| {
+            std::cmp::Reverse(volume.get(&wave.entries[i].metaop).copied().unwrap_or(0))
+        });
 
         for idx in order {
             let entry = &wave.entries[idx];
             let needed = (entry.devices as usize).min(num_devices);
             // Affinity of each free device for this entry.
             let mut affinity: BTreeMap<DeviceId, i64> = BTreeMap::new();
-            let mark = |group: Option<&DeviceGroup>, weight: i64, affinity: &mut BTreeMap<DeviceId, i64>| {
+            let mark = |group: Option<&DeviceGroup>,
+                        weight: i64,
+                        affinity: &mut BTreeMap<DeviceId, i64>| {
                 if let Some(g) = group {
                     for d in g.iter() {
                         *affinity.entry(d).or_insert(0) += weight;
@@ -144,7 +220,11 @@ fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
                     .iter()
                     .map(|d| capacity.saturating_sub(memory_used[d.index()]))
                     .sum();
-                (std::cmp::Reverse(fits), std::cmp::Reverse(aff), std::cmp::Reverse(free_mem))
+                (
+                    std::cmp::Reverse(fits),
+                    std::cmp::Reverse(aff),
+                    std::cmp::Reverse(free_mem),
+                )
             });
 
             let mut chosen: Vec<DeviceId> = Vec::with_capacity(needed);
@@ -188,8 +268,7 @@ fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
             for &d in &chosen {
                 free.remove(&d);
                 if resident.insert((wave.entries[idx].metaop, d)) {
-                    memory_used[d.index()] =
-                        memory_used[d.index()].saturating_add(per_device);
+                    memory_used[d.index()] = memory_used[d.index()].saturating_add(per_device);
                 }
             }
             let group: DeviceGroup = chosen.iter().copied().collect();
@@ -212,10 +291,20 @@ mod tests {
         let mut b = GraphBuilder::new();
         let t = b.add_task("al", [Modality::Audio, Modality::Text], 8);
         let audio = b
-            .add_op_chain(t, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 4)
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(8, 229, 768),
+                4,
+            )
             .unwrap();
         let text = b
-            .add_op_chain(t, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), 4)
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(8, 77, 768),
+                4,
+            )
             .unwrap();
         let lm = b
             .add_op_chain(t, OpKind::LmEncoder, TensorShape::new(8, 512, 1024), 4)
@@ -236,8 +325,20 @@ mod tests {
         let mut e2 = WaveEntry::new(lm_id, 4, 8, 0.7);
         e2.memory_per_device = 2 << 30;
         let waves = vec![
-            Wave { index: 0, level: 0, start: 0.0, duration: 4.0, entries: vec![e0, e1] },
-            Wave { index: 1, level: 1, start: 4.0, duration: 2.8, entries: vec![e2] },
+            Wave {
+                index: 0,
+                level: 0,
+                start: 0.0,
+                duration: 4.0,
+                entries: vec![e0, e1],
+            },
+            Wave {
+                index: 1,
+                level: 1,
+                start: 4.0,
+                duration: 2.8,
+                entries: vec![e2],
+            },
         ];
         let plan = ExecutionPlan::new(waves, mg, 16, 6.0, Duration::ZERO);
         (plan, ClusterSpec::homogeneous(2, 8))
@@ -270,7 +371,10 @@ mod tests {
         // 4-device entries fit inside one 8-GPU island and must stay there.
         for entry in &plan.waves()[0].entries {
             let group = entry.placement.as_ref().unwrap();
-            assert!(cluster.is_intra_island(group).unwrap(), "group {group} spans islands");
+            assert!(
+                cluster.is_intra_island(group).unwrap(),
+                "group {group} spans islands"
+            );
         }
     }
 
@@ -297,9 +401,24 @@ mod tests {
             .flat_map(|e| e.placement.as_ref().unwrap().iter())
             .collect();
         pred_devices.sort_unstable();
-        let mut lm_devices: Vec<DeviceId> =
-            wave1.entries[0].placement.as_ref().unwrap().iter().collect();
+        let mut lm_devices: Vec<DeviceId> = wave1.entries[0]
+            .placement
+            .as_ref()
+            .unwrap()
+            .iter()
+            .collect();
         lm_devices.sort_unstable();
         assert_eq!(pred_devices, lm_devices);
+    }
+
+    #[test]
+    fn strategies_resolve_to_named_policies() {
+        assert_eq!(PlacementStrategy::Locality.policy().name(), "locality");
+        assert_eq!(PlacementStrategy::Sequential.policy().name(), "sequential");
+        // Policies are directly invokable, like any custom implementation.
+        let (mut plan, cluster) = unplaced_plan();
+        let policy: &dyn PlacementPolicy = &LocalityPlacement;
+        policy.place(&mut plan, &cluster).unwrap();
+        plan.require_placement().unwrap();
     }
 }

@@ -296,16 +296,29 @@ mod tests {
     fn tiny_metagraph() -> MetaGraph {
         let mut b = GraphBuilder::new();
         let t = b.add_task("t", [Modality::Audio, Modality::Text], 8);
-        b.add_op_chain(t, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 2)
-            .unwrap();
-        b.add_op_chain(t, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), 3)
-            .unwrap();
+        b.add_op_chain(
+            t,
+            OpKind::Encoder(Modality::Audio),
+            TensorShape::new(8, 229, 768),
+            2,
+        )
+        .unwrap();
+        b.add_op_chain(
+            t,
+            OpKind::Encoder(Modality::Text),
+            TensorShape::new(8, 77, 768),
+            3,
+        )
+        .unwrap();
         MetaGraph::contract(&b.build().unwrap())
     }
 
     fn placed(entry: WaveEntry, first: u32) -> WaveEntry {
         WaveEntry {
-            placement: Some(DeviceGroup::contiguous(DeviceId(first), entry.devices as usize)),
+            placement: Some(DeviceGroup::contiguous(
+                DeviceId(first),
+                entry.devices as usize,
+            )),
             ..entry
         }
     }
@@ -354,7 +367,11 @@ mod tests {
         let plan = ExecutionPlan::new(vec![wave], mg, 8, 0.0, Duration::ZERO);
         assert!(matches!(
             plan.validate(),
-            Err(PlanError::CapacityExceeded { requested: 12, available: 8, .. })
+            Err(PlanError::CapacityExceeded {
+                requested: 12,
+                available: 8,
+                ..
+            })
         ));
     }
 
@@ -371,7 +388,11 @@ mod tests {
         let plan = ExecutionPlan::new(vec![wave], mg, 8, 0.0, Duration::ZERO);
         assert!(matches!(
             plan.validate(),
-            Err(PlanError::IncompleteSchedule { metaop: MetaOpId(1), scheduled: 0, required: 3 })
+            Err(PlanError::IncompleteSchedule {
+                metaop: MetaOpId(1),
+                scheduled: 0,
+                required: 3
+            })
         ));
     }
 
@@ -389,7 +410,10 @@ mod tests {
             ],
         };
         let plan = ExecutionPlan::new(vec![wave], mg, 8, 0.0, Duration::ZERO);
-        assert!(matches!(plan.validate(), Err(PlanError::PlacementOverlap { wave: 0 })));
+        assert!(matches!(
+            plan.validate(),
+            Err(PlanError::PlacementOverlap { wave: 0 })
+        ));
     }
 
     #[test]
@@ -400,7 +424,10 @@ mod tests {
             level: 0,
             start: 0.0,
             duration: 1.0,
-            entries: vec![WaveEntry::new(MetaOpId(0), 2, 4, 0.5), WaveEntry::new(MetaOpId(1), 3, 4, 0.3)],
+            entries: vec![
+                WaveEntry::new(MetaOpId(0), 2, 4, 0.5),
+                WaveEntry::new(MetaOpId(1), 3, 4, 0.3),
+            ],
         };
         let plan = ExecutionPlan::new(vec![wave], mg, 8, 0.0, Duration::ZERO);
         assert!(matches!(

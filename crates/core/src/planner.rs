@@ -1,48 +1,37 @@
-//! The end-to-end Spindle execution planner (Fig. 2).
+//! The legacy one-shot planner — a thin deprecated shim over
+//! [`SpindleSession`].
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use spindle_cluster::ClusterSpec;
-use spindle_estimator::{ScalabilityEstimator, ScalingCurve};
+use spindle_estimator::ScalabilityEstimator;
 use spindle_graph::ComputationGraph;
 
-use crate::mpsp::{self, MpspItem};
 use crate::wavefront::CurveMap;
-use crate::{
-    allocator, placement, ExecutionPlan, MetaGraph, PlacementStrategy, PlanError, Wave,
-};
+use crate::{ExecutionPlan, MetaGraph, PlanError, PlannerConfig, SpindleSession};
 
-/// Tunable knobs of the planner.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PlannerConfig {
-    /// Device-placement strategy (§3.5); [`PlacementStrategy::Sequential`] is
-    /// the ablation variant of Fig. 10.
-    pub placement: PlacementStrategy,
-    /// Convergence tolerance of the MPSP bisection search, in seconds.
-    pub bisection_epsilon: f64,
-}
-
-impl Default for PlannerConfig {
-    fn default() -> Self {
-        Self {
-            placement: PlacementStrategy::Locality,
-            bisection_epsilon: mpsp::DEFAULT_EPSILON,
-        }
-    }
-}
-
-/// The Spindle execution planner: contracts the graph, estimates scalability,
-/// allocates resources level by level, schedules waves and places them on
-/// devices.
+/// The original single-shot Spindle planner API.
+///
+/// `Planner` borrows the graph and cluster and rebuilds the scalability
+/// estimator on every construction, so repeated planning re-fits every scaling
+/// curve from scratch. [`SpindleSession`] owns its state, keeps the curve
+/// cache warm across plans, and exposes the pipeline stage by stage — new code
+/// should use it directly. This shim remains for one release and simply
+/// drives a session internally.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SpindleSession` (owned, cache-friendly, staged) instead; \
+            `Planner` is a one-shot shim over it"
+)]
 #[derive(Debug)]
 pub struct Planner<'a> {
     graph: &'a ComputationGraph,
     cluster: &'a ClusterSpec,
-    estimator: ScalabilityEstimator,
+    estimator: Arc<ScalabilityEstimator>,
     config: PlannerConfig,
 }
 
+#[allow(deprecated)]
 impl<'a> Planner<'a> {
     /// Creates a planner with the default configuration and the default
     /// analytic performance model for `cluster`.
@@ -61,7 +50,7 @@ impl<'a> Planner<'a> {
         Self {
             graph,
             cluster,
-            estimator: ScalabilityEstimator::new(cluster),
+            estimator: Arc::new(ScalabilityEstimator::new(cluster)),
             config,
         }
     }
@@ -78,7 +67,7 @@ impl<'a> Planner<'a> {
         Self {
             graph,
             cluster,
-            estimator,
+            estimator: Arc::new(estimator),
             config,
         }
     }
@@ -102,86 +91,25 @@ impl<'a> Planner<'a> {
     /// Returns [`PlanError::EmptyCluster`] for clusters without devices and
     /// [`PlanError::NoCurve`] if an operator cannot be profiled.
     pub fn plan(&self) -> Result<ExecutionPlan, PlanError> {
-        let started = Instant::now();
-        let num_devices = self.cluster.num_devices() as u32;
-        if num_devices == 0 {
-            return Err(PlanError::EmptyCluster);
-        }
-
-        // §3.1 graph contraction.
-        let metagraph = MetaGraph::contract(self.graph);
-
-        // §3.2 scalability estimation (cached per signature).
-        let mut curves: CurveMap = CurveMap::new();
-        for metaop in metagraph.metaops() {
-            let curve: Arc<ScalingCurve> = self
-                .estimator
-                .try_curve_for(metaop.representative())
-                .map_err(|_| PlanError::NoCurve(metaop.id()))?;
-            curves.insert(metaop.id(), curve);
-        }
-
-        // §3.3 + §3.4: per-level allocation and wavefront scheduling.
-        let mut waves: Vec<Wave> = Vec::new();
-        let mut theoretical_optimum = 0.0;
-        let mut now = 0.0;
-        for level in metagraph.levels() {
-            let items: Vec<MpspItem> = level
-                .metaops
-                .iter()
-                .map(|&id| MpspItem {
-                    metaop: id,
-                    num_ops: metagraph.metaop(id).num_ops(),
-                    curve: Arc::clone(&curves[&id]),
-                })
-                .collect();
-            let solution = mpsp::solve(&items, num_devices, self.config.bisection_epsilon);
-            theoretical_optimum += solution.optimal_time;
-            let alloc_plan = allocator::discretize(&solution, &items);
-            let (level_waves, end) = crate::wavefront::schedule_level(
-                &alloc_plan,
-                &curves,
-                num_devices,
-                level.index,
-                now,
-                waves.len(),
-            );
-            waves.extend(level_waves);
-            now = end;
-        }
-
-        // Per-entry memory estimates feed the placement's memory balancing.
-        for wave in &mut waves {
-            for entry in &mut wave.entries {
-                let rep = metagraph.metaop(entry.metaop).representative();
-                entry.memory_per_device = self
-                    .estimator
-                    .memory_bytes(rep, entry.devices)
-                    .saturating_mul(u64::from(entry.layers));
-            }
-        }
-
-        let mut plan = ExecutionPlan::new(
-            waves,
-            metagraph,
-            num_devices,
-            theoretical_optimum,
-            started.elapsed(),
-        );
-        // §3.5 device placement.
-        placement::place(&mut plan, self.cluster, self.config.placement)?;
-        plan.set_planning_time(started.elapsed());
-        Ok(plan)
+        self.session().plan(self.graph)
     }
 
-    /// Convenience accessor used by experiments: the theoretical optimum
-    /// `Σ C̃*` of the current workload without building the full plan.
+    /// The theoretical optimum `Σ C̃*` of the workload, computed directly from
+    /// the per-level MPSP solutions without building the full plan.
     ///
     /// # Errors
     ///
     /// Same failure modes as [`plan`](Self::plan).
     pub fn theoretical_optimum(&self) -> Result<f64, PlanError> {
-        Ok(self.plan()?.theoretical_optimum())
+        self.session().theoretical_optimum(self.graph)
+    }
+
+    fn session(&self) -> SpindleSession {
+        SpindleSession::with_estimator(
+            Arc::new(self.cluster.clone()),
+            Arc::clone(&self.estimator),
+            self.config,
+        )
     }
 }
 
@@ -206,6 +134,7 @@ pub fn curves_for(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
@@ -219,12 +148,24 @@ mod tests {
         ] {
             let t = b.add_task(name, [m, Modality::Text], batch);
             let tower = b
-                .add_op_chain(t, OpKind::Encoder(m), TensorShape::new(batch, seq, 768), layers)
+                .add_op_chain(
+                    t,
+                    OpKind::Encoder(m),
+                    TensorShape::new(batch, seq, 768),
+                    layers,
+                )
                 .unwrap();
             let text = b
-                .add_op_chain(t, OpKind::Encoder(Modality::Text), TensorShape::new(batch, 77, 768), 12)
+                .add_op_chain(
+                    t,
+                    OpKind::Encoder(Modality::Text),
+                    TensorShape::new(batch, 77, 768),
+                    12,
+                )
                 .unwrap();
-            let loss = b.add_op(t, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, 768)).unwrap();
+            let loss = b
+                .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, 768))
+                .unwrap();
             b.add_flow(*tower.last().unwrap(), loss).unwrap();
             b.add_flow(*text.last().unwrap(), loss).unwrap();
         }
@@ -232,60 +173,52 @@ mod tests {
     }
 
     #[test]
-    fn plan_is_complete_and_valid() {
+    fn legacy_shim_still_plans() {
         let graph = workload();
         let cluster = ClusterSpec::homogeneous(1, 8);
         let plan = Planner::new(&graph, &cluster).plan().unwrap();
         plan.validate().unwrap();
         plan.require_placement().unwrap();
         assert!(plan.makespan() > 0.0);
-        assert!(plan.theoretical_optimum() > 0.0);
-        assert!(plan.makespan() + 1e-9 >= plan.theoretical_optimum() * 0.99);
-        assert!(plan.num_waves() >= 2);
     }
 
     #[test]
-    fn makespan_close_to_theoretical_optimum() {
-        // Fig. 11: the practical plan should stay within a few percent of C̃*.
+    fn legacy_shim_matches_session_output() {
         let graph = workload();
         let cluster = ClusterSpec::homogeneous(2, 8);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
-        let ratio = plan.makespan() / plan.theoretical_optimum();
-        assert!(ratio < 1.35, "deviation too large: {ratio:.3}");
+        let shim = Planner::new(&graph, &cluster).plan().unwrap();
+        let session = SpindleSession::new(cluster).plan(&graph).unwrap();
+        assert_eq!(shim.waves(), session.waves());
+        assert!((shim.theoretical_optimum() - session.theoretical_optimum()).abs() < 1e-12);
     }
 
     #[test]
-    fn more_devices_never_slow_the_plan_down_much() {
+    fn theoretical_optimum_skips_plan_construction() {
         let graph = workload();
-        let small = Planner::new(&graph, &ClusterSpec::homogeneous(1, 8)).plan().unwrap();
-        let large = Planner::new(&graph, &ClusterSpec::homogeneous(2, 8)).plan().unwrap();
-        assert!(large.makespan() <= small.makespan() * 1.05);
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let planner = Planner::new(&graph, &cluster);
+        let direct = planner.theoretical_optimum().unwrap();
+        let plan = planner.plan().unwrap();
+        assert!((direct - plan.theoretical_optimum()).abs() < 1e-12);
+        assert!(direct > 0.0);
     }
 
     #[test]
-    fn sequential_placement_config_is_respected() {
+    fn config_accessors_work() {
         let graph = workload();
         let cluster = ClusterSpec::homogeneous(2, 8);
         let config = PlannerConfig {
-            placement: PlacementStrategy::Sequential,
+            placement: crate::PlacementStrategy::Sequential,
             ..PlannerConfig::default()
         };
         let planner = Planner::with_config(&graph, &cluster, config);
-        assert_eq!(planner.config().placement, PlacementStrategy::Sequential);
+        assert_eq!(
+            planner.config().placement,
+            crate::PlacementStrategy::Sequential
+        );
+        assert!(planner.estimator().cached_curves() == 0);
         let plan = planner.plan().unwrap();
         plan.require_placement().unwrap();
-        plan.validate().unwrap();
-    }
-
-    #[test]
-    fn planning_time_is_recorded_and_small() {
-        let graph = workload();
-        let cluster = ClusterSpec::homogeneous(4, 8);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
-        // Fig. 12: planning takes seconds at most; this small case must be
-        // well under a second.
-        assert!(plan.planning_time().as_secs_f64() < 1.0);
-        assert!(plan.planning_time().as_nanos() > 0);
     }
 
     #[test]

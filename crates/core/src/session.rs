@@ -1,0 +1,393 @@
+//! The long-lived planning session: owned state, staged pipeline, and a
+//! persistent cross-plan curve cache.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use spindle_cluster::ClusterSpec;
+use spindle_estimator::{CurveCacheStats, ScalabilityEstimator};
+use spindle_graph::ComputationGraph;
+
+use crate::pipeline::{self, ContractedGraph, CurveSet, LevelSchedule};
+use crate::{mpsp, ExecutionPlan, PlacementStrategy, PlanError};
+
+/// Tunable knobs of the planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Device-placement strategy (§3.5); [`PlacementStrategy::Sequential`] is
+    /// the ablation variant of Fig. 10.
+    pub placement: PlacementStrategy,
+    /// Convergence tolerance of the MPSP bisection search, in seconds.
+    pub bisection_epsilon: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            placement: PlacementStrategy::Locality,
+            bisection_epsilon: mpsp::DEFAULT_EPSILON,
+        }
+    }
+}
+
+/// A long-lived Spindle planning session bound to one cluster.
+///
+/// Unlike the one-shot [`Planner`](crate::Planner), a session *owns* its
+/// state: the cluster description (shared via [`Arc`]), the scalability
+/// estimator and — crucially — the estimator's curve cache, which persists
+/// across every plan the session produces. In the dynamic multi-task scenario
+/// of the paper's Appendix D (the task mix changes, the system re-plans at
+/// every phase), a warm session re-fits **zero** curves for operator
+/// signatures it has already profiled, so re-planning cost collapses to graph
+/// contraction + MPSP + wavefront scheduling + placement.
+///
+/// A session plans any number of workloads:
+///
+/// ```
+/// use spindle_cluster::ClusterSpec;
+/// use spindle_core::SpindleSession;
+/// use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = GraphBuilder::new();
+/// let t = b.add_task("audio-text", [Modality::Audio, Modality::Text], 8);
+/// let audio = b.add_op_chain(t, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 6)?;
+/// let text = b.add_op_chain(t, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), 6)?;
+/// let loss = b.add_op(t, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768))?;
+/// b.add_flow(*audio.last().unwrap(), loss)?;
+/// b.add_flow(*text.last().unwrap(), loss)?;
+/// let graph = b.build()?;
+///
+/// let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+/// let cold = session.plan(&graph)?;
+/// let fits_after_cold = session.curve_fits();
+/// let warm = session.plan(&graph)?; // cache-served: zero new fits
+/// assert_eq!(session.curve_fits(), fits_after_cold);
+/// assert_eq!(cold.waves(), warm.waves());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SpindleSession {
+    cluster: Arc<ClusterSpec>,
+    estimator: Arc<ScalabilityEstimator>,
+    config: PlannerConfig,
+    plans_produced: usize,
+}
+
+impl SpindleSession {
+    /// Creates a session for `cluster` with the default configuration and the
+    /// default analytic performance model.
+    #[must_use]
+    pub fn new(cluster: impl Into<Arc<ClusterSpec>>) -> Self {
+        Self::with_config(cluster, PlannerConfig::default())
+    }
+
+    /// Creates a session with an explicit configuration.
+    #[must_use]
+    pub fn with_config(cluster: impl Into<Arc<ClusterSpec>>, config: PlannerConfig) -> Self {
+        let cluster = cluster.into();
+        let estimator = Arc::new(ScalabilityEstimator::new(&cluster));
+        Self::with_estimator(cluster, estimator, config)
+    }
+
+    /// Creates a session around a caller-supplied estimator (e.g. one backed
+    /// by recorded profiles, or one shared with another session to pool curve
+    /// caches).
+    #[must_use]
+    pub fn with_estimator(
+        cluster: impl Into<Arc<ClusterSpec>>,
+        estimator: Arc<ScalabilityEstimator>,
+        config: PlannerConfig,
+    ) -> Self {
+        Self {
+            cluster: cluster.into(),
+            estimator,
+            config,
+            plans_produced: 0,
+        }
+    }
+
+    /// The cluster this session plans for.
+    #[must_use]
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// A shareable handle to the cluster description.
+    #[must_use]
+    pub fn cluster_handle(&self) -> Arc<ClusterSpec> {
+        Arc::clone(&self.cluster)
+    }
+
+    /// The session's estimator (and its persistent curve cache).
+    #[must_use]
+    pub fn estimator(&self) -> &ScalabilityEstimator {
+        &self.estimator
+    }
+
+    /// A shareable handle to the estimator, e.g. for baseline planners that
+    /// want to reuse the session's curve cache.
+    #[must_use]
+    pub fn estimator_handle(&self) -> Arc<ScalabilityEstimator> {
+        Arc::clone(&self.estimator)
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (e.g. to switch the placement
+    /// strategy between plans).
+    pub fn config_mut(&mut self) -> &mut PlannerConfig {
+        &mut self.config
+    }
+
+    /// Number of plans this session has produced.
+    #[must_use]
+    pub fn plans_produced(&self) -> usize {
+        self.plans_produced
+    }
+
+    /// Number of distinct operator signatures whose curves are cached.
+    #[must_use]
+    pub fn cached_curves(&self) -> usize {
+        self.estimator.cached_curves()
+    }
+
+    /// Number of profile-and-fit operations performed over the session's
+    /// lifetime. Re-planning a workload whose operator signatures were all
+    /// seen before leaves this unchanged.
+    #[must_use]
+    pub fn curve_fits(&self) -> usize {
+        self.estimator.curve_fits()
+    }
+
+    /// A snapshot of the curve-cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CurveCacheStats {
+        self.estimator.cache_stats()
+    }
+
+    /// Stage 1: contracts a workload graph into its MetaGraph.
+    #[must_use]
+    pub fn contract(&self, graph: &ComputationGraph) -> ContractedGraph {
+        ContractedGraph::new(graph)
+    }
+
+    /// Stage 2: resolves the scaling curve of every MetaOp, served from the
+    /// session's curve cache wherever possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::NoCurve`] for MetaOps that cannot be profiled.
+    pub fn resolve_curves(&self, contracted: &ContractedGraph) -> Result<CurveSet, PlanError> {
+        CurveSet::resolve(contracted, &self.estimator)
+    }
+
+    /// Stage 3: allocates devices level by level (MPSP) and schedules the
+    /// waves.
+    #[must_use]
+    pub fn schedule(&self, contracted: &ContractedGraph, curves: &CurveSet) -> LevelSchedule {
+        LevelSchedule::build(
+            contracted,
+            curves,
+            &self.estimator,
+            self.cluster.num_devices() as u32,
+            self.config.bisection_epsilon,
+        )
+    }
+
+    /// Runs the full staged pipeline and returns the execution plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::EmptyCluster`] for clusters without devices and
+    /// [`PlanError::NoCurve`] if an operator cannot be profiled.
+    pub fn plan(&mut self, graph: &ComputationGraph) -> Result<ExecutionPlan, PlanError> {
+        let started = Instant::now();
+        if self.cluster.num_devices() == 0 {
+            return Err(PlanError::EmptyCluster);
+        }
+        let contracted = self.contract(graph);
+        let curves = self.resolve_curves(&contracted)?;
+        let schedule = self.schedule(&contracted, &curves);
+        let mut plan = schedule.place(
+            &contracted,
+            &self.cluster,
+            self.config.placement.policy(),
+            started.elapsed(),
+        )?;
+        plan.set_planning_time(started.elapsed());
+        self.plans_produced += 1;
+        Ok(plan)
+    }
+
+    /// The theoretical optimum `Σ C̃*` of a workload on this session's
+    /// cluster, computed directly from the per-level MPSP solutions — no
+    /// discretisation, wavefront scheduling or device placement.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`plan`](Self::plan).
+    pub fn theoretical_optimum(&self, graph: &ComputationGraph) -> Result<f64, PlanError> {
+        if self.cluster.num_devices() == 0 {
+            return Err(PlanError::EmptyCluster);
+        }
+        let contracted = self.contract(graph);
+        let curves = self.resolve_curves(&contracted)?;
+        Ok(pipeline::theoretical_optimum(
+            &contracted,
+            &curves,
+            self.cluster.num_devices() as u32,
+            self.config.bisection_epsilon,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlacementStrategy;
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    /// A 2-task contrastive workload with heterogeneous towers.
+    fn workload() -> ComputationGraph {
+        let mut b = GraphBuilder::new();
+        for (name, m, seq, batch, layers) in [
+            ("audio-text", Modality::Audio, 229u32, 8u32, 12usize),
+            ("vision-text", Modality::Vision, 257, 4, 24),
+        ] {
+            let t = b.add_task(name, [m, Modality::Text], batch);
+            let tower = b
+                .add_op_chain(
+                    t,
+                    OpKind::Encoder(m),
+                    TensorShape::new(batch, seq, 768),
+                    layers,
+                )
+                .unwrap();
+            let text = b
+                .add_op_chain(
+                    t,
+                    OpKind::Encoder(Modality::Text),
+                    TensorShape::new(batch, 77, 768),
+                    12,
+                )
+                .unwrap();
+            let loss = b
+                .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, 768))
+                .unwrap();
+            b.add_flow(*tower.last().unwrap(), loss).unwrap();
+            b.add_flow(*text.last().unwrap(), loss).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn session_plan_is_complete_and_valid() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        let plan = session.plan(&graph).unwrap();
+        plan.validate().unwrap();
+        plan.require_placement().unwrap();
+        assert!(plan.makespan() > 0.0);
+        assert!(plan.theoretical_optimum() > 0.0);
+        assert!(plan.makespan() + 1e-9 >= plan.theoretical_optimum() * 0.99);
+        assert!(plan.num_waves() >= 2);
+        assert_eq!(session.plans_produced(), 1);
+    }
+
+    #[test]
+    fn makespan_close_to_theoretical_optimum() {
+        // Fig. 11: the practical plan should stay within a few percent of C̃*.
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+        let plan = session.plan(&graph).unwrap();
+        let ratio = plan.makespan() / plan.theoretical_optimum();
+        assert!(ratio < 1.35, "deviation too large: {ratio:.3}");
+    }
+
+    #[test]
+    fn more_devices_never_slow_the_plan_down_much() {
+        let graph = workload();
+        let small = SpindleSession::new(ClusterSpec::homogeneous(1, 8))
+            .plan(&graph)
+            .unwrap();
+        let large = SpindleSession::new(ClusterSpec::homogeneous(2, 8))
+            .plan(&graph)
+            .unwrap();
+        assert!(large.makespan() <= small.makespan() * 1.05);
+    }
+
+    #[test]
+    fn replanning_the_same_workload_performs_no_new_fits() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        let cold = session.plan(&graph).unwrap();
+        let fits = session.curve_fits();
+        assert!(fits > 0);
+        let warm = session.plan(&graph).unwrap();
+        assert_eq!(session.curve_fits(), fits, "warm re-plan must not re-fit");
+        assert_eq!(cold.waves(), warm.waves());
+        assert_eq!(session.plans_produced(), 2);
+        assert!(session.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn sequential_placement_config_is_respected() {
+        let graph = workload();
+        let config = PlannerConfig {
+            placement: PlacementStrategy::Sequential,
+            ..PlannerConfig::default()
+        };
+        let mut session = SpindleSession::with_config(ClusterSpec::homogeneous(2, 8), config);
+        assert_eq!(session.config().placement, PlacementStrategy::Sequential);
+        let plan = session.plan(&graph).unwrap();
+        plan.require_placement().unwrap();
+        plan.validate().unwrap();
+        // Switching the strategy between plans works too.
+        session.config_mut().placement = PlacementStrategy::Locality;
+        let plan = session.plan(&graph).unwrap();
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn planning_time_is_recorded_and_small() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(4, 8));
+        let plan = session.plan(&graph).unwrap();
+        // Fig. 12: planning takes seconds at most; this small case must be
+        // well under a second.
+        assert!(plan.planning_time().as_secs_f64() < 1.0);
+        assert!(plan.planning_time().as_nanos() > 0);
+    }
+
+    #[test]
+    fn theoretical_optimum_matches_full_plan_without_building_it() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        let direct = session.theoretical_optimum(&graph).unwrap();
+        let plan = session.plan(&graph).unwrap();
+        assert!((direct - plan.theoretical_optimum()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sessions_can_pool_one_estimator() {
+        let graph = workload();
+        let cluster = Arc::new(ClusterSpec::homogeneous(1, 8));
+        let estimator = Arc::new(ScalabilityEstimator::new(&cluster));
+        let mut a = SpindleSession::with_estimator(
+            Arc::clone(&cluster),
+            Arc::clone(&estimator),
+            PlannerConfig::default(),
+        );
+        a.plan(&graph).unwrap();
+        let fits = estimator.curve_fits();
+        let mut b = SpindleSession::with_estimator(cluster, estimator, PlannerConfig::default());
+        b.plan(&graph).unwrap();
+        assert_eq!(b.curve_fits(), fits, "second session reuses pooled curves");
+    }
+}

@@ -1,0 +1,104 @@
+//! The [`PlanningSystem`] trait: one entry point for Spindle and every
+//! baseline system of the evaluation.
+
+use spindle_graph::ComputationGraph;
+
+use crate::{ExecutionPlan, PlanError, SpindleSession};
+
+/// A system under evaluation: anything that can turn a workload graph into an
+/// [`ExecutionPlan`] against a [`SpindleSession`].
+///
+/// The session supplies the cluster description, the planner configuration and
+/// the shared scalability estimator — so every system (Spindle itself and each
+/// baseline) profiles operators through the *same* persistent curve cache and
+/// is measured on identical footing. Experiment harnesses iterate over
+/// `Box<dyn PlanningSystem>` instead of matching on a system-kind enum at each
+/// call site.
+pub trait PlanningSystem: std::fmt::Debug {
+    /// Human-readable name of the system (used by experiment output).
+    fn name(&self) -> &str;
+
+    /// Plans one training iteration of `graph` within `session`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the cluster is empty or profiling fails.
+    fn plan(
+        &mut self,
+        graph: &ComputationGraph,
+        session: &mut SpindleSession,
+    ) -> Result<ExecutionPlan, PlanError>;
+}
+
+/// Spindle itself, as a [`PlanningSystem`]: the full staged pipeline of the
+/// session (contraction → curves → MPSP + wavefront → placement).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpindlePlanner;
+
+impl SpindlePlanner {
+    /// Creates the planner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl PlanningSystem for SpindlePlanner {
+    fn name(&self) -> &str {
+        "Spindle"
+    }
+
+    fn plan(
+        &mut self,
+        graph: &ComputationGraph,
+        session: &mut SpindleSession,
+    ) -> Result<ExecutionPlan, PlanError> {
+        session.plan(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_cluster::ClusterSpec;
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    fn workload() -> ComputationGraph {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("t", [Modality::Vision, Modality::Text], 8);
+        let enc = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(8, 257, 768),
+                4,
+            )
+            .unwrap();
+        let text = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(8, 77, 768),
+                4,
+            )
+            .unwrap();
+        let loss = b
+            .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768))
+            .unwrap();
+        b.add_flow(*enc.last().unwrap(), loss).unwrap();
+        b.add_flow(*text.last().unwrap(), loss).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spindle_planner_plans_through_the_trait() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        let mut system: Box<dyn PlanningSystem> = Box::new(SpindlePlanner::new());
+        assert_eq!(system.name(), "Spindle");
+        let plan = system.plan(&graph, &mut session).unwrap();
+        plan.validate().unwrap();
+        plan.require_placement().unwrap();
+        assert_eq!(session.plans_produced(), 1);
+    }
+}

@@ -113,14 +113,18 @@ fn craft_wave(
     order.sort_by(|&a, &b| {
         let ta = &pending[a].tuples[head(&pending[a])];
         let tb = &pending[b].tuples[head(&pending[b])];
-        tb.devices
-            .cmp(&ta.devices)
-            .then(pending[b].remaining_time().total_cmp(&pending[a].remaining_time()))
+        tb.devices.cmp(&ta.devices).then(
+            pending[b]
+                .remaining_time()
+                .total_cmp(&pending[a].remaining_time()),
+        )
     });
     let mut selected: Vec<usize> = Vec::new();
     let mut used = 0u32;
     for &i in &order {
-        let n = pending[i].tuples[head(&pending[i])].devices.min(num_devices);
+        let n = pending[i].tuples[head(&pending[i])]
+            .devices
+            .min(num_devices);
         if used + n <= num_devices {
             selected.push(i);
             used += n;
@@ -130,7 +134,9 @@ fn craft_wave(
         // Guaranteed progress: schedule the smallest candidate alone.
         if let Some(&i) = order.last() {
             selected.push(i);
-            used = pending[i].tuples[head(&pending[i])].devices.min(num_devices);
+            used = pending[i].tuples[head(&pending[i])]
+                .devices
+                .min(num_devices);
         }
     }
 
@@ -139,8 +145,11 @@ fn craft_wave(
     let mut spare = num_devices.saturating_sub(used);
     if spare > 0 {
         let mut by_remaining: Vec<usize> = selected.clone();
-        by_remaining
-            .sort_by(|&a, &b| pending[b].remaining_time().total_cmp(&pending[a].remaining_time()));
+        by_remaining.sort_by(|&a, &b| {
+            pending[b]
+                .remaining_time()
+                .total_cmp(&pending[a].remaining_time())
+        });
         let mut progressed = true;
         while spare > 0 && progressed {
             progressed = false;
@@ -196,10 +205,7 @@ fn craft_wave(
     }
 
     // Step 4: conclude the wave.
-    let duration = entries
-        .iter()
-        .map(|e| e.exec_time)
-        .fold(0.0_f64, f64::max);
+    let duration = entries.iter().map(|e| e.exec_time).fold(0.0_f64, f64::max);
     Wave {
         index,
         level,
@@ -241,7 +247,10 @@ mod tests {
     fn curve(points: &[(u32, f64)]) -> Arc<ScalingCurve> {
         let samples: Vec<ProfileSample> = points
             .iter()
-            .map(|&(n, t)| ProfileSample { devices: n, time_s: t })
+            .map(|&(n, t)| ProfileSample {
+                devices: n,
+                time_s: t,
+            })
             .collect();
         Arc::new(ScalingCurve::from_samples(&samples).unwrap())
     }
@@ -350,9 +359,7 @@ mod tests {
             ],
             target_time: 6.0,
         };
-        let curves: CurveMap = (0..5)
-            .map(|i| (MetaOpId(i), linear(1.0, 8)))
-            .collect();
+        let curves: CurveMap = (0..5).map(|i| (MetaOpId(i), linear(1.0, 8))).collect();
         let (waves, _) = schedule_level(&plan, &curves, 8, 0, 0.0, 0);
         assert!(waves.len() <= 2 * 5);
     }
@@ -394,7 +401,11 @@ mod tests {
         assert_eq!(e0.layers, 2, "long MetaOp must be dissected to align spans");
         assert!((e0.exec_time - e1.exec_time).abs() < 1e-9);
         // The remaining 18 layers appear in later waves.
-        let total: u32 = waves.iter().filter_map(|w| w.entry_for(MetaOpId(0))).map(|e| e.layers).sum();
+        let total: u32 = waves
+            .iter()
+            .filter_map(|w| w.entry_for(MetaOpId(0)))
+            .map(|e| e.layers)
+            .sum();
         assert_eq!(total, 20);
     }
 

@@ -42,8 +42,12 @@ mod tests {
     fn display_and_traits() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<EstimatorError>();
-        assert!(EstimatorError::InsufficientSamples(1).to_string().contains("2"));
-        assert!(EstimatorError::NonPositiveTime(-1.0).to_string().contains("-1"));
+        assert!(EstimatorError::InsufficientSamples(1)
+            .to_string()
+            .contains("2"));
+        assert!(EstimatorError::NonPositiveTime(-1.0)
+            .to_string()
+            .contains("-1"));
         assert!(!EstimatorError::NoValidAllocation.to_string().is_empty());
     }
 }

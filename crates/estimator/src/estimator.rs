@@ -1,30 +1,65 @@
-//! The scalability estimator facade with curve caching.
+//! The scalability estimator facade with cache-aware curve fitting.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
 use spindle_cluster::ClusterSpec;
 use spindle_graph::{OpSignature, Operator};
 
 use crate::{AnalyticGpuModel, EstimatorError, PerfModel, Profiler, ScalingCurve};
 
+/// Counters describing the curve cache of a [`ScalabilityEstimator`].
+///
+/// `fits` counts the expensive operations (profile sweep + piecewise α–β fit);
+/// `hits` counts lookups served from the cache. Long-lived planning sessions
+/// use these to verify that re-planning a workload with unchanged operator
+/// signatures performs **zero** new fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CurveCacheStats {
+    /// Distinct operator signatures currently cached.
+    pub entries: usize,
+    /// Profile-and-fit operations performed since the estimator was created.
+    pub fits: usize,
+    /// Curve lookups served from the cache without fitting.
+    pub hits: usize,
+}
+
+impl CurveCacheStats {
+    /// Fraction of lookups served from the cache (0.0 when nothing was looked
+    /// up yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.fits + self.hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The scalability estimator of §3.2: profiles each distinct operator workload
 /// and fits its piecewise α–β scaling curve, with results cached by operator
 /// signature so that the thousands of identical layers of a workload only pay
-/// the cost once.
+/// the cost once — and, when the estimator is shared by a long-lived planning
+/// session, so that *re-planning* a changed workload only fits curves for
+/// operator signatures it has never seen.
 pub struct ScalabilityEstimator {
     model: Arc<dyn PerfModel>,
     profiler: Profiler,
     max_devices: u32,
     cache: Mutex<HashMap<OpSignature, Arc<ScalingCurve>>>,
+    fits: AtomicUsize,
+    hits: AtomicUsize,
 }
 
 impl std::fmt::Debug for ScalabilityEstimator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScalabilityEstimator")
             .field("max_devices", &self.max_devices)
-            .field("cached_curves", &self.cache.lock().len())
+            .field("cached_curves", &self.cached_curves())
+            .field("curve_fits", &self.curve_fits())
             .finish()
     }
 }
@@ -49,6 +84,8 @@ impl ScalabilityEstimator {
             profiler: Profiler::new(),
             max_devices: max_devices.max(1),
             cache: Mutex::new(HashMap::new()),
+            fits: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
         }
     }
 
@@ -74,22 +111,35 @@ impl ScalabilityEstimator {
 
     /// The scaling curve of the given operator, or an error if profiling fails.
     ///
+    /// Cache hits are free and counted in [`cache_stats`](Self::cache_stats);
+    /// misses run the profiler and fit a fresh curve.
+    ///
     /// # Errors
     ///
     /// Returns [`EstimatorError::NoValidAllocation`] if no allocation of the
     /// operator is executable under the performance model.
     pub fn try_curve_for(&self, op: &Operator) -> Result<Arc<ScalingCurve>, EstimatorError> {
         let signature = op.signature();
-        if let Some(curve) = self.cache.lock().get(&signature) {
+        if let Some(curve) = self.lock_cache().get(&signature) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(curve));
         }
         let samples = self
             .profiler
             .profile(self.model.as_ref(), op, self.max_devices)?;
         let curve = Arc::new(ScalingCurve::from_samples(&samples)?);
-        self.cache
-            .lock()
-            .insert(signature, Arc::clone(&curve));
+        // Re-check under the lock: a concurrent caller sharing this estimator
+        // may have fitted the same signature meanwhile. Keeping the counters
+        // inside the critical section preserves the invariant that
+        // `curve_fits()` equals the number of distinct cached signatures,
+        // which the zero-new-fits probes rely on.
+        let mut cache = self.lock_cache();
+        if let Some(existing) = cache.get(&signature) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(existing));
+        }
+        self.fits.fetch_add(1, Ordering::Relaxed);
+        cache.insert(signature, Arc::clone(&curve));
         Ok(curve)
     }
 
@@ -102,7 +152,37 @@ impl ScalabilityEstimator {
     /// Number of distinct operator signatures profiled so far.
     #[must_use]
     pub fn cached_curves(&self) -> usize {
-        self.cache.lock().len()
+        self.lock_cache().len()
+    }
+
+    /// Number of profile-and-fit operations performed so far. A lookup served
+    /// from the cache does **not** increment this, which is what lets session
+    /// tests assert "re-planning performed zero new fits".
+    #[must_use]
+    pub fn curve_fits(&self) -> usize {
+        self.fits.load(Ordering::Relaxed)
+    }
+
+    /// Number of curve lookups served from the cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the curve-cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CurveCacheStats {
+        CurveCacheStats {
+            entries: self.cached_curves(),
+            fits: self.curve_fits(),
+            hits: self.cache_hits(),
+        }
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<OpSignature, Arc<ScalingCurve>>> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -122,9 +202,21 @@ mod tests {
     #[test]
     fn curves_are_cached_by_signature() {
         let est = estimator();
-        let a = op(0, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768));
-        let b = op(7, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768));
-        let c = op(9, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768));
+        let a = op(
+            0,
+            OpKind::Encoder(Modality::Audio),
+            TensorShape::new(8, 229, 768),
+        );
+        let b = op(
+            7,
+            OpKind::Encoder(Modality::Audio),
+            TensorShape::new(8, 229, 768),
+        );
+        let c = op(
+            9,
+            OpKind::Encoder(Modality::Text),
+            TensorShape::new(8, 77, 768),
+        );
         let ca = est.curve_for(&a);
         let cb = est.curve_for(&b);
         let cc = est.curve_for(&c);
@@ -134,10 +226,45 @@ mod tests {
     }
 
     #[test]
+    fn fit_and_hit_counters_track_cache_traffic() {
+        let est = estimator();
+        let a = op(
+            0,
+            OpKind::Encoder(Modality::Audio),
+            TensorShape::new(8, 229, 768),
+        );
+        let b = op(
+            7,
+            OpKind::Encoder(Modality::Audio),
+            TensorShape::new(8, 229, 768),
+        );
+        assert_eq!(est.cache_stats(), CurveCacheStats::default());
+        let _ = est.curve_for(&a);
+        assert_eq!(est.curve_fits(), 1);
+        assert_eq!(est.cache_hits(), 0);
+        let _ = est.curve_for(&b); // same signature: a hit, no new fit
+        let _ = est.curve_for(&a);
+        let stats = est.cache_stats();
+        assert_eq!(
+            stats,
+            CurveCacheStats {
+                entries: 1,
+                fits: 1,
+                hits: 2
+            }
+        );
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn heavy_ops_have_better_scalability() {
         let est = estimator();
         let llm = op(0, OpKind::LmDecoderOnly, TensorShape::new(8, 512, 4096));
-        let text = op(1, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768));
+        let text = op(
+            1,
+            OpKind::Encoder(Modality::Text),
+            TensorShape::new(4, 77, 768),
+        );
         assert!(est.curve_for(&llm).scalability(16.0) > est.curve_for(&text).scalability(16.0));
     }
 
@@ -153,7 +280,11 @@ mod tests {
     fn max_devices_bounds_curve() {
         let est = estimator();
         assert_eq!(est.max_devices(), 32);
-        let a = op(0, OpKind::Encoder(Modality::Vision), TensorShape::new(8, 257, 768));
+        let a = op(
+            0,
+            OpKind::Encoder(Modality::Vision),
+            TensorShape::new(8, 257, 768),
+        );
         assert!(est.curve_for(&a).max_allocation() <= 32);
     }
 

@@ -48,7 +48,7 @@ mod profiler;
 mod scaling_curve;
 
 pub use error::EstimatorError;
-pub use estimator::ScalabilityEstimator;
+pub use estimator::{CurveCacheStats, ScalabilityEstimator};
 pub use memory_model::MemoryModel;
 pub use parallel::ParallelConfig;
 pub use perf_model::{AnalyticGpuModel, PerfModel};

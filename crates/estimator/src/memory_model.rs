@@ -33,7 +33,8 @@ impl<'a> MemoryModel<'a> {
     /// allocation (e.g. the slice of a MetaOp placed on one device group).
     #[must_use]
     pub fn per_device_bytes_for_slice(&self, op: &Operator, n: u32, layers: u32) -> u64 {
-        self.per_device_bytes(op, n).saturating_mul(u64::from(layers.max(1)))
+        self.per_device_bytes(op, n)
+            .saturating_mul(u64::from(layers.max(1)))
     }
 }
 

@@ -194,8 +194,10 @@ mod tests {
         let m = model();
         let heavy = heavy_op();
         let light = light_op();
-        let heavy_speedup = m.execution_time(&heavy, 1).unwrap() / m.execution_time(&heavy, 8).unwrap();
-        let light_speedup = m.execution_time(&light, 1).unwrap() / m.execution_time(&light, 8).unwrap();
+        let heavy_speedup =
+            m.execution_time(&heavy, 1).unwrap() / m.execution_time(&heavy, 8).unwrap();
+        let light_speedup =
+            m.execution_time(&light, 1).unwrap() / m.execution_time(&light, 8).unwrap();
         assert!(
             heavy_speedup > 2.0 * light_speedup,
             "heavy {heavy_speedup:.2} vs light {light_speedup:.2}"

@@ -51,10 +51,7 @@ impl PiecewiseAlphaBeta {
         if samples.len() < 2 {
             return Err(EstimatorError::InsufficientSamples(samples.len()));
         }
-        let mut pts: Vec<(f64, f64)> = samples
-            .iter()
-            .map(|&(n, t)| (f64::from(n), t))
-            .collect();
+        let mut pts: Vec<(f64, f64)> = samples.iter().map(|&(n, t)| (f64::from(n), t)).collect();
         pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         pts.dedup_by(|a, b| a.0 == b.0);
         for &(_, t) in &pts {
@@ -145,7 +142,7 @@ impl PiecewiseAlphaBeta {
         for p in &self.pieces {
             let t_fast = p.eval(p.n_hi);
             if time >= t_fast {
-                if p.beta_w.abs() < f64::EPSILON || (time - p.alpha) < f64::EPSILON {
+                if p.beta_w.abs() < f64::EPSILON || time < p.alpha + f64::EPSILON {
                     return p.n_lo;
                 }
                 let n = p.beta_w / (time - p.alpha);

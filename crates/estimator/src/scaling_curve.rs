@@ -131,11 +131,26 @@ mod tests {
 
     fn curve() -> ScalingCurve {
         let samples = [
-            ProfileSample { devices: 1, time_s: 10.0 },
-            ProfileSample { devices: 2, time_s: 5.6 },
-            ProfileSample { devices: 4, time_s: 3.2 },
-            ProfileSample { devices: 8, time_s: 2.1 },
-            ProfileSample { devices: 16, time_s: 1.6 },
+            ProfileSample {
+                devices: 1,
+                time_s: 10.0,
+            },
+            ProfileSample {
+                devices: 2,
+                time_s: 5.6,
+            },
+            ProfileSample {
+                devices: 4,
+                time_s: 3.2,
+            },
+            ProfileSample {
+                devices: 8,
+                time_s: 2.1,
+            },
+            ProfileSample {
+                devices: 16,
+                time_s: 1.6,
+            },
         ];
         ScalingCurve::from_samples(&samples).unwrap()
     }
@@ -169,7 +184,11 @@ mod tests {
 
     #[test]
     fn single_sample_curve_is_flat() {
-        let c = ScalingCurve::from_samples(&[ProfileSample { devices: 1, time_s: 2.0 }]).unwrap();
+        let c = ScalingCurve::from_samples(&[ProfileSample {
+            devices: 1,
+            time_s: 2.0,
+        }])
+        .unwrap();
         assert!((c.time(1.0) - 2.0).abs() < 1e-9);
         assert!((c.time(8.0) - 2.0).abs() < 1e-9);
         assert_eq!(c.valid_allocations().len(), 1);

@@ -35,7 +35,8 @@ impl GraphBuilder {
         batch_size: u32,
     ) -> TaskId {
         let id = TaskId(self.tasks.len() as u32);
-        self.tasks.push(TaskSpec::new(id, name, modalities, batch_size));
+        self.tasks
+            .push(TaskSpec::new(id, name, modalities, batch_size));
         id
     }
 
@@ -205,7 +206,12 @@ mod tests {
         let mut b = GraphBuilder::new();
         let t = b.add_task("t", [Modality::Text], 4);
         let chain = b
-            .add_op_chain(t, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768), 4)
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(4, 77, 768),
+                4,
+            )
             .unwrap();
         assert_eq!(chain.len(), 4);
         assert_eq!(b.num_ops(), 4);
@@ -226,10 +232,20 @@ mod tests {
         let t1 = b.add_task("t1", [Modality::Text], 4);
         let shared: Vec<ParamId> = (0..3).map(|_| b.new_param()).collect();
         let c0 = b
-            .add_op_chain_with_params(t0, OpKind::LmEncoder, TensorShape::new(8, 512, 1024), &shared)
+            .add_op_chain_with_params(
+                t0,
+                OpKind::LmEncoder,
+                TensorShape::new(8, 512, 1024),
+                &shared,
+            )
             .unwrap();
         let c1 = b
-            .add_op_chain_with_params(t1, OpKind::LmEncoder, TensorShape::new(4, 512, 1024), &shared)
+            .add_op_chain_with_params(
+                t1,
+                OpKind::LmEncoder,
+                TensorShape::new(4, 512, 1024),
+                &shared,
+            )
             .unwrap();
         let g = b.build().unwrap();
         assert_eq!(g.op(c0[0]).params(), g.op(c1[0]).params());
@@ -240,7 +256,10 @@ mod tests {
 
     #[test]
     fn empty_builder_fails_to_build() {
-        assert_eq!(GraphBuilder::new().build().unwrap_err(), GraphError::EmptyGraph);
+        assert_eq!(
+            GraphBuilder::new().build().unwrap_err(),
+            GraphError::EmptyGraph
+        );
     }
 
     #[test]
@@ -249,8 +268,12 @@ mod tests {
         assert_eq!(b.num_tasks(), 0);
         let t = b.add_task("t", [Modality::Vision], 2);
         assert_eq!(b.num_tasks(), 1);
-        b.add_op(t, OpKind::Encoder(Modality::Vision), TensorShape::new(2, 197, 768))
-            .unwrap();
+        b.add_op(
+            t,
+            OpKind::Encoder(Modality::Vision),
+            TensorShape::new(2, 197, 768),
+        )
+        .unwrap();
         assert_eq!(b.num_ops(), 1);
     }
 }

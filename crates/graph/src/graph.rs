@@ -351,21 +351,45 @@ mod tests {
         let t0 = b.add_task("audio-text", [Modality::Audio, Modality::Text], 8);
         let t1 = b.add_task("vision-text", [Modality::Vision, Modality::Text], 4);
         let audio = b
-            .add_op_chain(t0, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 3)
+            .add_op_chain(
+                t0,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(8, 229, 768),
+                3,
+            )
             .unwrap();
         let text0 = b
-            .add_op_chain(t0, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), 2)
+            .add_op_chain(
+                t0,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(8, 77, 768),
+                2,
+            )
             .unwrap();
-        let loss0 = b.add_op(t0, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768)).unwrap();
+        let loss0 = b
+            .add_op(t0, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768))
+            .unwrap();
         b.add_flow(*audio.last().unwrap(), loss0).unwrap();
         b.add_flow(*text0.last().unwrap(), loss0).unwrap();
         let vis = b
-            .add_op_chain(t1, OpKind::Encoder(Modality::Vision), TensorShape::new(4, 257, 768), 2)
+            .add_op_chain(
+                t1,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(4, 257, 768),
+                2,
+            )
             .unwrap();
         let text1 = b
-            .add_op_chain(t1, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768), 2)
+            .add_op_chain(
+                t1,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(4, 77, 768),
+                2,
+            )
             .unwrap();
-        let loss1 = b.add_op(t1, OpKind::ContrastiveLoss, TensorShape::new(4, 1, 768)).unwrap();
+        let loss1 = b
+            .add_op(t1, OpKind::ContrastiveLoss, TensorShape::new(4, 1, 768))
+            .unwrap();
         b.add_flow(*vis.last().unwrap(), loss1).unwrap();
         b.add_flow(*text1.last().unwrap(), loss1).unwrap();
         b.build().unwrap()
@@ -399,7 +423,11 @@ mod tests {
         let g = two_task_graph();
         let depths = g.depths();
         // The loss of task 0 sits after a chain of 3 audio layers.
-        let loss = g.ops_of_task(TaskId(0)).into_iter().find(|&o| g.op(o).kind().is_loss()).unwrap();
+        let loss = g
+            .ops_of_task(TaskId(0))
+            .into_iter()
+            .find(|&o| g.op(o).kind().is_loss())
+            .unwrap();
         assert_eq!(depths[loss.index()], 3);
     }
 
@@ -407,8 +435,20 @@ mod tests {
     fn cycle_rejected() {
         let mut b = GraphBuilder::new();
         let t = b.add_task("t", [Modality::Text], 4);
-        let a = b.add_op(t, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768)).unwrap();
-        let c = b.add_op(t, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768)).unwrap();
+        let a = b
+            .add_op(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(4, 77, 768),
+            )
+            .unwrap();
+        let c = b
+            .add_op(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(4, 77, 768),
+            )
+            .unwrap();
         b.add_flow(a, c).unwrap();
         b.add_flow(c, a).unwrap();
         assert_eq!(b.build().unwrap_err(), GraphError::CycleDetected);
@@ -418,11 +458,26 @@ mod tests {
     fn duplicate_edge_and_self_loop_rejected() {
         let mut b = GraphBuilder::new();
         let t = b.add_task("t", [Modality::Text], 4);
-        let a = b.add_op(t, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768)).unwrap();
-        let c = b.add_op(t, OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768)).unwrap();
+        let a = b
+            .add_op(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(4, 77, 768),
+            )
+            .unwrap();
+        let c = b
+            .add_op(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(4, 77, 768),
+            )
+            .unwrap();
         assert_eq!(b.add_flow(a, a).unwrap_err(), GraphError::SelfLoop(a));
         b.add_flow(a, c).unwrap();
-        assert_eq!(b.add_flow(a, c).unwrap_err(), GraphError::DuplicateEdge(a, c));
+        assert_eq!(
+            b.add_flow(a, c).unwrap_err(),
+            GraphError::DuplicateEdge(a, c)
+        );
     }
 
     #[test]

@@ -110,6 +110,8 @@ mod tests {
         for m in Modality::ALL {
             assert!(m.typical_sequence_length() > 0);
         }
-        assert!(Modality::Text.typical_sequence_length() < Modality::Vision.typical_sequence_length());
+        assert!(
+            Modality::Text.typical_sequence_length() < Modality::Vision.typical_sequence_length()
+        );
     }
 }

@@ -299,7 +299,10 @@ mod tests {
 
     #[test]
     fn costs_derived_from_kind_and_shape() {
-        let enc = op(OpKind::Encoder(Modality::Vision), TensorShape::new(4, 257, 768));
+        let enc = op(
+            OpKind::Encoder(Modality::Vision),
+            TensorShape::new(4, 257, 768),
+        );
         assert!(enc.flops_forward() > 0.0);
         assert!(enc.param_bytes() > 0);
         assert_eq!(enc.flops_backward(), 2.0 * enc.flops_forward());
@@ -325,9 +328,18 @@ mod tests {
 
     #[test]
     fn signatures_distinguish_shape_and_kind() {
-        let a = op(OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768));
-        let b = op(OpKind::Encoder(Modality::Text), TensorShape::new(4, 77, 768));
-        let c = op(OpKind::Encoder(Modality::Vision), TensorShape::new(8, 77, 768));
+        let a = op(
+            OpKind::Encoder(Modality::Text),
+            TensorShape::new(8, 77, 768),
+        );
+        let b = op(
+            OpKind::Encoder(Modality::Text),
+            TensorShape::new(4, 77, 768),
+        );
+        let c = op(
+            OpKind::Encoder(Modality::Vision),
+            TensorShape::new(8, 77, 768),
+        );
         assert_ne!(a.signature(), b.signature());
         assert_ne!(a.signature(), c.signature());
         assert_eq!(a.signature(), a.clone().signature());
@@ -335,7 +347,10 @@ mod tests {
 
     #[test]
     fn valid_allocations_follow_batch_divisibility() {
-        let o = op(OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768));
+        let o = op(
+            OpKind::Encoder(Modality::Audio),
+            TensorShape::new(8, 229, 768),
+        );
         let valid = o.valid_allocations(16);
         assert!(valid.contains(&1));
         assert!(valid.contains(&2));
@@ -361,14 +376,20 @@ mod tests {
         assert!(!OpKind::LmDecoderOnly.is_loss());
         assert!(OpKind::Encoder(Modality::Audio).is_layer());
         assert!(!OpKind::Adaptor(Modality::Audio).is_layer());
-        assert_eq!(OpKind::Encoder(Modality::Audio).modality(), Some(Modality::Audio));
+        assert_eq!(
+            OpKind::Encoder(Modality::Audio).modality(),
+            Some(Modality::Audio)
+        );
         assert_eq!(OpKind::LmDecoder.modality(), None);
         assert_eq!(OpKind::Encoder(Modality::Vision).label(), "vision-enc");
     }
 
     #[test]
     fn display_is_informative() {
-        let o = op(OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768));
+        let o = op(
+            OpKind::Encoder(Modality::Audio),
+            TensorShape::new(8, 229, 768),
+        );
         let s = o.to_string();
         assert!(s.contains("op0"));
         assert!(s.contains("audio-enc"));

@@ -100,7 +100,12 @@ mod tests {
 
     #[test]
     fn task_accessors() {
-        let t = TaskSpec::new(TaskId(2), "audio-text", [Modality::Audio, Modality::Text], 8);
+        let t = TaskSpec::new(
+            TaskId(2),
+            "audio-text",
+            [Modality::Audio, Modality::Text],
+            8,
+        );
         assert_eq!(t.id(), TaskId(2));
         assert_eq!(t.name(), "audio-text");
         assert_eq!(t.batch_size(), 8);

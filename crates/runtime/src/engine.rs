@@ -1,6 +1,7 @@
 //! The wave-by-wave runtime engine (§3.6).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use spindle_cluster::{ClusterSpec, CommModel, DeviceId};
 use spindle_core::{ExecutionPlan, MetaOpId};
@@ -14,8 +15,47 @@ use crate::RuntimeError;
 /// Number of samples in the utilization-over-time trace.
 const TRACE_SAMPLES: usize = 200;
 
+/// Conversion into a shared [`Arc`] handle — what the engine's constructors
+/// accept in place of the lifetime-bound borrows of the old API.
+///
+/// Owned values and existing `Arc`s move in without copying; plain references
+/// clone, so every historical `RuntimeEngine::new(&plan, &cluster)` call site
+/// keeps working.
+pub trait IntoShared<T> {
+    /// Converts `self` into an `Arc<T>`.
+    fn into_shared(self) -> Arc<T>;
+}
+
+impl<T> IntoShared<T> for T {
+    fn into_shared(self) -> Arc<T> {
+        Arc::new(self)
+    }
+}
+
+impl<T> IntoShared<T> for Arc<T> {
+    fn into_shared(self) -> Arc<T> {
+        self
+    }
+}
+
+impl<T: Clone> IntoShared<T> for &T {
+    fn into_shared(self) -> Arc<T> {
+        Arc::new(self.clone())
+    }
+}
+
+impl<T> IntoShared<T> for &Arc<T> {
+    fn into_shared(self) -> Arc<T> {
+        Arc::clone(self)
+    }
+}
+
 /// Executes a placed [`ExecutionPlan`] on a simulated cluster and reports the
 /// measurements of one training iteration.
+///
+/// The engine *owns* its plan and graph via [`Arc`] handles, so it can outlive
+/// the planning session that produced them (and be handed across threads or
+/// stored alongside other engines) without lifetime threading.
 ///
 /// The engine follows the four steps of §3.6: (1) localisation — each entry's
 /// MetaOp slice is bound to its device group; (2) intra-task data dependencies
@@ -24,19 +64,20 @@ const TRACE_SAMPLES: usize = 200;
 /// (4) the training step — forward/backward run wave by wave and group-wise
 /// parameter synchronisation concludes the iteration.
 #[derive(Debug)]
-pub struct RuntimeEngine<'a> {
-    plan: &'a ExecutionPlan,
+pub struct RuntimeEngine {
+    plan: Arc<ExecutionPlan>,
     cluster: ClusterSpec,
     comm: CommModel,
-    graph: Option<&'a ComputationGraph>,
+    graph: Option<Arc<ComputationGraph>>,
 }
 
-impl<'a> RuntimeEngine<'a> {
-    /// Creates an engine for `plan` on `cluster`.
+impl RuntimeEngine {
+    /// Creates an engine for `plan` on `cluster`. Accepts the plan by value,
+    /// by `Arc`, or by reference (cloning).
     #[must_use]
-    pub fn new(plan: &'a ExecutionPlan, cluster: &ClusterSpec) -> Self {
+    pub fn new(plan: impl IntoShared<ExecutionPlan>, cluster: &ClusterSpec) -> Self {
         Self {
-            plan,
+            plan: plan.into_shared(),
             cluster: cluster.clone(),
             comm: CommModel::new(cluster),
             graph: None,
@@ -47,15 +88,21 @@ impl<'a> RuntimeEngine<'a> {
     /// device groups (cross-task parameter sharing) instead of the per-MetaOp
     /// approximation.
     #[must_use]
-    pub fn with_graph(mut self, graph: &'a ComputationGraph) -> Self {
-        self.graph = Some(graph);
+    pub fn with_graph(mut self, graph: impl IntoShared<ComputationGraph>) -> Self {
+        self.graph = Some(graph.into_shared());
         self
     }
 
     /// The plan being executed.
     #[must_use]
     pub fn plan(&self) -> &ExecutionPlan {
-        self.plan
+        &self.plan
+    }
+
+    /// A shareable handle to the plan being executed.
+    #[must_use]
+    pub fn plan_handle(&self) -> Arc<ExecutionPlan> {
+        Arc::clone(&self.plan)
     }
 
     /// Simulates one training iteration.
@@ -82,12 +129,12 @@ impl<'a> RuntimeEngine<'a> {
 
         // Step 2: inter-wave transmissions (forward activations + backward
         // gradients).
-        let send_recv_s = transmission::total_transmission_time(self.plan, &self.comm);
+        let send_recv_s = transmission::total_transmission_time(&self.plan, &self.comm);
 
         // Step 3 + 4b: parameter device groups and group-wise synchronisation.
-        let pool = match self.graph {
-            Some(graph) => ParamGroupPool::from_plan(self.plan, graph),
-            None => ParamGroupPool::from_plan_approximate(self.plan),
+        let pool = match &self.graph {
+            Some(graph) => ParamGroupPool::from_plan(&self.plan, graph),
+            None => ParamGroupPool::from_plan_approximate(&self.plan),
         };
         let sync_s = pool.sync_time(&self.comm);
 
@@ -166,7 +213,9 @@ impl<'a> RuntimeEngine<'a> {
             .collect();
         for wave in self.plan.waves() {
             for entry in &wave.entries {
-                let Some(group) = &entry.placement else { continue };
+                let Some(group) = &entry.placement else {
+                    continue;
+                };
                 let rep = self.plan.metagraph().metaop(entry.metaop).representative();
                 let flops_per_device =
                     rep.flops_total() * f64::from(entry.layers) / group.len() as f64;
@@ -216,7 +265,9 @@ impl<'a> RuntimeEngine<'a> {
             .collect();
         for wave in self.plan.waves() {
             for entry in &wave.entries {
-                let Some(group) = &entry.placement else { continue };
+                let Some(group) = &entry.placement else {
+                    continue;
+                };
                 for d in group.iter() {
                     *memory.entry(d).or_insert(0) =
                         memory[&d].saturating_add(entry.memory_per_device);
@@ -230,7 +281,7 @@ impl<'a> RuntimeEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spindle_core::{PlacementStrategy, Planner, PlannerConfig};
+    use spindle_core::{PlacementStrategy, PlannerConfig, SpindleSession};
     use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
 
     fn two_task_graph() -> ComputationGraph {
@@ -241,22 +292,37 @@ mod tests {
         ] {
             let t = b.add_task(name, [m, Modality::Text], batch);
             let tower = b
-                .add_op_chain(t, OpKind::Encoder(m), TensorShape::new(batch, seq, 768), layers)
+                .add_op_chain(
+                    t,
+                    OpKind::Encoder(m),
+                    TensorShape::new(batch, seq, 768),
+                    layers,
+                )
                 .unwrap();
             let text = b
-                .add_op_chain(t, OpKind::Encoder(Modality::Text), TensorShape::new(batch, 77, 768), 12)
+                .add_op_chain(
+                    t,
+                    OpKind::Encoder(Modality::Text),
+                    TensorShape::new(batch, 77, 768),
+                    12,
+                )
                 .unwrap();
-            let loss = b.add_op(t, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, 768)).unwrap();
+            let loss = b
+                .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, 768))
+                .unwrap();
             b.add_flow(*tower.last().unwrap(), loss).unwrap();
             b.add_flow(*text.last().unwrap(), loss).unwrap();
         }
         b.build().unwrap()
     }
 
-    fn plan_and_run(nodes: usize, gpus: usize) -> (ExecutionPlan, IterationReport, ComputationGraph) {
+    fn plan_and_run(
+        nodes: usize,
+        gpus: usize,
+    ) -> (ExecutionPlan, IterationReport, ComputationGraph) {
         let graph = two_task_graph();
         let cluster = ClusterSpec::homogeneous(nodes, gpus);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let plan = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
         let report = RuntimeEngine::new(&plan, &cluster)
             .with_graph(&graph)
             .run_iteration()
@@ -270,7 +336,10 @@ mod tests {
         let b = report.breakdown();
         assert!(b.fwd_bwd_s > 0.0);
         // §5.4: forward/backward dominates (80-95%), send/recv stays small.
-        assert!(b.fwd_bwd_s / b.total_s() > 0.6, "fwd+bwd fraction too small: {b:?}");
+        assert!(
+            b.fwd_bwd_s / b.total_s() > 0.6,
+            "fwd+bwd fraction too small: {b:?}"
+        );
         assert!(b.send_recv_fraction() < 0.2, "send/recv too large: {b:?}");
     }
 
@@ -295,9 +364,15 @@ mod tests {
         let (plan, report, _) = plan_and_run(2, 8);
         assert_eq!(report.device_utilization().len(), 16);
         assert_eq!(report.device_memory().len(), 16);
-        assert!(report.device_utilization().values().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(report
+            .device_utilization()
+            .values()
+            .all(|&u| (0.0..=1.0).contains(&u)));
         assert!(report.metaop_utilization().len() >= plan.metagraph().num_metaops() / 2);
-        assert!(report.metaop_utilization().values().all(|&u| u > 0.0 && u <= 1.0));
+        assert!(report
+            .metaop_utilization()
+            .values()
+            .all(|&u| u > 0.0 && u <= 1.0));
     }
 
     #[test]
@@ -313,9 +388,11 @@ mod tests {
     fn mismatched_cluster_rejected() {
         let graph = two_task_graph();
         let big = ClusterSpec::homogeneous(2, 8);
-        let plan = Planner::new(&graph, &big).plan().unwrap();
+        let plan = SpindleSession::new(big).plan(&graph).unwrap();
         let small = ClusterSpec::homogeneous(1, 8);
-        let err = RuntimeEngine::new(&plan, &small).run_iteration().unwrap_err();
+        let err = RuntimeEngine::new(plan, &small)
+            .run_iteration()
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::ClusterMismatch { .. }));
     }
 
@@ -323,19 +400,24 @@ mod tests {
     fn sequential_placement_costs_more_send_recv() {
         let graph = two_task_graph();
         let cluster = ClusterSpec::homogeneous(2, 8);
-        let locality = Planner::new(&graph, &cluster).plan().unwrap();
-        let sequential = Planner::with_config(
-            &graph,
-            &cluster,
+        let locality = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
+        let sequential = SpindleSession::with_config(
+            cluster.clone(),
             PlannerConfig {
                 placement: PlacementStrategy::Sequential,
                 ..PlannerConfig::default()
             },
         )
-        .plan()
+        .plan(&graph)
         .unwrap();
-        let r_loc = RuntimeEngine::new(&locality, &cluster).with_graph(&graph).run_iteration().unwrap();
-        let r_seq = RuntimeEngine::new(&sequential, &cluster).with_graph(&graph).run_iteration().unwrap();
+        let r_loc = RuntimeEngine::new(&locality, &cluster)
+            .with_graph(&graph)
+            .run_iteration()
+            .unwrap();
+        let r_seq = RuntimeEngine::new(&sequential, &cluster)
+            .with_graph(&graph)
+            .run_iteration()
+            .unwrap();
         // On this small workload the two placements are close; locality must
         // not be meaningfully worse (the large-workload ablation of Fig. 10 is
         // exercised by the benchmark harness).

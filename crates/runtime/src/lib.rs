@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use spindle_cluster::ClusterSpec;
-//! use spindle_core::Planner;
+//! use spindle_core::SpindleSession;
 //! use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
 //! use spindle_runtime::RuntimeEngine;
 //!
@@ -32,9 +32,10 @@
 //! b.add_flow(*x.last().unwrap(), loss)?;
 //! let graph = b.build()?;
 //! let cluster = ClusterSpec::homogeneous(1, 8);
-//! let plan = Planner::new(&graph, &cluster).plan()?;
+//! let mut session = SpindleSession::new(cluster.clone());
+//! let plan = session.plan(&graph)?;
 //!
-//! let report = RuntimeEngine::new(&plan, &cluster).with_graph(&graph).run_iteration()?;
+//! let report = RuntimeEngine::new(plan, &cluster).with_graph(&graph).run_iteration()?;
 //! assert!(report.iteration_time_ms() > 0.0);
 //! assert!(report.breakdown().fwd_bwd_s > 0.0);
 //! # Ok(())
@@ -50,7 +51,7 @@ mod metrics;
 mod param_groups;
 mod transmission;
 
-pub use engine::RuntimeEngine;
+pub use engine::{IntoShared, RuntimeEngine};
 pub use error::RuntimeError;
 pub use metrics::{IterationReport, TimeBreakdown, UtilizationSample};
 pub use param_groups::ParamGroupPool;

@@ -195,12 +195,22 @@ mod tests {
                 send_recv_s: 0.1,
             },
             utilization_trace: vec![
-                UtilizationSample { time_s: 0.0, tflops_per_s: 100.0 },
-                UtilizationSample { time_s: 0.5, tflops_per_s: 50.0 },
+                UtilizationSample {
+                    time_s: 0.0,
+                    tflops_per_s: 100.0,
+                },
+                UtilizationSample {
+                    time_s: 0.5,
+                    tflops_per_s: 50.0,
+                },
             ],
-            device_utilization: [(DeviceId(0), 0.5), (DeviceId(1), 0.25)].into_iter().collect(),
+            device_utilization: [(DeviceId(0), 0.5), (DeviceId(1), 0.25)]
+                .into_iter()
+                .collect(),
             metaop_utilization: [(MetaOpId(0), 0.6)].into_iter().collect(),
-            device_memory: [(DeviceId(0), 2 << 30), (DeviceId(1), 1 << 30)].into_iter().collect(),
+            device_memory: [(DeviceId(0), 2 << 30), (DeviceId(1), 1 << 30)]
+                .into_iter()
+                .collect(),
             total_flops: 1e14,
             num_devices: 2,
             peak_flops_per_device: 312e12,

@@ -95,8 +95,7 @@ impl ParamGroupPool {
             }
             let mut key = devices.clone();
             key.sort_unstable();
-            let bytes =
-                metaop.representative().param_bytes() * u64::from(metaop.num_ops());
+            let bytes = metaop.representative().param_bytes() * u64::from(metaop.num_ops());
             *groups.entry(key).or_insert(0) += bytes;
         }
         Self { groups }
@@ -167,7 +166,7 @@ fn sorted(devices: &[DeviceId]) -> Vec<DeviceId> {
 mod tests {
     use super::*;
     use spindle_cluster::ClusterSpec;
-    use spindle_core::Planner;
+    use spindle_core::SpindleSession;
     use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
 
     /// Two tasks sharing a text encoder (same ParamIds) — the textbook case
@@ -178,21 +177,45 @@ mod tests {
         let t1 = b.add_task("vision-text", [Modality::Vision, Modality::Text], 8);
         let shared: Vec<_> = (0..6).map(|_| b.new_param()).collect();
         let a = b
-            .add_op_chain(t0, OpKind::Encoder(Modality::Audio), TensorShape::new(8, 229, 768), 6)
+            .add_op_chain(
+                t0,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(8, 229, 768),
+                6,
+            )
             .unwrap();
         let x0 = b
-            .add_op_chain_with_params(t0, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), &shared)
+            .add_op_chain_with_params(
+                t0,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(8, 77, 768),
+                &shared,
+            )
             .unwrap();
-        let l0 = b.add_op(t0, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768)).unwrap();
+        let l0 = b
+            .add_op(t0, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768))
+            .unwrap();
         b.add_flow(*a.last().unwrap(), l0).unwrap();
         b.add_flow(*x0.last().unwrap(), l0).unwrap();
         let v = b
-            .add_op_chain(t1, OpKind::Encoder(Modality::Vision), TensorShape::new(8, 257, 768), 6)
+            .add_op_chain(
+                t1,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(8, 257, 768),
+                6,
+            )
             .unwrap();
         let x1 = b
-            .add_op_chain_with_params(t1, OpKind::Encoder(Modality::Text), TensorShape::new(8, 77, 768), &shared)
+            .add_op_chain_with_params(
+                t1,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(8, 77, 768),
+                &shared,
+            )
             .unwrap();
-        let l1 = b.add_op(t1, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768)).unwrap();
+        let l1 = b
+            .add_op(t1, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768))
+            .unwrap();
         b.add_flow(*v.last().unwrap(), l1).unwrap();
         b.add_flow(*x1.last().unwrap(), l1).unwrap();
         b.build().unwrap()
@@ -202,7 +225,7 @@ mod tests {
     fn shared_parameters_form_cross_task_groups() {
         let graph = shared_encoder_graph();
         let cluster = ClusterSpec::homogeneous(2, 8);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let plan = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
         let pool = ParamGroupPool::from_plan(&plan, &graph);
         assert!(pool.num_groups() >= 1);
         assert!(pool.total_bytes() > 0);
@@ -218,7 +241,7 @@ mod tests {
     fn approximate_pool_is_usable_without_graph() {
         let graph = shared_encoder_graph();
         let cluster = ClusterSpec::homogeneous(1, 8);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let plan = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
         let approx = ParamGroupPool::from_plan_approximate(&plan);
         let comm = CommModel::new(&cluster);
         assert!(approx.sync_time(&comm) >= 0.0);
@@ -228,10 +251,15 @@ mod tests {
     fn single_device_entries_need_no_sync() {
         let mut b = GraphBuilder::new();
         let t = b.add_task("t", [Modality::Text], 1);
-        b.add_op(t, OpKind::Encoder(Modality::Text), TensorShape::new(1, 77, 768)).unwrap();
+        b.add_op(
+            t,
+            OpKind::Encoder(Modality::Text),
+            TensorShape::new(1, 77, 768),
+        )
+        .unwrap();
         let graph = b.build().unwrap();
         let cluster = ClusterSpec::homogeneous(1, 1);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let plan = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
         let pool = ParamGroupPool::from_plan(&plan, &graph);
         assert_eq!(pool.num_groups(), 0);
         assert_eq!(pool.total_bytes(), 0);

@@ -105,7 +105,11 @@ pub fn derive_transmissions(plan: &ExecutionPlan) -> Vec<Transmission> {
         ) else {
             continue;
         };
-        let bytes = plan.metagraph().metaop(from).representative().output_bytes();
+        let bytes = plan
+            .metagraph()
+            .metaop(from)
+            .representative()
+            .output_bytes();
         transmissions.push(Transmission {
             from,
             to,
@@ -131,14 +135,19 @@ pub fn total_transmission_time(plan: &ExecutionPlan, comm: &CommModel) -> f64 {
 mod tests {
     use super::*;
     use spindle_cluster::ClusterSpec;
-    use spindle_core::{PlacementStrategy, Planner, PlannerConfig};
+    use spindle_core::{PlacementStrategy, PlannerConfig, SpindleSession};
     use spindle_graph::{ComputationGraph, GraphBuilder, Modality, OpKind, TensorShape};
 
     fn pipeline_graph() -> ComputationGraph {
         let mut b = GraphBuilder::new();
         let t = b.add_task("vl", [Modality::Vision, Modality::Text], 8);
         let vis = b
-            .add_op_chain(t, OpKind::Encoder(Modality::Vision), TensorShape::new(8, 257, 768), 8)
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(8, 257, 768),
+                8,
+            )
             .unwrap();
         let lm = b
             .add_op_chain(t, OpKind::LmDecoderOnly, TensorShape::new(8, 512, 2048), 8)
@@ -151,7 +160,7 @@ mod tests {
     fn data_flow_transmissions_follow_metagraph_edges() {
         let graph = pipeline_graph();
         let cluster = ClusterSpec::homogeneous(2, 8);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let plan = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
         let transmissions = derive_transmissions(&plan);
         let data_flows: Vec<&Transmission> = transmissions
             .iter()
@@ -170,20 +179,22 @@ mod tests {
         let graph = pipeline_graph();
         let cluster = ClusterSpec::homogeneous(2, 8);
         let comm = CommModel::new(&cluster);
-        let locality = Planner::new(&graph, &cluster).plan().unwrap();
-        let sequential = Planner::with_config(
-            &graph,
-            &cluster,
+        let locality = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
+        let sequential = SpindleSession::with_config(
+            cluster.clone(),
             PlannerConfig {
                 placement: PlacementStrategy::Sequential,
                 ..PlannerConfig::default()
             },
         )
-        .plan()
+        .plan(&graph)
         .unwrap();
         let t_loc = total_transmission_time(&locality, &comm);
         let t_seq = total_transmission_time(&sequential, &comm);
-        assert!(t_loc <= t_seq + 1e-9, "locality {t_loc} vs sequential {t_seq}");
+        assert!(
+            t_loc <= t_seq + 1e-9,
+            "locality {t_loc} vs sequential {t_seq}"
+        );
     }
 
     #[test]
@@ -191,7 +202,7 @@ mod tests {
         let graph = pipeline_graph();
         let cluster = ClusterSpec::homogeneous(1, 8);
         let comm = CommModel::new(&cluster);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let plan = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
         for t in derive_transmissions(&plan) {
             assert!(t.round_trip_time(&comm) >= t.one_way_time(&comm));
         }

@@ -18,12 +18,42 @@ struct EncoderSpec {
 /// modalities use ViT-B-sized towers — together roughly the 1.2 B parameters
 /// reported in Tab. 1b.
 const ENCODERS: [EncoderSpec; 6] = [
-    EncoderSpec { modality: Modality::Vision, layers: 32, hidden: 1280, seq: 257 },
-    EncoderSpec { modality: Modality::Text, layers: 24, hidden: 1024, seq: 77 },
-    EncoderSpec { modality: Modality::Audio, layers: 12, hidden: 768, seq: 229 },
-    EncoderSpec { modality: Modality::Depth, layers: 12, hidden: 768, seq: 197 },
-    EncoderSpec { modality: Modality::Thermal, layers: 12, hidden: 768, seq: 197 },
-    EncoderSpec { modality: Modality::Motion, layers: 6, hidden: 512, seq: 128 },
+    EncoderSpec {
+        modality: Modality::Vision,
+        layers: 32,
+        hidden: 1280,
+        seq: 257,
+    },
+    EncoderSpec {
+        modality: Modality::Text,
+        layers: 24,
+        hidden: 1024,
+        seq: 77,
+    },
+    EncoderSpec {
+        modality: Modality::Audio,
+        layers: 12,
+        hidden: 768,
+        seq: 229,
+    },
+    EncoderSpec {
+        modality: Modality::Depth,
+        layers: 12,
+        hidden: 768,
+        seq: 197,
+    },
+    EncoderSpec {
+        modality: Modality::Thermal,
+        layers: 12,
+        hidden: 768,
+        seq: 197,
+    },
+    EncoderSpec {
+        modality: Modality::Motion,
+        layers: 6,
+        hidden: 512,
+        seq: 128,
+    },
 ];
 
 /// The ten contrastive tasks (pairs of modalities). The first four match the
@@ -87,7 +117,11 @@ pub fn multitask_clip_with_batch(
             .iter()
             .find(|e| e.modality == ma)
             .map_or(768, |e| e.hidden);
-        let loss = b.add_op(task, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, hidden))?;
+        let loss = b.add_op(
+            task,
+            OpKind::ContrastiveLoss,
+            TensorShape::new(batch, 1, hidden),
+        )?;
         b.add_flow(tower_a, loss)?;
         b.add_flow(tower_b, loss)?;
     }
@@ -109,13 +143,13 @@ fn add_tower(
         .find(|(_, e)| e.modality == modality)
         .expect("every task modality has an encoder spec");
     let shape = TensorShape::new(batch, spec.seq, spec.hidden);
-    let chain = b.add_op_chain_with_params(
+    let chain =
+        b.add_op_chain_with_params(task, OpKind::Encoder(modality), shape, &encoder_params[idx])?;
+    let proj = b.add_op(
         task,
-        OpKind::Encoder(modality),
-        shape,
-        &encoder_params[idx],
+        OpKind::Projection,
+        TensorShape::new(batch, 1, spec.hidden),
     )?;
-    let proj = b.add_op(task, OpKind::Projection, TensorShape::new(batch, 1, spec.hidden))?;
     b.add_flow(*chain.last().expect("encoder chains are non-empty"), proj)?;
     Ok(proj)
 }
@@ -148,7 +182,10 @@ mod tests {
         // matter how many tasks activate them.
         let g = multitask_clip(10).unwrap();
         let billions = g.total_param_bytes() as f64 / 2.0 / 1e9;
-        assert!(billions > 0.9 && billions < 1.5, "got {billions:.2} B params");
+        assert!(
+            billions > 0.9 && billions < 1.5,
+            "got {billions:.2} B params"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ const ADAPTOR_LAYERS: usize = 4;
 const TASKS: [(&str, &[Modality], u32); 7] = [
     ("text-summarization", &[], 96),
     ("image-captioning", &[Modality::Vision], 48),
-    ("visual-grounding", &[Modality::Vision, Modality::BoundingBox], 32),
+    (
+        "visual-grounding",
+        &[Modality::Vision, Modality::BoundingBox],
+        32,
+    ),
     ("speech-recognition", &[Modality::Audio], 64),
     ("text-to-sql", &[Modality::Structured], 96),
     ("video-captioning", &[Modality::Video], 16),
@@ -85,7 +89,10 @@ pub fn ofasys(num_tasks: usize) -> Result<ComputationGraph, GraphError> {
         }
         let decoder =
             b.add_op_chain_with_params(task, OpKind::LmDecoder, lm_shape, &lm_decoder_params)?;
-        b.add_flow(*encoder.last().expect("lm chains are non-empty"), decoder[0])?;
+        b.add_flow(
+            *encoder.last().expect("lm chains are non-empty"),
+            decoder[0],
+        )?;
         let loss = b.add_op_with_params(
             task,
             OpKind::GenerativeLoss,
@@ -108,7 +115,11 @@ mod tests {
         assert_eq!(g.tasks().len(), 7);
         assert!(g.num_ops() > 7 * (2 * LM_LAYERS + 2));
         // Every task ends in exactly one generative loss.
-        let losses = g.ops().iter().filter(|o| o.kind() == OpKind::GenerativeLoss).count();
+        let losses = g
+            .ops()
+            .iter()
+            .filter(|o| o.kind() == OpKind::GenerativeLoss)
+            .count();
         assert_eq!(losses, 7);
     }
 
@@ -117,7 +128,10 @@ mod tests {
         // Tab. 1b: 0.66 B parameters, dominated by the shared LM.
         let g = ofasys(7).unwrap();
         let billions = g.total_param_bytes() as f64 / 2.0 / 1e9;
-        assert!(billions > 0.4 && billions < 0.9, "got {billions:.2} B params");
+        assert!(
+            billions > 0.4 && billions < 0.9,
+            "got {billions:.2} B params"
+        );
     }
 
     #[test]

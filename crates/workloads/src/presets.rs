@@ -37,7 +37,9 @@ impl WorkloadPreset {
             WorkloadPreset::MultitaskClip { tasks: 10 },
             WorkloadPreset::Ofasys { tasks: 4 },
             WorkloadPreset::Ofasys { tasks: 7 },
-            WorkloadPreset::QwenVal { size: QwenValSize::B9 },
+            WorkloadPreset::QwenVal {
+                size: QwenValSize::B9,
+            },
         ]
     }
 
@@ -68,7 +70,9 @@ impl WorkloadPreset {
     #[must_use]
     pub fn paper_cluster_sizes(&self) -> Vec<usize> {
         match self {
-            WorkloadPreset::QwenVal { size: QwenValSize::B9 } => vec![32, 64],
+            WorkloadPreset::QwenVal {
+                size: QwenValSize::B9,
+            } => vec![32, 64],
             WorkloadPreset::QwenVal { .. } => vec![256],
             _ => vec![8, 16, 32],
         }
@@ -130,16 +134,20 @@ mod tests {
 
     #[test]
     fn table1b_matches_paper_shape() {
-        let (name, params, modalities, tasks, cm) =
-            WorkloadPreset::MultitaskClip { tasks: 10 }.table1b_row().unwrap();
+        let (name, params, modalities, tasks, cm) = WorkloadPreset::MultitaskClip { tasks: 10 }
+            .table1b_row()
+            .unwrap();
         assert!(name.contains("CLIP"));
         assert!(params > 0.9 && params < 1.5);
         assert_eq!(modalities, 6);
         assert_eq!(tasks, 10);
         assert_eq!(cm, "Contrastive Loss");
 
-        let (_, params, modalities, tasks, cm) =
-            WorkloadPreset::QwenVal { size: QwenValSize::B9 }.table1b_row().unwrap();
+        let (_, params, modalities, tasks, cm) = WorkloadPreset::QwenVal {
+            size: QwenValSize::B9,
+        }
+        .table1b_row()
+        .unwrap();
         assert!(params > 7.5 && params < 11.5);
         assert_eq!(modalities, 3);
         assert_eq!(tasks, 3);
@@ -158,9 +166,15 @@ mod tests {
             WorkloadPreset::MultitaskClip { tasks: 4 }.to_string(),
             "Multitask-CLIP, 4 Tasks"
         );
-        assert_eq!(WorkloadPreset::Ofasys { tasks: 7 }.to_string(), "OFASys, 7 Tasks");
         assert_eq!(
-            WorkloadPreset::QwenVal { size: QwenValSize::B9 }.to_string(),
+            WorkloadPreset::Ofasys { tasks: 7 }.to_string(),
+            "OFASys, 7 Tasks"
+        );
+        assert_eq!(
+            WorkloadPreset::QwenVal {
+                size: QwenValSize::B9
+            }
+            .to_string(),
             "QWen-VAL 10B, 3 Tasks"
         );
     }

@@ -86,7 +86,11 @@ pub fn qwen_val(size: QwenValSize) -> Result<ComputationGraph, GraphError> {
         }
         let task = b.add_task(name, modalities, batch);
 
-        let embed = b.add_op(task, OpKind::Embedding, TensorShape::new(batch, LLM_SEQ, llm_hidden))?;
+        let embed = b.add_op(
+            task,
+            OpKind::Embedding,
+            TensorShape::new(batch, LLM_SEQ, llm_hidden),
+        )?;
         let mut inputs = vec![embed];
         if vision {
             let chain = b.add_op_chain_with_params(
@@ -95,7 +99,11 @@ pub fn qwen_val(size: QwenValSize) -> Result<ComputationGraph, GraphError> {
                 TensorShape::new(batch, VISION_SEQ, VISION_HIDDEN),
                 &vision_params,
             )?;
-            let proj = b.add_op(task, OpKind::Projection, TensorShape::new(batch, 256, llm_hidden))?;
+            let proj = b.add_op(
+                task,
+                OpKind::Projection,
+                TensorShape::new(batch, 256, llm_hidden),
+            )?;
             b.add_flow(*chain.last().expect("vision chain non-empty"), proj)?;
             inputs.push(proj);
         }
@@ -106,7 +114,11 @@ pub fn qwen_val(size: QwenValSize) -> Result<ComputationGraph, GraphError> {
                 TensorShape::new(batch, AUDIO_SEQ, AUDIO_HIDDEN),
                 &audio_params,
             )?;
-            let proj = b.add_op(task, OpKind::Projection, TensorShape::new(batch, 256, llm_hidden))?;
+            let proj = b.add_op(
+                task,
+                OpKind::Projection,
+                TensorShape::new(batch, 256, llm_hidden),
+            )?;
             b.add_flow(*chain.last().expect("audio chain non-empty"), proj)?;
             inputs.push(proj);
         }
@@ -120,7 +132,11 @@ pub fn qwen_val(size: QwenValSize) -> Result<ComputationGraph, GraphError> {
         for input in inputs {
             b.add_flow(input, llm[0])?;
         }
-        let loss = b.add_op(task, OpKind::GenerativeLoss, TensorShape::new(batch, LLM_SEQ, llm_hidden))?;
+        let loss = b.add_op(
+            task,
+            OpKind::GenerativeLoss,
+            TensorShape::new(batch, LLM_SEQ, llm_hidden),
+        )?;
         b.add_flow(*llm.last().expect("llm chain non-empty"), loss)?;
     }
     b.build()
@@ -135,7 +151,10 @@ mod tests {
         // Tab. 1b: 9.25 B parameters for the base model.
         let g = qwen_val(QwenValSize::B9).unwrap();
         let billions = g.total_param_bytes() as f64 / 2.0 / 1e9;
-        assert!(billions > 7.5 && billions < 11.5, "got {billions:.2} B params");
+        assert!(
+            billions > 7.5 && billions < 11.5,
+            "got {billions:.2} B params"
+        );
     }
 
     #[test]
@@ -191,8 +210,14 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        assert_eq!(first_llm_per_task[0].params(), first_llm_per_task[1].params());
-        assert_eq!(first_llm_per_task[1].params(), first_llm_per_task[2].params());
+        assert_eq!(
+            first_llm_per_task[0].params(),
+            first_llm_per_task[1].params()
+        );
+        assert_eq!(
+            first_llm_per_task[1].params(),
+            first_llm_per_task[2].params()
+        );
     }
 
     #[test]

@@ -6,14 +6,16 @@
 //! cargo run --release --example multitask_clip_case_study
 //! ```
 
-use spindle::baselines::{BaselineSystem, SystemKind};
+use spindle::baselines::SystemKind;
 use spindle::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = multitask_clip(4)?;
-    let cluster = ClusterSpec::homogeneous(2, 8);
+    // One session shared by all four systems: every system profiles operators
+    // through the same curve cache, so they are compared on equal footing.
+    let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
     println!("workload: {graph}");
-    println!("cluster:  {cluster}\n");
+    println!("cluster:  {}\n", session.cluster());
 
     let mut reference_ms = None;
     for kind in [
@@ -22,8 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SystemKind::SpindleOptimus,
         SystemKind::Spindle,
     ] {
-        let plan = BaselineSystem::new(kind).plan(&graph, &cluster)?;
-        let report = RuntimeEngine::new(&plan, &cluster)
+        let plan = kind.planning_system().plan(&graph, &mut session)?;
+        let report = RuntimeEngine::new(&plan, session.cluster())
             .with_graph(&graph)
             .run_iteration()?;
         let breakdown = report.breakdown();

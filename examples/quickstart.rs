@@ -14,7 +14,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    minimal example of inter-task workload heterogeneity.
     let mut builder = GraphBuilder::new();
     for (name, modality, seq, hidden, batch, layers) in [
-        ("audio-text", Modality::Audio, 229u32, 768u32, 32u32, 12usize),
+        (
+            "audio-text",
+            Modality::Audio,
+            229u32,
+            768u32,
+            32u32,
+            12usize,
+        ),
         ("vision-text", Modality::Vision, 257, 1280, 16, 32),
     ] {
         let task = builder.add_task(name, [modality, Modality::Text], batch);
@@ -41,13 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = builder.build()?;
     println!("workload: {graph}");
 
-    // 2. Describe the cluster: two nodes of eight A800-like GPUs.
-    let cluster = ClusterSpec::homogeneous(2, 8);
-    println!("cluster:  {cluster}");
+    // 2. Open a planning session on the cluster: two nodes of eight A800-like
+    //    GPUs. The session owns the estimator and its curve cache, so any
+    //    further plans reuse the profiling work done here.
+    let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+    println!("cluster:  {}", session.cluster());
 
     // 3. Plan: graph contraction, scalability estimation, MPSP allocation,
     //    wavefront scheduling and device placement.
-    let plan = Planner::new(&graph, &cluster).plan()?;
+    let plan = session.plan(&graph)?;
     println!("plan:     {plan}");
     println!(
         "          theoretical optimum {:.1} ms, planned in {:.1} ms",
@@ -65,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 4. Simulate one training iteration and read the paper's metrics.
-    let report = RuntimeEngine::new(&plan, &cluster)
+    let report = RuntimeEngine::new(&plan, session.cluster())
         .with_graph(&graph)
         .run_iteration()?;
     let breakdown = report.breakdown();

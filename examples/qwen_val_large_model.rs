@@ -7,7 +7,7 @@
 //! cargo run --release --example qwen_val_large_model
 //! ```
 
-use spindle::baselines::{BaselineSystem, SystemKind};
+use spindle::baselines::SystemKind;
 use spindle::prelude::*;
 use spindle::workloads::QwenValSize;
 
@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (QwenValSize::B30, 256),
     ] {
         let graph = qwen_val(size)?;
-        let cluster = ClusterSpec::homogeneous(gpus / 8, 8);
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(gpus / 8, 8));
         println!(
             "== {} on {} GPUs ({:.1}B parameters) ==",
             size.label(),
@@ -26,9 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             graph.total_param_bytes() as f64 / 2e9
         );
         let mut deepspeed_ms = None;
-        for kind in [SystemKind::DeepSpeed, SystemKind::SpindleOptimus, SystemKind::Spindle] {
-            let plan = BaselineSystem::new(kind).plan(&graph, &cluster)?;
-            let report = RuntimeEngine::new(&plan, &cluster)
+        for kind in [
+            SystemKind::DeepSpeed,
+            SystemKind::SpindleOptimus,
+            SystemKind::Spindle,
+        ] {
+            let plan = kind.planning_system().plan(&graph, &mut session)?;
+            let report = RuntimeEngine::new(&plan, session.cluster())
                 .with_graph(&graph)
                 .run_iteration()?;
             let ms = report.iteration_time_ms();

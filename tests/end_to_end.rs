@@ -1,8 +1,9 @@
 //! Cross-crate integration tests: the full pipeline from workload definition
 //! through planning, placement and simulated execution, for every evaluated
-//! system on every workload family.
+//! system on every workload family — all driven through `SpindleSession` and
+//! the `PlanningSystem` trait.
 
-use spindle::baselines::{BaselineSystem, SystemKind};
+use spindle::baselines::SystemKind;
 use spindle::prelude::*;
 use spindle::workloads::{multitask_clip_with_batch, QwenValSize};
 use spindle_cluster::ClusterSpec;
@@ -18,17 +19,18 @@ fn workloads() -> Vec<(&'static str, spindle_graph::ComputationGraph)> {
 
 #[test]
 fn every_system_handles_every_workload_family() {
-    let cluster = ClusterSpec::homogeneous(1, 8);
+    let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
     for (name, graph) in workloads() {
         for kind in SystemKind::ALL {
-            let plan = BaselineSystem::new(kind)
-                .plan(&graph, &cluster)
+            let plan = kind
+                .planning_system()
+                .plan(&graph, &mut session)
                 .unwrap_or_else(|e| panic!("{kind} failed on {name}: {e}"));
             plan.validate()
                 .unwrap_or_else(|e| panic!("{kind} produced an invalid plan on {name}: {e}"));
             plan.require_placement()
                 .unwrap_or_else(|e| panic!("{kind} left {name} unplaced: {e}"));
-            let report = RuntimeEngine::new(&plan, &cluster)
+            let report = RuntimeEngine::new(&plan, session.cluster())
                 .with_graph(&graph)
                 .run_iteration()
                 .unwrap_or_else(|e| panic!("{kind} failed to execute {name}: {e}"));
@@ -45,14 +47,14 @@ fn every_system_handles_every_workload_family() {
 fn spindle_beats_the_sota_systems_on_the_paper_workloads() {
     // The headline claim of the paper, checked on the 16-GPU cluster for the
     // two workload families where Spindle's advantage is largest.
-    let cluster = ClusterSpec::homogeneous(2, 8);
+    let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
     for (name, graph) in [
         ("multitask-clip-4t", multitask_clip(4).unwrap()),
         ("ofasys-4t", ofasys(4).unwrap()),
     ] {
-        let time = |kind: SystemKind| {
-            let plan = BaselineSystem::new(kind).plan(&graph, &cluster).unwrap();
-            RuntimeEngine::new(&plan, &cluster)
+        let mut time = |kind: SystemKind| {
+            let plan = kind.planning_system().plan(&graph, &mut session).unwrap();
+            RuntimeEngine::new(&plan, &ClusterSpec::homogeneous(2, 8))
                 .with_graph(&graph)
                 .run_iteration()
                 .unwrap()
@@ -76,10 +78,11 @@ fn spindle_beats_the_sota_systems_on_the_paper_workloads() {
 fn spindles_advantage_grows_with_task_count() {
     // Fig. 8: the speedup over DeepSpeed is larger with 7 tasks than with 4.
     let cluster = ClusterSpec::homogeneous(2, 8);
-    let speedup = |tasks: usize| {
+    let mut session = SpindleSession::new(cluster.clone());
+    let mut speedup = |tasks: usize| {
         let graph = multitask_clip(tasks).unwrap();
-        let run = |kind: SystemKind| {
-            let plan = BaselineSystem::new(kind).plan(&graph, &cluster).unwrap();
+        let mut run = |kind: SystemKind| {
+            let plan = kind.planning_system().plan(&graph, &mut session).unwrap();
             RuntimeEngine::new(&plan, &cluster)
                 .with_graph(&graph)
                 .run_iteration()
@@ -97,15 +100,36 @@ fn spindles_advantage_grows_with_task_count() {
 }
 
 #[test]
-fn planner_prelude_quickstart_flow_works() {
+fn session_quickstart_flow_works() {
     // The README / crate-level quickstart, as an executable test.
-    let cluster = ClusterSpec::homogeneous(2, 8);
+    let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
     let model = multitask_clip(4).unwrap();
-    let plan = Planner::new(&model, &cluster).plan().unwrap();
-    let report = RuntimeEngine::new(&plan, &cluster).run_iteration().unwrap();
+    let plan = session.plan(&model).unwrap();
+    let report = RuntimeEngine::new(&plan, session.cluster())
+        .run_iteration()
+        .unwrap();
     assert!(report.iteration_time_ms() > 0.0);
     assert!(plan.theoretical_optimum() > 0.0);
     assert!(plan.makespan() >= plan.theoretical_optimum() * 0.99);
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_planner_shim_matches_the_session_api() {
+    // `Planner::new(..).plan()` must keep working for one release and produce
+    // exactly what a fresh session produces.
+    let cluster = ClusterSpec::homogeneous(2, 8);
+    let model = multitask_clip(4).unwrap();
+    let legacy = Planner::new(&model, &cluster).plan().unwrap();
+    let mut session = SpindleSession::new(cluster.clone());
+    let modern = session.plan(&model).unwrap();
+    assert_eq!(legacy.waves(), modern.waves());
+    assert!((legacy.theoretical_optimum() - modern.theoretical_optimum()).abs() < 1e-12);
+    // The deprecated BaselineSystem::plan shim stays functional too.
+    let baseline = BaselineSystem::new(SystemKind::DeepSpeed)
+        .plan(&model, &cluster)
+        .unwrap();
+    baseline.validate().unwrap();
 }
 
 #[test]
@@ -114,7 +138,8 @@ fn larger_clusters_do_not_slow_spindle_down() {
     let mut previous = f64::INFINITY;
     for nodes in [1usize, 2, 4] {
         let cluster = ClusterSpec::homogeneous(nodes, 8);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
+        let mut session = SpindleSession::new(cluster.clone());
+        let plan = session.plan(&graph).unwrap();
         let report = RuntimeEngine::new(&plan, &cluster)
             .with_graph(&graph)
             .run_iteration()
@@ -135,14 +160,14 @@ fn memory_fits_on_the_paper_cluster_for_the_encoder_workloads() {
     // planner does not yet raise a MetaOp's *minimum* allocation for memory
     // feasibility, so a 9 B decoder sliced onto very few devices can exceed a
     // single GPU — a known simplification documented in DESIGN.md.
-    let cluster = ClusterSpec::homogeneous(4, 8);
+    let mut session = SpindleSession::new(ClusterSpec::homogeneous(4, 8));
     let capacity_gib = 80.0;
     for (name, graph) in [
         ("multitask-clip", multitask_clip_with_batch(3, 0.5).unwrap()),
         ("ofasys", ofasys(3).unwrap()),
     ] {
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
-        let report = RuntimeEngine::new(&plan, &cluster)
+        let plan = session.plan(&graph).unwrap();
+        let report = RuntimeEngine::new(&plan, session.cluster())
             .with_graph(&graph)
             .run_iteration()
             .unwrap();
@@ -160,9 +185,10 @@ fn spindle_memory_is_better_balanced_than_task_level_allocation() {
     // Appendix G: Spindle's placement keeps per-device memory balanced, while
     // Spindle-Optimus' coarse task-level allocation leaves it skewed.
     let cluster = ClusterSpec::homogeneous(2, 8);
+    let mut session = SpindleSession::new(cluster.clone());
     let graph = multitask_clip(4).unwrap();
-    let imbalance = |kind: SystemKind| {
-        let plan = BaselineSystem::new(kind).plan(&graph, &cluster).unwrap();
+    let mut imbalance = |kind: SystemKind| {
+        let plan = kind.planning_system().plan(&graph, &mut session).unwrap();
         RuntimeEngine::new(&plan, &cluster)
             .with_graph(&graph)
             .run_iteration()

@@ -1,9 +1,13 @@
 //! Integration-level property checks on the workload zoo and the baseline
 //! planners: structural invariants that must hold for any task count, model
 //! size or cluster shape used by the experiments.
+//!
+//! The former proptest cases are expressed as exhaustive sweeps over the small
+//! parameter grids they used to sample from (task count × cluster shape ×
+//! system), which gives strictly better coverage without the dependency.
 
-use proptest::prelude::*;
-use spindle::baselines::{BaselineSystem, SystemKind};
+use spindle::baselines::SystemKind;
+use spindle::prelude::*;
 use spindle::workloads::{
     figure13_presets, multitask_clip, ofasys, qwen_val, QwenValSize, WorkloadPreset,
 };
@@ -22,7 +26,10 @@ fn presets_report_consistent_task_counts() {
         for task in graph.tasks() {
             let ops = graph.ops_of_task(task.id());
             assert!(!ops.is_empty(), "{preset}: {task} has no operators");
-            let losses = ops.iter().filter(|&&o| graph.op(o).kind().is_loss()).count();
+            let losses = ops
+                .iter()
+                .filter(|&&o| graph.op(o).kind().is_loss())
+                .count();
             assert_eq!(losses, 1, "{preset}: {task} should end in one loss");
         }
     }
@@ -72,39 +79,52 @@ fn task_count_growth_adds_flops_monotonically() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// Every baseline produces a valid, fully placed plan for any CLIP task
-    /// count and any small cluster, and the plan covers every operator.
-    #[test]
-    fn baselines_always_produce_valid_plans(
-        tasks in 1usize..6,
-        nodes in 1usize..3,
-        kind_index in 0usize..SystemKind::ALL.len(),
-    ) {
-        let graph = multitask_clip(tasks).unwrap();
+/// Every baseline produces a valid, fully placed plan for any CLIP task
+/// count and any small cluster, and the plan covers every operator.
+#[test]
+fn baselines_always_produce_valid_plans() {
+    for nodes in 1usize..3 {
         let cluster = ClusterSpec::homogeneous(nodes, 8);
-        let kind = SystemKind::ALL[kind_index];
-        let plan = BaselineSystem::new(kind).plan(&graph, &cluster).unwrap();
-        prop_assert!(plan.validate().is_ok(), "{kind}: {:?}", plan.validate());
-        prop_assert!(plan.require_placement().is_ok());
-        prop_assert!(plan.makespan() > 0.0);
-        prop_assert!(plan.num_devices() as usize == cluster.num_devices());
+        // One session per cluster: all task counts and systems share curves.
+        let mut session = SpindleSession::new(cluster.clone());
+        for tasks in 1usize..6 {
+            let graph = multitask_clip(tasks).unwrap();
+            for kind in SystemKind::ALL {
+                let plan = kind.planning_system().plan(&graph, &mut session).unwrap();
+                assert!(
+                    plan.validate().is_ok(),
+                    "{kind}/{tasks}t/{nodes}n: {:?}",
+                    plan.validate()
+                );
+                assert!(plan.require_placement().is_ok(), "{kind}/{tasks}t/{nodes}n");
+                assert!(plan.makespan() > 0.0, "{kind}/{tasks}t/{nodes}n");
+                assert!(plan.num_devices() as usize == cluster.num_devices());
+            }
+        }
     }
+}
 
-    /// The decoupled baselines schedule exactly one MetaOp per wave (strictly
-    /// sequential execution), which is the property the paper's Fig. 1
-    /// motivation rests on.
-    #[test]
-    fn decoupled_baselines_are_strictly_sequential(tasks in 1usize..5) {
+/// The decoupled baselines schedule exactly one MetaOp per wave (strictly
+/// sequential execution), which is the property the paper's Fig. 1
+/// motivation rests on.
+#[test]
+fn decoupled_baselines_are_strictly_sequential() {
+    let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+    for tasks in 1usize..5 {
         let graph = ofasys(tasks).unwrap();
-        let cluster = ClusterSpec::homogeneous(1, 8);
-        for kind in [SystemKind::DeepSpeed, SystemKind::MegatronLM, SystemKind::SpindleSeq] {
-            let plan = BaselineSystem::new(kind).plan(&graph, &cluster).unwrap();
-            prop_assert_eq!(plan.num_waves(), plan.metagraph().num_metaops());
+        for kind in [
+            SystemKind::DeepSpeed,
+            SystemKind::MegatronLM,
+            SystemKind::SpindleSeq,
+        ] {
+            let plan = kind.planning_system().plan(&graph, &mut session).unwrap();
+            assert_eq!(
+                plan.num_waves(),
+                plan.metagraph().num_metaops(),
+                "{kind}/{tasks}t"
+            );
             for wave in plan.waves() {
-                prop_assert_eq!(wave.entries.len(), 1);
+                assert_eq!(wave.entries.len(), 1, "{kind}/{tasks}t");
             }
         }
     }
