@@ -28,6 +28,44 @@ impl Timing {
     pub fn mean_ms(&self) -> f64 {
         self.mean.as_secs_f64() * 1e3
     }
+
+    /// Mean iteration time in nanoseconds — the unit recorded in
+    /// `BENCH_planning.json` so perf trajectories are comparable across PRs.
+    #[must_use]
+    pub fn ns_per_iter(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e9
+    }
+}
+
+/// Whether quick mode is active (`SPINDLE_BENCH_QUICK=1`): benches shrink
+/// their warm-up and iteration counts so CI smoke jobs finish fast while
+/// still exercising every code path and emitting the JSON report.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var("SPINDLE_BENCH_QUICK").is_ok_and(|v| v == "1" || v == "true")
+}
+
+/// Serialises `(bench name → ns/iter)` pairs as a small JSON object and
+/// writes them to `path`. No external JSON crate is available offline, so the
+/// format is emitted by hand; names must not contain quotes.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_json_report(
+    path: &std::path::Path,
+    entries: &[(String, Timing)],
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    for (i, (name, timing)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  \"{name}\": {:.1}{comma}\n",
+            timing.ns_per_iter()
+        ));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
 }
 
 /// Times `f` over `iters` iterations after `warmup` untimed runs, printing a
@@ -81,5 +119,21 @@ mod tests {
         assert_eq!(count, 6); // warmup + timed
         assert!(t.min <= t.mean && t.mean <= t.max);
         assert!(t.mean_ms() >= 0.0);
+        assert!((t.ns_per_iter() - t.mean_ms() * 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let t = bench("noop", 0, 3, || {});
+        let dir = std::env::temp_dir().join("spindle-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_json_report(&path, &[("a".to_string(), t), ("b".to_string(), t)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"a\":"));
+        assert!(text.contains("\"b\":"));
+        // Exactly one separating comma for two entries.
+        assert_eq!(text.matches(',').count(), 1);
     }
 }

@@ -15,12 +15,11 @@
 //! 1-device tuple, which finishes *before* `C̃*` and is packed with other work
 //! by the wavefront scheduler.
 
-use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
 
 use spindle_estimator::ScalingCurve;
 
+use crate::arena::MetaOpArena;
 use crate::mpsp::{ContinuousSolution, MpspItem};
 use crate::MetaOpId;
 
@@ -110,9 +109,7 @@ impl fmt::Display for AllocationPlan {
 /// MetaOps missing from the solution (e.g. empty ones) are skipped.
 #[must_use]
 pub fn discretize(solution: &ContinuousSolution, items: &[MpspItem]) -> AllocationPlan {
-    let curves: BTreeMap<MetaOpId, &Arc<ScalingCurve>> =
-        items.iter().map(|i| (i.metaop, &i.curve)).collect();
-    let mut allocations = Vec::new();
+    let mut allocations = Vec::with_capacity(items.len());
     for item in items {
         if item.num_ops == 0 {
             continue;
@@ -120,12 +117,37 @@ pub fn discretize(solution: &ContinuousSolution, items: &[MpspItem]) -> Allocati
         let Some(&n_star) = solution.allocations.get(&item.metaop) else {
             continue;
         };
-        let curve = curves[&item.metaop];
-        let tuples = discretize_one(curve, n_star, item.num_ops, solution.optimal_time);
+        let tuples = discretize_one(&item.curve, n_star, item.num_ops, solution.optimal_time);
         allocations.push(MetaOpAllocation {
             metaop: item.metaop,
             tuples,
         });
+    }
+    AllocationPlan {
+        allocations,
+        target_time: solution.optimal_time,
+    }
+}
+
+/// [`discretize`] driven by the dense [`MetaOpArena`] — curves and operator
+/// counts are read by index, with no per-call lookup structures.
+#[must_use]
+pub fn discretize_level(
+    solution: &ContinuousSolution,
+    arena: &MetaOpArena,
+    metaops: &[MetaOpId],
+) -> AllocationPlan {
+    let mut allocations = Vec::with_capacity(metaops.len());
+    for &id in metaops {
+        let num_ops = arena.num_ops(id);
+        if num_ops == 0 {
+            continue;
+        }
+        let Some(&n_star) = solution.allocations.get(&id) else {
+            continue;
+        };
+        let tuples = discretize_one(arena.curve(id), n_star, num_ops, solution.optimal_time);
+        allocations.push(MetaOpAllocation { metaop: id, tuples });
     }
     AllocationPlan {
         allocations,
@@ -198,27 +220,8 @@ fn discretize_one(
 mod tests {
     use super::*;
     use crate::mpsp::{self, DEFAULT_EPSILON};
-    use spindle_estimator::ProfileSample;
-
-    fn curve(times: &[(u32, f64)]) -> Arc<ScalingCurve> {
-        let samples: Vec<ProfileSample> = times
-            .iter()
-            .map(|&(n, t)| ProfileSample {
-                devices: n,
-                time_s: t,
-            })
-            .collect();
-        Arc::new(ScalingCurve::from_samples(&samples).unwrap())
-    }
-
-    fn linear_curve(base: f64, max_n: u32) -> Arc<ScalingCurve> {
-        let pts: Vec<(u32, f64)> = (0..)
-            .map(|k| 1u32 << k)
-            .take_while(|&n| n <= max_n)
-            .map(|n| (n, base / f64::from(n)))
-            .collect();
-        curve(&pts)
-    }
+    use spindle_estimator::test_util::{curve_from_points as curve, linear_curve};
+    use std::sync::Arc;
 
     fn item(id: u32, num_ops: u32, c: Arc<ScalingCurve>) -> MpspItem {
         MpspItem {

@@ -65,6 +65,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod allocator;
+pub mod arena;
 mod error;
 mod metagraph;
 mod metaop;
@@ -78,6 +79,7 @@ mod system;
 pub mod wavefront;
 
 pub use allocator::{AllocationPlan, DiscreteAllocation, MetaOpAllocation};
+pub use arena::{MetaOpArena, PlanningStats};
 pub use error::PlanError;
 pub use metagraph::{MetaGraph, MetaLevel};
 pub use metaop::{MetaOp, MetaOpId};

@@ -6,12 +6,19 @@
 //! at time zero, run all their operators with a constant (real-valued)
 //! allocation `n*_m`, and finish together at the common completion time `C̃*`
 //! defined by `T_m(n*_m)·L_m = C̃*` and `Σ n*_m = N`.
+//!
+//! The bisection itself is allocation-free: active items live in a reusable
+//! [`MpspScratch`] buffer with their single-device times hoisted, each
+//! iteration sums candidate allocations in place, and the per-MetaOp
+//! allocation map of the public [`ContinuousSolution`] is materialised exactly
+//! once, at convergence.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use spindle_estimator::ScalingCurve;
 
+use crate::arena::MetaOpArena;
 use crate::MetaOpId;
 
 /// One MetaOp's inputs to the continuous problem.
@@ -57,12 +64,130 @@ pub fn continuous_time(curve: &ScalingCurve, n: f64) -> f64 {
 /// operator of the MetaOp takes `time` seconds.
 #[must_use]
 pub fn continuous_inverse(curve: &ScalingCurve, time: f64) -> f64 {
-    let t1 = curve.time(1.0);
+    inverse_hoisted(curve, curve.time(1.0), time)
+}
+
+/// [`continuous_inverse`] with the single-device time `t1 = curve.time(1.0)`
+/// hoisted by the caller — the form the bisection loop uses so it never
+/// re-evaluates the fit at `n = 1`.
+#[inline]
+fn inverse_hoisted(curve: &ScalingCurve, t1: f64, time: f64) -> f64 {
     if time >= t1 {
         // Less than one device suffices.
         (t1 / time).max(1e-6)
     } else {
         curve.inverse(time)
+    }
+}
+
+/// One active (non-empty) item of a solve, with hoisted constants.
+#[derive(Debug, Clone)]
+struct ActiveItem {
+    metaop: MetaOpId,
+    /// `L_m` as a float.
+    weight: f64,
+    /// Hoisted `curve.time(1.0)`.
+    t1: f64,
+    curve: Arc<ScalingCurve>,
+}
+
+/// Reusable working buffers (and probes) of the bisection solver.
+///
+/// A scratch can be reused across any number of [`solve_with`] /
+/// [`solve_level`] calls; its buffers keep their capacity, so steady-state
+/// solves perform no heap allocation. The counters feed
+/// [`PlanningStats`](crate::PlanningStats).
+#[derive(Debug, Default)]
+pub struct MpspScratch {
+    active: Vec<ActiveItem>,
+    solves: u64,
+    iterations: u64,
+    high_water: usize,
+}
+
+impl MpspScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of solves performed through this scratch.
+    #[must_use]
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Total bisection iterations across all solves.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Largest number of simultaneously active items seen — the capacity
+    /// bound of the reused buffer.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Runs one bisection over the currently staged items, consuming them.
+    fn bisect(&mut self, num_devices: u32, epsilon: f64) -> ContinuousSolution {
+        self.solves += 1;
+        self.high_water = self.high_water.max(self.active.len());
+        if self.active.is_empty() || num_devices == 0 {
+            self.active.clear();
+            return ContinuousSolution {
+                optimal_time: 0.0,
+                allocations: BTreeMap::new(),
+            };
+        }
+        let n = f64::from(num_devices);
+
+        // Lower bound: every MetaOp gets the whole cluster (fastest possible);
+        // upper bound: MetaOps run one after another on a single device.
+        let mut t_min = 0.0_f64;
+        let mut t_max = 0.0_f64;
+        for item in &self.active {
+            t_min = t_min.max(continuous_time(&item.curve, n) * item.weight);
+            t_max += item.t1 * item.weight;
+        }
+
+        let mut low = t_min;
+        let mut high = t_max.max(t_min);
+        let eps = epsilon.max(f64::EPSILON);
+        while high - low > eps {
+            self.iterations += 1;
+            let mid = 0.5 * (low + high);
+            let mut total = 0.0_f64;
+            for item in &self.active {
+                total += inverse_hoisted(&item.curve, item.t1, mid / item.weight).min(n);
+            }
+            if total < n {
+                // The cluster is not fully used at this completion time: we
+                // can afford to finish faster.
+                high = mid;
+            } else {
+                low = mid;
+            }
+        }
+        let optimal_time = high;
+        // The only map built by a solve: the public artifact, materialised
+        // once at convergence.
+        let allocations = self
+            .active
+            .iter()
+            .map(|item| {
+                let per_op = optimal_time / item.weight;
+                let alloc = inverse_hoisted(&item.curve, item.t1, per_op).min(n);
+                (item.metaop, alloc)
+            })
+            .collect();
+        self.active.clear();
+        ContinuousSolution {
+            optimal_time,
+            allocations,
+        }
     }
 }
 
@@ -74,89 +199,65 @@ pub fn continuous_inverse(curve: &ScalingCurve, time: f64) -> f64 {
 /// allocations.
 #[must_use]
 pub fn solve(items: &[MpspItem], num_devices: u32, epsilon: f64) -> ContinuousSolution {
-    let items: Vec<&MpspItem> = items.iter().filter(|i| i.num_ops > 0).collect();
-    if items.is_empty() || num_devices == 0 {
-        return ContinuousSolution {
-            optimal_time: 0.0,
-            allocations: BTreeMap::new(),
-        };
-    }
-    let n = f64::from(num_devices);
+    let mut scratch = MpspScratch::new();
+    solve_with(items, num_devices, epsilon, &mut scratch)
+}
 
-    // Lower bound: every MetaOp gets the whole cluster (fastest possible);
-    // upper bound: MetaOps run one after another on a single device.
-    let t_min = items
-        .iter()
-        .map(|i| continuous_time(&i.curve, n) * f64::from(i.num_ops))
-        .fold(0.0_f64, f64::max);
-    let t_max: f64 = items
-        .iter()
-        .map(|i| i.curve.time(1.0) * f64::from(i.num_ops))
-        .sum();
-
-    let allocation_at = |c: f64| -> BTreeMap<MetaOpId, f64> {
-        items
-            .iter()
-            .map(|i| {
-                let per_op = c / f64::from(i.num_ops);
-                let alloc = continuous_inverse(&i.curve, per_op).min(n);
-                (i.metaop, alloc)
-            })
-            .collect()
-    };
-
-    let mut low = t_min;
-    let mut high = t_max.max(t_min);
-    let eps = epsilon.max(f64::EPSILON);
-    while high - low > eps {
-        let mid = 0.5 * (low + high);
-        let total: f64 = allocation_at(mid).values().sum();
-        if total < n {
-            // The cluster is not fully used at this completion time: we can
-            // afford to finish faster.
-            high = mid;
-        } else {
-            low = mid;
+/// [`solve`] with caller-owned scratch buffers, for allocation-free repeated
+/// solves.
+#[must_use]
+pub fn solve_with(
+    items: &[MpspItem],
+    num_devices: u32,
+    epsilon: f64,
+    scratch: &mut MpspScratch,
+) -> ContinuousSolution {
+    scratch.active.clear();
+    for item in items {
+        if item.num_ops == 0 {
+            continue;
         }
+        scratch.active.push(ActiveItem {
+            metaop: item.metaop,
+            weight: f64::from(item.num_ops),
+            t1: item.curve.time(1.0),
+            curve: Arc::clone(&item.curve),
+        });
     }
-    let optimal_time = high;
-    let allocations = allocation_at(optimal_time);
-    ContinuousSolution {
-        optimal_time,
-        allocations,
+    scratch.bisect(num_devices, epsilon)
+}
+
+/// Solves one MetaLevel straight from the dense [`MetaOpArena`] — no
+/// intermediate `MpspItem` vector, and the hoisted `T(1)` comes from the
+/// arena's per-plan cache.
+#[must_use]
+pub fn solve_level(
+    arena: &MetaOpArena,
+    metaops: &[MetaOpId],
+    num_devices: u32,
+    epsilon: f64,
+    scratch: &mut MpspScratch,
+) -> ContinuousSolution {
+    scratch.active.clear();
+    for &id in metaops {
+        let num_ops = arena.num_ops(id);
+        if num_ops == 0 {
+            continue;
+        }
+        scratch.active.push(ActiveItem {
+            metaop: id,
+            weight: f64::from(num_ops),
+            t1: arena.t1(id),
+            curve: Arc::clone(arena.curve(id)),
+        });
     }
+    scratch.bisect(num_devices, epsilon)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spindle_estimator::ProfileSample;
-
-    /// A synthetic curve with near-perfect scaling: T(n) = base / n.
-    fn linear_curve(base: f64, max_n: u32) -> Arc<ScalingCurve> {
-        let samples: Vec<ProfileSample> = (0..)
-            .map(|k| 1u32 << k)
-            .take_while(|&n| n <= max_n)
-            .map(|n| ProfileSample {
-                devices: n,
-                time_s: base / f64::from(n),
-            })
-            .collect();
-        Arc::new(ScalingCurve::from_samples(&samples).unwrap())
-    }
-
-    /// A curve that stops scaling beyond 2 devices.
-    fn saturating_curve(base: f64, max_n: u32) -> Arc<ScalingCurve> {
-        let samples: Vec<ProfileSample> = (0..)
-            .map(|k| 1u32 << k)
-            .take_while(|&n| n <= max_n)
-            .map(|n| ProfileSample {
-                devices: n,
-                time_s: base / f64::from(n.min(2)),
-            })
-            .collect();
-        Arc::new(ScalingCurve::from_samples(&samples).unwrap())
-    }
+    use spindle_estimator::test_util::{linear_curve, saturating_curve};
 
     fn item(id: u32, num_ops: u32, curve: Arc<ScalingCurve>) -> MpspItem {
         MpspItem {
@@ -262,5 +363,28 @@ mod tests {
         assert!((continuous_time(&c, 0.5) - 2.0).abs() < 1e-9);
         assert!((continuous_inverse(&c, 2.0) - 0.5).abs() < 1e-9);
         assert!((continuous_inverse(&c, 0.25) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_solves_and_counts_work() {
+        let items_a = vec![
+            item(0, 12, linear_curve(2.0, 16)),
+            item(1, 6, saturating_curve(1.0, 16)),
+        ];
+        let items_b = vec![item(2, 20, linear_curve(0.5, 16))];
+        let mut scratch = MpspScratch::new();
+        let a = solve_with(&items_a, 16, DEFAULT_EPSILON, &mut scratch);
+        let b = solve_with(&items_b, 16, DEFAULT_EPSILON, &mut scratch);
+        let a_fresh = solve(&items_a, 16, DEFAULT_EPSILON);
+        let b_fresh = solve(&items_b, 16, DEFAULT_EPSILON);
+        assert_eq!(a.allocations, a_fresh.allocations);
+        assert_eq!(b.allocations, b_fresh.allocations);
+        assert_eq!(a.optimal_time, a_fresh.optimal_time);
+        assert_eq!(b.optimal_time, b_fresh.optimal_time);
+        assert_eq!(scratch.solves(), 2);
+        assert!(scratch.iterations() > 0);
+        // High water equals the larger staging set, not the sum: the buffer
+        // was reused, not regrown.
+        assert_eq!(scratch.high_water(), 2);
     }
 }

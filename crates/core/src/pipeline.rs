@@ -23,8 +23,9 @@ use spindle_cluster::ClusterSpec;
 use spindle_estimator::{ScalabilityEstimator, ScalingCurve};
 use spindle_graph::ComputationGraph;
 
-use crate::mpsp::{self, MpspItem};
-use crate::wavefront::CurveMap;
+use crate::arena::{MetaOpArena, PlanningStats};
+use crate::mpsp::{self, MpspItem, MpspScratch};
+use crate::wavefront::{CurveMap, WavefrontScratch};
 use crate::{allocator, ExecutionPlan, MetaGraph, MetaOpId, PlacementPolicy, PlanError, Wave};
 
 /// Stage-1 artifact: the contracted MetaGraph of a workload.
@@ -133,11 +134,16 @@ pub struct LevelSchedule {
     waves: Vec<Wave>,
     theoretical_optimum: f64,
     num_devices: u32,
+    stats: PlanningStats,
 }
 
 impl LevelSchedule {
     /// Allocates and schedules every MetaLevel (§3.3 + §3.4) and attaches
     /// per-entry memory estimates for the placement stage.
+    ///
+    /// All per-level working state lives in a dense [`MetaOpArena`] plus
+    /// reusable MPSP/wavefront scratch buffers: steady-state levels allocate
+    /// nothing beyond the produced wave artifacts.
     #[must_use]
     pub fn build(
         contracted: &ContractedGraph,
@@ -147,41 +153,74 @@ impl LevelSchedule {
         epsilon: f64,
     ) -> Self {
         let metagraph = contracted.metagraph();
+        let arena = MetaOpArena::build(metagraph, curves);
+        let mut mpsp_scratch = MpspScratch::new();
+        let mut wavefront_scratch = WavefrontScratch::new();
         let mut waves: Vec<Wave> = Vec::new();
         let mut theoretical_optimum = 0.0;
         let mut now = 0.0;
         for level in metagraph.levels() {
-            let items = level_items(metagraph, &level.metaops, curves);
-            let solution = mpsp::solve(&items, num_devices, epsilon);
+            let solution = mpsp::solve_level(
+                &arena,
+                &level.metaops,
+                num_devices,
+                epsilon,
+                &mut mpsp_scratch,
+            );
             theoretical_optimum += solution.optimal_time;
-            let alloc_plan = allocator::discretize(&solution, &items);
-            let (level_waves, end) = crate::wavefront::schedule_level(
+            let alloc_plan = allocator::discretize_level(&solution, &arena, &level.metaops);
+            let (level_waves, end) = crate::wavefront::schedule_level_dense(
                 &alloc_plan,
-                curves.as_map(),
+                &arena,
                 num_devices,
                 level.index,
                 now,
                 waves.len(),
+                &mut wavefront_scratch,
             );
             waves.extend(level_waves);
             now = end;
         }
 
         // Per-entry memory estimates feed the placement's memory balancing.
+        // Entries of one MetaOp recur across waves at the same allocation, so
+        // memoise per (metaop, devices) to avoid re-running the model sweep.
+        let mut memo: Vec<Vec<(u32, u64)>> = vec![Vec::new(); arena.len()];
         for wave in &mut waves {
             for entry in &mut wave.entries {
-                let rep = metagraph.metaop(entry.metaop).representative();
-                entry.memory_per_device = estimator
-                    .memory_bytes(rep, entry.devices)
-                    .saturating_mul(u64::from(entry.layers));
+                let known = memo[entry.metaop.index()]
+                    .iter()
+                    .find(|&&(n, _)| n == entry.devices)
+                    .map(|&(_, bytes)| bytes);
+                let per_op = known.unwrap_or_else(|| {
+                    let rep = metagraph.metaop(entry.metaop).representative();
+                    let bytes = estimator.memory_bytes(rep, entry.devices);
+                    memo[entry.metaop.index()].push((entry.devices, bytes));
+                    bytes
+                });
+                entry.memory_per_device = per_op.saturating_mul(u64::from(entry.layers));
             }
         }
 
+        let stats = PlanningStats {
+            mpsp_solves: mpsp_scratch.solves(),
+            bisection_iterations: mpsp_scratch.iterations(),
+            waves_crafted: wavefront_scratch.waves_crafted(),
+            mpsp_scratch_high_water: mpsp_scratch.high_water(),
+            wavefront_scratch_high_water: wavefront_scratch.high_water(),
+        };
         Self {
             waves,
             theoretical_optimum,
             num_devices,
+            stats,
         }
+    }
+
+    /// Hot-path counters of the pass that built this schedule.
+    #[must_use]
+    pub fn stats(&self) -> PlanningStats {
+        self.stats
     }
 
     /// The scheduled waves, in execution order (unplaced).
@@ -249,17 +288,27 @@ pub fn theoretical_optimum(
     epsilon: f64,
 ) -> f64 {
     let metagraph = contracted.metagraph();
+    let arena = MetaOpArena::build(metagraph, curves);
+    let mut scratch = MpspScratch::new();
     metagraph
         .levels()
         .iter()
         .map(|level| {
-            let items = level_items(metagraph, &level.metaops, curves);
-            mpsp::solve(&items, num_devices, epsilon).optimal_time
+            mpsp::solve_level(&arena, &level.metaops, num_devices, epsilon, &mut scratch)
+                .optimal_time
         })
         .sum()
 }
 
-fn level_items(metagraph: &MetaGraph, metaops: &[MetaOpId], curves: &CurveSet) -> Vec<MpspItem> {
+/// Builds the [`MpspItem`]s of one MetaLevel — the map-based form consumed by
+/// the standalone [`mpsp::solve`] entry point (benches, tests, baselines).
+/// The pipeline itself goes through [`MetaOpArena`] instead.
+#[must_use]
+pub fn level_items(
+    metagraph: &MetaGraph,
+    metaops: &[MetaOpId],
+    curves: &CurveSet,
+) -> Vec<MpspItem> {
     metaops
         .iter()
         .map(|&id| MpspItem {

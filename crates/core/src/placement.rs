@@ -11,8 +11,6 @@
 //!    memory-first assignment (the paper's "alternative placements with
 //!    sub-optimal communication costs and better memory balance").
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use spindle_cluster::{ClusterSpec, DeviceGroup, DeviceId};
 
 use crate::{ExecutionPlan, MetaOpId, PlanError};
@@ -141,85 +139,104 @@ fn place_sequential(plan: &mut ExecutionPlan) {
 }
 
 /// Locality-, communication- and memory-aware placement.
+///
+/// All working state is dense and reused across waves: device sets are
+/// `Vec`-indexed by `DeviceId`, per-MetaOp state by `MetaOpId`, and the
+/// MetaGraph adjacency is extracted once up front instead of being re-scanned
+/// (and re-allocated) per entry.
 fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
     let islands = cluster.islands();
     let capacity = cluster.device_memory_bytes();
     let num_devices = cluster.num_devices();
-    let mut memory_used: Vec<u64> = vec![0; num_devices];
-    let mut resident: BTreeSet<(MetaOpId, DeviceId)> = BTreeSet::new();
-    let mut last_placement: BTreeMap<MetaOpId, DeviceGroup> = BTreeMap::new();
+    let num_metaops = plan.metagraph().num_metaops();
 
-    // Communication volume of each MetaOp: bytes it receives plus bytes it
-    // sends along MetaGraph edges (guides guideline 2).
-    let metagraph = plan.metagraph().clone();
-    let mut volume: BTreeMap<MetaOpId, u64> = BTreeMap::new();
-    for metaop in metagraph.metaops() {
-        let incoming: u64 = metagraph
-            .predecessors(metaop.id())
+    // Dense adjacency and communication volume of each MetaOp: bytes it
+    // receives plus bytes it sends along MetaGraph edges (guides guideline 2).
+    // Extracted before the placement loop so the MetaGraph is never cloned.
+    let mut preds: Vec<Vec<MetaOpId>> = vec![Vec::new(); num_metaops];
+    let mut succs: Vec<Vec<MetaOpId>> = vec![Vec::new(); num_metaops];
+    for &(a, b) in plan.metagraph().edges() {
+        preds[b.index()].push(a);
+        succs[a.index()].push(b);
+    }
+    let mut volume: Vec<u64> = vec![0; num_metaops];
+    for metaop in plan.metagraph().metaops() {
+        let i = metaop.id().index();
+        let incoming: u64 = preds[i]
             .iter()
-            .map(|&p| metagraph.metaop(p).representative().output_bytes())
+            .map(|&p| plan.metagraph().metaop(p).representative().output_bytes())
             .sum();
-        let outgoing =
-            metaop.representative().output_bytes() * metagraph.successors(metaop.id()).len() as u64;
-        volume.insert(metaop.id(), incoming + outgoing);
+        let outgoing = metaop.representative().output_bytes() * succs[i].len() as u64;
+        volume[i] = incoming + outgoing;
     }
 
-    for wave in plan.waves_mut() {
-        let mut free: BTreeSet<DeviceId> = cluster.all_devices().iter().collect();
-        // Guideline 2: place the most communication-intensive entries first.
-        let mut order: Vec<usize> = (0..wave.entries.len()).collect();
-        order.sort_by_key(|&i| {
-            std::cmp::Reverse(volume.get(&wave.entries[i].metaop).copied().unwrap_or(0))
-        });
+    let mut memory_used: Vec<u64> = vec![0; num_devices];
+    let mut resident: Vec<bool> = vec![false; num_metaops * num_devices];
+    let mut last_placement: Vec<Option<DeviceGroup>> = vec![None; num_metaops];
+    let mut free: Vec<bool> = vec![false; num_devices];
+    let mut affinity: Vec<i64> = vec![0; num_devices];
+    let mut order: Vec<usize> = Vec::new();
+    let mut island_order: Vec<usize> = Vec::new();
+    let mut candidates: Vec<DeviceId> = Vec::new();
+    let mut chosen: Vec<DeviceId> = Vec::new();
 
-        for idx in order {
+    for wave in plan.waves_mut() {
+        free.fill(true);
+        // Guideline 2: place the most communication-intensive entries first.
+        order.clear();
+        order.extend(0..wave.entries.len());
+        order.sort_by_key(|&i| std::cmp::Reverse(volume[wave.entries[i].metaop.index()]));
+
+        for &idx in order.iter() {
             let entry = &wave.entries[idx];
             let needed = (entry.devices as usize).min(num_devices);
-            // Affinity of each free device for this entry.
-            let mut affinity: BTreeMap<DeviceId, i64> = BTreeMap::new();
-            let mark = |group: Option<&DeviceGroup>,
-                        weight: i64,
-                        affinity: &mut BTreeMap<DeviceId, i64>| {
+            // Affinity of each device for this entry.
+            affinity.fill(0);
+            let mark = |group: Option<&DeviceGroup>, weight: i64, affinity: &mut Vec<i64>| {
                 if let Some(g) = group {
                     for d in g.iter() {
-                        *affinity.entry(d).or_insert(0) += weight;
+                        affinity[d.index()] += weight;
                     }
                 }
             };
-            mark(last_placement.get(&entry.metaop), 4, &mut affinity);
-            for pred in metagraph.predecessors(entry.metaop) {
-                mark(last_placement.get(&pred), 2, &mut affinity);
+            mark(
+                last_placement[entry.metaop.index()].as_ref(),
+                4,
+                &mut affinity,
+            );
+            for &pred in &preds[entry.metaop.index()] {
+                mark(last_placement[pred.index()].as_ref(), 2, &mut affinity);
             }
             // Sibling affinity: co-locate with MetaOps that feed the same
             // successor, so the successor's inputs end up on one island.
-            for succ in metagraph.successors(entry.metaop) {
-                for sibling in metagraph.predecessors(succ) {
+            for &succ in &succs[entry.metaop.index()] {
+                for &sibling in &preds[succ.index()] {
                     if sibling != entry.metaop {
-                        mark(last_placement.get(&sibling), 1, &mut affinity);
+                        mark(last_placement[sibling.index()].as_ref(), 1, &mut affinity);
                     }
                 }
             }
 
             // Guideline 1: choose islands first, preferring islands with
             // enough free devices, high affinity and plenty of free memory.
-            let mut island_order: Vec<usize> = (0..islands.len()).collect();
+            island_order.clear();
+            island_order.extend(0..islands.len());
             island_order.sort_by_key(|&k| {
                 let island = &islands[k];
-                let free_here: Vec<DeviceId> =
-                    island.devices.iter().filter(|d| free.contains(d)).collect();
-                let fits = free_here.len() >= needed;
+                let mut free_count = 0usize;
+                let mut free_mem = 0u64;
                 // Affinity counts every device of the island (even occupied
                 // ones): being on the same island as a producer is what makes
                 // the data flow cheap, regardless of which sibling occupies it.
-                let aff: i64 = island
-                    .devices
-                    .iter()
-                    .map(|d| affinity.get(&d).copied().unwrap_or(0))
-                    .sum();
-                let free_mem: u64 = free_here
-                    .iter()
-                    .map(|d| capacity.saturating_sub(memory_used[d.index()]))
-                    .sum();
+                let mut aff = 0i64;
+                for d in island.devices.iter() {
+                    aff += affinity[d.index()];
+                    if free[d.index()] {
+                        free_count += 1;
+                        free_mem += capacity.saturating_sub(memory_used[d.index()]);
+                    }
+                }
+                let fits = free_count >= needed;
                 (
                     std::cmp::Reverse(fits),
                     std::cmp::Reverse(aff),
@@ -227,25 +244,22 @@ fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
                 )
             });
 
-            let mut chosen: Vec<DeviceId> = Vec::with_capacity(needed);
+            chosen.clear();
             for &k in &island_order {
                 if chosen.len() >= needed {
                     break;
                 }
-                let mut candidates: Vec<DeviceId> = islands[k]
-                    .devices
-                    .iter()
-                    .filter(|d| free.contains(d))
-                    .collect();
+                candidates.clear();
+                candidates.extend(islands[k].devices.iter().filter(|d| free[d.index()]));
                 // Guideline 3 tie-break: most affine, then most free memory.
                 candidates.sort_by_key(|d| {
                     (
-                        std::cmp::Reverse(affinity.get(d).copied().unwrap_or(0)),
+                        std::cmp::Reverse(affinity[d.index()]),
                         memory_used[d.index()],
                         d.0,
                     )
                 });
-                for d in candidates {
+                for &d in candidates.iter() {
                     if chosen.len() >= needed {
                         break;
                     }
@@ -260,19 +274,28 @@ fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
                 .iter()
                 .any(|d| memory_used[d.index()] + per_device > capacity);
             if would_overflow {
-                let mut by_memory: Vec<DeviceId> = free.iter().copied().collect();
-                by_memory.sort_by_key(|d| (memory_used[d.index()], d.0));
-                chosen = by_memory.into_iter().take(needed).collect();
+                candidates.clear();
+                candidates.extend(
+                    (0..num_devices)
+                        .filter(|&i| free[i])
+                        .map(|i| DeviceId(i as u32)),
+                );
+                candidates.sort_by_key(|d| (memory_used[d.index()], d.0));
+                chosen.clear();
+                chosen.extend(candidates.iter().take(needed));
             }
 
+            let metaop = wave.entries[idx].metaop;
             for &d in &chosen {
-                free.remove(&d);
-                if resident.insert((wave.entries[idx].metaop, d)) {
+                free[d.index()] = false;
+                let slot = metaop.index() * num_devices + d.index();
+                if !resident[slot] {
+                    resident[slot] = true;
                     memory_used[d.index()] = memory_used[d.index()].saturating_add(per_device);
                 }
             }
             let group: DeviceGroup = chosen.iter().copied().collect();
-            last_placement.insert(wave.entries[idx].metaop, group.clone());
+            last_placement[metaop.index()] = Some(group.clone());
             wave.entries[idx].placement = Some(group);
         }
     }

@@ -9,7 +9,7 @@ use spindle_estimator::{CurveCacheStats, ScalabilityEstimator};
 use spindle_graph::ComputationGraph;
 
 use crate::pipeline::{self, ContractedGraph, CurveSet, LevelSchedule};
-use crate::{mpsp, ExecutionPlan, PlacementStrategy, PlanError};
+use crate::{mpsp, ExecutionPlan, PlacementStrategy, PlanError, PlanningStats};
 
 /// Tunable knobs of the planner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +73,7 @@ pub struct SpindleSession {
     estimator: Arc<ScalabilityEstimator>,
     config: PlannerConfig,
     plans_produced: usize,
+    stats: PlanningStats,
 }
 
 impl SpindleSession {
@@ -105,6 +106,7 @@ impl SpindleSession {
             estimator,
             config,
             plans_produced: 0,
+            stats: PlanningStats::default(),
         }
     }
 
@@ -171,6 +173,16 @@ impl SpindleSession {
         self.estimator.cache_stats()
     }
 
+    /// Accumulated hot-path counters over every plan this session produced:
+    /// bisection iterations, waves crafted and the scratch-buffer high-water
+    /// marks. Benches and tests use these to assert the allocation-free
+    /// planning invariants (e.g. the MPSP scratch never grows beyond the
+    /// largest level) instead of trusting them.
+    #[must_use]
+    pub fn planning_stats(&self) -> PlanningStats {
+        self.stats
+    }
+
     /// Stage 1: contracts a workload graph into its MetaGraph.
     #[must_use]
     pub fn contract(&self, graph: &ComputationGraph) -> ContractedGraph {
@@ -207,13 +219,105 @@ impl SpindleSession {
     /// Returns [`PlanError::EmptyCluster`] for clusters without devices and
     /// [`PlanError::NoCurve`] if an operator cannot be profiled.
     pub fn plan(&mut self, graph: &ComputationGraph) -> Result<ExecutionPlan, PlanError> {
-        let started = Instant::now();
         if self.cluster.num_devices() == 0 {
             return Err(PlanError::EmptyCluster);
         }
+        let (plan, stats) = self.plan_shared(graph)?;
+        self.stats.merge(&stats);
+        self.plans_produced += 1;
+        Ok(plan)
+    }
+
+    /// Plans several independent phase graphs concurrently, one scoped worker
+    /// thread per phase, all sharing this session's curve cache (phase
+    /// workers that hit signatures another phase already fitted serve them
+    /// straight from the cache's read path).
+    ///
+    /// This is the re-planning fast path for dynamic schedules (Appendix D /
+    /// Fig. 13): the task mix of every phase is known up front, so the phases
+    /// can be planned in parallel instead of one after another. Plans are
+    /// returned in the order of `graphs`, and the produced plans are
+    /// identical to sequential [`plan`](Self::plan) calls.
+    ///
+    /// The worker count is capped at the machine's available parallelism
+    /// (phases are striped across workers); when only one hardware thread is
+    /// available — or only one phase was passed — planning runs inline, since
+    /// a spawned thread would add scheduling overhead without concurrency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::EmptyCluster`] for clusters without devices and
+    /// the first phase's [`PlanError::NoCurve`] if an operator cannot be
+    /// profiled. Plans of phases that succeeded before the failing one are
+    /// discarded, but their fitted curves stay in the session cache.
+    pub fn plan_phases_parallel(
+        &mut self,
+        graphs: &[&ComputationGraph],
+    ) -> Result<Vec<ExecutionPlan>, PlanError> {
+        if self.cluster.num_devices() == 0 {
+            return Err(PlanError::EmptyCluster);
+        }
+        let workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(graphs.len());
+        let results: Vec<Result<(ExecutionPlan, PlanningStats), PlanError>> = if workers <= 1 {
+            graphs.iter().map(|graph| self.plan_shared(graph)).collect()
+        } else {
+            let shared: &Self = self;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            graphs
+                                .iter()
+                                .enumerate()
+                                .skip(w)
+                                .step_by(workers)
+                                .map(|(i, graph)| (i, shared.plan_shared(graph)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut slots: Vec<Option<Result<(ExecutionPlan, PlanningStats), PlanError>>> =
+                    (0..graphs.len()).map(|_| None).collect();
+                for handle in handles {
+                    for (i, result) in handle.join().expect("phase planning worker panicked") {
+                        slots[i] = Some(result);
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("striped workers cover every phase"))
+                    .collect()
+            })
+        };
+        // Surface any failure before touching the session counters: a failed
+        // pass must not leave `plans_produced`/`planning_stats` accounting
+        // for plans the caller never received.
+        let mut produced = Vec::with_capacity(results.len());
+        for result in results {
+            produced.push(result?);
+        }
+        let mut plans = Vec::with_capacity(produced.len());
+        for (plan, stats) in produced {
+            self.stats.merge(&stats);
+            self.plans_produced += 1;
+            plans.push(plan);
+        }
+        Ok(plans)
+    }
+
+    /// One full pipeline pass against `&self` only — shared by the sequential
+    /// and the phase-parallel entry points.
+    fn plan_shared(
+        &self,
+        graph: &ComputationGraph,
+    ) -> Result<(ExecutionPlan, PlanningStats), PlanError> {
+        let started = Instant::now();
         let contracted = self.contract(graph);
         let curves = self.resolve_curves(&contracted)?;
         let schedule = self.schedule(&contracted, &curves);
+        let stats = schedule.stats();
         let mut plan = schedule.place(
             &contracted,
             &self.cluster,
@@ -221,8 +325,7 @@ impl SpindleSession {
             started.elapsed(),
         )?;
         plan.set_planning_time(started.elapsed());
-        self.plans_produced += 1;
-        Ok(plan)
+        Ok((plan, stats))
     }
 
     /// The theoretical optimum `Σ C̃*` of a workload on this session's
@@ -372,6 +475,93 @@ mod tests {
         let direct = session.theoretical_optimum(&graph).unwrap();
         let plan = session.plan(&graph).unwrap();
         assert!((direct - plan.theoretical_optimum()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_phase_planning_matches_sequential() {
+        let schedule_graphs = [workload(), workload()];
+        let extra = {
+            // A third, different phase so the parallel pass mixes cached and
+            // fresh signatures.
+            let mut b = GraphBuilder::new();
+            let t = b.add_task("solo", [Modality::Depth, Modality::Text], 16);
+            let tower = b
+                .add_op_chain(
+                    t,
+                    OpKind::Encoder(Modality::Depth),
+                    TensorShape::new(16, 99, 512),
+                    8,
+                )
+                .unwrap();
+            let loss = b
+                .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(16, 1, 512))
+                .unwrap();
+            b.add_flow(*tower.last().unwrap(), loss).unwrap();
+            b.build().unwrap()
+        };
+        let graphs: Vec<&ComputationGraph> = vec![&schedule_graphs[0], &schedule_graphs[1], &extra];
+
+        let mut sequential = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+        let expected: Vec<_> = graphs.iter().map(|g| sequential.plan(g).unwrap()).collect();
+
+        let mut parallel = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+        let got = parallel.plan_phases_parallel(&graphs).unwrap();
+        assert_eq!(got.len(), expected.len());
+        for (p, e) in got.iter().zip(&expected) {
+            assert_eq!(p.waves(), e.waves());
+            assert!((p.theoretical_optimum() - e.theoretical_optimum()).abs() < 1e-12);
+        }
+        assert_eq!(parallel.plans_produced(), 3);
+        assert_eq!(
+            parallel.planning_stats().waves_crafted,
+            sequential.planning_stats().waves_crafted
+        );
+        // The shared cache never fits one signature twice, even when phases
+        // race on it.
+        assert_eq!(parallel.curve_fits(), parallel.cached_curves());
+    }
+
+    #[test]
+    fn parallel_phase_planning_on_warm_session_performs_no_fits() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        session.plan(&graph).unwrap();
+        let fits = session.curve_fits();
+        let graphs = vec![&graph, &graph, &graph, &graph];
+        let plans = session.plan_phases_parallel(&graphs).unwrap();
+        assert_eq!(plans.len(), 4);
+        assert_eq!(session.curve_fits(), fits, "warm phases must not re-fit");
+        assert_eq!(session.plans_produced(), 5);
+    }
+
+    #[test]
+    fn planning_stats_expose_hot_path_counters() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        assert_eq!(session.planning_stats(), crate::PlanningStats::default());
+        let plan = session.plan(&graph).unwrap();
+        let stats = session.planning_stats();
+        assert!(stats.mpsp_solves > 0);
+        assert!(stats.bisection_iterations > 0);
+        assert_eq!(stats.waves_crafted, plan.num_waves() as u64);
+        // Zero-alloc invariant: the scratch buffers never grow beyond the
+        // largest level of the workload.
+        let contracted = session.contract(&graph);
+        let largest_level = contracted
+            .metagraph()
+            .levels()
+            .iter()
+            .map(|l| l.metaops.len())
+            .max()
+            .unwrap();
+        assert!(stats.mpsp_scratch_high_water <= largest_level);
+        assert!(stats.wavefront_scratch_high_water <= largest_level);
+        // A second plan accumulates.
+        session.plan(&graph).unwrap();
+        assert_eq!(
+            session.planning_stats().waves_crafted,
+            2 * plan.num_waves() as u64
+        );
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! devices as possible, (2) extends allocations when devices would otherwise
 //! idle, and (3) aligns the time spans of its entries by slicing MetaOps, so
 //! that no device waits for a straggler.
+//!
+//! The crafting loop is index-based and allocation-free: pending MetaOps keep
+//! an incrementally maintained `remaining` execution time and a cached head
+//! tuple, their ASL-tuples live in one flat reusable buffer, and the sort
+//! orders reuse scratch vectors — nothing is recomputed inside comparators.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -13,12 +18,13 @@ use std::sync::Arc;
 use spindle_estimator::ScalingCurve;
 
 use crate::allocator::AllocationPlan;
+use crate::arena::MetaOpArena;
 use crate::{MetaOpId, Wave, WaveEntry};
 
 /// Per-MetaOp scaling curves, needed when the scheduler extends allocations.
 pub type CurveMap = BTreeMap<MetaOpId, Arc<ScalingCurve>>;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct PendingTuple {
     devices: u32,
     layers_left: u32,
@@ -28,19 +34,54 @@ struct PendingTuple {
 #[derive(Debug, Clone)]
 struct PendingMetaOp {
     metaop: MetaOpId,
-    tuples: Vec<PendingTuple>,
+    curve: Option<Arc<ScalingCurve>>,
+    /// Index of the first unfinished tuple in [`WavefrontScratch::tuples`].
+    head: u32,
+    /// One past the last tuple of this MetaOp in the flat buffer.
+    end: u32,
+    /// Incrementally maintained total remaining execution time.
+    remaining: f64,
 }
 
 impl PendingMetaOp {
-    fn remaining_time(&self) -> f64 {
-        self.tuples
-            .iter()
-            .map(|t| f64::from(t.layers_left) * t.time_per_op)
-            .sum()
+    fn is_done(&self) -> bool {
+        self.head >= self.end
+    }
+}
+
+/// Reusable working buffers (and probes) of the wavefront scheduler.
+///
+/// A scratch can be reused across levels and plans; its buffers keep their
+/// capacity so steady-state scheduling performs no heap allocation beyond the
+/// produced [`Wave`] artifacts themselves.
+#[derive(Debug, Default)]
+pub struct WavefrontScratch {
+    pending: Vec<PendingMetaOp>,
+    tuples: Vec<PendingTuple>,
+    order: Vec<u32>,
+    selected: Vec<u32>,
+    extension_order: Vec<u32>,
+    waves_crafted: u64,
+    high_water: usize,
+}
+
+impl WavefrontScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    fn is_done(&self) -> bool {
-        self.tuples.iter().all(|t| t.layers_left == 0)
+    /// Total waves crafted through this scratch.
+    #[must_use]
+    pub fn waves_crafted(&self) -> u64 {
+        self.waves_crafted
+    }
+
+    /// Largest pending set seen — the capacity bound of the reused buffers.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -63,66 +104,132 @@ pub fn schedule_level(
     start_time: f64,
     first_wave_index: usize,
 ) -> (Vec<Wave>, f64) {
-    let mut pending: Vec<PendingMetaOp> = plan
-        .allocations
-        .iter()
-        .map(|a| PendingMetaOp {
-            metaop: a.metaop,
-            tuples: a
-                .tuples
-                .iter()
-                .filter(|t| t.layers > 0)
-                .map(|t| PendingTuple {
+    let mut scratch = WavefrontScratch::new();
+    schedule_level_with(
+        plan,
+        |id| curves.get(&id).cloned(),
+        num_devices,
+        level,
+        start_time,
+        first_wave_index,
+        &mut scratch,
+    )
+}
+
+/// [`schedule_level`] with curve lookup served by the dense [`MetaOpArena`]
+/// and caller-owned scratch buffers — the planning pipeline's hot path.
+#[must_use]
+pub fn schedule_level_dense(
+    plan: &AllocationPlan,
+    arena: &MetaOpArena,
+    num_devices: u32,
+    level: usize,
+    start_time: f64,
+    first_wave_index: usize,
+    scratch: &mut WavefrontScratch,
+) -> (Vec<Wave>, f64) {
+    schedule_level_with(
+        plan,
+        |id| Some(Arc::clone(arena.curve(id))),
+        num_devices,
+        level,
+        start_time,
+        first_wave_index,
+        scratch,
+    )
+}
+
+fn schedule_level_with<F>(
+    plan: &AllocationPlan,
+    lookup: F,
+    num_devices: u32,
+    level: usize,
+    start_time: f64,
+    first_wave_index: usize,
+    scratch: &mut WavefrontScratch,
+) -> (Vec<Wave>, f64)
+where
+    F: Fn(MetaOpId) -> Option<Arc<ScalingCurve>>,
+{
+    scratch.pending.clear();
+    scratch.tuples.clear();
+    for a in &plan.allocations {
+        let start = scratch.tuples.len() as u32;
+        let mut remaining = 0.0_f64;
+        for t in &a.tuples {
+            if t.layers > 0 {
+                scratch.tuples.push(PendingTuple {
                     devices: t.devices.max(1),
                     layers_left: t.layers,
                     time_per_op: t.time_per_op,
-                })
-                .collect(),
-        })
-        .filter(|p| !p.is_done())
-        .collect();
+                });
+                remaining += f64::from(t.layers) * t.time_per_op;
+            }
+        }
+        let end = scratch.tuples.len() as u32;
+        if end > start {
+            scratch.pending.push(PendingMetaOp {
+                metaop: a.metaop,
+                curve: lookup(a.metaop),
+                head: start,
+                end,
+                remaining,
+            });
+        }
+    }
+    scratch.high_water = scratch.high_water.max(scratch.pending.len());
 
     let mut waves = Vec::new();
     let mut now = start_time;
     let mut wave_index = first_wave_index;
 
-    while !pending.is_empty() {
-        let wave = craft_wave(&mut pending, curves, num_devices, level, now, wave_index);
+    while !scratch.pending.is_empty() {
+        let wave = craft_wave(scratch, num_devices, level, now, wave_index);
         now = wave.end();
         wave_index += 1;
         waves.push(wave);
-        pending.retain(|p| !p.is_done());
+        scratch.pending.retain(|p| !p.is_done());
     }
     (waves, now)
 }
 
 /// Crafts a single wave, mutating the pending set (Alg. 1 lines 3–7).
 fn craft_wave(
-    pending: &mut [PendingMetaOp],
-    curves: &CurveMap,
+    scratch: &mut WavefrontScratch,
     num_devices: u32,
     level: usize,
     start: f64,
     index: usize,
 ) -> Wave {
+    let WavefrontScratch {
+        pending,
+        tuples,
+        order,
+        selected,
+        extension_order,
+        waves_crafted,
+        ..
+    } = scratch;
+    *waves_crafted += 1;
+
     // Step 1: propose a candidate set, greedily filling devices. Candidates
     // are the head tuple of each unfinished MetaOp, largest allocations first.
-    let mut order: Vec<usize> = (0..pending.len())
-        .filter(|&i| !pending[i].is_done())
-        .collect();
+    // The comparator reads cached state only: head tuples are indexed
+    // directly and `remaining` is maintained incrementally.
+    order.clear();
+    order.extend(0..pending.len() as u32);
     order.sort_by(|&a, &b| {
-        let ta = &pending[a].tuples[head(&pending[a])];
-        let tb = &pending[b].tuples[head(&pending[b])];
-        tb.devices.cmp(&ta.devices).then(
-            pending[b]
-                .remaining_time()
-                .total_cmp(&pending[a].remaining_time()),
-        )
+        let pa = &pending[a as usize];
+        let pb = &pending[b as usize];
+        tuples[pb.head as usize]
+            .devices
+            .cmp(&tuples[pa.head as usize].devices)
+            .then(pb.remaining.total_cmp(&pa.remaining))
     });
-    let mut selected: Vec<usize> = Vec::new();
+    selected.clear();
     let mut used = 0u32;
-    for &i in &order {
-        let n = pending[i].tuples[head(&pending[i])]
+    for &i in order.iter() {
+        let n = tuples[pending[i as usize].head as usize]
             .devices
             .min(num_devices);
         if used + n <= num_devices {
@@ -134,34 +241,39 @@ fn craft_wave(
         // Guaranteed progress: schedule the smallest candidate alone.
         if let Some(&i) = order.last() {
             selected.push(i);
-            used = pending[i].tuples[head(&pending[i])]
+            used = tuples[pending[i as usize].head as usize]
                 .devices
                 .min(num_devices);
         }
     }
 
     // Step 2: extend allocations if devices would idle, prioritising MetaOps
-    // with the largest remaining execution time.
+    // with the largest remaining execution time. The priority is re-ranked at
+    // every round: granting an extension shrinks a MetaOp's remaining time,
+    // so the order of the previous round is stale.
     let mut spare = num_devices.saturating_sub(used);
     if spare > 0 {
-        let mut by_remaining: Vec<usize> = selected.clone();
-        by_remaining.sort_by(|&a, &b| {
-            pending[b]
-                .remaining_time()
-                .total_cmp(&pending[a].remaining_time())
-        });
+        extension_order.clear();
+        extension_order.extend_from_slice(selected);
         let mut progressed = true;
         while spare > 0 && progressed {
             progressed = false;
-            for &i in &by_remaining {
-                let h = head(&pending[i]);
-                let tuple = &pending[i].tuples[h];
-                let current = tuple.devices.min(num_devices);
+            extension_order.sort_by(|&a, &b| {
+                pending[b as usize]
+                    .remaining
+                    .total_cmp(&pending[a as usize].remaining)
+            });
+            for &i in extension_order.iter() {
+                let p = &pending[i as usize];
+                let h = p.head as usize;
+                let current = tuples[h].devices.min(num_devices);
                 if let Some((next_n, next_t)) =
-                    next_valid_allocation(curves.get(&pending[i].metaop), current, current + spare)
+                    next_valid_allocation(p.curve.as_deref(), current, current + spare)
                 {
                     let extra = next_n - current;
-                    let tuple = &mut pending[i].tuples[h];
+                    let tuple = &mut tuples[h];
+                    pending[i as usize].remaining +=
+                        f64::from(tuple.layers_left) * (next_t - tuple.time_per_op);
                     tuple.devices = next_n;
                     tuple.time_per_op = next_t;
                     spare -= extra;
@@ -179,16 +291,15 @@ fn craft_wave(
     let wave_span = selected
         .iter()
         .map(|&i| {
-            let t = &pending[i].tuples[head(&pending[i])];
+            let t = &tuples[pending[i as usize].head as usize];
             f64::from(t.layers_left) * t.time_per_op
         })
         .fold(f64::INFINITY, f64::min);
 
     let mut entries = Vec::with_capacity(selected.len());
-    for &i in &selected {
-        let h = head(&pending[i]);
-        let metaop = pending[i].metaop;
-        let tuple = &mut pending[i].tuples[h];
+    for &i in selected.iter() {
+        let p = &mut pending[i as usize];
+        let tuple = &mut tuples[p.head as usize];
         let fit = if tuple.time_per_op > 0.0 {
             ((wave_span / tuple.time_per_op) + 1e-9).floor() as u32
         } else {
@@ -196,12 +307,19 @@ fn craft_wave(
         };
         let layers = fit.clamp(1, tuple.layers_left);
         tuple.layers_left -= layers;
-        entries.push(WaveEntry::new(
-            metaop,
+        p.remaining -= f64::from(layers) * tuple.time_per_op;
+        let entry = WaveEntry::new(
+            p.metaop,
             layers,
             tuple.devices.min(num_devices),
             tuple.time_per_op,
-        ));
+        );
+        if tuple.layers_left == 0 {
+            // Advance the cached head; tuples are only staged with layers > 0,
+            // so the next tuple (if any) is immediately schedulable.
+            p.head += 1;
+        }
+        entries.push(entry);
     }
 
     // Step 4: conclude the wave.
@@ -215,18 +333,10 @@ fn craft_wave(
     }
 }
 
-/// Index of the first unfinished tuple of a pending MetaOp.
-fn head(p: &PendingMetaOp) -> usize {
-    p.tuples
-        .iter()
-        .position(|t| t.layers_left > 0)
-        .expect("head() is only called on unfinished MetaOps")
-}
-
 /// The next valid allocation strictly larger than `current` but no larger than
 /// `limit`, with its per-operator time.
 fn next_valid_allocation(
-    curve: Option<&Arc<ScalingCurve>>,
+    curve: Option<&ScalingCurve>,
     current: u32,
     limit: u32,
 ) -> Option<(u32, f64)> {
@@ -235,34 +345,14 @@ fn next_valid_allocation(
         .valid_allocations()
         .iter()
         .find(|&&(n, _)| n > current && n <= limit)
-        .map(|&(n, t)| (n, t))
+        .copied()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::allocator::{AllocationPlan, DiscreteAllocation, MetaOpAllocation};
-    use spindle_estimator::ProfileSample;
-
-    fn curve(points: &[(u32, f64)]) -> Arc<ScalingCurve> {
-        let samples: Vec<ProfileSample> = points
-            .iter()
-            .map(|&(n, t)| ProfileSample {
-                devices: n,
-                time_s: t,
-            })
-            .collect();
-        Arc::new(ScalingCurve::from_samples(&samples).unwrap())
-    }
-
-    fn linear(base: f64, max_n: u32) -> Arc<ScalingCurve> {
-        let pts: Vec<(u32, f64)> = (0..)
-            .map(|k| 1u32 << k)
-            .take_while(|&n| n <= max_n)
-            .map(|n| (n, base / f64::from(n)))
-            .collect();
-        curve(&pts)
-    }
+    use spindle_estimator::test_util::{curve_from_points, linear_curve};
 
     fn alloc(metaop: u32, tuples: &[(u32, u32, f64)]) -> MetaOpAllocation {
         MetaOpAllocation {
@@ -284,7 +374,7 @@ mod tests {
             allocations: vec![alloc(0, &[(8, 4, 0.5)])],
             target_time: 2.0,
         };
-        let curves: CurveMap = [(MetaOpId(0), linear(4.0, 8))].into_iter().collect();
+        let curves: CurveMap = [(MetaOpId(0), linear_curve(4.0, 8))].into_iter().collect();
         let (waves, end) = schedule_level(&plan, &curves, 8, 0, 0.0, 0);
         assert_eq!(waves.len(), 1);
         assert_eq!(waves[0].entries.len(), 1);
@@ -304,9 +394,9 @@ mod tests {
             target_time: 6.0,
         };
         let curves: CurveMap = [
-            (MetaOpId(0), linear(2.0, 8)),
-            (MetaOpId(1), linear(0.6, 8)),
-            (MetaOpId(2), linear(0.8, 8)),
+            (MetaOpId(0), linear_curve(2.0, 8)),
+            (MetaOpId(1), linear_curve(0.6, 8)),
+            (MetaOpId(2), linear_curve(0.8, 8)),
         ]
         .into_iter()
         .collect();
@@ -330,9 +420,12 @@ mod tests {
             allocations: vec![alloc(0, &[(4, 6, 0.5)]), alloc(1, &[(4, 3, 1.1)])],
             target_time: 3.3,
         };
-        let curves: CurveMap = [(MetaOpId(0), linear(2.0, 8)), (MetaOpId(1), linear(4.4, 8))]
-            .into_iter()
-            .collect();
+        let curves: CurveMap = [
+            (MetaOpId(0), linear_curve(2.0, 8)),
+            (MetaOpId(1), linear_curve(4.4, 8)),
+        ]
+        .into_iter()
+        .collect();
         let (waves, end) = schedule_level(&plan, &curves, 8, 2, 1.5, 7);
         assert!(!waves.is_empty());
         assert_eq!(waves[0].start, 1.5);
@@ -359,7 +452,9 @@ mod tests {
             ],
             target_time: 6.0,
         };
-        let curves: CurveMap = (0..5).map(|i| (MetaOpId(i), linear(1.0, 8))).collect();
+        let curves: CurveMap = (0..5)
+            .map(|i| (MetaOpId(i), linear_curve(1.0, 8)))
+            .collect();
         let (waves, _) = schedule_level(&plan, &curves, 8, 0, 0.0, 0);
         assert!(waves.len() <= 2 * 5);
     }
@@ -368,7 +463,7 @@ mod tests {
     fn resource_extension_fills_idle_devices() {
         // One MetaOp with a small allocation and plenty of spare devices: the
         // scheduler should extend it to use the whole cluster.
-        let c = linear(4.0, 8);
+        let c = linear_curve(4.0, 8);
         let t1 = c.time_at(1).unwrap();
         let plan = AllocationPlan {
             allocations: vec![alloc(0, &[(1, 8, t1)])],
@@ -390,9 +485,12 @@ mod tests {
             allocations: vec![alloc(0, &[(4, 20, 0.5)]), alloc(1, &[(4, 2, 0.5)])],
             target_time: 10.0,
         };
-        let curves: CurveMap = [(MetaOpId(0), linear(2.0, 4)), (MetaOpId(1), linear(2.0, 4))]
-            .into_iter()
-            .collect();
+        let curves: CurveMap = [
+            (MetaOpId(0), linear_curve(2.0, 4)),
+            (MetaOpId(1), linear_curve(2.0, 4)),
+        ]
+        .into_iter()
+        .collect();
         let (waves, _) = schedule_level(&plan, &curves, 8, 0, 0.0, 0);
         let first = &waves[0];
         let e0 = first.entry_for(MetaOpId(0)).unwrap();
@@ -418,5 +516,65 @@ mod tests {
         let (waves, end) = schedule_level(&plan, &CurveMap::new(), 8, 0, 3.0, 0);
         assert!(waves.is_empty());
         assert_eq!(end, 3.0);
+    }
+
+    #[test]
+    fn extension_rounds_rerank_by_current_remaining_time() {
+        // Regression test for the stale-priority bug: the extension order used
+        // to be sorted once, so round 2 extended by the *initial* remaining
+        // times even though round 1's grants had changed them.
+        //
+        // A starts with remaining 10.0, B with 9.9, both on 1 device; 5
+        // devices leave 3 spare. Round 1 extends A (1→2, remaining drops to
+        // 5.0) then B (1→2, remaining 9.0). The last spare device must go to
+        // B — the MetaOp with the larger remaining time *now* — not to A.
+        let a_curve = curve_from_points(&[(1, 1.0), (2, 0.5), (3, 0.34)]);
+        let b_curve = curve_from_points(&[(1, 1.1), (2, 1.0), (3, 0.9)]);
+        let plan = AllocationPlan {
+            allocations: vec![alloc(0, &[(1, 10, 1.0)]), alloc(1, &[(1, 9, 1.1)])],
+            target_time: 10.0,
+        };
+        let curves: CurveMap = [(MetaOpId(0), a_curve), (MetaOpId(1), b_curve)]
+            .into_iter()
+            .collect();
+        let (waves, _) = schedule_level(&plan, &curves, 5, 0, 0.0, 0);
+        let first = &waves[0];
+        let a = first.entry_for(MetaOpId(0)).unwrap();
+        let b = first.entry_for(MetaOpId(1)).unwrap();
+        assert_eq!(a.devices, 2, "A must keep its round-1 extension only");
+        assert_eq!(
+            b.devices, 3,
+            "round 2 must re-rank and give the spare device to B"
+        );
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scheduling() {
+        let plan_a = AllocationPlan {
+            allocations: vec![
+                alloc(0, &[(4, 9, 0.5), (2, 2, 0.9)]),
+                alloc(1, &[(2, 14, 0.3), (1, 2, 0.55)]),
+            ],
+            target_time: 6.0,
+        };
+        let plan_b = AllocationPlan {
+            allocations: vec![alloc(2, &[(2, 3, 0.4), (1, 13, 0.7)])],
+            target_time: 9.5,
+        };
+        let curves: CurveMap = (0..3)
+            .map(|i| (MetaOpId(i), linear_curve(1.0, 8)))
+            .collect();
+        let mut scratch = WavefrontScratch::new();
+        let lookup = |id: MetaOpId| curves.get(&id).cloned();
+        let (wa, ea) = schedule_level_with(&plan_a, lookup, 8, 0, 0.0, 0, &mut scratch);
+        let (wb, eb) = schedule_level_with(&plan_b, lookup, 8, 1, ea, wa.len(), &mut scratch);
+        let (wa_fresh, ea_fresh) = schedule_level(&plan_a, &curves, 8, 0, 0.0, 0);
+        let (wb_fresh, eb_fresh) = schedule_level(&plan_b, &curves, 8, 1, ea_fresh, wa_fresh.len());
+        assert_eq!(wa, wa_fresh);
+        assert_eq!(wb, wb_fresh);
+        assert_eq!(ea, ea_fresh);
+        assert_eq!(eb, eb_fresh);
+        assert_eq!(scratch.waves_crafted(), (wa.len() + wb.len()) as u64);
+        assert_eq!(scratch.high_water(), 2);
     }
 }

@@ -1,0 +1,161 @@
+//! Property-style tests of the wavefront scheduler's invariants over randomly
+//! generated allocation plans, driven by the deterministic xorshift generator
+//! (the offline stand-in for proptest).
+//!
+//! For *any* well-formed allocation plan the scheduler must (a) schedule every
+//! layer of every MetaOp exactly once, (b) never oversubscribe the cluster in
+//! any wave, and (c) produce at most `2·|MetaOps|` waves — the §5.5 complexity
+//! bound: each wave finishes at least one ASL-tuple and each MetaOp has at
+//! most two.
+
+use std::collections::BTreeMap;
+
+use spindle_core::allocator::{AllocationPlan, DiscreteAllocation, MetaOpAllocation};
+use spindle_core::wavefront::{schedule_level, CurveMap};
+use spindle_core::MetaOpId;
+use spindle_estimator::test_util::linear_curve;
+
+/// Deterministic xorshift64* PRNG — a stand-in for proptest's generators.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        options[self.range(0, options.len() as u64) as usize]
+    }
+}
+
+/// A random allocation plan shaped like the bi-point discretiser's output: at
+/// most two tuples per MetaOp (larger allocation first), power-of-two device
+/// counts no larger than the cluster, positive per-operator times consistent
+/// with a `base / n` curve.
+fn random_plan(rng: &mut Rng, num_devices: u32) -> (AllocationPlan, CurveMap) {
+    let num_metaops = rng.range(1, 12) as u32;
+    let mut allocations = Vec::new();
+    let mut curves = CurveMap::new();
+    for id in 0..num_metaops {
+        let base = rng.range(1, 40) as f64 / 10.0;
+        let curve = linear_curve(base, num_devices);
+        let powers: Vec<u32> = (0..)
+            .map(|k| 1u32 << k)
+            .take_while(|&n| n <= num_devices)
+            .collect();
+        let hi = rng.pick(&powers);
+        let mut tuples = vec![DiscreteAllocation {
+            devices: hi,
+            layers: rng.range(1, 20) as u32,
+            time_per_op: base / f64::from(hi),
+        }];
+        // Half the MetaOps get a second, smaller tuple (the bi-point case).
+        if hi > 1 && rng.range(0, 2) == 0 {
+            let lo = hi / 2;
+            tuples.push(DiscreteAllocation {
+                devices: lo,
+                layers: rng.range(1, 20) as u32,
+                time_per_op: base / f64::from(lo),
+            });
+        }
+        curves.insert(MetaOpId(id), curve);
+        allocations.push(MetaOpAllocation {
+            metaop: MetaOpId(id),
+            tuples,
+        });
+    }
+    (
+        AllocationPlan {
+            allocations,
+            target_time: rng.range(1, 100) as f64 / 10.0,
+        },
+        curves,
+    )
+}
+
+#[test]
+fn random_plans_satisfy_all_wavefront_invariants() {
+    let mut rng = Rng::new(0x5eed_0a0e);
+    for case in 0..64 {
+        let num_devices = rng.pick(&[4u32, 8, 16, 32]);
+        let (plan, curves) = random_plan(&mut rng, num_devices);
+        let expected_layers: BTreeMap<MetaOpId, u32> = plan
+            .allocations
+            .iter()
+            .map(|a| (a.metaop, a.total_layers()))
+            .collect();
+        let num_metaops = plan.allocations.len();
+
+        let (waves, end) = schedule_level(&plan, &curves, num_devices, 0, 0.0, 0);
+
+        // (a) every layer scheduled exactly once.
+        let mut scheduled: BTreeMap<MetaOpId, u32> = BTreeMap::new();
+        for w in &waves {
+            for e in &w.entries {
+                *scheduled.entry(e.metaop).or_insert(0) += e.layers;
+            }
+        }
+        assert_eq!(scheduled, expected_layers, "case {case}: layer coverage");
+
+        // (b) no wave oversubscribes the cluster.
+        for w in &waves {
+            assert!(
+                w.devices_used() <= num_devices,
+                "case {case}: wave {} uses {} of {num_devices} devices",
+                w.index,
+                w.devices_used()
+            );
+        }
+
+        // (c) at most 2·|MetaOps| waves.
+        assert!(
+            waves.len() <= 2 * num_metaops,
+            "case {case}: {} waves for {num_metaops} MetaOps",
+            waves.len()
+        );
+
+        // Waves are contiguous and the reported end matches the last wave.
+        for pair in waves.windows(2) {
+            assert!(
+                (pair[1].start - pair[0].end()).abs() < 1e-9,
+                "case {case}: waves not contiguous"
+            );
+        }
+        assert!((end - waves.last().map_or(0.0, |w| w.end())).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn random_plans_without_curves_still_satisfy_invariants() {
+    // No curves means no resource extension — the invariants must hold anyway.
+    let mut rng = Rng::new(0x5eed_0b57);
+    for case in 0..32 {
+        let num_devices = rng.pick(&[4u32, 8, 16]);
+        let (plan, _) = random_plan(&mut rng, num_devices);
+        let total: u32 = plan.allocations.iter().map(|a| a.total_layers()).sum();
+        let num_metaops = plan.allocations.len();
+        let (waves, _) = schedule_level(&plan, &CurveMap::new(), num_devices, 0, 0.0, 0);
+        let scheduled: u32 = waves
+            .iter()
+            .flat_map(|w| w.entries.iter())
+            .map(|e| e.layers)
+            .sum();
+        assert_eq!(scheduled, total, "case {case}");
+        assert!(waves.len() <= 2 * num_metaops, "case {case}");
+        assert!(waves.iter().all(|w| w.devices_used() <= num_devices));
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 use spindle_cluster::ClusterSpec;
 use spindle_graph::{OpSignature, Operator};
@@ -49,7 +49,11 @@ pub struct ScalabilityEstimator {
     model: Arc<dyn PerfModel>,
     profiler: Profiler,
     max_devices: u32,
-    cache: Mutex<HashMap<OpSignature, Arc<ScalingCurve>>>,
+    /// Curves by signature. An `RwLock` (not a `Mutex`) so that concurrent
+    /// planners sharing one warm estimator — e.g. the phase workers of
+    /// `SpindleSession::plan_phases_parallel` — serve cache hits without
+    /// serialising on the lock; the write path is taken only on a fit.
+    cache: RwLock<HashMap<OpSignature, Arc<ScalingCurve>>>,
     fits: AtomicUsize,
     hits: AtomicUsize,
 }
@@ -83,7 +87,7 @@ impl ScalabilityEstimator {
             model,
             profiler: Profiler::new(),
             max_devices: max_devices.max(1),
-            cache: Mutex::new(HashMap::new()),
+            cache: RwLock::new(HashMap::new()),
             fits: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
         }
@@ -120,7 +124,7 @@ impl ScalabilityEstimator {
     /// operator is executable under the performance model.
     pub fn try_curve_for(&self, op: &Operator) -> Result<Arc<ScalingCurve>, EstimatorError> {
         let signature = op.signature();
-        if let Some(curve) = self.lock_cache().get(&signature) {
+        if let Some(curve) = self.read_cache().get(&signature) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(curve));
         }
@@ -128,12 +132,12 @@ impl ScalabilityEstimator {
             .profiler
             .profile(self.model.as_ref(), op, self.max_devices)?;
         let curve = Arc::new(ScalingCurve::from_samples(&samples)?);
-        // Re-check under the lock: a concurrent caller sharing this estimator
-        // may have fitted the same signature meanwhile. Keeping the counters
-        // inside the critical section preserves the invariant that
+        // Re-check under the write lock: a concurrent caller sharing this
+        // estimator may have fitted the same signature meanwhile. Keeping the
+        // counters inside the critical section preserves the invariant that
         // `curve_fits()` equals the number of distinct cached signatures,
         // which the zero-new-fits probes rely on.
-        let mut cache = self.lock_cache();
+        let mut cache = self.write_cache();
         if let Some(existing) = cache.get(&signature) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(existing));
@@ -152,7 +156,7 @@ impl ScalabilityEstimator {
     /// Number of distinct operator signatures profiled so far.
     #[must_use]
     pub fn cached_curves(&self) -> usize {
-        self.lock_cache().len()
+        self.read_cache().len()
     }
 
     /// Number of profile-and-fit operations performed so far. A lookup served
@@ -179,9 +183,19 @@ impl ScalabilityEstimator {
         }
     }
 
-    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<OpSignature, Arc<ScalingCurve>>> {
+    fn read_cache(
+        &self,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<OpSignature, Arc<ScalingCurve>>> {
         self.cache
-            .lock()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write_cache(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<OpSignature, Arc<ScalingCurve>>> {
+        self.cache
+            .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }

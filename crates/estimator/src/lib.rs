@@ -46,6 +46,8 @@ mod perf_model;
 mod piecewise;
 mod profiler;
 mod scaling_curve;
+#[cfg(any(test, feature = "test-util"))]
+pub mod test_util;
 
 pub use error::EstimatorError;
 pub use estimator::{CurveCacheStats, ScalabilityEstimator};

@@ -128,31 +128,11 @@ impl fmt::Display for ScalingCurve {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_util::curve_from_points;
+    use std::sync::Arc;
 
-    fn curve() -> ScalingCurve {
-        let samples = [
-            ProfileSample {
-                devices: 1,
-                time_s: 10.0,
-            },
-            ProfileSample {
-                devices: 2,
-                time_s: 5.6,
-            },
-            ProfileSample {
-                devices: 4,
-                time_s: 3.2,
-            },
-            ProfileSample {
-                devices: 8,
-                time_s: 2.1,
-            },
-            ProfileSample {
-                devices: 16,
-                time_s: 1.6,
-            },
-        ];
-        ScalingCurve::from_samples(&samples).unwrap()
+    fn curve() -> Arc<ScalingCurve> {
+        curve_from_points(&[(1, 10.0), (2, 5.6), (4, 3.2), (8, 2.1), (16, 1.6)])
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Shared test-only curve constructors.
+//!
+//! Four crates' test suites used to carry their own copies of these synthetic
+//! curve builders; they live here once, compiled only for tests (or for
+//! downstream crates' tests via the `test-util` feature).
+
+use std::sync::Arc;
+
+use crate::{ProfileSample, ScalingCurve};
+
+/// Builds a curve through explicit `(devices, time)` sample points.
+///
+/// # Panics
+///
+/// Panics if `points` is empty (a curve needs at least one sample).
+#[must_use]
+pub fn curve_from_points(points: &[(u32, f64)]) -> Arc<ScalingCurve> {
+    let samples: Vec<ProfileSample> = points
+        .iter()
+        .map(|&(n, t)| ProfileSample {
+            devices: n,
+            time_s: t,
+        })
+        .collect();
+    Arc::new(ScalingCurve::from_samples(&samples).expect("test curve must have samples"))
+}
+
+/// A synthetic curve with near-perfect scaling: `T(n) = base / n`, sampled at
+/// powers of two up to `max_n`.
+#[must_use]
+pub fn linear_curve(base: f64, max_n: u32) -> Arc<ScalingCurve> {
+    let pts: Vec<(u32, f64)> = (0..)
+        .map(|k| 1u32 << k)
+        .take_while(|&n| n <= max_n)
+        .map(|n| (n, base / f64::from(n)))
+        .collect();
+    curve_from_points(&pts)
+}
+
+/// A curve that stops scaling beyond 2 devices: `T(n) = base / min(n, 2)`.
+#[must_use]
+pub fn saturating_curve(base: f64, max_n: u32) -> Arc<ScalingCurve> {
+    let pts: Vec<(u32, f64)> = (0..)
+        .map(|k| 1u32 << k)
+        .take_while(|&n| n <= max_n)
+        .map(|n| (n, base / f64::from(n.min(2))))
+        .collect();
+    curve_from_points(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_curve_scales_linearly() {
+        let c = linear_curve(8.0, 16);
+        assert!((c.time(1.0) - 8.0).abs() < 1e-9);
+        assert!((c.time(8.0) - 1.0).abs() < 1e-9);
+        assert_eq!(c.max_allocation(), 16);
+    }
+
+    #[test]
+    fn saturating_curve_flattens_after_two() {
+        let c = saturating_curve(4.0, 16);
+        assert!((c.time(2.0) - 2.0).abs() < 1e-9);
+        assert!((c.time(16.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_from_points_keeps_valid_allocations() {
+        let c = curve_from_points(&[(1, 3.0), (2, 2.0), (5, 1.0)]);
+        assert_eq!(c.valid_allocations().len(), 3);
+        assert_eq!(c.time_at(5), Some(1.0));
+    }
+}

@@ -109,6 +109,25 @@ impl DynamicWorkload {
         &self.phases
     }
 
+    /// The phase graphs in training order — the shape consumed by
+    /// `SpindleSession::plan_phases_parallel`.
+    #[must_use]
+    pub fn phase_graphs(&self) -> Vec<&ComputationGraph> {
+        self.phases.iter().map(|p| &p.graph).collect()
+    }
+
+    /// A schedule with this schedule's phases repeated `times` in a row —
+    /// used to scale phase-parallelism experiments beyond the native phase
+    /// count.
+    #[must_use]
+    pub fn repeated(&self, times: usize) -> Self {
+        let mut phases = Vec::with_capacity(self.phases.len() * times);
+        for _ in 0..times.max(1) {
+            phases.extend(self.phases.iter().cloned());
+        }
+        Self::new(format!("{} x{}", self.name, times.max(1)), phases)
+    }
+
     /// Total number of iterations across all phases.
     #[must_use]
     pub fn total_iterations(&self) -> u64 {
@@ -147,6 +166,17 @@ mod tests {
         assert_eq!(w.total_iterations(), 200_000);
         let task_counts: Vec<usize> = w.phases().iter().map(|p| p.graph.tasks().len()).collect();
         assert_eq!(task_counts, vec![4, 7, 10, 7]);
+    }
+
+    #[test]
+    fn phase_graphs_and_repetition_are_consistent() {
+        let w = DynamicWorkload::multitask_clip_schedule().unwrap();
+        assert_eq!(w.phase_graphs().len(), w.phases().len());
+        let doubled = w.repeated(2);
+        assert_eq!(doubled.phases().len(), 2 * w.phases().len());
+        assert_eq!(doubled.total_iterations(), 2 * w.total_iterations());
+        assert!(doubled.name().contains("x2"));
+        assert_eq!(w.repeated(0).phases().len(), w.phases().len());
     }
 
     #[test]
