@@ -1,0 +1,327 @@
+//! The perf-regression gate: compares a bench report against a committed
+//! baseline with noise-tolerant thresholds.
+//!
+//! Bench targets write flat JSON reports (`bench name → ns/iter`, see
+//! [`microbench::write_json_report`](crate::microbench::write_json_report)).
+//! The gate parses the committed `BENCH_baseline.json` and one or more fresh
+//! reports, computes per-entry deltas, and classifies each entry:
+//!
+//! * **fail** — more than `fail_pct` slower than baseline (default 30%),
+//! * **warn** — more than `warn_pct` slower (default 15%),
+//! * **pass** — within the noise band (or faster),
+//! * **new** / **gone** — present on only one side (informational).
+//!
+//! Entries whose baseline and current means are both under the noise floor
+//! (default 500 ns) never fail: at that scale the timer resolution dominates.
+//! No external JSON crate is available offline, so parsing is hand-rolled for
+//! exactly the flat object shape the bench harness emits.
+
+use std::fmt::Write as _;
+
+/// Thresholds of the gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Relative slowdown that fails the gate (0.30 = +30%).
+    pub fail_pct: f64,
+    /// Relative slowdown that warns (0.15 = +15%).
+    pub warn_pct: f64,
+    /// Entries with both sides under this many ns/iter never fail or warn.
+    pub noise_floor_ns: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            fail_pct: 0.30,
+            warn_pct: 0.15,
+            noise_floor_ns: 500.0,
+        }
+    }
+}
+
+/// Classification of one gate entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the noise band (or faster than baseline).
+    Pass,
+    /// Slower than the warn threshold but within the fail threshold.
+    Warn,
+    /// Slower than the fail threshold.
+    Fail,
+    /// Present only in the current report (a newly added bench).
+    New,
+    /// Present only in the baseline (a removed bench).
+    Gone,
+}
+
+impl Verdict {
+    /// Short marker used in the delta table.
+    #[must_use]
+    pub fn marker(self) -> &'static str {
+        match self {
+            Verdict::Pass => "ok",
+            Verdict::Warn => "WARN",
+            Verdict::Fail => "FAIL",
+            Verdict::New => "new",
+            Verdict::Gone => "gone",
+        }
+    }
+}
+
+/// One compared bench entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateEntry {
+    /// Bench name.
+    pub name: String,
+    /// Baseline mean, ns/iter (`None` for new benches).
+    pub baseline_ns: Option<f64>,
+    /// Current mean, ns/iter (`None` for removed benches).
+    pub current_ns: Option<f64>,
+    /// Relative delta `current/baseline - 1` when both sides exist.
+    pub delta: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// The full gate result.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Compared entries, in baseline order followed by new entries.
+    pub entries: Vec<GateEntry>,
+}
+
+impl GateReport {
+    /// Returns `true` if any entry failed.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.entries.iter().any(|e| e.verdict == Verdict::Fail)
+    }
+
+    /// Number of warning entries.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.verdict == Verdict::Warn)
+            .count()
+    }
+
+    /// Renders the delta table as GitHub-flavoured markdown (also perfectly
+    /// readable in a terminal).
+    #[must_use]
+    pub fn to_markdown(&self, config: &GateConfig) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| bench | baseline ns/iter | current ns/iter | delta | verdict |"
+        );
+        let _ = writeln!(out, "|---|---:|---:|---:|---|");
+        for e in &self.entries {
+            let baseline = e.baseline_ns.map_or("—".to_string(), |v| format!("{v:.0}"));
+            let current = e.current_ns.map_or("—".to_string(), |v| format!("{v:.0}"));
+            let delta = e
+                .delta
+                .map_or("—".to_string(), |d| format!("{:+.1}%", d * 100.0));
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} |",
+                e.name,
+                baseline,
+                current,
+                delta,
+                e.verdict.marker()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nthresholds: fail >{:.0}% slowdown, warn >{:.0}%, noise floor {:.0} ns",
+            config.fail_pct * 100.0,
+            config.warn_pct * 100.0,
+            config.noise_floor_ns
+        );
+        out
+    }
+}
+
+/// Parses the flat `{"name": number, ...}` JSON shape emitted by the bench
+/// harness.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let trimmed = text.trim();
+    let inner = trimmed
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "expected a top-level JSON object".to_string())?;
+    let mut entries = Vec::new();
+    for segment in inner.split(',') {
+        let segment = segment.trim();
+        if segment.is_empty() {
+            continue;
+        }
+        let (key, value) = segment
+            .split_once(':')
+            .ok_or_else(|| format!("malformed entry: {segment:?}"))?;
+        let key = key.trim();
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key: {key:?}"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number for {key:?}: {e}"))?;
+        entries.push((key.to_string(), value));
+    }
+    Ok(entries)
+}
+
+/// Compares `current` against `baseline` under `config`.
+#[must_use]
+pub fn compare(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    config: &GateConfig,
+) -> GateReport {
+    let lookup = |set: &[(String, f64)], name: &str| -> Option<f64> {
+        set.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    };
+    let mut entries = Vec::new();
+    for (name, base) in baseline {
+        match lookup(current, name) {
+            Some(cur) => {
+                let delta = cur / base.max(f64::MIN_POSITIVE) - 1.0;
+                let in_noise_floor = *base < config.noise_floor_ns && cur < config.noise_floor_ns;
+                let verdict = if in_noise_floor || delta <= config.warn_pct {
+                    Verdict::Pass
+                } else if delta <= config.fail_pct {
+                    Verdict::Warn
+                } else {
+                    Verdict::Fail
+                };
+                entries.push(GateEntry {
+                    name: name.clone(),
+                    baseline_ns: Some(*base),
+                    current_ns: Some(cur),
+                    delta: Some(delta),
+                    verdict,
+                });
+            }
+            None => entries.push(GateEntry {
+                name: name.clone(),
+                baseline_ns: Some(*base),
+                current_ns: None,
+                delta: None,
+                verdict: Verdict::Gone,
+            }),
+        }
+    }
+    for (name, cur) in current {
+        if lookup(baseline, name).is_none() {
+            entries.push(GateEntry {
+                name: name.clone(),
+                baseline_ns: None,
+                current_ns: Some(*cur),
+                delta: None,
+                verdict: Verdict::New,
+            });
+        }
+    }
+    GateReport { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn parse_roundtrips_the_harness_format() {
+        let text = "{\n  \"a\": 123.4,\n  \"b_c/d\": 5000.0\n}\n";
+        let parsed = parse_flat_json(text).unwrap();
+        assert_eq!(parsed, set(&[("a", 123.4), ("b_c/d", 5000.0)]));
+        assert_eq!(parse_flat_json("{}").unwrap(), Vec::new());
+        assert!(parse_flat_json("[1,2]").is_err());
+        assert!(parse_flat_json("{\"a\" 1}").is_err());
+        assert!(parse_flat_json("{\"a\": x}").is_err());
+        assert!(parse_flat_json("{a: 1}").is_err());
+    }
+
+    #[test]
+    fn verdicts_follow_the_thresholds() {
+        let config = GateConfig::default();
+        let baseline = set(&[
+            ("steady", 10_000.0),
+            ("warned", 10_000.0),
+            ("failed", 10_000.0),
+            ("faster", 10_000.0),
+            ("removed", 10_000.0),
+        ]);
+        let current = set(&[
+            ("steady", 10_500.0), // +5% -> pass
+            ("warned", 12_000.0), // +20% -> warn
+            ("failed", 14_000.0), // +40% -> fail
+            ("faster", 6_000.0),  // -40% -> pass
+            ("brand_new", 1_000.0),
+        ]);
+        let report = compare(&baseline, &current, &config);
+        let verdict = |name: &str| {
+            report
+                .entries
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap()
+                .verdict
+        };
+        assert_eq!(verdict("steady"), Verdict::Pass);
+        assert_eq!(verdict("warned"), Verdict::Warn);
+        assert_eq!(verdict("failed"), Verdict::Fail);
+        assert_eq!(verdict("faster"), Verdict::Pass);
+        assert_eq!(verdict("removed"), Verdict::Gone);
+        assert_eq!(verdict("brand_new"), Verdict::New);
+        assert!(report.failed());
+        assert_eq!(report.warnings(), 1);
+    }
+
+    #[test]
+    fn noise_floor_shields_tiny_benches() {
+        let config = GateConfig::default();
+        let baseline = set(&[("tiny", 100.0)]);
+        let current = set(&[("tiny", 400.0)]); // 4x slower but sub-floor
+        let report = compare(&baseline, &current, &config);
+        assert_eq!(report.entries[0].verdict, Verdict::Pass);
+        assert!(!report.failed());
+        // Above the floor the same ratio fails.
+        let report = compare(
+            &set(&[("big", 100_000.0)]),
+            &set(&[("big", 400_000.0)]),
+            &config,
+        );
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn markdown_table_lists_every_entry() {
+        let config = GateConfig::default();
+        let report = compare(
+            &set(&[("a", 1000.0), ("b", 2000.0)]),
+            &set(&[("a", 1100.0), ("c", 3000.0)]),
+            &config,
+        );
+        let md = report.to_markdown(&config);
+        assert!(md.contains("| a |"));
+        assert!(md.contains("| b |"));
+        assert!(md.contains("| c |"));
+        assert!(md.contains("gone"));
+        assert!(md.contains("new"));
+        assert!(md.contains("+10.0%"));
+        assert!(md.contains("thresholds: fail >30%"));
+        // Header + separator + 3 entries + blank + thresholds.
+        assert_eq!(md.lines().count(), 7);
+    }
+}

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod microbench;
 
 use std::fmt::Write as _;
@@ -60,7 +61,8 @@ impl Measurement {
 }
 
 /// Plans and simulates one iteration of `graph` within `session` with
-/// `system`, going through the [`PlanningSystem`] trait. Reusing one session
+/// `system`, going through the [`PlanningSystem`](spindle_core::PlanningSystem)
+/// trait. Reusing one session
 /// across systems and phases shares the curve cache, exactly as a long-lived
 /// deployment would.
 ///

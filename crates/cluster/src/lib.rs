@@ -41,6 +41,7 @@ mod collective;
 mod device;
 mod error;
 mod group;
+mod link;
 mod topology;
 
 pub use bandwidth::{InterconnectSpec, LinkClass};
@@ -48,4 +49,5 @@ pub use collective::CommModel;
 pub use device::{DeviceId, GpuSpec, NodeId};
 pub use error::ClusterError;
 pub use group::DeviceGroup;
+pub use link::{collective_footprint, transfer_footprint, LinkId, LinkOccupancy};
 pub use topology::{ClusterSpec, Island, NodeSpec};

@@ -90,5 +90,5 @@ pub use plan::{ExecutionPlan, Wave, WaveEntry};
 pub use planner::curves_for;
 #[allow(deprecated)]
 pub use planner::Planner;
-pub use session::{PlannerConfig, SpindleSession};
+pub use session::{PlannerConfig, ReplanOutcome, SpindleSession};
 pub use system::{PlanningSystem, SpindlePlanner};

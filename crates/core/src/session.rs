@@ -30,6 +30,32 @@ impl Default for PlannerConfig {
     }
 }
 
+/// The result of an online re-plan: the new execution plan plus a probe of
+/// how much the session's persistent curve cache helped.
+#[derive(Debug)]
+pub struct ReplanOutcome {
+    /// The freshly produced plan for the changed workload.
+    pub plan: ExecutionPlan,
+    /// Operator signatures that had to be profiled and fitted anew.
+    pub new_curve_fits: usize,
+    /// Curve-cache hits served while producing this plan.
+    pub cache_hits: usize,
+    /// `true` if the cache was fully warm (zero new fits).
+    pub warm: bool,
+}
+
+impl ReplanOutcome {
+    /// Cache hit rate of this re-plan: hits over total lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.new_curve_fits;
+        if total == 0 {
+            return 1.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
 /// A long-lived Spindle planning session bound to one cluster.
 ///
 /// Unlike the one-shot [`Planner`](crate::Planner), a session *owns* its
@@ -226,6 +252,30 @@ impl SpindleSession {
         self.stats.merge(&stats);
         self.plans_produced += 1;
         Ok(plan)
+    }
+
+    /// Re-plans a (possibly changed) workload and reports how warm the
+    /// session's curve cache was for it — the online re-planning hook used by
+    /// the runtime's dynamic run loop when the task mix changes mid-run.
+    ///
+    /// Functionally identical to [`plan`](Self::plan); the extra value is the
+    /// probe: how many genuinely new operator signatures had to be fitted
+    /// versus how many were served from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`plan`](Self::plan).
+    pub fn replan(&mut self, graph: &ComputationGraph) -> Result<ReplanOutcome, PlanError> {
+        let before = self.cache_stats();
+        let plan = self.plan(graph)?;
+        let after = self.cache_stats();
+        let new_curve_fits = after.fits.saturating_sub(before.fits);
+        Ok(ReplanOutcome {
+            plan,
+            new_curve_fits,
+            cache_hits: after.hits.saturating_sub(before.hits),
+            warm: new_curve_fits == 0,
+        })
     }
 
     /// Plans several independent phase graphs concurrently, one scoped worker
@@ -437,6 +487,23 @@ mod tests {
         assert_eq!(cold.waves(), warm.waves());
         assert_eq!(session.plans_produced(), 2);
         assert!(session.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn replan_probe_reports_cache_warmth() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        let cold = session.replan(&graph).unwrap();
+        assert!(cold.new_curve_fits > 0);
+        assert!(!cold.warm);
+        assert!(cold.plan.makespan() > 0.0);
+        let warm = session.replan(&graph).unwrap();
+        assert_eq!(warm.new_curve_fits, 0);
+        assert!(warm.warm);
+        assert!(warm.cache_hits > 0);
+        assert!((warm.hit_rate() - 1.0).abs() < 1e-12);
+        assert!(cold.hit_rate() < 1.0);
+        assert_eq!(warm.plan.waves(), cold.plan.waves());
     }
 
     #[test]

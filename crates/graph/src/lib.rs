@@ -53,6 +53,7 @@ mod error;
 mod graph;
 mod modality;
 mod op;
+mod rng;
 mod shape;
 mod task;
 mod transformer;
@@ -62,6 +63,7 @@ pub use error::GraphError;
 pub use graph::ComputationGraph;
 pub use modality::Modality;
 pub use op::{OpId, OpKind, OpSignature, Operator, ParamId};
+pub use rng::XorShift64Star;
 pub use shape::TensorShape;
 pub use task::{TaskId, TaskSpec};
 pub use transformer::TransformerLayerSpec;

@@ -1,0 +1,247 @@
+//! The dynamic run loop: online re-planning under task arrivals and
+//! departures.
+//!
+//! The paper's Appendix D scenario — tasks join and finish mid-run, the
+//! system re-plans at every change — is driven here end to end: an
+//! [`ArrivalSchedule`] positions task-mix changes on a simulated timeline,
+//! and at each arrival the loop calls back into the long-lived
+//! [`SpindleSession`] to re-plan online (served from the warm curve cache for
+//! operator signatures seen before), then executes the new plan on the
+//! event-driven [`Simulator`]. The report captures, per phase, the re-plan
+//! cost and cache warmth, the simulated versus analytically-priced iteration
+//! time (the plan-vs-simulated gap), and the utilization trace.
+
+use std::fmt;
+use std::sync::Arc;
+
+use spindle_core::SpindleSession;
+use spindle_workloads::ArrivalSchedule;
+
+use crate::metrics::UtilizationSample;
+use crate::sim::{SimConfig, Simulator};
+use crate::{RuntimeEngine, RuntimeError};
+
+/// What happened in one phase of a dynamic run.
+#[derive(Debug, Clone)]
+pub struct PhaseRunReport {
+    /// The phase's task-set label.
+    pub label: String,
+    /// When the phase's task mix arrived, simulated seconds since run start.
+    pub arrival_s: f64,
+    /// Wall-clock cost of the online re-plan, milliseconds.
+    pub replan_ms: f64,
+    /// Operator signatures that had to be profiled and fitted anew.
+    pub new_curve_fits: usize,
+    /// Curve-cache hits served during the re-plan.
+    pub cache_hits: usize,
+    /// `true` if the re-plan was served entirely from the warm cache.
+    pub warm: bool,
+    /// Simulated iteration time of the phase's plan, seconds.
+    pub sim_iteration_s: f64,
+    /// Closed-form iteration time of the same plan, seconds.
+    pub analytical_iteration_s: f64,
+    /// Relative plan-vs-simulated gap:
+    /// `(simulated - analytical) / analytical`.
+    pub gap: f64,
+    /// Training iterations executed before the next task-mix change.
+    pub iterations: u64,
+    /// Utilization trace of one simulated iteration of this phase.
+    pub utilization_trace: Vec<UtilizationSample>,
+}
+
+/// The full report of a dynamic run.
+#[derive(Debug, Clone)]
+pub struct DynamicRunReport {
+    /// Per-phase reports in arrival order.
+    pub phases: Vec<PhaseRunReport>,
+    /// Total simulated training time across all phases, seconds.
+    pub total_simulated_s: f64,
+    /// Total online re-planning time, milliseconds.
+    pub total_replan_ms: f64,
+}
+
+impl DynamicRunReport {
+    /// Number of online re-plans performed (every phase after the first).
+    #[must_use]
+    pub fn replans(&self) -> usize {
+        self.phases.len().saturating_sub(1)
+    }
+
+    /// Curve-cache hit rate over the online re-plans (phases after the
+    /// first, whose plans are produced mid-run). 1.0 means every operator
+    /// signature was served from the warm cache.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        let (hits, fits) = self
+            .phases
+            .iter()
+            .skip(1)
+            .fold((0usize, 0usize), |(h, f), p| {
+                (h + p.cache_hits, f + p.new_curve_fits)
+            });
+        if hits + fits == 0 {
+            return 1.0;
+        }
+        hits as f64 / (hits + fits) as f64
+    }
+
+    /// Largest absolute plan-vs-simulated gap over all phases.
+    #[must_use]
+    pub fn worst_gap(&self) -> f64 {
+        self.phases.iter().map(|p| p.gap.abs()).fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for DynamicRunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} phases, {} online re-plans ({:.1} ms total, {:.0}% warm-cache hit rate), \
+             {:.1} x10^3 s simulated, worst plan-vs-sim gap {:+.1}%",
+            self.phases.len(),
+            self.replans(),
+            self.total_replan_ms,
+            self.warm_hit_rate() * 100.0,
+            self.total_simulated_s / 1e3,
+            self.worst_gap() * 100.0
+        )
+    }
+}
+
+/// Drives a dynamic workload through online re-planning and event-driven
+/// simulation.
+///
+/// The loop borrows a long-lived [`SpindleSession`] so its curve cache
+/// persists across the run (and across runs, if the caller keeps the session).
+#[derive(Debug)]
+pub struct DynamicRunLoop<'s> {
+    session: &'s mut SpindleSession,
+    sim_config: SimConfig,
+}
+
+impl<'s> DynamicRunLoop<'s> {
+    /// Creates a run loop over `session` with the default simulator
+    /// configuration (serialized, contention-free — the oracle-matching
+    /// setup).
+    pub fn new(session: &'s mut SpindleSession) -> Self {
+        Self {
+            session,
+            sim_config: SimConfig::default(),
+        }
+    }
+
+    /// Overrides the simulator configuration used for every phase.
+    #[must_use]
+    pub fn with_sim_config(mut self, config: SimConfig) -> Self {
+        self.sim_config = config;
+        self
+    }
+
+    /// Executes the schedule: at every arrival the session re-plans the new
+    /// task mix, the new plan is simulated, and the phase trains until the
+    /// next arrival (at least one iteration per phase).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures as [`RuntimeError::InvalidPlan`] and
+    /// simulation failures unchanged.
+    pub fn run(&mut self, schedule: &ArrivalSchedule) -> Result<DynamicRunReport, RuntimeError> {
+        let cluster = self.session.cluster_handle();
+        let mut phases = Vec::with_capacity(schedule.arrivals().len());
+        let mut total_simulated_s = 0.0;
+        let mut total_replan_ms = 0.0;
+        for (i, arrival) in schedule.arrivals().iter().enumerate() {
+            // Online re-plan at the arrival, against the warm session cache.
+            let outcome = self.session.replan(&arrival.graph)?;
+            let replan_ms = outcome.plan.planning_time().as_secs_f64() * 1e3;
+            total_replan_ms += replan_ms;
+            let plan = Arc::new(outcome.plan);
+
+            // Price the plan both ways: closed form and event-driven.
+            let analytical = RuntimeEngine::new(Arc::clone(&plan), &cluster)
+                .with_graph(&arrival.graph)
+                .with_config(self.sim_config.engine)
+                .run_iteration()?;
+            let sim = Simulator::new(Arc::clone(&plan), &cluster)
+                .with_graph(&arrival.graph)
+                .with_config(self.sim_config.clone())
+                .run_iteration()?;
+
+            let window_s = schedule.phase_window_s(i);
+            let iterations = if sim.total_s() > 0.0 {
+                ((window_s / sim.total_s()).floor() as u64).max(1)
+            } else {
+                1
+            };
+            total_simulated_s += iterations as f64 * sim.total_s();
+
+            phases.push(PhaseRunReport {
+                label: arrival.label.clone(),
+                arrival_s: arrival.at_s,
+                replan_ms,
+                new_curve_fits: outcome.new_curve_fits,
+                cache_hits: outcome.cache_hits,
+                warm: outcome.warm,
+                sim_iteration_s: sim.total_s(),
+                analytical_iteration_s: analytical.iteration_time_s(),
+                gap: sim.gap_vs(analytical.iteration_time_s()),
+                iterations,
+                utilization_trace: sim.utilization_trace().to_vec(),
+            });
+        }
+        Ok(DynamicRunReport {
+            phases,
+            total_simulated_s,
+            total_replan_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_cluster::ClusterSpec;
+    use spindle_workloads::DynamicWorkload;
+
+    #[test]
+    fn run_loop_replans_online_with_warm_cache() {
+        let workload = DynamicWorkload::multitask_clip_schedule().unwrap();
+        let schedule = ArrivalSchedule::from_workload(&workload, 0.05);
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+        let report = DynamicRunLoop::new(&mut session).run(&schedule).unwrap();
+        assert_eq!(report.phases.len(), 4);
+        assert_eq!(report.replans(), 3);
+        // Phase 1 is cold; the final phase ("7 tasks" again) re-plans fully
+        // warm, so the overall online hit rate is high.
+        assert!(!report.phases[0].warm);
+        assert!(report.phases[3].warm, "repeat task mix must be cache-warm");
+        assert!(report.warm_hit_rate() > 0.5);
+        // In the oracle-matching default config every phase's gap is tiny.
+        assert!(report.worst_gap() < 0.01, "gap {}", report.worst_gap());
+        assert!(report.total_simulated_s > 0.0);
+        assert!(report.total_replan_ms > 0.0);
+        for phase in &report.phases {
+            assert!(phase.iterations >= 1);
+            assert!(phase.sim_iteration_s > 0.0);
+            assert!(!phase.utilization_trace.is_empty());
+        }
+        let text = report.to_string();
+        assert!(text.contains("3 online re-plans"));
+    }
+
+    #[test]
+    fn seeded_arrival_process_drives_replans() {
+        let schedule = ArrivalSchedule::multitask_clip_arrivals(11, 4, 50.0).unwrap();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        let report = DynamicRunLoop::new(&mut session)
+            .with_sim_config(SimConfig::contended())
+            .run(&schedule)
+            .unwrap();
+        assert_eq!(report.replans(), 3);
+        // Overlapped flows can only help, so the gap is never positive beyond
+        // rounding.
+        for phase in &report.phases {
+            assert!(phase.gap <= 1e-9, "phase {} gap {}", phase.label, phase.gap);
+        }
+    }
+}

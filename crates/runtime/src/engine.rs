@@ -7,13 +7,25 @@ use spindle_cluster::{ClusterSpec, CommModel, DeviceId};
 use spindle_core::{ExecutionPlan, MetaOpId};
 use spindle_graph::ComputationGraph;
 
-use crate::metrics::{IterationReport, TimeBreakdown, UtilizationSample};
-use crate::param_groups::ParamGroupPool;
-use crate::transmission;
+use crate::localize::LocalizedPlan;
+use crate::metrics::{
+    sample_utilization_trace, ComputeInterval, IterationReport, TimeBreakdown, UtilizationSample,
+};
 use crate::RuntimeError;
 
-/// Number of samples in the utilization-over-time trace.
-const TRACE_SAMPLES: usize = 200;
+/// Tunable knobs of the runtime engine (shared with the event-driven
+/// simulator, which reuses the same trace resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of samples in the utilization-over-time trace.
+    pub trace_samples: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { trace_samples: 200 }
+    }
+}
 
 /// Conversion into a shared [`Arc`] handle — what the engine's constructors
 /// accept in place of the lifetime-bound borrows of the old API.
@@ -69,6 +81,7 @@ pub struct RuntimeEngine {
     cluster: ClusterSpec,
     comm: CommModel,
     graph: Option<Arc<ComputationGraph>>,
+    config: EngineConfig,
 }
 
 impl RuntimeEngine {
@@ -81,6 +94,7 @@ impl RuntimeEngine {
             cluster: cluster.clone(),
             comm: CommModel::new(cluster),
             graph: None,
+            config: EngineConfig::default(),
         }
     }
 
@@ -90,6 +104,14 @@ impl RuntimeEngine {
     #[must_use]
     pub fn with_graph(mut self, graph: impl IntoShared<ComputationGraph>) -> Self {
         self.graph = Some(graph.into_shared());
+        self
+    }
+
+    /// Overrides the engine configuration (e.g. the utilization-trace
+    /// resolution).
+    #[must_use]
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
         self
     }
 
@@ -113,15 +135,11 @@ impl RuntimeEngine {
     /// lacks placement, and [`RuntimeError::ClusterMismatch`] if the plan was
     /// built for more devices than the cluster has.
     pub fn run_iteration(&self) -> Result<IterationReport, RuntimeError> {
-        self.plan.validate()?;
-        self.plan.require_placement()?;
-        let cluster_devices = self.cluster.num_devices() as u32;
-        if self.plan.num_devices() > cluster_devices {
-            return Err(RuntimeError::ClusterMismatch {
-                plan_devices: self.plan.num_devices(),
-                cluster_devices,
-            });
-        }
+        // Steps 1-3: localisation, transmission derivation and the parameter
+        // device-group pool — shared with the event-driven simulator so both
+        // backends price identical physical work.
+        let localized =
+            LocalizedPlan::new(Arc::clone(&self.plan), &self.cluster, self.graph.as_deref())?;
 
         // Step 4a: wave-by-wave forward and backward — already laid out on the
         // plan's timeline (entry times include forward + backward).
@@ -129,14 +147,10 @@ impl RuntimeEngine {
 
         // Step 2: inter-wave transmissions (forward activations + backward
         // gradients).
-        let send_recv_s = transmission::total_transmission_time(&self.plan, &self.comm);
+        let send_recv_s = localized.total_transmission_time(&self.comm);
 
         // Step 3 + 4b: parameter device groups and group-wise synchronisation.
-        let pool = match &self.graph {
-            Some(graph) => ParamGroupPool::from_plan(&self.plan, graph),
-            None => ParamGroupPool::from_plan_approximate(&self.plan),
-        };
-        let sync_s = pool.sync_time(&self.comm);
+        let sync_s = localized.sync_time(&self.comm);
 
         let breakdown = TimeBreakdown {
             fwd_bwd_s,
@@ -150,7 +164,7 @@ impl RuntimeEngine {
             metaop_utilization: self.metaop_utilization(),
             device_memory: self.device_memory(),
             total_flops: self.total_flops(),
-            num_devices: cluster_devices,
+            num_devices: self.cluster.num_devices() as u32,
             peak_flops_per_device: self.cluster.gpu().peak_flops(),
             breakdown,
         })
@@ -174,31 +188,24 @@ impl RuntimeEngine {
     fn utilization_trace(&self, total_s: f64) -> Vec<UtilizationSample> {
         let makespan = self.plan.makespan().max(1e-12);
         let horizon = total_s.max(makespan);
-        let mut samples = Vec::with_capacity(TRACE_SAMPLES);
-        for k in 0..TRACE_SAMPLES {
-            let t = horizon * (k as f64 + 0.5) / TRACE_SAMPLES as f64;
-            let mut flops_per_s = 0.0;
-            if t <= makespan {
-                for wave in self.plan.waves() {
-                    if t < wave.start || t >= wave.end() {
-                        continue;
+        // Each entry is busy from its wave's start for exec_time.
+        let intervals: Vec<ComputeInterval> = self
+            .plan
+            .waves()
+            .iter()
+            .flat_map(|wave| {
+                wave.entries.iter().map(|entry| {
+                    let rep = self.plan.metagraph().metaop(entry.metaop).representative();
+                    let flops = rep.flops_total() * f64::from(entry.layers);
+                    ComputeInterval {
+                        start_s: wave.start,
+                        end_s: wave.start + entry.exec_time,
+                        flops_per_s: flops / entry.exec_time.max(1e-12),
                     }
-                    for entry in &wave.entries {
-                        // The entry is busy from wave.start for exec_time.
-                        if t < wave.start + entry.exec_time {
-                            let rep = self.plan.metagraph().metaop(entry.metaop).representative();
-                            let flops = rep.flops_total() * f64::from(entry.layers);
-                            flops_per_s += flops / entry.exec_time.max(1e-12);
-                        }
-                    }
-                }
-            }
-            samples.push(UtilizationSample {
-                time_s: t,
-                tflops_per_s: flops_per_s / 1e12,
-            });
-        }
-        samples
+                })
+            })
+            .collect();
+        sample_utilization_trace(&intervals, horizon, self.config.trace_samples)
     }
 
     /// Average per-device utilization relative to peak compute.
@@ -357,6 +364,22 @@ mod tests {
         assert_eq!(trace.len(), 200);
         assert!(trace.iter().any(|s| s.tflops_per_s > 0.0));
         assert!(trace.windows(2).all(|w| w[0].time_s < w[1].time_s));
+    }
+
+    #[test]
+    fn trace_resolution_is_configurable() {
+        let graph = two_task_graph();
+        let cluster = ClusterSpec::homogeneous(1, 8);
+        let plan = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
+        let report = RuntimeEngine::new(&plan, &cluster)
+            .with_config(EngineConfig { trace_samples: 17 })
+            .run_iteration()
+            .unwrap();
+        assert_eq!(report.utilization_trace().len(), 17);
+        assert!(report
+            .utilization_trace()
+            .iter()
+            .any(|s| s.tflops_per_s > 0.0));
     }
 
     #[test]

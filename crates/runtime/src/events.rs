@@ -1,0 +1,252 @@
+//! Event-queue plumbing for the discrete-event simulator: a binary-heap queue
+//! with deterministic tie-breaking, the public event log, and the seeded
+//! xorshift generator driving compute-time perturbations.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use spindle_core::MetaOpId;
+
+// The simulator derives one independent perturbation stream per (wave, entry)
+// pair from the configured seed, so perturbations do not depend on
+// event-processing order and two runs with the same seed are bit-identical.
+pub(crate) use spindle_graph::XorShift64Star;
+
+/// One scheduled entry of the event queue.
+#[derive(Debug)]
+struct Scheduled<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq && self.time.total_cmp(&other.time) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the max-heap pops the earliest event; ties broken by
+        // insertion order (lower sequence number first) for determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue: a binary heap ordered by event time
+/// with FIFO tie-breaking on simultaneous events.
+#[derive(Debug)]
+pub(crate) struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: f64, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|s| (s.time, s.payload))
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// What happened at one instant of the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEventKind {
+    /// An entry (a sliced MetaOp) began executing.
+    ComputeStart {
+        /// Wave index.
+        wave: usize,
+        /// The MetaOp being executed.
+        metaop: MetaOpId,
+        /// Devices allocated to the entry.
+        devices: u32,
+    },
+    /// An entry finished executing.
+    ComputeEnd {
+        /// Wave index.
+        wave: usize,
+        /// The MetaOp that finished.
+        metaop: MetaOpId,
+    },
+    /// Every entry of a wave finished (the wave barrier).
+    WaveComplete {
+        /// Wave index.
+        wave: usize,
+    },
+    /// An inter-wave transmission began.
+    FlowStart {
+        /// Producing MetaOp.
+        from: MetaOpId,
+        /// Consuming MetaOp.
+        to: MetaOpId,
+    },
+    /// An inter-wave transmission completed.
+    FlowEnd {
+        /// Producing MetaOp.
+        from: MetaOpId,
+        /// Consuming MetaOp.
+        to: MetaOpId,
+    },
+    /// A parameter device group began its gradient all-reduce.
+    SyncStart {
+        /// Index of the group in the parameter pool.
+        group: usize,
+    },
+    /// A parameter device group finished its gradient all-reduce.
+    SyncEnd {
+        /// Index of the group in the parameter pool.
+        group: usize,
+    },
+    /// The iteration completed.
+    IterationEnd,
+}
+
+impl fmt::Display for SimEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimEventKind::ComputeStart {
+                wave,
+                metaop,
+                devices,
+            } => write!(f, "compute-start wave{wave} {metaop} x{devices}"),
+            SimEventKind::ComputeEnd { wave, metaop } => {
+                write!(f, "compute-end wave{wave} {metaop}")
+            }
+            SimEventKind::WaveComplete { wave } => write!(f, "wave-complete wave{wave}"),
+            SimEventKind::FlowStart { from, to } => write!(f, "flow-start {from}->{to}"),
+            SimEventKind::FlowEnd { from, to } => write!(f, "flow-end {from}->{to}"),
+            SimEventKind::SyncStart { group } => write!(f, "sync-start group{group}"),
+            SimEventKind::SyncEnd { group } => write!(f, "sync-end group{group}"),
+            SimEventKind::IterationEnd => write!(f, "iteration-end"),
+        }
+    }
+}
+
+/// One timestamped entry of the event log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoggedEvent {
+    /// Simulated time of the event, seconds.
+    pub time_s: f64,
+    /// What happened.
+    pub kind: SimEventKind,
+}
+
+impl fmt::Display for LoggedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.9}s {}", self.time_s, self.kind)
+    }
+}
+
+/// The ordered log of everything the simulator did in one iteration.
+///
+/// The log is fully deterministic: two runs with identical configuration
+/// (including the seed) render byte-identical logs, which is the invariant the
+/// determinism tests pin down.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    entries: Vec<LoggedEvent>,
+}
+
+impl EventLog {
+    pub(crate) fn push(&mut self, time_s: f64, kind: SimEventKind) {
+        self.entries.push(LoggedEvent { time_s, kind });
+    }
+
+    /// The logged events in simulation order.
+    #[must_use]
+    pub fn entries(&self) -> &[LoggedEvent] {
+        &self.entries
+    }
+
+    /// Number of logged events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing was logged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the log as one line per event — the canonical byte-comparable
+    /// form used by the determinism tests.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "b");
+        q.push(1.0, "a");
+        q.push(2.0, "c");
+        q.push(0.5, "z");
+        assert_eq!(q.len(), 4);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        // Simultaneous events pop in insertion order: "b" before "c".
+        assert_eq!(order, vec!["z", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn log_renders_one_line_per_event() {
+        let mut log = EventLog::default();
+        log.push(
+            0.0,
+            SimEventKind::ComputeStart {
+                wave: 0,
+                metaop: MetaOpId(3),
+                devices: 4,
+            },
+        );
+        log.push(1.5, SimEventKind::IterationEnd);
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        let text = log.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("compute-start wave0 metaop3 x4"));
+        assert!(text.contains("t=1.500000000s iteration-end"));
+        assert_eq!(log.entries()[1].kind, SimEventKind::IterationEnd);
+    }
+}

@@ -8,11 +8,26 @@
 //! inserts transmission operators at wave boundaries, maintains a parameter
 //! device-group pool, and runs forward/backward wave by wave followed by
 //! group-wise parameter synchronisation. This crate reproduces that execution
-//! *in simulation*: computation, transmission and synchronisation are priced by
-//! the same cost models the planner uses, and every quantity reported in §5
-//! (end-to-end iteration time, time breakdown, utilization traces, per-device /
-//! per-MetaOp utilization, memory consumption) is derived from the simulated
-//! timeline.
+//! *in simulation*, through two backends sharing one localisation pass
+//! ([`LocalizedPlan`]):
+//!
+//! * [`RuntimeEngine`] — the closed-form fast path: computation, transmission
+//!   and synchronisation are priced by the same cost models the planner uses,
+//!   and every quantity reported in §5 (end-to-end iteration time, time
+//!   breakdown, utilization traces, per-device / per-MetaOp utilization,
+//!   memory consumption) is derived analytically.
+//! * [`Simulator`] — a discrete-event backend that executes the plan op by op
+//!   on a binary-heap event queue with deterministic tie-breaking: per-link
+//!   bandwidth sharing (contention), heterogeneous per-device speed factors,
+//!   injected stragglers and seeded compute perturbations. In its default
+//!   (serialized, contention-free) configuration it reproduces the analytical
+//!   engine's iteration time, so each backend cross-checks the other.
+//!
+//! On top of the simulator, [`DynamicRunLoop`] drives dynamic task-arrival
+//! schedules ([`spindle_workloads::ArrivalSchedule`]) with *online
+//! re-planning*: at every task-mix change it calls back into the planning
+//! session (reusing its warm curve cache) and reports per-phase makespan,
+//! re-plan cost, cache warmth and the plan-vs-simulated gap.
 //!
 //! ## Example
 //!
@@ -45,14 +60,27 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod dynamic_run;
 mod engine;
 mod error;
+mod events;
+mod localize;
 mod metrics;
 mod param_groups;
+mod sim;
 mod transmission;
 
-pub use engine::{IntoShared, RuntimeEngine};
+pub use dynamic_run::{DynamicRunLoop, DynamicRunReport, PhaseRunReport};
+pub use engine::{EngineConfig, IntoShared, RuntimeEngine};
 pub use error::RuntimeError;
-pub use metrics::{IterationReport, TimeBreakdown, UtilizationSample};
+pub use events::{EventLog, LoggedEvent, SimEventKind};
+pub use localize::LocalizedPlan;
+pub use metrics::{
+    sample_utilization_trace, ComputeInterval, IterationReport, TimeBreakdown, UtilizationSample,
+};
 pub use param_groups::ParamGroupPool;
-pub use transmission::{Transmission, TransmissionKind};
+pub use sim::{CommMode, SimConfig, SimReport, Simulator, Straggler};
+pub use transmission::{
+    derive_transmission_sites, derive_transmissions, total_transmission_time, Transmission,
+    TransmissionKind, TransmissionSite,
+};

@@ -1,0 +1,165 @@
+//! Plan localisation (§3.6 steps 1–3), shared by the analytical engine and the
+//! event-driven simulator.
+//!
+//! Both execution backends need the same three artefacts before they can run a
+//! placed plan: the wave entries bound to their device groups (step 1, implicit
+//! in the placed plan), the inter-wave transmission operators with the wave
+//! boundary each one crosses (step 2), and the parameter device-group pool
+//! (step 3). [`LocalizedPlan`] computes all three once, so the closed-form
+//! engine and the simulator price the *same* physical work and can be
+//! cross-checked against each other.
+
+use std::sync::Arc;
+
+use spindle_cluster::{ClusterSpec, CommModel};
+use spindle_core::ExecutionPlan;
+use spindle_graph::ComputationGraph;
+
+use crate::param_groups::ParamGroupPool;
+use crate::transmission::{derive_transmission_sites, TransmissionSite};
+use crate::RuntimeError;
+
+/// A validated, localised execution plan: transmissions resolved per wave
+/// boundary and the parameter device-group pool built.
+#[derive(Debug, Clone)]
+pub struct LocalizedPlan {
+    plan: Arc<ExecutionPlan>,
+    sites: Vec<TransmissionSite>,
+    pool: ParamGroupPool,
+}
+
+impl LocalizedPlan {
+    /// Localises `plan` for execution on `cluster`.
+    ///
+    /// When the original computation graph is supplied, the parameter pool
+    /// captures cross-task parameter sharing exactly; without it, the
+    /// per-MetaOp approximation is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidPlan`] if the plan fails validation or
+    /// lacks placement, and [`RuntimeError::ClusterMismatch`] if the plan was
+    /// built for more devices than the cluster has.
+    pub fn new(
+        plan: Arc<ExecutionPlan>,
+        cluster: &ClusterSpec,
+        graph: Option<&ComputationGraph>,
+    ) -> Result<Self, RuntimeError> {
+        plan.validate()?;
+        plan.require_placement()?;
+        let cluster_devices = cluster.num_devices() as u32;
+        if plan.num_devices() > cluster_devices {
+            return Err(RuntimeError::ClusterMismatch {
+                plan_devices: plan.num_devices(),
+                cluster_devices,
+            });
+        }
+        let sites = derive_transmission_sites(&plan);
+        let pool = match graph {
+            Some(graph) => ParamGroupPool::from_plan(&plan, graph),
+            None => ParamGroupPool::from_plan_approximate(&plan),
+        };
+        Ok(Self { plan, sites, pool })
+    }
+
+    /// The underlying plan.
+    #[must_use]
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// A shareable handle to the plan.
+    #[must_use]
+    pub fn plan_handle(&self) -> Arc<ExecutionPlan> {
+        Arc::clone(&self.plan)
+    }
+
+    /// The inter-wave transmissions, each bound to the wave boundary it
+    /// crosses.
+    #[must_use]
+    pub fn sites(&self) -> &[TransmissionSite] {
+        &self.sites
+    }
+
+    /// The transmissions ready after wave `wave` completes.
+    pub fn sites_after_wave(&self, wave: usize) -> impl Iterator<Item = &TransmissionSite> {
+        self.sites.iter().filter(move |s| s.after_wave == wave)
+    }
+
+    /// The parameter device-group pool (§3.6 step 3).
+    #[must_use]
+    pub fn pool(&self) -> &ParamGroupPool {
+        &self.pool
+    }
+
+    /// Total forward+backward transmission time priced by `comm`, seconds —
+    /// the closed-form quantity the analytical engine reports.
+    #[must_use]
+    pub fn total_transmission_time(&self, comm: &CommModel) -> f64 {
+        self.sites
+            .iter()
+            .map(|s| s.transmission.round_trip_time(comm))
+            .sum()
+    }
+
+    /// Total group-wise parameter synchronisation time priced by `comm`,
+    /// seconds.
+    #[must_use]
+    pub fn sync_time(&self, comm: &CommModel) -> f64 {
+        self.pool.sync_time(comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_cluster::ClusterSpec;
+    use spindle_core::SpindleSession;
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    fn graph() -> ComputationGraph {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("vl", [Modality::Vision, Modality::Text], 8);
+        let vis = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(8, 257, 768),
+                8,
+            )
+            .unwrap();
+        let lm = b
+            .add_op_chain(t, OpKind::LmDecoderOnly, TensorShape::new(8, 512, 2048), 8)
+            .unwrap();
+        b.add_flow(*vis.last().unwrap(), lm[0]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn localisation_matches_standalone_derivations() {
+        let graph = graph();
+        let cluster = ClusterSpec::homogeneous(2, 8);
+        let plan = Arc::new(SpindleSession::new(cluster.clone()).plan(&graph).unwrap());
+        let localized = LocalizedPlan::new(Arc::clone(&plan), &cluster, Some(&graph)).unwrap();
+        let comm = CommModel::new(&cluster);
+        let direct = crate::transmission::total_transmission_time(&plan, &comm);
+        assert!((localized.total_transmission_time(&comm) - direct).abs() < 1e-15);
+        let pool = ParamGroupPool::from_plan(&plan, &graph);
+        assert!((localized.sync_time(&comm) - pool.sync_time(&comm)).abs() < 1e-15);
+        // Every site is reachable through exactly one boundary iterator.
+        let by_boundary: usize = (0..plan.num_waves())
+            .map(|w| localized.sites_after_wave(w).count())
+            .sum();
+        assert_eq!(by_boundary, localized.sites().len());
+    }
+
+    #[test]
+    fn cluster_mismatch_is_rejected() {
+        let graph = graph();
+        let big = ClusterSpec::homogeneous(2, 8);
+        let plan = Arc::new(SpindleSession::new(big).plan(&graph).unwrap());
+        let small = ClusterSpec::homogeneous(1, 8);
+        let err = LocalizedPlan::new(plan, &small, None).unwrap_err();
+        assert!(matches!(err, RuntimeError::ClusterMismatch { .. }));
+    }
+}

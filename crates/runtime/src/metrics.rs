@@ -57,6 +57,47 @@ pub struct UtilizationSample {
     pub tflops_per_s: f64,
 }
 
+/// A half-open interval of busy compute `[start_s, end_s)` contributing
+/// `flops_per_s` of achieved throughput — the raw material of a utilization
+/// trace, produced by both the analytical engine (from the plan timeline) and
+/// the event-driven simulator (from the actual event timeline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeInterval {
+    /// Interval start, seconds.
+    pub start_s: f64,
+    /// Interval end, seconds.
+    pub end_s: f64,
+    /// Achieved throughput while the interval is live, FLOP/s.
+    pub flops_per_s: f64,
+}
+
+/// Samples a utilization trace of `samples` uniform points over `[0,
+/// horizon_s)` from a set of busy compute intervals. Sample instants use
+/// midpoint positioning (`(k + 0.5) / samples`), so a trace of any resolution
+/// covers the full horizon without sampling the ambiguous endpoints.
+#[must_use]
+pub fn sample_utilization_trace(
+    intervals: &[ComputeInterval],
+    horizon_s: f64,
+    samples: usize,
+) -> Vec<UtilizationSample> {
+    let horizon = horizon_s.max(1e-12);
+    let mut trace = Vec::with_capacity(samples);
+    for k in 0..samples {
+        let t = horizon * (k as f64 + 0.5) / samples as f64;
+        let flops_per_s: f64 = intervals
+            .iter()
+            .filter(|iv| t >= iv.start_s && t < iv.end_s)
+            .map(|iv| iv.flops_per_s)
+            .sum();
+        trace.push(UtilizationSample {
+            time_s: t,
+            tflops_per_s: flops_per_s / 1e12,
+        });
+    }
+    trace
+}
+
 /// The full report of one simulated training iteration.
 #[derive(Debug, Clone)]
 pub struct IterationReport {
@@ -228,6 +269,30 @@ mod tests {
         assert_eq!(zero.total_s(), 0.0);
         assert_eq!(zero.send_recv_fraction(), 0.0);
         assert_eq!(zero.sync_fraction(), 0.0);
+    }
+
+    #[test]
+    fn trace_sampling_sums_live_intervals() {
+        let intervals = [
+            ComputeInterval {
+                start_s: 0.0,
+                end_s: 1.0,
+                flops_per_s: 1e12,
+            },
+            ComputeInterval {
+                start_s: 0.5,
+                end_s: 1.5,
+                flops_per_s: 2e12,
+            },
+        ];
+        let trace = sample_utilization_trace(&intervals, 2.0, 4);
+        assert_eq!(trace.len(), 4);
+        // Midpoints: 0.25 (first only), 0.75 (both), 1.25 (second), 1.75 (none).
+        assert!((trace[0].tflops_per_s - 1.0).abs() < 1e-12);
+        assert!((trace[1].tflops_per_s - 3.0).abs() < 1e-12);
+        assert!((trace[2].tflops_per_s - 2.0).abs() < 1e-12);
+        assert!(trace[3].tflops_per_s.abs() < 1e-12);
+        assert!(trace.windows(2).all(|w| w[0].time_s < w[1].time_s));
     }
 
     #[test]

@@ -58,24 +58,41 @@ impl Transmission {
     }
 }
 
-/// Derives every inter-wave transmission of a placed execution plan.
+/// A [`Transmission`] bound to its position on the plan's timeline: the flow
+/// becomes ready once wave `after_wave` completes. The event-driven simulator
+/// issues flows per boundary; the analytical engine ignores the index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransmissionSite {
+    /// The transmission itself.
+    pub transmission: Transmission,
+    /// Index of the wave whose completion makes this transmission ready (the
+    /// wave of the producing slice).
+    pub after_wave: usize,
+}
+
+/// Derives every inter-wave transmission of a placed execution plan, each
+/// annotated with the wave boundary it crosses.
 ///
 /// Entries without placement are skipped (the planner guarantees placement for
 /// plans headed to the runtime; baselines constructing partial plans can still
 /// inspect transmissions of the placed subset).
 #[must_use]
-pub fn derive_transmissions(plan: &ExecutionPlan) -> Vec<Transmission> {
-    // Ordered placements of each MetaOp's slices across waves.
-    let mut slices: BTreeMap<MetaOpId, Vec<DeviceGroup>> = BTreeMap::new();
+pub fn derive_transmission_sites(plan: &ExecutionPlan) -> Vec<TransmissionSite> {
+    // Ordered placements of each MetaOp's slices across waves, with the wave
+    // index of each slice.
+    let mut slices: BTreeMap<MetaOpId, Vec<(usize, DeviceGroup)>> = BTreeMap::new();
     for wave in plan.waves() {
         for entry in &wave.entries {
             if let Some(group) = &entry.placement {
-                slices.entry(entry.metaop).or_default().push(group.clone());
+                slices
+                    .entry(entry.metaop)
+                    .or_default()
+                    .push((wave.index, group.clone()));
             }
         }
     }
 
-    let mut transmissions = Vec::new();
+    let mut sites = Vec::new();
     // Slice hand-overs within a MetaOp.
     for (metaop, groups) in &slices {
         let bytes = plan
@@ -84,14 +101,17 @@ pub fn derive_transmissions(plan: &ExecutionPlan) -> Vec<Transmission> {
             .representative()
             .output_bytes();
         for pair in groups.windows(2) {
-            if pair[0] != pair[1] {
-                transmissions.push(Transmission {
-                    from: *metaop,
-                    to: *metaop,
-                    src: pair[0].clone(),
-                    dst: pair[1].clone(),
-                    bytes,
-                    kind: TransmissionKind::SliceHandover,
+            if pair[0].1 != pair[1].1 {
+                sites.push(TransmissionSite {
+                    transmission: Transmission {
+                        from: *metaop,
+                        to: *metaop,
+                        src: pair[0].1.clone(),
+                        dst: pair[1].1.clone(),
+                        bytes,
+                        kind: TransmissionKind::SliceHandover,
+                    },
+                    after_wave: pair[0].0,
                 });
             }
         }
@@ -110,16 +130,29 @@ pub fn derive_transmissions(plan: &ExecutionPlan) -> Vec<Transmission> {
             .metaop(from)
             .representative()
             .output_bytes();
-        transmissions.push(Transmission {
-            from,
-            to,
-            src: src.clone(),
-            dst: dst.clone(),
-            bytes,
-            kind: TransmissionKind::DataFlow,
+        sites.push(TransmissionSite {
+            transmission: Transmission {
+                from,
+                to,
+                src: src.1.clone(),
+                dst: dst.1.clone(),
+                bytes,
+                kind: TransmissionKind::DataFlow,
+            },
+            after_wave: src.0,
         });
     }
-    transmissions
+    sites
+}
+
+/// Derives every inter-wave transmission of a placed execution plan (without
+/// timeline positions — see [`derive_transmission_sites`] for those).
+#[must_use]
+pub fn derive_transmissions(plan: &ExecutionPlan) -> Vec<Transmission> {
+    derive_transmission_sites(plan)
+        .into_iter()
+        .map(|s| s.transmission)
+        .collect()
 }
 
 /// Total forward+backward transmission time of a placed plan, in seconds.
@@ -195,6 +228,22 @@ mod tests {
             t_loc <= t_seq + 1e-9,
             "locality {t_loc} vs sequential {t_seq}"
         );
+    }
+
+    #[test]
+    fn sites_carry_valid_wave_boundaries() {
+        let graph = pipeline_graph();
+        let cluster = ClusterSpec::homogeneous(2, 8);
+        let plan = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
+        let sites = derive_transmission_sites(&plan);
+        assert_eq!(sites.len(), derive_transmissions(&plan).len());
+        for site in &sites {
+            assert!(site.after_wave < plan.num_waves());
+            // The producing slice really executes in `after_wave`.
+            assert!(plan.waves()[site.after_wave]
+                .entry_for(site.transmission.from)
+                .is_some());
+        }
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Arrival-process scenarios: dynamic workloads positioned on a wall-clock
+//! timeline.
+//!
+//! [`DynamicWorkload`](crate::DynamicWorkload) describes *what* changes
+//! (phases with iteration budgets); an [`ArrivalSchedule`] additionally says
+//! *when* — each phase arrives at a simulated timestamp, which is the shape
+//! the runtime's online re-planning loop consumes. Schedules come from two
+//! sources: deterministic conversion of a `DynamicWorkload` (phase boundaries
+//! at cumulative iteration counts), and a seeded xorshift arrival process
+//! that grows and shrinks the task mix at exponential-ish inter-arrival
+//! times — the stress scenario for mid-run task churn.
+
+use spindle_graph::{ComputationGraph, GraphError, XorShift64Star};
+
+use crate::{multitask_clip, DynamicWorkload};
+
+/// One task-mix change: at `at_s` (simulated seconds since the start of the
+/// run) the active task set becomes `graph`.
+#[derive(Debug, Clone)]
+pub struct PhaseArrival {
+    /// Arrival timestamp, seconds since run start.
+    pub at_s: f64,
+    /// Human-readable description of the new task set.
+    pub label: String,
+    /// The computation graph of the new active task set.
+    pub graph: ComputationGraph,
+}
+
+/// A timeline of task-mix changes over one training run.
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    name: String,
+    horizon_s: f64,
+    arrivals: Vec<PhaseArrival>,
+}
+
+impl ArrivalSchedule {
+    /// Creates a schedule from its arrivals (sorted by timestamp) running
+    /// until `horizon_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` is empty or `horizon_s` does not exceed the last
+    /// arrival.
+    #[must_use]
+    pub fn new(name: impl Into<String>, mut arrivals: Vec<PhaseArrival>, horizon_s: f64) -> Self {
+        assert!(!arrivals.is_empty(), "schedule needs at least one phase");
+        arrivals.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        let last = arrivals.last().map_or(0.0, |a| a.at_s);
+        assert!(
+            horizon_s > last,
+            "horizon {horizon_s} must lie beyond the last arrival {last}"
+        );
+        Self {
+            name: name.into(),
+            horizon_s,
+            arrivals,
+        }
+    }
+
+    /// Positions a [`DynamicWorkload`]'s phases on a timeline, assuming each
+    /// iteration takes `iteration_s` seconds: phase `k` arrives once the
+    /// preceding phases' iteration budgets have elapsed.
+    #[must_use]
+    pub fn from_workload(workload: &DynamicWorkload, iteration_s: f64) -> Self {
+        let mut at = 0.0;
+        let mut arrivals = Vec::with_capacity(workload.phases().len());
+        for phase in workload.phases() {
+            arrivals.push(PhaseArrival {
+                at_s: at,
+                label: phase.label.clone(),
+                graph: phase.graph.clone(),
+            });
+            at += phase.iterations as f64 * iteration_s;
+        }
+        Self::new(workload.name(), arrivals, at.max(iteration_s))
+    }
+
+    /// A seeded random arrival process over the Multitask-CLIP family: the
+    /// task count performs a bounded walk (tasks join and finish), with
+    /// exponential inter-arrival times of mean `mean_gap_s`. The same seed
+    /// always produces the same schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if a phase graph fails to build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is zero or `mean_gap_s` is not positive.
+    pub fn multitask_clip_arrivals(
+        seed: u64,
+        phases: usize,
+        mean_gap_s: f64,
+    ) -> Result<Self, GraphError> {
+        assert!(phases > 0, "schedule needs at least one phase");
+        assert!(mean_gap_s > 0.0, "mean inter-arrival gap must be positive");
+        let mut rng = XorShift64Star::new(seed);
+        let mut tasks: i64 = 4;
+        let mut at = 0.0;
+        let mut arrivals = Vec::with_capacity(phases);
+        for i in 0..phases {
+            if i > 0 {
+                // Bounded walk over the preset's supported task counts.
+                let step = match rng.next_u64() % 4 {
+                    0 => -2,
+                    1 => -1,
+                    2 => 1,
+                    _ => 2,
+                };
+                tasks = (tasks + step).clamp(2, 10);
+                // Exponential inter-arrival via inverse-CDF sampling.
+                let u = rng.next_f64();
+                at += mean_gap_s * -(1.0 - u).max(f64::MIN_POSITIVE).ln();
+            }
+            arrivals.push(PhaseArrival {
+                at_s: at,
+                label: format!("{tasks} tasks"),
+                graph: multitask_clip(tasks as usize)?,
+            });
+        }
+        let horizon = at + mean_gap_s;
+        Ok(Self::new(
+            format!("Multitask-CLIP arrivals (seed {seed})"),
+            arrivals,
+            horizon,
+        ))
+    }
+
+    /// Schedule name (for experiment output).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arrivals in timeline order.
+    #[must_use]
+    pub fn arrivals(&self) -> &[PhaseArrival] {
+        &self.arrivals
+    }
+
+    /// End of the run, seconds since run start.
+    #[must_use]
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// Number of mid-run task-mix changes (arrivals after the first), each of
+    /// which requires an online re-plan.
+    #[must_use]
+    pub fn num_replans(&self) -> usize {
+        self.arrivals.len().saturating_sub(1)
+    }
+
+    /// The active window of phase `index`: from its arrival until the next
+    /// arrival (or the horizon for the last phase), seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn phase_window_s(&self, index: usize) -> f64 {
+        let start = self.arrivals[index].at_s;
+        let end = self
+            .arrivals
+            .get(index + 1)
+            .map_or(self.horizon_s, |next| next.at_s);
+        (end - start).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_workload_places_phases_at_cumulative_boundaries() {
+        let w = DynamicWorkload::multitask_clip_schedule().unwrap();
+        let s = ArrivalSchedule::from_workload(&w, 0.01);
+        assert_eq!(s.arrivals().len(), 4);
+        assert_eq!(s.num_replans(), 3);
+        assert!((s.arrivals()[0].at_s).abs() < 1e-12);
+        assert!((s.arrivals()[1].at_s - 500.0).abs() < 1e-9); // 50k iters x 10ms
+        assert!((s.horizon_s() - 2000.0).abs() < 1e-9);
+        let windows: f64 = (0..4).map(|i| s.phase_window_s(i)).sum();
+        assert!((windows - s.horizon_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_arrival_process_is_reproducible_and_varied() {
+        let a = ArrivalSchedule::multitask_clip_arrivals(7, 6, 100.0).unwrap();
+        let b = ArrivalSchedule::multitask_clip_arrivals(7, 6, 100.0).unwrap();
+        assert_eq!(a.arrivals().len(), 6);
+        for (x, y) in a.arrivals().iter().zip(b.arrivals()) {
+            assert!((x.at_s - y.at_s).abs() < 1e-12);
+            assert_eq!(x.label, y.label);
+        }
+        let c = ArrivalSchedule::multitask_clip_arrivals(8, 6, 100.0).unwrap();
+        let same_times = a
+            .arrivals()
+            .iter()
+            .zip(c.arrivals())
+            .all(|(x, y)| (x.at_s - y.at_s).abs() < 1e-12);
+        assert!(!same_times, "different seeds must differ");
+        // Timestamps strictly ordered, horizon beyond the last arrival.
+        assert!(a.arrivals().windows(2).all(|w| w[0].at_s < w[1].at_s));
+        assert!(a.horizon_s() > a.arrivals().last().unwrap().at_s);
+        // The walk stays within the preset's supported range.
+        for arr in a.arrivals() {
+            let tasks = arr.graph.tasks().len();
+            assert!((2..=10).contains(&tasks));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_panics() {
+        let _ = ArrivalSchedule::new("empty", Vec::new(), 1.0);
+    }
+}

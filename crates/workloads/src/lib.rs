@@ -16,6 +16,10 @@
 //!   parameters, with 30 B and 70 B variants for the large-scale simulations
 //!   of Appendix E.
 //! * [`DynamicWorkload`] — the changing task sets of Appendix D.
+//! * [`ArrivalSchedule`] — dynamic workloads positioned on a simulated
+//!   timeline (task arrivals/departures at timestamps), including a seeded
+//!   random arrival process — the input to the runtime's online re-planning
+//!   loop.
 //!
 //! All builders return ordinary [`ComputationGraph`](spindle_graph::ComputationGraph)s;
 //! parameters of components shared across tasks (modality encoders, the
@@ -41,12 +45,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arrivals;
 mod dynamic;
 mod multitask_clip;
 mod ofasys;
 mod presets;
 mod qwen_val;
 
+pub use arrivals::{ArrivalSchedule, PhaseArrival};
 pub use dynamic::{figure13_presets, DynamicPhase, DynamicWorkload};
 pub use multitask_clip::{multitask_clip, multitask_clip_with_batch};
 pub use ofasys::ofasys;
