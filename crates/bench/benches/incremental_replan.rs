@@ -1,0 +1,202 @@
+//! Incremental delta re-planning under task churn: the structural plan cache
+//! versus the full pipeline, at paper scale and at hyperscale.
+//!
+//! Every case alternates between two task mixes that differ by exactly one
+//! task (the single-task-churn regime of dynamic schedules) against a
+//! session whose curve cache *and* structural cache are warm, so the numbers
+//! isolate the cost of re-planning itself:
+//!
+//! * `incremental_replan_*` — structural cache on (the default): clean
+//!   levels are spliced, recurring structures reuse the placed skeleton.
+//! * `full_replan_*` — structural cache off: contraction, MPSP, wavefront
+//!   scheduling, memory estimation and placement all re-run (the pre-cache
+//!   warm path).
+//!
+//! The printed bench lines time the alternating *pair*; the JSON report
+//! records the halved mean, i.e. **ns per re-plan**, in
+//! `BENCH_incremental.json`. Quick mode (`SPINDLE_BENCH_QUICK=1`) shrinks
+//! iteration counts for the CI gate.
+//!
+//! ```bash
+//! cargo bench -p spindle-bench --bench incremental_replan
+//! ```
+
+use std::path::PathBuf;
+
+use spindle_bench::microbench::{bench, group, quick_mode, write_json_report, Timing};
+use spindle_cluster::ClusterSpec;
+use spindle_core::{PlannerConfig, SpindleSession};
+use spindle_graph::ComputationGraph;
+use spindle_workloads::{hyperscale_subset, multitask_clip, HYPERSCALE_DEFAULT_TASKS};
+
+fn report_path() -> PathBuf {
+    if let Ok(path) = std::env::var("SPINDLE_BENCH_OUT") {
+        return PathBuf::from(path);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_incremental.json")
+}
+
+/// Halves a pair timing into a per-replan timing.
+fn per_replan(pair: Timing) -> Timing {
+    Timing {
+        iters: pair.iters,
+        min: pair.min / 2,
+        mean: pair.mean / 2,
+        max: pair.max / 2,
+    }
+}
+
+/// One alternating single-task-churn case: the two task mixes, the cluster,
+/// and whether the structural cache is on.
+struct ChurnCase<'a> {
+    name: &'a str,
+    cluster: &'a ClusterSpec,
+    a: &'a ComputationGraph,
+    b: &'a ComputationGraph,
+    structural: bool,
+}
+
+/// Benches alternating single-task-churn re-plans, with the structural cache
+/// on or off. The session is pre-warmed on both mixes so the measurement
+/// captures steady-state churn, not first-sight fitting.
+fn churn_case(
+    case: &ChurnCase<'_>,
+    warmup: u32,
+    iters: u32,
+    report: &mut Vec<(String, Timing)>,
+) -> Timing {
+    let ChurnCase {
+        name,
+        cluster,
+        a,
+        b,
+        structural,
+    } = *case;
+    let config = PlannerConfig {
+        structural_cache: structural,
+        ..PlannerConfig::default()
+    };
+    let mut session = SpindleSession::with_config(cluster.clone(), config);
+    session.plan(a).unwrap();
+    session.plan(b).unwrap();
+    let t = bench(name, warmup, iters, || {
+        let _ = session.replan(a).unwrap();
+        let _ = session.replan(b).unwrap();
+    });
+    let t = per_replan(t);
+    if structural {
+        // The measured regime must actually be incremental; assert it.
+        let probe = session.replan(a).unwrap();
+        assert_eq!(
+            probe.levels_reused, probe.levels_total,
+            "warm churn re-plans must be served structurally"
+        );
+    }
+    report.push((name.to_string(), t));
+    t
+}
+
+fn main() {
+    let quick = quick_mode();
+    let (warmup, iters) = if quick { (1, 3) } else { (3, 30) };
+    println!(
+        "incremental_replan: per-replan cost of single-task churn{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+    let mut report: Vec<(String, Timing)> = Vec::new();
+
+    // -- Paper scale: Multitask-CLIP, 10 vs 9 tasks on 32 GPUs ---------------
+    group("paper scale: clip 10<->9 tasks, 32 gpus");
+    let clip_cluster = ClusterSpec::homogeneous(4, 8);
+    let clip10 = multitask_clip(10).unwrap();
+    let clip9 = multitask_clip(9).unwrap();
+    let inc = churn_case(
+        &ChurnCase {
+            name: "incremental_replan_clip-10t/32gpu",
+            cluster: &clip_cluster,
+            a: &clip10,
+            b: &clip9,
+            structural: true,
+        },
+        warmup,
+        iters,
+        &mut report,
+    );
+    let full = churn_case(
+        &ChurnCase {
+            name: "full_replan_clip-10t/32gpu",
+            cluster: &clip_cluster,
+            a: &clip10,
+            b: &clip9,
+            structural: false,
+        },
+        warmup,
+        iters,
+        &mut report,
+    );
+    let clip_speedup = full.mean.as_secs_f64() / inc.mean.as_secs_f64();
+    println!("incremental speedup over full re-plan (clip-10t/32gpu): {clip_speedup:.2}x");
+
+    // -- Hyperscale: 48 tasks churning one shallow task on 256 GPUs ----------
+    group("hyperscale: 48<->47 tasks, 256 gpus");
+    let hyper_cluster = ClusterSpec::homogeneous(32, 8);
+    let all: Vec<usize> = (0..HYPERSCALE_DEFAULT_TASKS).collect();
+    // Slot 1 is a shallow task: its departure leaves the deep-only levels
+    // clean, so even first-sight churn is partially incremental.
+    let minus_one: Vec<usize> = all.iter().copied().filter(|&s| s != 1).collect();
+    let hyper_a = hyperscale_subset(&all).unwrap();
+    let hyper_b = hyperscale_subset(&minus_one).unwrap();
+    let inc = churn_case(
+        &ChurnCase {
+            name: "incremental_replan_hyperscale-48t/256gpu",
+            cluster: &hyper_cluster,
+            a: &hyper_a,
+            b: &hyper_b,
+            structural: true,
+        },
+        warmup,
+        iters,
+        &mut report,
+    );
+    let full = churn_case(
+        &ChurnCase {
+            name: "full_replan_hyperscale-48t/256gpu",
+            cluster: &hyper_cluster,
+            a: &hyper_a,
+            b: &hyper_b,
+            structural: false,
+        },
+        warmup,
+        iters,
+        &mut report,
+    );
+    let hyper_speedup = full.mean.as_secs_f64() / inc.mean.as_secs_f64();
+    println!("incremental speedup over full re-plan (hyperscale-48t/256gpu): {hyper_speedup:.2}x");
+
+    // Context: what a cold hyperscale plan costs (fresh session each pass —
+    // dominated by first-time curve fitting).
+    let cold = bench("cold_plan_hyperscale-48t/256gpu", 0, iters.min(5), || {
+        let _ = SpindleSession::new(hyper_cluster.clone())
+            .plan(&hyper_a)
+            .unwrap();
+    });
+    report.push(("cold_plan_hyperscale-48t/256gpu".to_string(), cold));
+
+    // The acceptance bars of the incremental re-planning work. Guarded only
+    // outside quick mode: CI smoke iteration counts are too small for stable
+    // ratios (the perf gate tracks absolute regressions instead).
+    if !quick {
+        assert!(
+            clip_speedup >= 3.0,
+            "single-task churn at paper scale must be >=3x faster incrementally, got {clip_speedup:.2}x"
+        );
+        assert!(
+            hyper_speedup >= 5.0,
+            "hyperscale churn must be >=5x faster incrementally, got {hyper_speedup:.2}x"
+        );
+    }
+
+    let path = report_path();
+    write_json_report(&path, &report).expect("write BENCH_incremental.json");
+    println!("\nwrote {} entries to {}", report.len(), path.display());
+}

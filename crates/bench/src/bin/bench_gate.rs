@@ -3,14 +3,16 @@
 //!
 //! ```bash
 //! cargo run --release -p spindle-bench --bin bench_gate -- \
-//!     BENCH_baseline.json BENCH_planning.json BENCH_sim.json
+//!     BENCH_baseline.json BENCH_planning.json BENCH_sim.json BENCH_incremental.json
 //! ```
 //!
 //! The first argument is the baseline; every further argument is a current
 //! report (they are merged). Thresholds default to fail >30% / warn >15% and
 //! can be overridden with `SPINDLE_GATE_FAIL_PCT` / `SPINDLE_GATE_WARN_PCT`
 //! (whole percents). When `GITHUB_STEP_SUMMARY` is set, the markdown delta
-//! table is appended there too. Exits non-zero if any entry fails the gate.
+//! table is appended there too. Exits non-zero if any entry fails the gate —
+//! including when a baseline key is missing from the fresh reports (a bench
+//! that silently vanished is treated as a regression, not skipped).
 
 use std::io::Write as _;
 use std::process::ExitCode;

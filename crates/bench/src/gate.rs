@@ -9,7 +9,11 @@
 //! * **fail** — more than `fail_pct` slower than baseline (default 30%),
 //! * **warn** — more than `warn_pct` slower (default 15%),
 //! * **pass** — within the noise band (or faster),
-//! * **new** / **gone** — present on only one side (informational).
+//! * **new** — present only in the current report (informational),
+//! * **gone** — a baseline key missing from the fresh run. This **fails**
+//!   the gate: a silently vanished bench is indistinguishable from a
+//!   regression nobody measures any more (remove the baseline entry
+//!   deliberately when retiring a bench).
 //!
 //! Entries whose baseline and current means are both under the noise floor
 //! (default 500 ns) never fail: at that scale the timer resolution dominates.
@@ -50,7 +54,7 @@ pub enum Verdict {
     Fail,
     /// Present only in the current report (a newly added bench).
     New,
-    /// Present only in the baseline (a removed bench).
+    /// Present only in the baseline (a removed bench) — fails the gate.
     Gone,
 }
 
@@ -91,10 +95,13 @@ pub struct GateReport {
 }
 
 impl GateReport {
-    /// Returns `true` if any entry failed.
+    /// Returns `true` if any entry failed — either a slowdown beyond the
+    /// threshold or a baseline key missing from the fresh run.
     #[must_use]
     pub fn failed(&self) -> bool {
-        self.entries.iter().any(|e| e.verdict == Verdict::Fail)
+        self.entries
+            .iter()
+            .any(|e| matches!(e.verdict, Verdict::Fail | Verdict::Gone))
     }
 
     /// Number of warning entries.
@@ -286,6 +293,25 @@ mod tests {
         assert_eq!(verdict("brand_new"), Verdict::New);
         assert!(report.failed());
         assert_eq!(report.warnings(), 1);
+    }
+
+    #[test]
+    fn missing_baseline_key_alone_fails_the_gate() {
+        // A fresh run that silently drops a bench must not pass: the gate
+        // would otherwise stop guarding that path without anyone noticing.
+        let config = GateConfig::default();
+        let baseline = set(&[("kept", 10_000.0), ("vanished", 10_000.0)]);
+        let current = set(&[("kept", 10_000.0)]);
+        let report = compare(&baseline, &current, &config);
+        assert!(report.failed(), "a gone entry must fail the gate");
+        assert_eq!(report.warnings(), 0);
+        // A new bench on its own stays informational.
+        let report = compare(
+            &set(&[("kept", 10_000.0)]),
+            &set(&[("kept", 10_000.0), ("added", 1.0)]),
+            &config,
+        );
+        assert!(!report.failed());
     }
 
     #[test]

@@ -114,6 +114,11 @@ pub struct PlanningStats {
     pub bisection_iterations: u64,
     /// Total waves crafted by the wavefront scheduler.
     pub waves_crafted: u64,
+    /// MetaLevels solved fresh (MPSP + wavefront actually ran).
+    pub levels_planned: u64,
+    /// MetaLevels spliced from the structural plan cache instead of being
+    /// re-solved (see [`StructuralPlanCache`](crate::StructuralPlanCache)).
+    pub levels_reused: u64,
     /// High-water mark of the MPSP scratch buffer (largest number of
     /// simultaneously active items, i.e. the largest level planned).
     pub mpsp_scratch_high_water: usize,
@@ -127,6 +132,8 @@ impl PlanningStats {
         self.mpsp_solves += other.mpsp_solves;
         self.bisection_iterations += other.bisection_iterations;
         self.waves_crafted += other.waves_crafted;
+        self.levels_planned += other.levels_planned;
+        self.levels_reused += other.levels_reused;
         self.mpsp_scratch_high_water = self
             .mpsp_scratch_high_water
             .max(other.mpsp_scratch_high_water);
@@ -186,6 +193,8 @@ mod tests {
             mpsp_solves: 1,
             bisection_iterations: 10,
             waves_crafted: 3,
+            levels_planned: 2,
+            levels_reused: 1,
             mpsp_scratch_high_water: 4,
             wavefront_scratch_high_water: 2,
         };
@@ -193,6 +202,8 @@ mod tests {
             mpsp_solves: 2,
             bisection_iterations: 5,
             waves_crafted: 1,
+            levels_planned: 1,
+            levels_reused: 3,
             mpsp_scratch_high_water: 3,
             wavefront_scratch_high_water: 6,
         };
@@ -200,6 +211,8 @@ mod tests {
         assert_eq!(a.mpsp_solves, 3);
         assert_eq!(a.bisection_iterations, 15);
         assert_eq!(a.waves_crafted, 4);
+        assert_eq!(a.levels_planned, 3);
+        assert_eq!(a.levels_reused, 4);
         assert_eq!(a.mpsp_scratch_high_water, 4);
         assert_eq!(a.wavefront_scratch_high_water, 6);
     }

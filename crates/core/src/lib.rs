@@ -75,6 +75,7 @@ pub mod placement;
 mod plan;
 mod planner;
 mod session;
+pub mod structural;
 mod system;
 pub mod wavefront;
 
@@ -91,4 +92,8 @@ pub use planner::curves_for;
 #[allow(deprecated)]
 pub use planner::Planner;
 pub use session::{PlannerConfig, ReplanOutcome, SpindleSession};
+pub use structural::{
+    LevelArtifact, LevelKey, PlacedSkeleton, PlanKey, StructuralCacheStats, StructuralPlanCache,
+    StructuralReuse,
+};
 pub use system::{PlanningSystem, SpindlePlanner};

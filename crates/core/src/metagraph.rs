@@ -1,6 +1,5 @@
 //! The contracted MetaGraph and its dependency levels (§3.1).
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use spindle_graph::{ComputationGraph, OpId};
@@ -26,7 +25,8 @@ pub struct MetaGraph {
     metaops: Vec<MetaOp>,
     edges: Vec<(MetaOpId, MetaOpId)>,
     levels: Vec<MetaLevel>,
-    op_to_metaop: BTreeMap<OpId, MetaOpId>,
+    /// Dense `OpId -> MetaOpId` map (operators are densely indexed).
+    op_to_metaop: Vec<MetaOpId>,
 }
 
 impl MetaGraph {
@@ -41,7 +41,10 @@ impl MetaGraph {
     #[must_use]
     pub fn contract(graph: &ComputationGraph) -> Self {
         let order = graph.topological_order();
-        let mut op_to_metaop: BTreeMap<OpId, MetaOpId> = BTreeMap::new();
+        // Operators are densely indexed, so the op -> MetaOp map is a plain
+        // vector filled in topological order (predecessors are always mapped
+        // before their successors).
+        let mut op_to_metaop: Vec<MetaOpId> = vec![MetaOpId(0); graph.num_ops()];
         let mut chains: Vec<Vec<OpId>> = Vec::new();
 
         for &op in &order {
@@ -51,7 +54,7 @@ impl MetaGraph {
                 let pred = graph.predecessors(op)[0];
                 let pred_op = graph.op(pred);
                 if graph.out_degree(pred) == 1 && pred_op.signature() == operator.signature() {
-                    op_to_metaop.get(&pred).copied()
+                    Some(op_to_metaop[pred.index()])
                 } else {
                     None
                 }
@@ -61,12 +64,12 @@ impl MetaGraph {
             match fuse_into {
                 Some(mid) => {
                     chains[mid.index()].push(op);
-                    op_to_metaop.insert(op, mid);
+                    op_to_metaop[op.index()] = mid;
                 }
                 None => {
                     let mid = MetaOpId(chains.len() as u32);
                     chains.push(vec![op]);
-                    op_to_metaop.insert(op, mid);
+                    op_to_metaop[op.index()] = mid;
                 }
             }
         }
@@ -85,8 +88,8 @@ impl MetaGraph {
             .edges()
             .iter()
             .filter_map(|&(a, b)| {
-                let ma = op_to_metaop[&a];
-                let mb = op_to_metaop[&b];
+                let ma = op_to_metaop[a.index()];
+                let mb = op_to_metaop[b.index()];
                 (ma != mb).then_some((ma, mb))
             })
             .collect();
@@ -169,7 +172,7 @@ impl MetaGraph {
     /// The MetaOp that a given original operator was fused into.
     #[must_use]
     pub fn metaop_of(&self, op: OpId) -> Option<MetaOpId> {
-        self.op_to_metaop.get(&op).copied()
+        self.op_to_metaop.get(op.index()).copied()
     }
 
     /// Direct predecessor MetaOps of `id`.

@@ -25,13 +25,15 @@ use spindle_graph::ComputationGraph;
 
 use crate::arena::{MetaOpArena, PlanningStats};
 use crate::mpsp::{self, MpspItem, MpspScratch};
+use crate::structural::{LevelArtifact, LevelKey, StructuralPlanCache};
 use crate::wavefront::{CurveMap, WavefrontScratch};
 use crate::{allocator, ExecutionPlan, MetaGraph, MetaOpId, PlacementPolicy, PlanError, Wave};
 
-/// Stage-1 artifact: the contracted MetaGraph of a workload.
+/// Stage-1 artifact: the contracted MetaGraph of a workload, behind an
+/// [`Arc`] so plans (and cached plan skeletons) share it without deep copies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ContractedGraph {
-    metagraph: MetaGraph,
+    metagraph: Arc<MetaGraph>,
 }
 
 impl ContractedGraph {
@@ -39,7 +41,7 @@ impl ContractedGraph {
     #[must_use]
     pub fn new(graph: &ComputationGraph) -> Self {
         Self {
-            metagraph: MetaGraph::contract(graph),
+            metagraph: Arc::new(MetaGraph::contract(graph)),
         }
     }
 
@@ -49,15 +51,29 @@ impl ContractedGraph {
         &self.metagraph
     }
 
-    /// Consumes the artifact, yielding the MetaGraph.
+    /// A shareable handle to the MetaGraph.
     #[must_use]
-    pub fn into_metagraph(self) -> MetaGraph {
+    pub fn metagraph_handle(&self) -> Arc<MetaGraph> {
+        Arc::clone(&self.metagraph)
+    }
+
+    /// Consumes the artifact, yielding the (shared) MetaGraph.
+    #[must_use]
+    pub fn into_metagraph(self) -> Arc<MetaGraph> {
         self.metagraph
     }
 }
 
 impl From<MetaGraph> for ContractedGraph {
     fn from(metagraph: MetaGraph) -> Self {
+        Self {
+            metagraph: Arc::new(metagraph),
+        }
+    }
+}
+
+impl From<Arc<MetaGraph>> for ContractedGraph {
+    fn from(metagraph: Arc<MetaGraph>) -> Self {
         Self { metagraph }
     }
 }
@@ -152,6 +168,24 @@ impl LevelSchedule {
         num_devices: u32,
         epsilon: f64,
     ) -> Self {
+        Self::build_with_cache(contracted, curves, estimator, num_devices, epsilon, None)
+    }
+
+    /// [`build`](Self::build) consulting a [`StructuralPlanCache`]: levels
+    /// whose [`LevelKey`] hits the cache are *spliced* from the cached
+    /// artifact (bit-identical to a fresh solve) instead of re-running MPSP,
+    /// discretisation, wavefront scheduling and memory estimation; dirty
+    /// levels are solved as usual and their artifacts inserted for the next
+    /// re-plan. `stats().levels_reused` reports how many levels were spliced.
+    #[must_use]
+    pub fn build_with_cache(
+        contracted: &ContractedGraph,
+        curves: &CurveSet,
+        estimator: &ScalabilityEstimator,
+        num_devices: u32,
+        epsilon: f64,
+        cache: Option<&StructuralPlanCache>,
+    ) -> Self {
         let metagraph = contracted.metagraph();
         let arena = MetaOpArena::build(metagraph, curves);
         let mut mpsp_scratch = MpspScratch::new();
@@ -159,7 +193,24 @@ impl LevelSchedule {
         let mut waves: Vec<Wave> = Vec::new();
         let mut theoretical_optimum = 0.0;
         let mut now = 0.0;
+        let mut levels_planned = 0u64;
+        let mut levels_reused = 0u64;
+        // Per-entry memory estimates feed the placement's memory balancing.
+        // Entries of one MetaOp recur across waves at the same allocation, so
+        // memoise per (metaop, devices) to avoid re-running the model sweep.
+        let mut memo: Vec<Vec<(u32, u64)>> = vec![Vec::new(); arena.len()];
         for level in metagraph.levels() {
+            let key = cache.map(|_| LevelKey::of(metagraph, level, num_devices));
+            if let Some(artifact) = key
+                .as_ref()
+                .and_then(|k| cache.expect("key implies cache").level(k))
+            {
+                now = artifact.splice(level, now, waves.len(), &mut waves);
+                theoretical_optimum += artifact.optimal_time();
+                levels_reused += 1;
+                continue;
+            }
+            levels_planned += 1;
             let solution = mpsp::solve_level(
                 &arena,
                 &level.metaops,
@@ -169,7 +220,7 @@ impl LevelSchedule {
             );
             theoretical_optimum += solution.optimal_time;
             let alloc_plan = allocator::discretize_level(&solution, &arena, &level.metaops);
-            let (level_waves, end) = crate::wavefront::schedule_level_dense(
+            let (mut level_waves, end) = crate::wavefront::schedule_level_dense(
                 &alloc_plan,
                 &arena,
                 num_devices,
@@ -178,34 +229,37 @@ impl LevelSchedule {
                 waves.len(),
                 &mut wavefront_scratch,
             );
+            for wave in &mut level_waves {
+                for entry in &mut wave.entries {
+                    let known = memo[entry.metaop.index()]
+                        .iter()
+                        .find(|&&(n, _)| n == entry.devices)
+                        .map(|&(_, bytes)| bytes);
+                    let per_op = known.unwrap_or_else(|| {
+                        let rep = metagraph.metaop(entry.metaop).representative();
+                        let bytes = estimator.memory_bytes(rep, entry.devices);
+                        memo[entry.metaop.index()].push((entry.devices, bytes));
+                        bytes
+                    });
+                    entry.memory_per_device = per_op.saturating_mul(u64::from(entry.layers));
+                }
+            }
+            if let (Some(c), Some(k)) = (cache, key) {
+                c.insert_level(
+                    k,
+                    LevelArtifact::capture(level, solution.optimal_time, &level_waves),
+                );
+            }
             waves.extend(level_waves);
             now = end;
-        }
-
-        // Per-entry memory estimates feed the placement's memory balancing.
-        // Entries of one MetaOp recur across waves at the same allocation, so
-        // memoise per (metaop, devices) to avoid re-running the model sweep.
-        let mut memo: Vec<Vec<(u32, u64)>> = vec![Vec::new(); arena.len()];
-        for wave in &mut waves {
-            for entry in &mut wave.entries {
-                let known = memo[entry.metaop.index()]
-                    .iter()
-                    .find(|&&(n, _)| n == entry.devices)
-                    .map(|&(_, bytes)| bytes);
-                let per_op = known.unwrap_or_else(|| {
-                    let rep = metagraph.metaop(entry.metaop).representative();
-                    let bytes = estimator.memory_bytes(rep, entry.devices);
-                    memo[entry.metaop.index()].push((entry.devices, bytes));
-                    bytes
-                });
-                entry.memory_per_device = per_op.saturating_mul(u64::from(entry.layers));
-            }
         }
 
         let stats = PlanningStats {
             mpsp_solves: mpsp_scratch.solves(),
             bisection_iterations: mpsp_scratch.iterations(),
             waves_crafted: wavefront_scratch.waves_crafted(),
+            levels_planned,
+            levels_reused,
             mpsp_scratch_high_water: mpsp_scratch.high_water(),
             wavefront_scratch_high_water: wavefront_scratch.high_water(),
         };
@@ -267,7 +321,7 @@ impl LevelSchedule {
     ) -> Result<ExecutionPlan, PlanError> {
         let mut plan = ExecutionPlan::new(
             self.waves,
-            contracted.metagraph().clone(),
+            contracted.metagraph_handle(),
             self.num_devices,
             self.theoretical_optimum,
             planning_time,

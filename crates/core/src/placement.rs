@@ -72,7 +72,7 @@ impl PlacementPolicy for SequentialPlacement {
 
 /// The placement strategy to apply to a plan — a compact, copyable selector
 /// over the built-in [`PlacementPolicy`] implementations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PlacementStrategy {
     /// The locality-, communication- and memory-aware strategy of §3.5
     /// ([`LocalityPlacement`]).

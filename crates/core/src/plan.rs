@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use spindle_cluster::DeviceGroup;
@@ -105,7 +106,10 @@ impl Wave {
 #[derive(Debug, Clone)]
 pub struct ExecutionPlan {
     waves: Vec<Wave>,
-    metagraph: MetaGraph,
+    /// Shared: re-planning paths that reuse cached wave fragments hand the
+    /// same contracted MetaGraph to several plans without deep-cloning its
+    /// op maps.
+    metagraph: Arc<MetaGraph>,
     num_devices: u32,
     theoretical_optimum: f64,
     planning_time: Duration,
@@ -117,14 +121,14 @@ impl ExecutionPlan {
     #[must_use]
     pub fn new(
         waves: Vec<Wave>,
-        metagraph: MetaGraph,
+        metagraph: impl Into<Arc<MetaGraph>>,
         num_devices: u32,
         theoretical_optimum: f64,
         planning_time: Duration,
     ) -> Self {
         Self {
             waves,
-            metagraph,
+            metagraph: metagraph.into(),
             num_devices,
             theoretical_optimum,
             planning_time,
@@ -151,6 +155,12 @@ impl ExecutionPlan {
     #[must_use]
     pub fn metagraph(&self) -> &MetaGraph {
         &self.metagraph
+    }
+
+    /// A shareable handle to the MetaGraph.
+    #[must_use]
+    pub fn metagraph_handle(&self) -> Arc<MetaGraph> {
+        Arc::clone(&self.metagraph)
     }
 
     /// Cluster size the plan was built for.

@@ -9,7 +9,14 @@ use spindle_estimator::{CurveCacheStats, ScalabilityEstimator};
 use spindle_graph::ComputationGraph;
 
 use crate::pipeline::{self, ContractedGraph, CurveSet, LevelSchedule};
+use crate::structural::{
+    PlacedSkeleton, PlanKey, StructuralCacheStats, StructuralPlanCache, StructuralReuse,
+};
 use crate::{mpsp, ExecutionPlan, PlacementStrategy, PlanError, PlanningStats};
+
+/// One produced plan with its hot-path counters and structural-reuse probe.
+type PhasePlan = (ExecutionPlan, PlanningStats, StructuralReuse);
+type PhaseResult = Result<PhasePlan, PlanError>;
 
 /// Tunable knobs of the planner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,6 +26,12 @@ pub struct PlannerConfig {
     pub placement: PlacementStrategy,
     /// Convergence tolerance of the MPSP bisection search, in seconds.
     pub bisection_epsilon: f64,
+    /// Memoize per-level planning artifacts and placed plan skeletons in the
+    /// session's [`StructuralPlanCache`], so re-planning after task churn
+    /// re-solves only the dirty levels (default: on). Disable to force every
+    /// plan through the full pipeline, e.g. to measure the incremental
+    /// speedup.
+    pub structural_cache: bool,
 }
 
 impl Default for PlannerConfig {
@@ -26,6 +39,7 @@ impl Default for PlannerConfig {
         Self {
             placement: PlacementStrategy::Locality,
             bisection_epsilon: mpsp::DEFAULT_EPSILON,
+            structural_cache: true,
         }
     }
 }
@@ -42,6 +56,14 @@ pub struct ReplanOutcome {
     pub cache_hits: usize,
     /// `true` if the cache was fully warm (zero new fits).
     pub warm: bool,
+    /// MetaLevels of the re-planned graph.
+    pub levels_total: usize,
+    /// Levels spliced from the structural plan cache instead of being
+    /// re-solved (MPSP + wavefront + memory estimation skipped).
+    pub levels_reused: usize,
+    /// `true` if the fully placed wave list was served structurally (every
+    /// level clean and the plan structure seen before), skipping placement.
+    pub placement_reused: bool,
 }
 
 impl ReplanOutcome {
@@ -54,18 +76,30 @@ impl ReplanOutcome {
         }
         self.cache_hits as f64 / total as f64
     }
+
+    /// Fraction of levels served from the structural cache.
+    #[must_use]
+    pub fn level_reuse_rate(&self) -> f64 {
+        if self.levels_total == 0 {
+            return 1.0;
+        }
+        self.levels_reused as f64 / self.levels_total as f64
+    }
 }
 
 /// A long-lived Spindle planning session bound to one cluster.
 ///
 /// Unlike the one-shot [`Planner`](crate::Planner), a session *owns* its
 /// state: the cluster description (shared via [`Arc`]), the scalability
-/// estimator and — crucially — the estimator's curve cache, which persists
-/// across every plan the session produces. In the dynamic multi-task scenario
-/// of the paper's Appendix D (the task mix changes, the system re-plans at
-/// every phase), a warm session re-fits **zero** curves for operator
-/// signatures it has already profiled, so re-planning cost collapses to graph
-/// contraction + MPSP + wavefront scheduling + placement.
+/// estimator with its persistent curve cache, and a
+/// [`StructuralPlanCache`](crate::StructuralPlanCache) memoizing per-level
+/// planning artifacts and placed plan skeletons. In the dynamic multi-task
+/// scenario of the paper's Appendix D (the task mix changes, the system
+/// re-plans at every phase), a warm session re-fits **zero** curves for
+/// workloads it has already profiled *and* re-solves only the MetaLevels a
+/// task-mix change actually touched — clean levels are spliced from cached
+/// fragments and recurring plan structures reuse their placed waves
+/// wholesale, bit-identical to planning from scratch.
 ///
 /// A session plans any number of workloads:
 ///
@@ -100,6 +134,7 @@ pub struct SpindleSession {
     config: PlannerConfig,
     plans_produced: usize,
     stats: PlanningStats,
+    structural: StructuralPlanCache,
 }
 
 impl SpindleSession {
@@ -133,6 +168,7 @@ impl SpindleSession {
             config,
             plans_produced: 0,
             stats: PlanningStats::default(),
+            structural: StructuralPlanCache::new(),
         }
     }
 
@@ -199,6 +235,19 @@ impl SpindleSession {
         self.estimator.cache_stats()
     }
 
+    /// A snapshot of the structural plan cache's counters (level artifacts,
+    /// placed skeletons, hits and misses).
+    #[must_use]
+    pub fn structural_cache_stats(&self) -> StructuralCacheStats {
+        self.structural.stats()
+    }
+
+    /// Drops every cached structural artifact (level schedules and placed
+    /// skeletons). The curve cache is unaffected.
+    pub fn clear_structural_cache(&mut self) {
+        self.structural.clear();
+    }
+
     /// Accumulated hot-path counters over every plan this session produced:
     /// bisection iterations, waves crafted and the scratch-buffer high-water
     /// marks. Benches and tests use these to assert the allocation-free
@@ -248,26 +297,35 @@ impl SpindleSession {
         if self.cluster.num_devices() == 0 {
             return Err(PlanError::EmptyCluster);
         }
-        let (plan, stats) = self.plan_shared(graph)?;
+        let (plan, stats, _reuse) = self.plan_shared(graph)?;
         self.stats.merge(&stats);
         self.plans_produced += 1;
         Ok(plan)
     }
 
     /// Re-plans a (possibly changed) workload and reports how warm the
-    /// session's curve cache was for it — the online re-planning hook used by
+    /// session's caches were for it — the online re-planning hook used by
     /// the runtime's dynamic run loop when the task mix changes mid-run.
     ///
     /// Functionally identical to [`plan`](Self::plan); the extra value is the
     /// probe: how many genuinely new operator signatures had to be fitted
-    /// versus how many were served from the cache.
+    /// versus how many were served from the curve cache, and how many
+    /// MetaLevels (and whether the placement) were spliced from the
+    /// structural plan cache instead of being re-solved. An incremental
+    /// re-plan produces a plan bit-identical to a cold plan of the same
+    /// graph; only the cost differs.
     ///
     /// # Errors
     ///
     /// Same failure modes as [`plan`](Self::plan).
     pub fn replan(&mut self, graph: &ComputationGraph) -> Result<ReplanOutcome, PlanError> {
+        if self.cluster.num_devices() == 0 {
+            return Err(PlanError::EmptyCluster);
+        }
         let before = self.cache_stats();
-        let plan = self.plan(graph)?;
+        let (plan, stats, reuse) = self.plan_shared(graph)?;
+        self.stats.merge(&stats);
+        self.plans_produced += 1;
         let after = self.cache_stats();
         let new_curve_fits = after.fits.saturating_sub(before.fits);
         Ok(ReplanOutcome {
@@ -275,6 +333,9 @@ impl SpindleSession {
             new_curve_fits,
             cache_hits: after.hits.saturating_sub(before.hits),
             warm: new_curve_fits == 0,
+            levels_total: reuse.levels_total,
+            levels_reused: reuse.levels_reused,
+            placement_reused: reuse.placement_reused,
         })
     }
 
@@ -310,7 +371,7 @@ impl SpindleSession {
         let workers = std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get)
             .min(graphs.len());
-        let results: Vec<Result<(ExecutionPlan, PlanningStats), PlanError>> = if workers <= 1 {
+        let results: Vec<PhaseResult> = if workers <= 1 {
             graphs.iter().map(|graph| self.plan_shared(graph)).collect()
         } else {
             let shared: &Self = self;
@@ -328,8 +389,7 @@ impl SpindleSession {
                         })
                     })
                     .collect();
-                let mut slots: Vec<Option<Result<(ExecutionPlan, PlanningStats), PlanError>>> =
-                    (0..graphs.len()).map(|_| None).collect();
+                let mut slots: Vec<Option<PhaseResult>> = (0..graphs.len()).map(|_| None).collect();
                 for handle in handles {
                     for (i, result) in handle.join().expect("phase planning worker panicked") {
                         slots[i] = Some(result);
@@ -349,7 +409,7 @@ impl SpindleSession {
             produced.push(result?);
         }
         let mut plans = Vec::with_capacity(produced.len());
-        for (plan, stats) in produced {
+        for (plan, stats, _reuse) in produced {
             self.stats.merge(&stats);
             self.plans_produced += 1;
             plans.push(plan);
@@ -357,17 +417,65 @@ impl SpindleSession {
         Ok(plans)
     }
 
-    /// One full pipeline pass against `&self` only — shared by the sequential
-    /// and the phase-parallel entry points.
-    fn plan_shared(
-        &self,
-        graph: &ComputationGraph,
-    ) -> Result<(ExecutionPlan, PlanningStats), PlanError> {
+    /// One full pipeline pass against `&self` only — shared by the
+    /// sequential, re-planning and phase-parallel entry points. Consults the
+    /// structural plan cache (when enabled): a whole-plan hit skips stages 3
+    /// and 4 entirely, per-level hits splice cached schedule fragments, and
+    /// misses solve fresh and feed the cache for the next re-plan.
+    fn plan_shared(&self, graph: &ComputationGraph) -> Result<PhasePlan, PlanError> {
         let started = Instant::now();
         let contracted = self.contract(graph);
         let curves = self.resolve_curves(&contracted)?;
-        let schedule = self.schedule(&contracted, &curves);
+        let num_devices = self.cluster.num_devices() as u32;
+        let cache = if self.config.structural_cache {
+            self.structural
+                .ensure_epsilon(self.config.bisection_epsilon);
+            Some(&self.structural)
+        } else {
+            None
+        };
+        let plan_key =
+            cache.map(|_| PlanKey::of(contracted.metagraph(), num_devices, self.config.placement));
+        if let Some(skeleton) = plan_key
+            .as_ref()
+            .and_then(|k| cache.expect("key implies cache").skeleton(k))
+        {
+            // Whole-plan structural hit: clone the placed waves and attach
+            // the freshly contracted MetaGraph. Bit-identical to the full
+            // pipeline by construction of `PlanKey`.
+            let levels_total = contracted.metagraph().levels().len();
+            let plan = ExecutionPlan::new(
+                skeleton.waves.clone(),
+                contracted.metagraph_handle(),
+                num_devices,
+                skeleton.theoretical_optimum,
+                started.elapsed(),
+            );
+            let stats = PlanningStats {
+                levels_reused: levels_total as u64,
+                ..PlanningStats::default()
+            };
+            let reuse = StructuralReuse {
+                levels_total,
+                levels_reused: levels_total,
+                placement_reused: true,
+            };
+            return Ok((plan, stats, reuse));
+        }
+        let schedule = LevelSchedule::build_with_cache(
+            &contracted,
+            &curves,
+            &self.estimator,
+            num_devices,
+            self.config.bisection_epsilon,
+            cache,
+        );
         let stats = schedule.stats();
+        let reuse = StructuralReuse {
+            levels_total: contracted.metagraph().levels().len(),
+            levels_reused: stats.levels_reused as usize,
+            placement_reused: false,
+        };
         let mut plan = schedule.place(
             &contracted,
             &self.cluster,
@@ -375,7 +483,16 @@ impl SpindleSession {
             started.elapsed(),
         )?;
         plan.set_planning_time(started.elapsed());
-        Ok((plan, stats))
+        if let (Some(c), Some(key)) = (cache, plan_key) {
+            c.insert_skeleton(
+                key,
+                PlacedSkeleton {
+                    waves: plan.waves().to_vec(),
+                    theoretical_optimum: plan.theoretical_optimum(),
+                },
+            );
+        }
+        Ok((plan, stats, reuse))
     }
 
     /// The theoretical optimum `Σ C̃*` of a workload on this session's
@@ -623,7 +740,19 @@ mod tests {
             .unwrap();
         assert!(stats.mpsp_scratch_high_water <= largest_level);
         assert!(stats.wavefront_scratch_high_water <= largest_level);
-        // A second plan accumulates.
+        // A second plan of the same graph is served from the structural
+        // cache: no new waves are crafted, and the reuse counters account
+        // for every level.
+        session.plan(&graph).unwrap();
+        let stats = session.planning_stats();
+        assert_eq!(stats.waves_crafted, plan.num_waves() as u64);
+        assert_eq!(
+            stats.levels_reused,
+            contracted.metagraph().levels().len() as u64
+        );
+        assert!(session.structural_cache_stats().skeleton_hits > 0);
+        // With the structural cache disabled the pipeline runs in full again.
+        session.config_mut().structural_cache = false;
         session.plan(&graph).unwrap();
         assert_eq!(
             session.planning_stats().waves_crafted,

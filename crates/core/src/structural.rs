@@ -1,0 +1,565 @@
+//! The structural plan cache behind incremental delta re-planning.
+//!
+//! The dynamic-schedule scenario (Appendix D / Fig. 13) re-plans at every
+//! task arrival or departure, but each event perturbs only a slice of the
+//! plan: a MetaLevel whose task mix did not change poses *exactly* the same
+//! allocation/scheduling sub-problem as before, and a task mix that recurs
+//! (tasks leave and later rejoin — the dominant pattern of churn traces)
+//! poses the same whole-plan problem. This module memoizes both granularities
+//! so [`SpindleSession::replan`](crate::SpindleSession::replan) re-solves
+//! only the *dirty* levels and splices cached fragments for the clean ones:
+//!
+//! * **Per-level artifacts** ([`LevelArtifact`], keyed by [`LevelKey`]): the
+//!   MPSP solution's optimum `C̃*` together with the discretised allocation
+//!   as crafted, memory-annotated waves in level-relative form (MetaOps as
+//!   positions within the level, times relative to the level start). Splicing
+//!   replays the exact accumulation of the cold path, so a spliced schedule
+//!   is *bit-identical* to a freshly solved one.
+//! * **Placed skeletons** ([`PlacedSkeleton`], keyed by [`PlanKey`]): the
+//!   fully placed wave list of a whole plan. Device placement is a stateful
+//!   global pass (affinity and memory balance carry across waves and
+//!   levels), so placement fragments can only be reused when *every* level is
+//!   clean and the MetaGraph wiring matches — which is what the plan-level
+//!   key guarantees.
+//!
+//! Keys are built from [`WorkloadSignature`]s — the task-independent identity
+//! of an operator's cost model — so a cached level serves hits across task-id
+//! shifts (a departed early task renumbers every later task) and even across
+//! different tasks with identical towers. Two equal keys imply bit-identical
+//! profiling results, bit-identical MPSP bisection iterates and therefore
+//! bit-identical schedules; the `incremental_replan` integration tests pin
+//! this equivalence over seeded churn sequences.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use spindle_graph::WorkloadSignature;
+
+use crate::{MetaGraph, MetaLevel, PlacementStrategy, Wave, WaveEntry};
+
+/// Canonical signature of one MetaLevel's allocation + scheduling sub-problem:
+/// the level's MetaOp workloads (signature and operator count, in level
+/// order) plus the device budget. Two levels with equal keys have
+/// bit-identical MPSP solutions and wave schedules.
+///
+/// The key is order-sensitive on purpose: the bisection solver accumulates
+/// floating-point sums in level order, so only an identically ordered level
+/// is guaranteed to reproduce the same bits. (Levels list MetaOps in id
+/// order, which graph builders derive from task declaration order, so
+/// recurring task mixes produce identically ordered levels.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LevelKey {
+    num_devices: u32,
+    items: Vec<(WorkloadSignature, u32)>,
+}
+
+impl LevelKey {
+    /// Builds the key of `level` within `metagraph` for a cluster of
+    /// `num_devices`.
+    #[must_use]
+    pub fn of(metagraph: &MetaGraph, level: &MetaLevel, num_devices: u32) -> Self {
+        Self {
+            num_devices,
+            items: level
+                .metaops
+                .iter()
+                .map(|&id| {
+                    let m = metagraph.metaop(id);
+                    (m.representative().workload_signature(), m.num_ops())
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Canonical signature of a whole structural planning problem: every MetaOp's
+/// workload (in id order), the MetaGraph wiring, the device budget and the
+/// placement strategy. Equal keys imply bit-identical *placed* plans, because
+/// placement reads nothing beyond MetaOp volumes (workload-determined), the
+/// edge structure and the wave schedule (level-determined).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    num_devices: u32,
+    placement: PlacementStrategy,
+    metaops: Vec<(WorkloadSignature, u32)>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl PlanKey {
+    /// Builds the plan-level key of `metagraph` for a cluster of
+    /// `num_devices` under `placement`.
+    #[must_use]
+    pub fn of(metagraph: &MetaGraph, num_devices: u32, placement: PlacementStrategy) -> Self {
+        Self {
+            num_devices,
+            placement,
+            metaops: metagraph
+                .metaops()
+                .iter()
+                .map(|m| (m.representative().workload_signature(), m.num_ops()))
+                .collect(),
+            edges: metagraph.edges().iter().map(|&(a, b)| (a.0, b.0)).collect(),
+        }
+    }
+}
+
+/// One cached wave entry in level-relative form: the MetaOp is stored as its
+/// *position* within the level (`slot`), so the entry can be rebased onto any
+/// level with the same key.
+#[derive(Debug, Clone)]
+struct CachedEntry {
+    slot: u32,
+    layers: u32,
+    devices: u32,
+    time_per_op: f64,
+    exec_time: f64,
+    memory_per_device: u64,
+}
+
+/// One cached wave: its duration plus rebasable entries. Start times are not
+/// stored — splicing replays the cold path's `start = now; now = start +
+/// duration` accumulation so rebased timestamps come out bit-identical.
+#[derive(Debug, Clone)]
+struct CachedWave {
+    duration: f64,
+    entries: Vec<CachedEntry>,
+}
+
+/// The cached per-level planning artifact: the continuous optimum `C̃*` of
+/// the level's MPSP solution and the crafted waves (which embody the
+/// discretised device allocation) with memory annotations, in level-relative
+/// form.
+#[derive(Debug, Clone)]
+pub struct LevelArtifact {
+    optimal_time: f64,
+    waves: Vec<CachedWave>,
+}
+
+impl LevelArtifact {
+    /// Captures the freshly built waves of one level in rebasable form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wave references a MetaOp outside `level` (the wavefront
+    /// scheduler never does).
+    #[must_use]
+    pub fn capture(level: &MetaLevel, optimal_time: f64, level_waves: &[Wave]) -> Self {
+        let waves = level_waves
+            .iter()
+            .map(|wave| CachedWave {
+                duration: wave.duration,
+                entries: wave
+                    .entries
+                    .iter()
+                    .map(|entry| CachedEntry {
+                        // Level MetaOp lists are in ascending id order.
+                        slot: level
+                            .metaops
+                            .binary_search(&entry.metaop)
+                            .expect("wave entries only reference the level's MetaOps")
+                            as u32,
+                        layers: entry.layers,
+                        devices: entry.devices,
+                        time_per_op: entry.time_per_op,
+                        exec_time: entry.exec_time,
+                        memory_per_device: entry.memory_per_device,
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self {
+            optimal_time,
+            waves,
+        }
+    }
+
+    /// The continuous optimum `C̃*` of the level (the MPSP solution).
+    #[must_use]
+    pub fn optimal_time(&self) -> f64 {
+        self.optimal_time
+    }
+
+    /// Number of cached waves.
+    #[must_use]
+    pub fn num_waves(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Splices the cached waves onto `level` starting at `start_time` with
+    /// wave indices from `first_wave_index`, appending to `out`. Returns the
+    /// end time of the level — exactly what the cold path would have
+    /// computed.
+    pub fn splice(
+        &self,
+        level: &MetaLevel,
+        start_time: f64,
+        first_wave_index: usize,
+        out: &mut Vec<Wave>,
+    ) -> f64 {
+        let mut now = start_time;
+        for (i, cached) in self.waves.iter().enumerate() {
+            let wave = Wave {
+                index: first_wave_index + i,
+                level: level.index,
+                start: now,
+                duration: cached.duration,
+                entries: cached
+                    .entries
+                    .iter()
+                    .map(|e| WaveEntry {
+                        metaop: level.metaops[e.slot as usize],
+                        layers: e.layers,
+                        devices: e.devices,
+                        time_per_op: e.time_per_op,
+                        exec_time: e.exec_time,
+                        memory_per_device: e.memory_per_device,
+                        placement: None,
+                    })
+                    .collect(),
+            };
+            now = wave.end();
+            out.push(wave);
+        }
+        now
+    }
+}
+
+/// The cached whole-plan artifact: the fully placed wave list and the summed
+/// theoretical optimum of a previously planned structure.
+#[derive(Debug, Clone)]
+pub struct PlacedSkeleton {
+    /// The placed waves, ready to clone into a new [`ExecutionPlan`](crate::ExecutionPlan).
+    pub waves: Vec<Wave>,
+    /// The plan's theoretical optimum `Σ C̃*`.
+    pub theoretical_optimum: f64,
+}
+
+/// How much of a plan was served structurally — reported per plan by
+/// [`SpindleSession`](crate::SpindleSession) and per re-plan through
+/// [`ReplanOutcome`](crate::ReplanOutcome).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StructuralReuse {
+    /// MetaLevels of the planned graph.
+    pub levels_total: usize,
+    /// Levels spliced from the structural cache instead of being re-solved.
+    pub levels_reused: usize,
+    /// `true` if the fully placed wave list was reused (every level clean and
+    /// the MetaGraph wiring seen before), skipping placement entirely.
+    pub placement_reused: bool,
+}
+
+impl StructuralReuse {
+    /// Fraction of levels served from the cache (1.0 when there are none).
+    #[must_use]
+    pub fn level_reuse_rate(&self) -> f64 {
+        if self.levels_total == 0 {
+            return 1.0;
+        }
+        self.levels_reused as f64 / self.levels_total as f64
+    }
+}
+
+/// Counters of the structural cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StructuralCacheStats {
+    /// Distinct level signatures currently cached.
+    pub level_entries: usize,
+    /// Distinct placed plan structures currently cached.
+    pub skeleton_entries: usize,
+    /// Level lookups served from the cache.
+    pub level_hits: usize,
+    /// Level lookups that missed (and were solved fresh).
+    pub level_misses: usize,
+    /// Whole-plan lookups served from the cache.
+    pub skeleton_hits: usize,
+    /// Whole-plan lookups that missed.
+    pub skeleton_misses: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Bisection epsilon the level artifacts were solved under; a config
+    /// change invalidates them.
+    epsilon_bits: u64,
+    levels: HashMap<LevelKey, Arc<LevelArtifact>>,
+    skeletons: HashMap<PlanKey, Arc<PlacedSkeleton>>,
+}
+
+/// The level-keyed structural plan cache of a
+/// [`SpindleSession`](crate::SpindleSession).
+///
+/// Thread-safe behind an `RwLock` (the phase-parallel planning workers share
+/// it): lookups take the read path, only fresh solves write. Hit/miss
+/// counters let tests and benches *assert* structural reuse rather than
+/// trusting it.
+#[derive(Default)]
+pub struct StructuralPlanCache {
+    inner: RwLock<CacheInner>,
+    level_hits: AtomicUsize,
+    level_misses: AtomicUsize,
+    skeleton_hits: AtomicUsize,
+    skeleton_misses: AtomicUsize,
+}
+
+impl fmt::Debug for StructuralPlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("StructuralPlanCache")
+            .field("level_entries", &stats.level_entries)
+            .field("skeleton_entries", &stats.skeleton_entries)
+            .field("level_hits", &stats.level_hits)
+            .field("skeleton_hits", &stats.skeleton_hits)
+            .finish()
+    }
+}
+
+impl StructuralPlanCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the cache's artifacts were produced under `epsilon`, clearing
+    /// them if the tolerance changed (cached bisection iterates would no
+    /// longer match a fresh solve).
+    pub fn ensure_epsilon(&self, epsilon: f64) {
+        let bits = epsilon.to_bits();
+        if self.read().epsilon_bits == bits {
+            return;
+        }
+        let mut inner = self.write();
+        if inner.epsilon_bits != bits {
+            inner.levels.clear();
+            inner.skeletons.clear();
+            inner.epsilon_bits = bits;
+        }
+    }
+
+    /// Looks up a level artifact, counting the hit or miss.
+    #[must_use]
+    pub fn level(&self, key: &LevelKey) -> Option<Arc<LevelArtifact>> {
+        let found = self.read().levels.get(key).map(Arc::clone);
+        match &found {
+            Some(_) => self.level_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.level_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a freshly solved level artifact.
+    pub fn insert_level(&self, key: LevelKey, artifact: LevelArtifact) {
+        self.write().levels.insert(key, Arc::new(artifact));
+    }
+
+    /// Looks up a placed skeleton, counting the hit or miss.
+    #[must_use]
+    pub fn skeleton(&self, key: &PlanKey) -> Option<Arc<PlacedSkeleton>> {
+        let found = self.read().skeletons.get(key).map(Arc::clone);
+        match &found {
+            Some(_) => self.skeleton_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.skeleton_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a freshly placed skeleton.
+    pub fn insert_skeleton(&self, key: PlanKey, skeleton: PlacedSkeleton) {
+        self.write().skeletons.insert(key, Arc::new(skeleton));
+    }
+
+    /// Drops every cached artifact (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.write();
+        inner.levels.clear();
+        inner.skeletons.clear();
+    }
+
+    /// A snapshot of the cache counters.
+    #[must_use]
+    pub fn stats(&self) -> StructuralCacheStats {
+        let inner = self.read();
+        StructuralCacheStats {
+            level_entries: inner.levels.len(),
+            skeleton_entries: inner.skeletons.len(),
+            level_hits: self.level_hits.load(Ordering::Relaxed),
+            level_misses: self.level_misses.load(Ordering::Relaxed),
+            skeleton_hits: self.skeleton_hits.load(Ordering::Relaxed),
+            skeleton_misses: self.skeleton_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, CacheInner> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, CacheInner> {
+        self.inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ContractedGraph;
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    fn contracted(batches: &[u32]) -> ContractedGraph {
+        let mut b = GraphBuilder::new();
+        for (i, &batch) in batches.iter().enumerate() {
+            let t = b.add_task(format!("t{i}"), [Modality::Audio, Modality::Text], batch);
+            let tower = b
+                .add_op_chain(
+                    t,
+                    OpKind::Encoder(Modality::Audio),
+                    TensorShape::new(batch, 229, 768),
+                    4,
+                )
+                .unwrap();
+            let loss = b
+                .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, 768))
+                .unwrap();
+            b.add_flow(*tower.last().unwrap(), loss).unwrap();
+        }
+        ContractedGraph::new(&b.build().unwrap())
+    }
+
+    #[test]
+    fn level_keys_are_task_independent_but_shape_sensitive() {
+        let a = contracted(&[8, 16]);
+        let b = contracted(&[8, 16]);
+        let c = contracted(&[8, 32]);
+        let key = |cg: &ContractedGraph, lvl: usize| {
+            LevelKey::of(cg.metagraph(), &cg.metagraph().levels()[lvl], 8)
+        };
+        assert_eq!(key(&a, 0), key(&b, 0));
+        assert_eq!(key(&a, 1), key(&b, 1));
+        assert_ne!(key(&a, 0), key(&c, 0), "batch change must dirty the level");
+        // Device budget is part of the key.
+        let narrow = LevelKey::of(a.metagraph(), &a.metagraph().levels()[0], 4);
+        assert_ne!(narrow, key(&a, 0));
+    }
+
+    #[test]
+    fn plan_keys_track_wiring_and_strategy() {
+        let a = contracted(&[8, 16]);
+        let b = contracted(&[8, 16]);
+        let c = contracted(&[8]);
+        let key = |cg: &ContractedGraph, s: PlacementStrategy| PlanKey::of(cg.metagraph(), 8, s);
+        assert_eq!(
+            key(&a, PlacementStrategy::Locality),
+            key(&b, PlacementStrategy::Locality)
+        );
+        assert_ne!(
+            key(&a, PlacementStrategy::Locality),
+            key(&c, PlacementStrategy::Locality)
+        );
+        assert_ne!(
+            key(&a, PlacementStrategy::Locality),
+            key(&a, PlacementStrategy::Sequential)
+        );
+    }
+
+    #[test]
+    fn capture_and_splice_roundtrip_bit_for_bit() {
+        let cg = contracted(&[8, 16]);
+        let mg = cg.metagraph();
+        let level = &mg.levels()[0];
+        // Two hand-built waves over the level's MetaOps.
+        let entry = |slot: usize, layers, devices, t| {
+            let mut e = WaveEntry::new(level.metaops[slot], layers, devices, t);
+            e.memory_per_device = 1024 * (slot as u64 + 1);
+            e
+        };
+        let waves = vec![
+            Wave {
+                index: 3,
+                level: level.index,
+                start: 1.25,
+                duration: 0.5,
+                entries: vec![entry(0, 2, 4, 0.25), entry(1, 1, 4, 0.5)],
+            },
+            Wave {
+                index: 4,
+                level: level.index,
+                start: 1.75,
+                duration: 0.75,
+                entries: vec![entry(0, 2, 8, 0.375)],
+            },
+        ];
+        let artifact = LevelArtifact::capture(level, 2.5, &waves);
+        assert_eq!(artifact.num_waves(), 2);
+        assert_eq!(artifact.optimal_time(), 2.5);
+        let mut out = Vec::new();
+        let end = artifact.splice(level, 1.25, 3, &mut out);
+        assert_eq!(out, waves);
+        assert_eq!(end, waves.last().unwrap().end());
+        // Rebasing onto a different offset shifts starts, nothing else.
+        let mut shifted = Vec::new();
+        let end2 = artifact.splice(level, 0.0, 0, &mut shifted);
+        assert_eq!(shifted[0].start, 0.0);
+        assert_eq!(shifted[1].index, 1);
+        assert_eq!(end2, 1.25);
+        assert_eq!(shifted[0].entries, waves[0].entries);
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_clears_on_epsilon_change() {
+        let cg = contracted(&[8]);
+        let mg = cg.metagraph();
+        let cache = StructuralPlanCache::new();
+        cache.ensure_epsilon(1e-7);
+        let key = LevelKey::of(mg, &mg.levels()[0], 8);
+        assert!(cache.level(&key).is_none());
+        cache.insert_level(
+            key.clone(),
+            LevelArtifact {
+                optimal_time: 1.0,
+                waves: Vec::new(),
+            },
+        );
+        assert!(cache.level(&key).is_some());
+        let plan_key = PlanKey::of(mg, 8, PlacementStrategy::Locality);
+        assert!(cache.skeleton(&plan_key).is_none());
+        cache.insert_skeleton(
+            plan_key.clone(),
+            PlacedSkeleton {
+                waves: Vec::new(),
+                theoretical_optimum: 1.0,
+            },
+        );
+        assert!(cache.skeleton(&plan_key).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.level_entries, 1);
+        assert_eq!(stats.skeleton_entries, 1);
+        assert_eq!(stats.level_hits, 1);
+        assert_eq!(stats.level_misses, 1);
+        assert_eq!(stats.skeleton_hits, 1);
+        assert_eq!(stats.skeleton_misses, 1);
+        // Same epsilon: nothing dropped. New epsilon: artifacts invalidated.
+        cache.ensure_epsilon(1e-7);
+        assert_eq!(cache.stats().level_entries, 1);
+        cache.ensure_epsilon(1e-9);
+        let stats = cache.stats();
+        assert_eq!(stats.level_entries, 0);
+        assert_eq!(stats.skeleton_entries, 0);
+        assert!(format!("{cache:?}").contains("StructuralPlanCache"));
+    }
+
+    #[test]
+    fn reuse_rate_handles_empty_plans() {
+        assert!((StructuralReuse::default().level_reuse_rate() - 1.0).abs() < 1e-12);
+        let partial = StructuralReuse {
+            levels_total: 4,
+            levels_reused: 3,
+            placement_reused: false,
+        };
+        assert!((partial.level_reuse_rate() - 0.75).abs() < 1e-12);
+    }
+}

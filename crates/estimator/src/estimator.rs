@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use spindle_cluster::ClusterSpec;
-use spindle_graph::{OpSignature, Operator};
+use spindle_graph::{Operator, WorkloadSignature};
 
 use crate::{AnalyticGpuModel, EstimatorError, PerfModel, Profiler, ScalingCurve};
 
@@ -40,11 +40,13 @@ impl CurveCacheStats {
 }
 
 /// The scalability estimator of §3.2: profiles each distinct operator workload
-/// and fits its piecewise α–β scaling curve, with results cached by operator
-/// signature so that the thousands of identical layers of a workload only pay
-/// the cost once — and, when the estimator is shared by a long-lived planning
-/// session, so that *re-planning* a changed workload only fits curves for
-/// operator signatures it has never seen.
+/// and fits its piecewise α–β scaling curve, with results cached by
+/// [`WorkloadSignature`] — the task-independent workload identity — so that
+/// the thousands of identical layers of a workload pay the cost once, equal
+/// towers of *different* tasks share one fit, and, when the estimator is
+/// shared by a long-lived planning session, *re-planning* a changed task mix
+/// only fits curves for workloads it has never seen (regardless of how task
+/// ids shifted in the new graph).
 pub struct ScalabilityEstimator {
     model: Arc<dyn PerfModel>,
     profiler: Profiler,
@@ -53,7 +55,7 @@ pub struct ScalabilityEstimator {
     /// planners sharing one warm estimator — e.g. the phase workers of
     /// `SpindleSession::plan_phases_parallel` — serve cache hits without
     /// serialising on the lock; the write path is taken only on a fit.
-    cache: RwLock<HashMap<OpSignature, Arc<ScalingCurve>>>,
+    cache: RwLock<HashMap<WorkloadSignature, Arc<ScalingCurve>>>,
     fits: AtomicUsize,
     hits: AtomicUsize,
 }
@@ -123,7 +125,7 @@ impl ScalabilityEstimator {
     /// Returns [`EstimatorError::NoValidAllocation`] if no allocation of the
     /// operator is executable under the performance model.
     pub fn try_curve_for(&self, op: &Operator) -> Result<Arc<ScalingCurve>, EstimatorError> {
-        let signature = op.signature();
+        let signature = op.workload_signature();
         if let Some(curve) = self.read_cache().get(&signature) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(curve));
@@ -185,7 +187,7 @@ impl ScalabilityEstimator {
 
     fn read_cache(
         &self,
-    ) -> std::sync::RwLockReadGuard<'_, HashMap<OpSignature, Arc<ScalingCurve>>> {
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<WorkloadSignature, Arc<ScalingCurve>>> {
         self.cache
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -193,7 +195,7 @@ impl ScalabilityEstimator {
 
     fn write_cache(
         &self,
-    ) -> std::sync::RwLockWriteGuard<'_, HashMap<OpSignature, Arc<ScalingCurve>>> {
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<WorkloadSignature, Arc<ScalingCurve>>> {
         self.cache
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)

@@ -62,7 +62,7 @@ pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::ComputationGraph;
 pub use modality::Modality;
-pub use op::{OpId, OpKind, OpSignature, Operator, ParamId};
+pub use op::{OpId, OpKind, OpSignature, Operator, ParamId, WorkloadSignature};
 pub use rng::XorShift64Star;
 pub use shape::TensorShape;
 pub use task::{TaskId, TaskSpec};

@@ -235,6 +235,24 @@ impl Operator {
         }
     }
 
+    /// Task-independent workload identity: everything that determines the
+    /// operator's cost model — kind, input shape and the (possibly overridden)
+    /// cost figures. Two operators with equal workload signatures have
+    /// bit-identical scaling curves, memory footprints and flow volumes, no
+    /// matter which task activates them, so this is the key under which
+    /// estimator and planner caches may share results across tasks and across
+    /// graphs (e.g. the phases of a dynamic workload).
+    #[must_use]
+    pub fn workload_signature(&self) -> WorkloadSignature {
+        WorkloadSignature {
+            kind: self.kind,
+            input_shape: self.input_shape,
+            flops_forward_bits: self.flops_forward.to_bits(),
+            param_bytes: self.param_bytes,
+            output_bytes: self.output_bytes,
+        }
+    }
+
     /// The device-allocation sizes that are *valid* for this operator under
     /// the practical constraints of §3.3: the data-parallel degree must divide
     /// the per-task batch and the tensor-parallel degree must be a power of two
@@ -281,6 +299,26 @@ pub struct OpSignature {
     pub input_shape: TensorShape,
     /// Activating task (operators of different tasks are never fused).
     pub task: TaskId,
+}
+
+/// Task-independent workload identity (see
+/// [`Operator::workload_signature`]): the exact inputs of the cost model,
+/// including overridden costs, so equal signatures guarantee equal profiling
+/// results. Unlike [`OpSignature`] it carries no [`TaskId`], which is what
+/// lets caches keyed by it serve hits across tasks and across graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadSignature {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Input data size.
+    pub input_shape: TensorShape,
+    /// Bit pattern of the forward-pass FLOPs (bitwise so the key is hashable;
+    /// costs produced by the same derivation are bit-identical).
+    pub flops_forward_bits: u64,
+    /// Parameter bytes.
+    pub param_bytes: u64,
+    /// Output activation bytes.
+    pub output_bytes: u64,
 }
 
 impl fmt::Display for Operator {
@@ -343,6 +381,34 @@ mod tests {
         assert_ne!(a.signature(), b.signature());
         assert_ne!(a.signature(), c.signature());
         assert_eq!(a.signature(), a.clone().signature());
+    }
+
+    #[test]
+    fn workload_signatures_ignore_task_but_track_costs() {
+        let a = Operator::new(
+            OpId(0),
+            OpKind::Encoder(Modality::Text),
+            TaskId(0),
+            TensorShape::new(8, 77, 768),
+        );
+        let b = Operator::new(
+            OpId(9),
+            OpKind::Encoder(Modality::Text),
+            TaskId(3),
+            TensorShape::new(8, 77, 768),
+        );
+        // Same kind+shape+derived costs: equal across tasks (OpSignature is
+        // not — it keeps tasks apart for contraction).
+        assert_eq!(a.workload_signature(), b.workload_signature());
+        assert_ne!(a.signature(), b.signature());
+        // Overridden costs change the workload identity.
+        let c = b.clone().with_costs(1.0, 2, 3);
+        assert_ne!(a.workload_signature(), c.workload_signature());
+        // Copying the same costs (as subgraph extraction does) keeps it.
+        let d = b
+            .clone()
+            .with_costs(b.flops_forward(), b.param_bytes(), b.output_bytes());
+        assert_eq!(a.workload_signature(), d.workload_signature());
     }
 
     #[test]

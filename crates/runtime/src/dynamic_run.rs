@@ -36,6 +36,14 @@ pub struct PhaseRunReport {
     pub cache_hits: usize,
     /// `true` if the re-plan was served entirely from the warm cache.
     pub warm: bool,
+    /// MetaLevels of the phase's graph.
+    pub levels_total: usize,
+    /// MetaLevels spliced from the session's structural plan cache instead
+    /// of being re-solved (incremental re-planning).
+    pub levels_reused: usize,
+    /// `true` if the placed wave list was reused wholesale (the plan
+    /// structure recurred), skipping placement entirely.
+    pub placement_reused: bool,
     /// Simulated iteration time of the phase's plan, seconds.
     pub sim_iteration_s: f64,
     /// Closed-form iteration time of the same plan, seconds.
@@ -90,18 +98,38 @@ impl DynamicRunReport {
     pub fn worst_gap(&self) -> f64 {
         self.phases.iter().map(|p| p.gap.abs()).fold(0.0, f64::max)
     }
+
+    /// Fraction of MetaLevels spliced from the structural plan cache over
+    /// the online re-plans (phases after the first). 1.0 means every re-plan
+    /// was fully incremental.
+    #[must_use]
+    pub fn structural_reuse_rate(&self) -> f64 {
+        let (reused, total) = self
+            .phases
+            .iter()
+            .skip(1)
+            .fold((0usize, 0usize), |(r, t), p| {
+                (r + p.levels_reused, t + p.levels_total)
+            });
+        if total == 0 {
+            return 1.0;
+        }
+        reused as f64 / total as f64
+    }
 }
 
 impl fmt::Display for DynamicRunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} phases, {} online re-plans ({:.1} ms total, {:.0}% warm-cache hit rate), \
-             {:.1} x10^3 s simulated, worst plan-vs-sim gap {:+.1}%",
+            "{} phases, {} online re-plans ({:.1} ms total, {:.0}% warm-cache hit rate, \
+             {:.0}% structural level reuse), {:.1} x10^3 s simulated, \
+             worst plan-vs-sim gap {:+.1}%",
             self.phases.len(),
             self.replans(),
             self.total_replan_ms,
             self.warm_hit_rate() * 100.0,
+            self.structural_reuse_rate() * 100.0,
             self.total_simulated_s / 1e3,
             self.worst_gap() * 100.0
         )
@@ -182,6 +210,9 @@ impl<'s> DynamicRunLoop<'s> {
                 new_curve_fits: outcome.new_curve_fits,
                 cache_hits: outcome.cache_hits,
                 warm: outcome.warm,
+                levels_total: outcome.levels_total,
+                levels_reused: outcome.levels_reused,
+                placement_reused: outcome.placement_reused,
                 sim_iteration_s: sim.total_s(),
                 analytical_iteration_s: analytical.iteration_time_s(),
                 gap: sim.gap_vs(analytical.iteration_time_s()),
@@ -216,6 +247,18 @@ mod tests {
         assert!(!report.phases[0].warm);
         assert!(report.phases[3].warm, "repeat task mix must be cache-warm");
         assert!(report.warm_hit_rate() > 0.5);
+        // The final phase repeats phase 2's task mix, so the structural plan
+        // cache serves it wholesale: every level spliced, placement reused.
+        assert_eq!(
+            report.phases[0].levels_reused, 0,
+            "cold plan reuses nothing"
+        );
+        assert_eq!(
+            report.phases[3].levels_reused,
+            report.phases[3].levels_total
+        );
+        assert!(report.phases[3].placement_reused);
+        assert!(report.structural_reuse_rate() > 0.0);
         // In the oracle-matching default config every phase's gap is tiny.
         assert!(report.worst_gap() < 0.01, "gap {}", report.worst_gap());
         assert!(report.total_simulated_s > 0.0);

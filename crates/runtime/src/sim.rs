@@ -324,6 +324,9 @@ struct Run<'a> {
     outstanding_compute: usize,
     stage_start: f64,
     serial_pending: VecDeque<FlowSpec>,
+    /// Reusable staging buffer for the flow specs of one boundary/sync stage,
+    /// so steady-state wave boundaries allocate no fresh `Vec` per stage.
+    spec_buf: Vec<FlowSpec>,
     outstanding_flows: usize,
     flows: Vec<Option<ActiveFlow>>,
     occupancy: LinkOccupancy,
@@ -358,6 +361,7 @@ impl<'a> Run<'a> {
             outstanding_compute: 0,
             stage_start: 0.0,
             serial_pending: VecDeque::new(),
+            spec_buf: Vec::new(),
             outstanding_flows: 0,
             flows: Vec::new(),
             occupancy: LinkOccupancy::new(),
@@ -534,27 +538,30 @@ impl<'a> Run<'a> {
     }
 
     fn start_boundary(&mut self) {
-        let specs: Vec<FlowSpec> = self
-            .localized
-            .sites_after_wave(self.wave)
-            .map(|site| {
-                let t = &site.transmission;
-                FlowSpec {
-                    nominal_s: t.round_trip_time(self.comm),
-                    footprint: transfer_footprint(self.cluster, &t.src, &t.dst),
-                    label: FlowLabel::Transmission {
-                        from: t.from,
-                        to: t.to,
-                    },
-                }
-            })
-            .collect();
+        // Stage the boundary's flows in the reusable scratch buffer (taken
+        // out of `self` for the duration of the fill to appease borrows; its
+        // capacity survives the round-trip).
+        let mut specs = std::mem::take(&mut self.spec_buf);
+        specs.clear();
+        specs.extend(self.localized.sites_after_wave(self.wave).map(|site| {
+            let t = &site.transmission;
+            FlowSpec {
+                nominal_s: t.round_trip_time(self.comm),
+                footprint: transfer_footprint(self.cluster, &t.src, &t.dst),
+                label: FlowLabel::Transmission {
+                    from: t.from,
+                    to: t.to,
+                },
+            }
+        }));
         self.stage = Stage::Boundary;
         self.stage_start = self.now;
         if specs.is_empty() {
+            self.spec_buf = specs;
             self.advance();
         } else {
-            self.issue(specs);
+            self.issue(&mut specs);
+            self.spec_buf = specs;
         }
     }
 
@@ -567,36 +574,35 @@ impl<'a> Run<'a> {
     }
 
     fn start_sync(&mut self) {
-        let specs: Vec<FlowSpec> = self
-            .localized
-            .pool()
-            .groups()
-            .iter()
-            .enumerate()
-            .map(|(i, (group, bytes))| FlowSpec {
+        let mut specs = std::mem::take(&mut self.spec_buf);
+        specs.clear();
+        specs.extend(self.localized.pool().groups().iter().enumerate().map(
+            |(i, (group, bytes))| FlowSpec {
                 nominal_s: self.comm.all_reduce_time(group, *bytes),
                 footprint: collective_footprint(self.cluster, group),
                 label: FlowLabel::Sync { group: i },
-            })
-            .collect();
+            },
+        ));
         self.stage = Stage::Sync;
         self.stage_start = self.now;
         if specs.is_empty() {
+            self.spec_buf = specs;
             self.finish();
         } else {
-            self.issue(specs);
+            self.issue(&mut specs);
+            self.spec_buf = specs;
         }
     }
 
-    fn issue(&mut self, specs: Vec<FlowSpec>) {
+    fn issue(&mut self, specs: &mut Vec<FlowSpec>) {
         self.outstanding_flows = specs.len();
         match self.config.comm_mode {
             CommMode::Serialized => {
-                self.serial_pending = specs.into();
+                self.serial_pending.extend(specs.drain(..));
                 self.start_next_serial();
             }
             CommMode::Overlapped => {
-                for spec in specs {
+                for spec in specs.drain(..) {
                     self.start_flow(spec);
                 }
             }

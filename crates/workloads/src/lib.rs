@@ -15,6 +15,9 @@
 //!   (vision-language, audio-language, vision-audio-language), 9.25 B
 //!   parameters, with 30 B and 70 B variants for the large-scale simulations
 //!   of Appendix E.
+//! * [`hyperscale`] — a beyond-paper stress preset: 48–64 heterogeneous
+//!   tasks sized for 256–512 simulated GPUs, with a seeded single-task churn
+//!   trace ([`hyperscale_churn`]) driving the incremental re-planner.
 //! * [`DynamicWorkload`] — the changing task sets of Appendix D.
 //! * [`ArrivalSchedule`] — dynamic workloads positioned on a simulated
 //!   timeline (task arrivals/departures at timestamps), including a seeded
@@ -47,6 +50,7 @@
 
 mod arrivals;
 mod dynamic;
+mod hyperscale;
 mod multitask_clip;
 mod ofasys;
 mod presets;
@@ -54,6 +58,9 @@ mod qwen_val;
 
 pub use arrivals::{ArrivalSchedule, PhaseArrival};
 pub use dynamic::{figure13_presets, DynamicPhase, DynamicWorkload};
+pub use hyperscale::{
+    hyperscale, hyperscale_churn, hyperscale_subset, HYPERSCALE_DEFAULT_TASKS, HYPERSCALE_ROSTER,
+};
 pub use multitask_clip::{multitask_clip, multitask_clip_with_batch};
 pub use ofasys::ofasys;
 pub use presets::WorkloadPreset;
