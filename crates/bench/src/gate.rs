@@ -17,6 +17,10 @@
 //!
 //! Entries whose baseline and current means are both under the noise floor
 //! (default 500 ns) never fail: at that scale the timer resolution dominates.
+//! Latency-distribution entries — names containing `_p99` — are gated with a
+//! band twice as wide as means: a p99 is a single order statistic of a tail,
+//! inherently noisier than a mean over many iterations, and gating it as
+//! tightly would page on scheduler jitter rather than regressions.
 //! No external JSON crate is available offline, so parsing is hand-rolled for
 //! exactly the flat object shape the bench harness emits.
 
@@ -39,6 +43,40 @@ impl Default for GateConfig {
             fail_pct: 0.30,
             warn_pct: 0.15,
             noise_floor_ns: 500.0,
+        }
+    }
+}
+
+impl GateConfig {
+    /// How much wider the tolerance band of a tail-latency entry is than a
+    /// mean's: a p99 is one order statistic, not an average, so the same
+    /// percentage band would flag scheduler jitter as a regression.
+    pub const TAIL_BAND_FACTOR: f64 = 2.0;
+
+    /// `true` for entries gated with the widened tail band (latency
+    /// percentile keys, marked by a `_p99` name segment).
+    #[must_use]
+    pub fn is_tail_entry(name: &str) -> bool {
+        name.contains("_p99")
+    }
+
+    /// The fail threshold applied to `name`.
+    #[must_use]
+    pub fn fail_pct_for(&self, name: &str) -> f64 {
+        if Self::is_tail_entry(name) {
+            self.fail_pct * Self::TAIL_BAND_FACTOR
+        } else {
+            self.fail_pct
+        }
+    }
+
+    /// The warn threshold applied to `name`.
+    #[must_use]
+    pub fn warn_pct_for(&self, name: &str) -> f64 {
+        if Self::is_tail_entry(name) {
+            self.warn_pct * Self::TAIL_BAND_FACTOR
+        } else {
+            self.warn_pct
         }
     }
 }
@@ -141,10 +179,12 @@ impl GateReport {
         }
         let _ = writeln!(
             out,
-            "\nthresholds: fail >{:.0}% slowdown, warn >{:.0}%, noise floor {:.0} ns",
+            "\nthresholds: fail >{:.0}% slowdown, warn >{:.0}%, noise floor {:.0} ns \
+             ({}x band for _p99 tail entries)",
             config.fail_pct * 100.0,
             config.warn_pct * 100.0,
-            config.noise_floor_ns
+            config.noise_floor_ns,
+            GateConfig::TAIL_BAND_FACTOR
         );
         out
     }
@@ -201,9 +241,9 @@ pub fn compare(
             Some(cur) => {
                 let delta = cur / base.max(f64::MIN_POSITIVE) - 1.0;
                 let in_noise_floor = *base < config.noise_floor_ns && cur < config.noise_floor_ns;
-                let verdict = if in_noise_floor || delta <= config.warn_pct {
+                let verdict = if in_noise_floor || delta <= config.warn_pct_for(name) {
                     Verdict::Pass
-                } else if delta <= config.fail_pct {
+                } else if delta <= config.fail_pct_for(name) {
                     Verdict::Warn
                 } else {
                     Verdict::Fail
@@ -312,6 +352,49 @@ mod tests {
             &config,
         );
         assert!(!report.failed());
+    }
+
+    #[test]
+    fn p99_entries_get_twice_the_band() {
+        let config = GateConfig::default();
+        let baseline = set(&[
+            ("service_replan_p99_clip", 10_000.0),
+            ("service_replan_p50_clip", 10_000.0),
+        ]);
+        // +40%: fails a mean-gated entry, only warns a tail-gated one
+        // (2x band: warn >30%, fail >60%).
+        let current = set(&[
+            ("service_replan_p99_clip", 14_000.0),
+            ("service_replan_p50_clip", 14_000.0),
+        ]);
+        let report = compare(&baseline, &current, &config);
+        let verdict = |name: &str| {
+            report
+                .entries
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap()
+                .verdict
+        };
+        assert_eq!(verdict("service_replan_p99_clip"), Verdict::Warn);
+        assert_eq!(verdict("service_replan_p50_clip"), Verdict::Fail);
+        // +25% passes a tail entry (within the widened warn band) but warns
+        // a mean entry; +70% fails even the tail.
+        let report = compare(
+            &set(&[("x_p99", 10_000.0), ("x", 10_000.0)]),
+            &set(&[("x_p99", 12_500.0), ("x", 12_500.0)]),
+            &config,
+        );
+        assert_eq!(report.entries[0].verdict, Verdict::Pass);
+        assert_eq!(report.entries[1].verdict, Verdict::Warn);
+        let report = compare(
+            &set(&[("x_p99", 10_000.0)]),
+            &set(&[("x_p99", 17_500.0)]),
+            &config,
+        );
+        assert_eq!(report.entries[0].verdict, Verdict::Fail);
+        assert!(GateConfig::is_tail_entry("service_replan_p99_hyper-fleet"));
+        assert!(!GateConfig::is_tail_entry("service_replan_p50_hyper-fleet"));
     }
 
     #[test]

@@ -124,6 +124,15 @@ pub struct PlanningStats {
     pub mpsp_scratch_high_water: usize,
     /// High-water mark of the wavefront scratch (largest pending set).
     pub wavefront_scratch_high_water: usize,
+    /// Approximate bytes currently held by the session's caches (curve cache
+    /// plus structural plan cache). A point-in-time gauge, not a counter: the
+    /// session's [`planning_stats`](crate::SpindleSession::planning_stats)
+    /// snapshot fills it; per-pass stats leave it zero and `merge` keeps the
+    /// latest non-zero observation.
+    pub cache_bytes: usize,
+    /// Cache entries evicted to stay within the configured byte budgets
+    /// (curve cache plus structural plan cache), over the session's lifetime.
+    pub cache_evictions: u64,
 }
 
 impl PlanningStats {
@@ -140,6 +149,10 @@ impl PlanningStats {
         self.wavefront_scratch_high_water = self
             .wavefront_scratch_high_water
             .max(other.wavefront_scratch_high_water);
+        if other.cache_bytes != 0 {
+            self.cache_bytes = other.cache_bytes;
+        }
+        self.cache_evictions = self.cache_evictions.max(other.cache_evictions);
     }
 }
 
@@ -197,6 +210,8 @@ mod tests {
             levels_reused: 1,
             mpsp_scratch_high_water: 4,
             wavefront_scratch_high_water: 2,
+            cache_bytes: 0,
+            cache_evictions: 2,
         };
         let b = PlanningStats {
             mpsp_solves: 2,
@@ -206,6 +221,8 @@ mod tests {
             levels_reused: 3,
             mpsp_scratch_high_water: 3,
             wavefront_scratch_high_water: 6,
+            cache_bytes: 4096,
+            cache_evictions: 1,
         };
         a.merge(&b);
         assert_eq!(a.mpsp_solves, 3);
@@ -215,5 +232,7 @@ mod tests {
         assert_eq!(a.levels_reused, 4);
         assert_eq!(a.mpsp_scratch_high_water, 4);
         assert_eq!(a.wavefront_scratch_high_water, 6);
+        assert_eq!(a.cache_bytes, 4096, "gauge takes the latest observation");
+        assert_eq!(a.cache_evictions, 2, "lifetime counter keeps the max");
     }
 }

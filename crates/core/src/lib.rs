@@ -94,6 +94,6 @@ pub use planner::Planner;
 pub use session::{PlannerConfig, ReplanOutcome, SpindleSession};
 pub use structural::{
     LevelArtifact, LevelKey, PlacedSkeleton, PlanKey, StructuralCacheStats, StructuralPlanCache,
-    StructuralReuse,
+    StructuralReuse, DEFAULT_STRUCTURAL_CACHE_BUDGET,
 };
 pub use system::{PlanningSystem, SpindlePlanner};

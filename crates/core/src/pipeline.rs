@@ -262,6 +262,9 @@ impl LevelSchedule {
             levels_reused,
             mpsp_scratch_high_water: mpsp_scratch.high_water(),
             wavefront_scratch_high_water: wavefront_scratch.high_water(),
+            // Session-level gauges; per-pass stats leave them empty.
+            cache_bytes: 0,
+            cache_evictions: 0,
         };
         Self {
             waves,

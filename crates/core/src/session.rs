@@ -5,12 +5,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use spindle_cluster::ClusterSpec;
-use spindle_estimator::{CurveCacheStats, ScalabilityEstimator};
+use spindle_estimator::{CurveCacheStats, ScalabilityEstimator, DEFAULT_CURVE_CACHE_BUDGET};
 use spindle_graph::ComputationGraph;
 
 use crate::pipeline::{self, ContractedGraph, CurveSet, LevelSchedule};
 use crate::structural::{
     PlacedSkeleton, PlanKey, StructuralCacheStats, StructuralPlanCache, StructuralReuse,
+    DEFAULT_STRUCTURAL_CACHE_BUDGET,
 };
 use crate::{mpsp, ExecutionPlan, PlacementStrategy, PlanError, PlanningStats};
 
@@ -32,6 +33,18 @@ pub struct PlannerConfig {
     /// plan through the full pipeline, e.g. to measure the incremental
     /// speedup.
     pub structural_cache: bool,
+    /// Byte budget of the structural plan cache
+    /// (default: [`DEFAULT_STRUCTURAL_CACHE_BUDGET`]). Once the accounted
+    /// bytes exceed the budget, least-recently-used artifacts are evicted;
+    /// `usize::MAX` disables eviction. Applied on every planning pass, so
+    /// changes through [`SpindleSession::config_mut`] take effect
+    /// immediately.
+    pub structural_cache_budget: usize,
+    /// Byte budget of the estimator's curve cache
+    /// (default: [`DEFAULT_CURVE_CACHE_BUDGET`]); semantics as for
+    /// [`structural_cache_budget`](Self::structural_cache_budget). Note that
+    /// sessions pooling one estimator share one budgeted cache.
+    pub curve_cache_budget: usize,
 }
 
 impl Default for PlannerConfig {
@@ -40,6 +53,8 @@ impl Default for PlannerConfig {
             placement: PlacementStrategy::Locality,
             bisection_epsilon: mpsp::DEFAULT_EPSILON,
             structural_cache: true,
+            structural_cache_budget: DEFAULT_STRUCTURAL_CACHE_BUDGET,
+            curve_cache_budget: DEFAULT_CURVE_CACHE_BUDGET,
         }
     }
 }
@@ -64,6 +79,12 @@ pub struct ReplanOutcome {
     /// `true` if the fully placed wave list was served structurally (every
     /// level clean and the plan structure seen before), skipping placement.
     pub placement_reused: bool,
+    /// Approximate bytes held by the session's caches (curve cache plus
+    /// structural plan cache) after this re-plan.
+    pub cache_bytes: usize,
+    /// Cache entries evicted *during this re-plan* to stay within the
+    /// configured byte budgets (both caches combined).
+    pub evictions: usize,
 }
 
 impl ReplanOutcome {
@@ -248,14 +269,32 @@ impl SpindleSession {
         self.structural.clear();
     }
 
+    /// Approximate bytes currently held by the session's caches: the
+    /// estimator's curve cache plus the structural plan cache.
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.estimator.cache_bytes() + self.structural.bytes()
+    }
+
+    /// Total cache entries evicted (both caches combined) to stay within the
+    /// configured byte budgets, over the session's lifetime.
+    #[must_use]
+    pub fn cache_evictions(&self) -> usize {
+        self.estimator.cache_evictions() + self.structural.evictions()
+    }
+
     /// Accumulated hot-path counters over every plan this session produced:
     /// bisection iterations, waves crafted and the scratch-buffer high-water
-    /// marks. Benches and tests use these to assert the allocation-free
-    /// planning invariants (e.g. the MPSP scratch never grows beyond the
-    /// largest level) instead of trusting them.
+    /// marks, plus a live snapshot of the cache byte/eviction gauges. Benches
+    /// and tests use these to assert the allocation-free planning invariants
+    /// (e.g. the MPSP scratch never grows beyond the largest level) instead
+    /// of trusting them.
     #[must_use]
     pub fn planning_stats(&self) -> PlanningStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.cache_bytes = self.cache_bytes();
+        stats.cache_evictions = self.cache_evictions() as u64;
+        stats
     }
 
     /// Stage 1: contracts a workload graph into its MetaGraph.
@@ -323,6 +362,7 @@ impl SpindleSession {
             return Err(PlanError::EmptyCluster);
         }
         let before = self.cache_stats();
+        let evictions_before = self.cache_evictions();
         let (plan, stats, reuse) = self.plan_shared(graph)?;
         self.stats.merge(&stats);
         self.plans_produced += 1;
@@ -336,6 +376,8 @@ impl SpindleSession {
             levels_total: reuse.levels_total,
             levels_reused: reuse.levels_reused,
             placement_reused: reuse.placement_reused,
+            cache_bytes: self.cache_bytes(),
+            evictions: self.cache_evictions().saturating_sub(evictions_before),
         })
     }
 
@@ -424,6 +466,13 @@ impl SpindleSession {
     /// misses solve fresh and feed the cache for the next re-plan.
     fn plan_shared(&self, graph: &ComputationGraph) -> Result<PhasePlan, PlanError> {
         let started = Instant::now();
+        // Apply the configured byte budgets before the pass touches either
+        // cache (both calls are one relaxed load when unchanged), so
+        // `config_mut` edits take effect on the very next plan.
+        self.estimator
+            .ensure_cache_budget(self.config.curve_cache_budget);
+        self.structural
+            .ensure_budget(self.config.structural_cache_budget);
         let contracted = self.contract(graph);
         let curves = self.resolve_curves(&contracted)?;
         let num_devices = self.cluster.num_devices() as u32;
@@ -758,6 +807,32 @@ mod tests {
             session.planning_stats().waves_crafted,
             2 * plan.num_waves() as u64
         );
+    }
+
+    #[test]
+    fn cache_budgets_flow_from_config_and_are_reported() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
+        let cold = session.replan(&graph).unwrap();
+        assert!(
+            cold.cache_bytes > 0,
+            "caches hold the cold plan's artifacts"
+        );
+        assert_eq!(cold.evictions, 0, "default budgets are generous");
+        let stats = session.planning_stats();
+        assert_eq!(stats.cache_bytes, session.cache_bytes());
+        assert_eq!(stats.cache_evictions, 0);
+        // Starve both caches: the next pass evicts everything it inserts.
+        session.config_mut().structural_cache_budget = 1;
+        session.config_mut().curve_cache_budget = 1;
+        let starved = session.replan(&graph).unwrap();
+        assert!(starved.evictions > 0, "tiny budgets must evict");
+        assert!(session.cache_bytes() <= 2, "hard byte bound on both caches");
+        assert_eq!(starved.plan.waves(), cold.plan.waves(), "plans unaffected");
+        // A post-eviction re-plan re-fits from scratch yet stays identical.
+        let refit = session.replan(&graph).unwrap();
+        assert!(refit.new_curve_fits > 0, "evicted curves are fitted anew");
+        assert_eq!(refit.plan.waves(), cold.plan.waves());
     }
 
     #[test]

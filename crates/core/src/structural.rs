@@ -32,12 +32,34 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use spindle_graph::WorkloadSignature;
 
 use crate::{MetaGraph, MetaLevel, PlacementStrategy, Wave, WaveEntry};
+
+/// Default byte budget of the structural plan cache: comfortably holds every
+/// artifact of paper-scale and hyperscale runs while bounding a long-running
+/// service. Configure per session via
+/// [`PlannerConfig::structural_cache_budget`](crate::PlannerConfig).
+pub const DEFAULT_STRUCTURAL_CACHE_BUDGET: usize = 64 * 1024 * 1024;
+
+/// Approximate bytes of one placed (or unplaced) wave: the wave struct, its
+/// entries and any placement device lists.
+fn wave_bytes(wave: &Wave) -> usize {
+    std::mem::size_of::<Wave>()
+        + wave
+            .entries
+            .iter()
+            .map(|e| {
+                std::mem::size_of::<WaveEntry>()
+                    + e.placement.as_ref().map_or(0, |g| {
+                        g.len() * std::mem::size_of::<spindle_cluster::DeviceId>()
+                    })
+            })
+            .sum::<usize>()
+}
 
 /// Canonical signature of one MetaLevel's allocation + scheduling sub-problem:
 /// the level's MetaOp workloads (signature and operator count, in level
@@ -72,6 +94,13 @@ impl LevelKey {
                 .collect(),
         }
     }
+
+    /// Approximate memory footprint of the key, for cache byte accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.items.len() * std::mem::size_of::<(WorkloadSignature, u32)>()
+    }
 }
 
 /// Canonical signature of a whole structural planning problem: every MetaOp's
@@ -102,6 +131,14 @@ impl PlanKey {
                 .collect(),
             edges: metagraph.edges().iter().map(|&(a, b)| (a.0, b.0)).collect(),
         }
+    }
+
+    /// Approximate memory footprint of the key, for cache byte accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.metaops.len() * std::mem::size_of::<(WorkloadSignature, u32)>()
+            + self.edges.len() * std::mem::size_of::<(u32, u32)>()
     }
 }
 
@@ -181,6 +218,21 @@ impl LevelArtifact {
         self.optimal_time
     }
 
+    /// Approximate memory footprint of the artifact, for cache byte
+    /// accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .waves
+                .iter()
+                .map(|w| {
+                    std::mem::size_of::<CachedWave>()
+                        + w.entries.len() * std::mem::size_of::<CachedEntry>()
+                })
+                .sum::<usize>()
+    }
+
     /// Number of cached waves.
     #[must_use]
     pub fn num_waves(&self) -> usize {
@@ -236,6 +288,15 @@ pub struct PlacedSkeleton {
     pub theoretical_optimum: f64,
 }
 
+impl PlacedSkeleton {
+    /// Approximate memory footprint of the skeleton (waves, entries and
+    /// placement device lists), for cache byte accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.waves.iter().map(wave_bytes).sum::<usize>()
+    }
+}
+
 /// How much of a plan was served structurally — reported per plan by
 /// [`SpindleSession`](crate::SpindleSession) and per re-plan through
 /// [`ReplanOutcome`](crate::ReplanOutcome).
@@ -276,6 +337,28 @@ pub struct StructuralCacheStats {
     pub skeleton_hits: usize,
     /// Whole-plan lookups that missed.
     pub skeleton_misses: usize,
+    /// Approximate bytes currently held (artifacts, skeletons and keys).
+    pub bytes: usize,
+    /// Artifacts evicted to keep the cache within its byte budget.
+    pub evictions: usize,
+}
+
+/// One cached level artifact with its LRU stamp and accounted size.
+#[derive(Debug)]
+struct LevelSlot {
+    artifact: Arc<LevelArtifact>,
+    bytes: usize,
+    /// Tick of the most recent lookup; a relaxed store through the read path
+    /// (an approximate LRU is all eviction needs).
+    tick: AtomicU64,
+}
+
+/// One cached placed skeleton with its LRU stamp and accounted size.
+#[derive(Debug)]
+struct SkeletonSlot {
+    skeleton: Arc<PlacedSkeleton>,
+    bytes: usize,
+    tick: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -283,8 +366,51 @@ struct CacheInner {
     /// Bisection epsilon the level artifacts were solved under; a config
     /// change invalidates them.
     epsilon_bits: u64,
-    levels: HashMap<LevelKey, Arc<LevelArtifact>>,
-    skeletons: HashMap<PlanKey, Arc<PlacedSkeleton>>,
+    /// Approximate bytes currently cached across both maps.
+    bytes: usize,
+    levels: HashMap<LevelKey, LevelSlot>,
+    skeletons: HashMap<PlanKey, SkeletonSlot>,
+}
+
+impl CacheInner {
+    /// Evicts least-recently-used slots (levels and skeletons pooled under
+    /// one LRU clock) until the accounted bytes fit `budget`. Returns the
+    /// number of evictions performed. A just-inserted slot carries the
+    /// freshest tick so it goes last, but even it is dropped when it alone
+    /// exceeds the budget — the byte bound is a hard invariant.
+    fn evict_to_budget(&mut self, budget: usize) -> usize {
+        let mut evicted = 0;
+        while self.bytes > budget && (!self.levels.is_empty() || !self.skeletons.is_empty()) {
+            let oldest_level = self
+                .levels
+                .iter()
+                .min_by_key(|(_, s)| s.tick.load(Ordering::Relaxed))
+                .map(|(k, s)| (k.clone(), s.tick.load(Ordering::Relaxed)));
+            let oldest_skeleton = self
+                .skeletons
+                .iter()
+                .min_by_key(|(_, s)| s.tick.load(Ordering::Relaxed))
+                .map(|(k, s)| (k.clone(), s.tick.load(Ordering::Relaxed)));
+            let level_is_older = match (&oldest_level, &oldest_skeleton) {
+                (Some((_, lt)), Some((_, st))) => lt <= st,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if level_is_older {
+                let (key, _) = oldest_level.expect("checked above");
+                if let Some(slot) = self.levels.remove(&key) {
+                    self.bytes -= slot.bytes;
+                    evicted += 1;
+                }
+            } else if let Some((key, _)) = oldest_skeleton {
+                if let Some(slot) = self.skeletons.remove(&key) {
+                    self.bytes -= slot.bytes;
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
 }
 
 /// The level-keyed structural plan cache of a
@@ -294,13 +420,38 @@ struct CacheInner {
 /// it): lookups take the read path, only fresh solves write. Hit/miss
 /// counters let tests and benches *assert* structural reuse rather than
 /// trusting it.
-#[derive(Default)]
+///
+/// The cache is bounded: artifacts carry approximate byte sizes and an LRU
+/// tick, and inserts evict least-recently-used entries once the accounted
+/// bytes exceed the configured budget (unbounded by default; sessions apply
+/// [`PlannerConfig::structural_cache_budget`](crate::PlannerConfig) on every
+/// planning pass).
 pub struct StructuralPlanCache {
     inner: RwLock<CacheInner>,
+    /// Byte budget; `usize::MAX` means unbounded.
+    budget: AtomicUsize,
+    /// Global LRU clock; every lookup hit stamps its slot with the next tick.
+    clock: AtomicU64,
     level_hits: AtomicUsize,
     level_misses: AtomicUsize,
     skeleton_hits: AtomicUsize,
     skeleton_misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl Default for StructuralPlanCache {
+    fn default() -> Self {
+        Self {
+            inner: RwLock::new(CacheInner::default()),
+            budget: AtomicUsize::new(usize::MAX),
+            clock: AtomicU64::new(0),
+            level_hits: AtomicUsize::new(0),
+            level_misses: AtomicUsize::new(0),
+            skeleton_hits: AtomicUsize::new(0),
+            skeleton_misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl fmt::Debug for StructuralPlanCache {
@@ -334,14 +485,55 @@ impl StructuralPlanCache {
         if inner.epsilon_bits != bits {
             inner.levels.clear();
             inner.skeletons.clear();
+            inner.bytes = 0;
             inner.epsilon_bits = bits;
         }
+    }
+
+    /// The current byte budget (`usize::MAX` means unbounded).
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Ensures the cache is bounded by `budget` bytes, evicting immediately
+    /// if the budget shrank below the currently cached bytes. Cheap when the
+    /// budget is unchanged (one relaxed load).
+    pub fn ensure_budget(&self, budget: usize) {
+        if self.budget.swap(budget, Ordering::Relaxed) == budget {
+            return;
+        }
+        let mut inner = self.write();
+        let evicted = inner.evict_to_budget(budget);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Approximate bytes currently cached.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.read().bytes
+    }
+
+    /// Total artifacts evicted over the cache's lifetime.
+    #[must_use]
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Looks up a level artifact, counting the hit or miss.
     #[must_use]
     pub fn level(&self, key: &LevelKey) -> Option<Arc<LevelArtifact>> {
-        let found = self.read().levels.get(key).map(Arc::clone);
+        let found = {
+            let inner = self.read();
+            inner.levels.get(key).map(|slot| {
+                slot.tick.store(self.next_tick(), Ordering::Relaxed);
+                Arc::clone(&slot.artifact)
+            })
+        };
         match &found {
             Some(_) => self.level_hits.fetch_add(1, Ordering::Relaxed),
             None => self.level_misses.fetch_add(1, Ordering::Relaxed),
@@ -349,15 +541,35 @@ impl StructuralPlanCache {
         found
     }
 
-    /// Inserts a freshly solved level artifact.
+    /// Inserts a freshly solved level artifact, evicting LRU entries if the
+    /// insert pushed the cache over its byte budget.
     pub fn insert_level(&self, key: LevelKey, artifact: LevelArtifact) {
-        self.write().levels.insert(key, Arc::new(artifact));
+        let bytes = key.approx_bytes() + std::mem::size_of::<LevelSlot>() + artifact.approx_bytes();
+        let slot = LevelSlot {
+            artifact: Arc::new(artifact),
+            bytes,
+            tick: AtomicU64::new(self.next_tick()),
+        };
+        let budget = self.budget();
+        let mut inner = self.write();
+        if let Some(old) = inner.levels.insert(key, slot) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        let evicted = inner.evict_to_budget(budget);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
     /// Looks up a placed skeleton, counting the hit or miss.
     #[must_use]
     pub fn skeleton(&self, key: &PlanKey) -> Option<Arc<PlacedSkeleton>> {
-        let found = self.read().skeletons.get(key).map(Arc::clone);
+        let found = {
+            let inner = self.read();
+            inner.skeletons.get(key).map(|slot| {
+                slot.tick.store(self.next_tick(), Ordering::Relaxed);
+                Arc::clone(&slot.skeleton)
+            })
+        };
         match &found {
             Some(_) => self.skeleton_hits.fetch_add(1, Ordering::Relaxed),
             None => self.skeleton_misses.fetch_add(1, Ordering::Relaxed),
@@ -365,9 +577,24 @@ impl StructuralPlanCache {
         found
     }
 
-    /// Inserts a freshly placed skeleton.
+    /// Inserts a freshly placed skeleton, evicting LRU entries if the insert
+    /// pushed the cache over its byte budget.
     pub fn insert_skeleton(&self, key: PlanKey, skeleton: PlacedSkeleton) {
-        self.write().skeletons.insert(key, Arc::new(skeleton));
+        let bytes =
+            key.approx_bytes() + std::mem::size_of::<SkeletonSlot>() + skeleton.approx_bytes();
+        let slot = SkeletonSlot {
+            skeleton: Arc::new(skeleton),
+            bytes,
+            tick: AtomicU64::new(self.next_tick()),
+        };
+        let budget = self.budget();
+        let mut inner = self.write();
+        if let Some(old) = inner.skeletons.insert(key, slot) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        let evicted = inner.evict_to_budget(budget);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
     /// Drops every cached artifact (counters are kept).
@@ -375,6 +602,7 @@ impl StructuralPlanCache {
         let mut inner = self.write();
         inner.levels.clear();
         inner.skeletons.clear();
+        inner.bytes = 0;
     }
 
     /// A snapshot of the cache counters.
@@ -388,6 +616,8 @@ impl StructuralPlanCache {
             level_misses: self.level_misses.load(Ordering::Relaxed),
             skeleton_hits: self.skeleton_hits.load(Ordering::Relaxed),
             skeleton_misses: self.skeleton_misses.load(Ordering::Relaxed),
+            bytes: inner.bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -550,6 +780,68 @@ mod tests {
         assert_eq!(stats.level_entries, 0);
         assert_eq!(stats.skeleton_entries, 0);
         assert!(format!("{cache:?}").contains("StructuralPlanCache"));
+    }
+
+    #[test]
+    fn byte_budget_is_a_hard_bound_and_evicts_lru_first() {
+        let cg = contracted(&[8]);
+        let mg = cg.metagraph();
+        let level = &mg.levels()[0];
+        let cache = StructuralPlanCache::new();
+        assert_eq!(cache.budget(), usize::MAX, "unbounded by default");
+        let key_for = |devices: u32| LevelKey::of(mg, level, devices);
+        let artifact = || LevelArtifact {
+            optimal_time: 1.0,
+            waves: vec![CachedWave {
+                duration: 1.0,
+                entries: vec![
+                    CachedEntry {
+                        slot: 0,
+                        layers: 1,
+                        devices: 1,
+                        time_per_op: 1.0,
+                        exec_time: 1.0,
+                        memory_per_device: 0,
+                    };
+                    4
+                ],
+            }],
+        };
+        let per_entry = key_for(1).approx_bytes()
+            + std::mem::size_of::<LevelSlot>()
+            + artifact().approx_bytes();
+        // Room for exactly two level artifacts.
+        cache.ensure_budget(2 * per_entry);
+        cache.insert_level(key_for(1), artifact());
+        cache.insert_level(key_for(2), artifact());
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.bytes(), 2 * per_entry);
+        // Touch key 1 so key 2 becomes the LRU victim of the next insert.
+        assert!(cache.level(&key_for(1)).is_some());
+        cache.insert_level(key_for(3), artifact());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.level_entries, 2);
+        assert!(stats.bytes <= cache.budget(), "hard byte bound");
+        assert!(cache.level(&key_for(1)).is_some(), "recently used survives");
+        assert!(cache.level(&key_for(2)).is_none(), "LRU entry was evicted");
+        assert!(cache.level(&key_for(3)).is_some());
+        // Skeletons share the same budget pool; a large skeleton pushes out
+        // the remaining levels, and shrinking the budget evicts immediately.
+        let plan_key = PlanKey::of(mg, 8, PlacementStrategy::Locality);
+        cache.insert_skeleton(
+            plan_key.clone(),
+            PlacedSkeleton {
+                waves: Vec::new(),
+                theoretical_optimum: 1.0,
+            },
+        );
+        assert!(cache.bytes() <= cache.budget());
+        cache.ensure_budget(1);
+        let stats = cache.stats();
+        assert_eq!(stats.level_entries + stats.skeleton_entries, 0);
+        assert_eq!(stats.bytes, 0);
+        assert!(stats.evictions >= 3);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The scalability estimator facade with cache-aware curve fitting.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 use spindle_cluster::ClusterSpec;
@@ -9,12 +9,19 @@ use spindle_graph::{Operator, WorkloadSignature};
 
 use crate::{AnalyticGpuModel, EstimatorError, PerfModel, Profiler, ScalingCurve};
 
+/// Default byte budget of the curve cache: generous enough that paper-scale
+/// and hyperscale workloads never evict, small enough that a long-running
+/// multi-tenant service cannot grow without bound.
+pub const DEFAULT_CURVE_CACHE_BUDGET: usize = 16 * 1024 * 1024;
+
 /// Counters describing the curve cache of a [`ScalabilityEstimator`].
 ///
 /// `fits` counts the expensive operations (profile sweep + piecewise α–β fit);
 /// `hits` counts lookups served from the cache. Long-lived planning sessions
 /// use these to verify that re-planning a workload with unchanged operator
-/// signatures performs **zero** new fits.
+/// signatures performs **zero** new fits. `bytes` and `evictions` track the
+/// LRU byte bound: the cache never holds more than its configured budget of
+/// approximate curve bytes, evicting least-recently-used fits when it would.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CurveCacheStats {
     /// Distinct operator signatures currently cached.
@@ -23,6 +30,10 @@ pub struct CurveCacheStats {
     pub fits: usize,
     /// Curve lookups served from the cache without fitting.
     pub hits: usize,
+    /// Approximate bytes currently held by the cached curves.
+    pub bytes: usize,
+    /// Curves evicted to keep the cache within its byte budget.
+    pub evictions: usize,
 }
 
 impl CurveCacheStats {
@@ -55,9 +66,40 @@ pub struct ScalabilityEstimator {
     /// planners sharing one warm estimator — e.g. the phase workers of
     /// `SpindleSession::plan_phases_parallel` — serve cache hits without
     /// serialising on the lock; the write path is taken only on a fit.
-    cache: RwLock<HashMap<WorkloadSignature, Arc<ScalingCurve>>>,
+    cache: RwLock<HashMap<WorkloadSignature, CurveSlot>>,
+    /// Byte budget of the cache; [`usize::MAX`] disables eviction.
+    budget: AtomicUsize,
+    /// Approximate bytes currently cached. Mutated only under the cache's
+    /// write lock; atomic so the read-path stats snapshot stays lock-free.
+    bytes: AtomicUsize,
+    /// Logical LRU clock: every lookup stamps the hit slot with the next
+    /// tick, so eviction can order slots by recency without a linked list.
+    clock: AtomicU64,
     fits: AtomicUsize,
     hits: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+/// One cached curve with its LRU stamp and accounted size.
+struct CurveSlot {
+    curve: Arc<ScalingCurve>,
+    bytes: usize,
+    /// Tick of the most recent lookup; updated through the read path with a
+    /// relaxed store (an approximate LRU is all eviction needs).
+    tick: AtomicU64,
+}
+
+impl CurveSlot {
+    fn new(curve: Arc<ScalingCurve>, tick: u64) -> Self {
+        let bytes = std::mem::size_of::<WorkloadSignature>()
+            + std::mem::size_of::<Self>()
+            + curve.approx_bytes();
+        Self {
+            curve,
+            bytes,
+            tick: AtomicU64::new(tick),
+        }
+    }
 }
 
 impl std::fmt::Debug for ScalabilityEstimator {
@@ -90,8 +132,12 @@ impl ScalabilityEstimator {
             profiler: Profiler::new(),
             max_devices: max_devices.max(1),
             cache: RwLock::new(HashMap::new()),
+            budget: AtomicUsize::new(usize::MAX),
+            bytes: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
             fits: AtomicUsize::new(0),
             hits: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -99,6 +145,26 @@ impl ScalabilityEstimator {
     #[must_use]
     pub fn max_devices(&self) -> u32 {
         self.max_devices
+    }
+
+    /// The cache's byte budget ([`usize::MAX`] when unbounded).
+    #[must_use]
+    pub fn cache_budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Sets the cache's byte budget, evicting least-recently-used curves if
+    /// the cache currently exceeds it. A no-op when the budget is unchanged,
+    /// so callers (e.g. a planning session applying its config before every
+    /// pass) can invoke it unconditionally.
+    pub fn ensure_cache_budget(&self, budget: usize) {
+        if self.budget.swap(budget, Ordering::Relaxed) == budget {
+            return;
+        }
+        if self.bytes.load(Ordering::Relaxed) > budget {
+            let mut cache = self.write_cache();
+            self.evict_to_budget(&mut cache, budget);
+        }
     }
 
     /// The scaling curve `T_m(n)` of the given operator (cached by signature).
@@ -126,9 +192,13 @@ impl ScalabilityEstimator {
     /// operator is executable under the performance model.
     pub fn try_curve_for(&self, op: &Operator) -> Result<Arc<ScalingCurve>, EstimatorError> {
         let signature = op.workload_signature();
-        if let Some(curve) = self.read_cache().get(&signature) {
+        if let Some(slot) = self.read_cache().get(&signature) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(curve));
+            slot.tick.store(
+                self.clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            return Ok(Arc::clone(&slot.curve));
         }
         let samples = self
             .profiler
@@ -137,16 +207,43 @@ impl ScalabilityEstimator {
         // Re-check under the write lock: a concurrent caller sharing this
         // estimator may have fitted the same signature meanwhile. Keeping the
         // counters inside the critical section preserves the invariant that
-        // `curve_fits()` equals the number of distinct cached signatures,
-        // which the zero-new-fits probes rely on.
+        // `curve_fits()` equals the number of distinct fitted signatures,
+        // which the zero-new-fits probes rely on (evictions may later shrink
+        // the cache below the fit count).
         let mut cache = self.write_cache();
         if let Some(existing) = cache.get(&signature) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(existing));
+            return Ok(Arc::clone(&existing.curve));
         }
         self.fits.fetch_add(1, Ordering::Relaxed);
-        cache.insert(signature, Arc::clone(&curve));
+        let slot = CurveSlot::new(
+            Arc::clone(&curve),
+            self.clock.fetch_add(1, Ordering::Relaxed),
+        );
+        self.bytes.fetch_add(slot.bytes, Ordering::Relaxed);
+        cache.insert(signature, slot);
+        self.evict_to_budget(&mut cache, self.budget.load(Ordering::Relaxed));
         Ok(curve)
+    }
+
+    /// Evicts least-recently-used slots until the accounted bytes fit the
+    /// budget. Must be called with the write lock held. The just-inserted
+    /// slot carries the freshest tick, so it goes last — but even it is
+    /// dropped if it alone exceeds the budget, keeping the bound a hard
+    /// invariant (the curve was still returned to the caller; a later lookup
+    /// simply re-fits).
+    fn evict_to_budget(&self, cache: &mut HashMap<WorkloadSignature, CurveSlot>, budget: usize) {
+        while self.bytes.load(Ordering::Relaxed) > budget && !cache.is_empty() {
+            let oldest = cache
+                .iter()
+                .min_by_key(|(_, slot)| slot.tick.load(Ordering::Relaxed))
+                .map(|(sig, _)| *sig)
+                .expect("cache is non-empty");
+            if let Some(slot) = cache.remove(&oldest) {
+                self.bytes.fetch_sub(slot.bytes, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Per-device memory in bytes of one operator at allocation `n`.
@@ -175,6 +272,18 @@ impl ScalabilityEstimator {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// Approximate bytes currently held by the cached curves.
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Curves evicted so far to keep the cache within its byte budget.
+    #[must_use]
+    pub fn cache_evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// A snapshot of the curve-cache counters.
     #[must_use]
     pub fn cache_stats(&self) -> CurveCacheStats {
@@ -182,12 +291,12 @@ impl ScalabilityEstimator {
             entries: self.cached_curves(),
             fits: self.curve_fits(),
             hits: self.cache_hits(),
+            bytes: self.cache_bytes(),
+            evictions: self.cache_evictions(),
         }
     }
 
-    fn read_cache(
-        &self,
-    ) -> std::sync::RwLockReadGuard<'_, HashMap<WorkloadSignature, Arc<ScalingCurve>>> {
+    fn read_cache(&self) -> std::sync::RwLockReadGuard<'_, HashMap<WorkloadSignature, CurveSlot>> {
         self.cache
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -195,7 +304,7 @@ impl ScalabilityEstimator {
 
     fn write_cache(
         &self,
-    ) -> std::sync::RwLockWriteGuard<'_, HashMap<WorkloadSignature, Arc<ScalingCurve>>> {
+    ) -> std::sync::RwLockWriteGuard<'_, HashMap<WorkloadSignature, CurveSlot>> {
         self.cache
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -261,15 +370,72 @@ mod tests {
         let _ = est.curve_for(&b); // same signature: a hit, no new fit
         let _ = est.curve_for(&a);
         let stats = est.cache_stats();
-        assert_eq!(
-            stats,
-            CurveCacheStats {
-                entries: 1,
-                fits: 1,
-                hits: 2
-            }
-        );
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.fits, 1);
+        assert_eq!(stats.hits, 2);
+        assert!(stats.bytes > 0, "cached curves must be accounted");
+        assert_eq!(stats.evictions, 0);
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_curves() {
+        let est = estimator();
+        let op_for = |id: u32, seq: u32| {
+            op(
+                id,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(8, seq, 768),
+            )
+        };
+        let first = est.curve_for(&op_for(0, 100));
+        let per_curve = est.cache_bytes();
+        assert!(per_curve > first.approx_bytes(), "slot overhead is counted");
+        // Budget for roughly two curves: the third insert evicts the LRU one.
+        est.ensure_cache_budget(2 * per_curve + per_curve / 2);
+        let _ = est.curve_for(&op_for(1, 101));
+        assert_eq!(est.cache_evictions(), 0);
+        // Touch the first signature so the *second* becomes LRU.
+        let _ = est.curve_for(&op_for(0, 100));
+        let _ = est.curve_for(&op_for(2, 102));
+        assert_eq!(est.cache_evictions(), 1);
+        assert!(est.cache_bytes() <= est.cache_budget());
+        assert_eq!(est.cached_curves(), 2);
+        // The touched signature survived; the untouched one was evicted and
+        // now re-fits (correctness is unaffected, only cost).
+        let fits = est.curve_fits();
+        let refit = est.curve_for(&op_for(0, 100));
+        assert_eq!(est.curve_fits(), fits, "recently used curve stays cached");
+        assert_eq!(refit.valid_allocations(), first.valid_allocations());
+        let _ = est.curve_for(&op_for(1, 101));
+        assert_eq!(est.curve_fits(), fits + 1, "evicted curve must re-fit");
+    }
+
+    #[test]
+    fn shrinking_the_budget_evicts_immediately_and_bound_is_hard() {
+        let est = estimator();
+        for seq in 0..8u32 {
+            let _ = est.curve_for(&op(
+                seq,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(8, 100 + seq, 768),
+            ));
+        }
+        assert_eq!(est.cached_curves(), 8);
+        let bytes = est.cache_bytes();
+        est.ensure_cache_budget(bytes / 2);
+        assert!(est.cache_bytes() <= bytes / 2);
+        assert!(est.cache_evictions() >= 4);
+        // A budget below a single curve keeps the cache empty but functional.
+        est.ensure_cache_budget(8);
+        assert_eq!(est.cache_bytes(), 0);
+        let curve = est.curve_for(&op(
+            99,
+            OpKind::Encoder(Modality::Text),
+            TensorShape::new(8, 77, 768),
+        ));
+        assert!(curve.max_allocation() >= 1);
+        assert_eq!(est.cache_bytes(), 0, "oversized entries are not retained");
     }
 
     #[test]

@@ -110,6 +110,15 @@ impl PiecewiseAlphaBeta {
         &self.samples
     }
 
+    /// Approximate number of *heap* bytes held by this fit (the pieces and
+    /// retained samples) — the estimator's bounded curve cache uses this for
+    /// byte accounting.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.pieces.len() * std::mem::size_of::<Piece>()
+            + self.samples.len() * std::mem::size_of::<(f64, f64)>()
+    }
+
     /// Estimated execution time at a (continuous) device count `n`.
     /// Values outside the fitted range are clamped to the range boundary.
     #[must_use]

@@ -84,6 +84,15 @@ impl ScalingCurve {
         self.fit.inverse(time)
     }
 
+    /// Approximate memory footprint of this curve in bytes (inline struct
+    /// plus heap) — the unit of the bounded curve cache's byte accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.fit.approx_heap_bytes()
+            + self.valid.len() * std::mem::size_of::<(u32, f64)>()
+    }
+
     /// The closest valid allocations `⌊n⌋, ⌈n⌉` bracketing a continuous
     /// allocation `n*` (used by the bi-point discretisation of §3.3). If `n*`
     /// lies outside the valid range the nearest valid allocation is returned

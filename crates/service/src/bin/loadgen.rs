@@ -1,0 +1,285 @@
+//! Multi-tenant load generator for the planning service.
+//!
+//! Replays seeded [`TenantFleet`] traces (CLIP-style tenants at paper scale,
+//! hyperscale-churn tenants at 256 simulated GPUs) against a [`PlanService`]
+//! as fast as the service accepts them (open loop with retry-on-backpressure),
+//! then reports per-event latency percentiles, coalescing ratio and
+//! throughput — both human-readable and as a flat JSON bench report
+//! (`BENCH_service.json`) the `bench_gate` binary can compare against the
+//! checked-in baseline.
+//!
+//! ```bash
+//! cargo run --release -p spindle-service --bin loadgen
+//! # CI smoke: SPINDLE_BENCH_QUICK=1 cargo run --release -p spindle-service --bin loadgen
+//! ```
+//!
+//! Flags: `--tenants N` overrides the fleet size of both scenarios;
+//! `--quick` equals `SPINDLE_BENCH_QUICK=1`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spindle_cluster::ClusterSpec;
+use spindle_core::PlannerConfig;
+use spindle_service::{Completion, PlanService, ServiceConfig, SubmitError};
+use spindle_workloads::TenantFleet;
+
+fn quick_mode() -> bool {
+    std::env::var("SPINDLE_BENCH_QUICK").is_ok_and(|v| v == "1" || v == "true")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+fn tenants_override() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let at = args.iter().position(|a| a == "--tenants")?;
+    args.get(at + 1)?.parse().ok()
+}
+
+fn report_path() -> PathBuf {
+    if let Ok(path) = std::env::var("SPINDLE_BENCH_OUT") {
+        return PathBuf::from(path);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json")
+}
+
+/// Everything measured over one fleet replay.
+struct RunReport {
+    label: &'static str,
+    tenants: usize,
+    events: usize,
+    replans: u64,
+    rejections: u64,
+    coalescing_ratio: f64,
+    p50: Duration,
+    p99: Duration,
+    wall: Duration,
+    max_cache_bytes: usize,
+    evictions: u64,
+}
+
+impl RunReport {
+    fn ns_per_event(&self) -> f64 {
+        self.wall.as_secs_f64() * 1e9 / self.events as f64
+    }
+}
+
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    assert!(!sorted.is_empty(), "percentile of an empty latency set");
+    let rank = ((sorted.len() as f64 * pct).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Replays `fleet` against a fresh service, open loop: events are submitted
+/// in timeline order as fast as the bounded queues accept them; on
+/// backpressure the generator waits for a completion (which frees a slot)
+/// and retries the same event, so no accepted-then-dropped events exist.
+fn replay(
+    label: &'static str,
+    fleet: &TenantFleet,
+    cluster: ClusterSpec,
+    planner: PlannerConfig,
+) -> RunReport {
+    let (service, completions) = PlanService::start(
+        cluster,
+        ServiceConfig {
+            queue_depth: 32,
+            planner,
+            ..ServiceConfig::default()
+        },
+    );
+    let cache_budget = planner.structural_cache_budget + planner.curve_cache_budget;
+    let mut tally = Tally {
+        cache_budget,
+        latencies: Vec::with_capacity(fleet.events().len()),
+        served: 0,
+        max_cache_bytes: 0,
+        evictions: 0,
+    };
+    let mut rejections = 0u64;
+    let start = Instant::now();
+    for event in fleet.events() {
+        // Opportunistically drain finished work between submissions.
+        while let Ok(done) = completions.try_recv() {
+            tally.record(done);
+        }
+        loop {
+            match service.submit(event.tenant as u64, Arc::clone(&event.graph)) {
+                Ok(()) => break,
+                Err(SubmitError::QueueFull { retry_hint }) => {
+                    rejections += 1;
+                    // Backpressure: wait for one completion (frees a queue
+                    // slot soon after) or the hinted interval, then retry.
+                    if let Ok(done) = completions.recv_timeout(retry_hint) {
+                        tally.record(done);
+                    }
+                }
+                Err(SubmitError::WorkerGone) => unreachable!("workers outlive the replay"),
+            }
+        }
+    }
+    let stats = service.shutdown();
+    for done in completions.iter() {
+        tally.record(done);
+    }
+    let wall = start.elapsed();
+    assert_eq!(
+        tally.served,
+        fleet.events().len(),
+        "every event must be served"
+    );
+    assert_eq!(stats.errors, 0, "no plan may fail");
+    tally.latencies.sort_unstable();
+    RunReport {
+        label,
+        tenants: fleet.num_tenants(),
+        events: tally.served,
+        replans: stats.replans,
+        rejections,
+        coalescing_ratio: stats.coalescing_ratio(),
+        p50: percentile(&tally.latencies, 0.50),
+        p99: percentile(&tally.latencies, 0.99),
+        wall,
+        max_cache_bytes: tally.max_cache_bytes,
+        evictions: tally.evictions,
+    }
+}
+
+/// Accumulates completion-side measurements during a replay.
+struct Tally {
+    cache_budget: usize,
+    latencies: Vec<Duration>,
+    served: usize,
+    max_cache_bytes: usize,
+    evictions: u64,
+}
+
+impl Tally {
+    fn record(&mut self, done: Completion) {
+        self.latencies.push(done.total_latency());
+        self.served += done.coalesced;
+        let outcome = done.result.expect("fleet graphs always plan");
+        assert!(
+            outcome.cache_bytes <= self.cache_budget,
+            "session caches exceeded their byte budgets: {} > {}",
+            outcome.cache_bytes,
+            self.cache_budget
+        );
+        self.max_cache_bytes = self.max_cache_bytes.max(outcome.cache_bytes);
+        self.evictions += outcome.evictions as u64;
+    }
+}
+
+fn print_report(r: &RunReport) {
+    println!("== {} ==", r.label);
+    println!(
+        "  {} tenants, {} events -> {} re-plans (coalescing ratio {:.2}), {} backpressure rejections",
+        r.tenants, r.events, r.replans, r.coalescing_ratio, r.rejections
+    );
+    println!(
+        "  latency p50 {:.3} ms, p99 {:.3} ms; {:.0} events/s over {:.2} s",
+        r.p50.as_secs_f64() * 1e3,
+        r.p99.as_secs_f64() * 1e3,
+        r.events as f64 / r.wall.as_secs_f64(),
+        r.wall.as_secs_f64()
+    );
+    println!(
+        "  caches: max {} KiB per session, {} evictions across the fleet",
+        r.max_cache_bytes / 1024,
+        r.evictions
+    );
+}
+
+/// Hand-rolled flat JSON (no JSON crate offline): `{name: ns, ...}`.
+fn write_report(path: &std::path::Path, entries: &[(String, f64)]) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!("  \"{name}\": {ns:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let tenants = tenants_override().unwrap_or(if quick { 12 } else { 120 });
+    let phases = if quick { 2 } else { 4 };
+    println!(
+        "spindle loadgen: {tenants} tenants/fleet, {phases} phases/tenant{}",
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    // Scenario 1 — CLIP tenants at paper scale (32 GPUs), default budgets.
+    let clip = TenantFleet::clip_fleet(11, tenants, phases, 30.0).expect("clip fleet builds");
+    let clip_report = replay(
+        "clip-fleet",
+        &clip,
+        ClusterSpec::homogeneous(4, 8),
+        PlannerConfig::default(),
+    );
+    print_report(&clip_report);
+
+    // Scenario 2 — hyperscale-churn tenants on 256 simulated GPUs, with
+    // deliberately tight cache budgets: a long trace must keep every
+    // session's bytes bounded and visibly evict (the acceptance criterion of
+    // a daemon that never restarts).
+    let tight = PlannerConfig {
+        structural_cache_budget: 96 * 1024,
+        curve_cache_budget: 16 * 1024,
+        ..PlannerConfig::default()
+    };
+    let hyper =
+        TenantFleet::hyperscale_fleet(7, tenants, phases.max(3), 12, 30.0).expect("hyper fleet");
+    let hyper_report = replay(
+        "hyper-fleet",
+        &hyper,
+        ClusterSpec::homogeneous(32, 8),
+        tight,
+    );
+    print_report(&hyper_report);
+
+    if !quick {
+        // Acceptance criteria of the service PR, asserted where they are
+        // measured: bursty open-loop replay must coalesce, and the tight
+        // hyperscale budgets must actually evict.
+        assert!(
+            clip_report.coalescing_ratio > 1.0 || hyper_report.coalescing_ratio > 1.0,
+            "open-loop replay must coalesce somewhere"
+        );
+        assert!(
+            hyper_report.evictions > 0,
+            "tight budgets over a long trace must evict"
+        );
+    }
+
+    let entries = vec![
+        (
+            "service_replan_p50_clip-fleet".to_string(),
+            clip_report.p50.as_secs_f64() * 1e9,
+        ),
+        (
+            "service_replan_p99_clip-fleet".to_string(),
+            clip_report.p99.as_secs_f64() * 1e9,
+        ),
+        (
+            "service_replan_p50_hyper-fleet".to_string(),
+            hyper_report.p50.as_secs_f64() * 1e9,
+        ),
+        (
+            "service_replan_p99_hyper-fleet".to_string(),
+            hyper_report.p99.as_secs_f64() * 1e9,
+        ),
+        (
+            "service_event_ns_clip-fleet".to_string(),
+            clip_report.ns_per_event(),
+        ),
+        (
+            "service_event_ns_hyper-fleet".to_string(),
+            hyper_report.ns_per_event(),
+        ),
+    ];
+    let path = report_path();
+    write_report(&path, &entries).expect("writing the bench report");
+    println!("report: {}", path.display());
+}

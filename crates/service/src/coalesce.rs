@@ -1,0 +1,212 @@
+//! Re-plan coalescing: folding queued churn events per tenant.
+//!
+//! A tenant whose task mix changes five times while its worker is busy does
+//! not need five re-plans — only the *latest* graph matters, because a
+//! re-plan always supersedes the plans before it. The [`CoalescingQueue`]
+//! encodes exactly that: events are keyed by tenant, a newer event for a
+//! pending tenant replaces the pending graph (latest-graph-wins), and tenants
+//! are served in FIFO order of when their pending entry was *opened*, so no
+//! tenant starves behind a chatty neighbour.
+//!
+//! The queue is a pure, single-threaded data structure — the service's worker
+//! threads each own one — which keeps the coalescing semantics deterministic
+//! and unit-testable without spawning a thread.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use spindle_graph::ComputationGraph;
+
+/// One coalesced unit of work: re-plan `tenant` against `graph`.
+#[derive(Debug, Clone)]
+pub struct CoalescedReplan {
+    /// The tenant to re-plan.
+    pub tenant: u64,
+    /// The tenant's latest submitted graph (earlier pending graphs were
+    /// superseded).
+    pub graph: Arc<ComputationGraph>,
+    /// Churn events folded into this re-plan (≥ 1).
+    pub coalesced: usize,
+    /// Submission time of the *oldest* folded event — queue latency is
+    /// measured from the moment the pending entry was opened, so coalescing
+    /// can never hide a tenant's true wait.
+    pub oldest_submit: Instant,
+}
+
+#[derive(Debug)]
+struct Pending {
+    graph: Arc<ComputationGraph>,
+    coalesced: usize,
+    oldest_submit: Instant,
+}
+
+/// A per-worker queue of pending re-plans with latest-graph-wins coalescing
+/// and per-tenant FIFO service order.
+#[derive(Debug, Default)]
+pub struct CoalescingQueue {
+    pending: HashMap<u64, Pending>,
+    /// Tenants with a pending entry, in the order the entries were opened.
+    order: VecDeque<u64>,
+    events_in: u64,
+    replans_out: u64,
+}
+
+impl CoalescingQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a churn event: `tenant`'s task mix became `graph` at
+    /// `submitted`. Returns `true` if the event was folded into an already
+    /// pending re-plan (the pending graph is replaced, the queue position and
+    /// oldest submission time are kept).
+    pub fn push(&mut self, tenant: u64, graph: Arc<ComputationGraph>, submitted: Instant) -> bool {
+        self.events_in += 1;
+        match self.pending.get_mut(&tenant) {
+            Some(pending) => {
+                pending.graph = graph;
+                pending.coalesced += 1;
+                true
+            }
+            None => {
+                self.pending.insert(
+                    tenant,
+                    Pending {
+                        graph,
+                        coalesced: 1,
+                        oldest_submit: submitted,
+                    },
+                );
+                self.order.push_back(tenant);
+                false
+            }
+        }
+    }
+
+    /// Takes the next re-plan to execute: the tenant whose pending entry has
+    /// waited longest, with every event folded since.
+    pub fn pop(&mut self) -> Option<CoalescedReplan> {
+        let tenant = self.order.pop_front()?;
+        let pending = self
+            .pending
+            .remove(&tenant)
+            .expect("order and pending stay in sync");
+        self.replans_out += 1;
+        Some(CoalescedReplan {
+            tenant,
+            graph: pending.graph,
+            coalesced: pending.coalesced,
+            oldest_submit: pending.oldest_submit,
+        })
+    }
+
+    /// Tenants currently pending.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if no re-plan is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Churn events pushed over the queue's lifetime.
+    #[must_use]
+    pub fn events_in(&self) -> u64 {
+        self.events_in
+    }
+
+    /// Coalesced re-plans popped over the queue's lifetime.
+    #[must_use]
+    pub fn replans_out(&self) -> u64 {
+        self.replans_out
+    }
+
+    /// Lifetime coalescing ratio: events in over re-plans out (1.0 when
+    /// nothing was ever coalesced, >1 once bursts were folded).
+    #[must_use]
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.replans_out == 0 {
+            return 1.0;
+        }
+        self.events_in as f64 / self.replans_out as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    fn graph(batch: u32) -> Arc<ComputationGraph> {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("t", [Modality::Text, Modality::Vision], batch);
+        let tower = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(batch, 77, 768),
+                2,
+            )
+            .unwrap();
+        let loss = b
+            .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, 768))
+            .unwrap();
+        b.add_flow(*tower.last().unwrap(), loss).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn bursts_for_one_tenant_fold_into_latest_graph() {
+        let mut q = CoalescingQueue::new();
+        let t0 = Instant::now();
+        assert!(!q.push(7, graph(8), t0));
+        assert!(q.push(7, graph(16), t0));
+        assert!(q.push(7, graph(32), t0));
+        assert_eq!(q.len(), 1);
+        let replan = q.pop().unwrap();
+        assert_eq!(replan.tenant, 7);
+        assert_eq!(replan.coalesced, 3);
+        assert_eq!(replan.graph.tasks()[0].batch_size(), 32, "latest wins");
+        assert!(q.pop().is_none());
+        assert_eq!(q.events_in(), 3);
+        assert_eq!(q.replans_out(), 1);
+        assert!((q.coalescing_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenants_are_served_fifo_by_entry_open_time() {
+        let mut q = CoalescingQueue::new();
+        let t0 = Instant::now();
+        q.push(1, graph(8), t0);
+        q.push(2, graph(8), t0);
+        // A burst for tenant 1 must not move it behind or ahead of its slot.
+        q.push(1, graph(16), t0);
+        q.push(3, graph(8), t0);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.tenant).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn queue_latency_is_measured_from_the_oldest_event() {
+        let mut q = CoalescingQueue::new();
+        let t0 = Instant::now();
+        q.push(1, graph(8), t0);
+        let t1 = Instant::now();
+        q.push(1, graph(16), t1);
+        assert_eq!(q.pop().unwrap().oldest_submit, t0);
+    }
+
+    #[test]
+    fn empty_queue_reports_unit_ratio() {
+        let q = CoalescingQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!((q.coalescing_ratio() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,539 @@
+//! The multi-tenant planning daemon: sharded workers, bounded queues,
+//! explicit backpressure.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spindle_cluster::ClusterSpec;
+use spindle_core::{PlanError, PlannerConfig, ReplanOutcome, SpindleSession};
+use spindle_estimator::ScalabilityEstimator;
+use spindle_graph::ComputationGraph;
+
+use crate::CoalescingQueue;
+
+/// Fallback retry hint before the service has completed any re-plan.
+const MIN_RETRY_HINT: Duration = Duration::from_micros(100);
+
+/// Tunable knobs of a [`PlanService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker threads; each owns the sessions of the tenants sharded onto it
+    /// (`tenant % workers`). Defaults to the machine's available parallelism.
+    pub workers: usize,
+    /// Bound of each worker's request queue. Submissions beyond it are
+    /// rejected with [`SubmitError::QueueFull`] — explicit backpressure
+    /// instead of unbounded memory growth.
+    pub queue_depth: usize,
+    /// Planner configuration of every tenant session (placement strategy,
+    /// bisection epsilon, cache budgets).
+    pub planner: PlannerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            queue_depth: 64,
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The tenant's worker queue is at its configured depth. Back off for
+    /// roughly `retry_hint` (the service's average re-plan time) and retry;
+    /// newer submissions for the same tenant supersede older ones anyway.
+    QueueFull {
+        /// Suggested backoff before retrying.
+        retry_hint: Duration,
+    },
+    /// The tenant's worker is gone (the service is shutting down or the
+    /// worker panicked); the submission can never be served.
+    WorkerGone,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { retry_hint } => {
+                write!(f, "worker queue full; retry in ~{retry_hint:?}")
+            }
+            Self::WorkerGone => write!(f, "worker gone; service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One finished re-plan, delivered on the service's completion channel.
+#[derive(Debug)]
+pub struct Completion {
+    /// The tenant that was re-planned.
+    pub tenant: u64,
+    /// The re-plan outcome (plan plus cache-warmth probe), or the planning
+    /// error.
+    pub result: Result<ReplanOutcome, PlanError>,
+    /// Churn events folded into this re-plan (≥ 1; > 1 means coalescing
+    /// saved `coalesced - 1` full re-plans).
+    pub coalesced: usize,
+    /// Time from the oldest folded event's submission until planning began.
+    pub queue_wait: Duration,
+    /// Time spent planning.
+    pub plan_time: Duration,
+}
+
+impl Completion {
+    /// End-to-end latency of the oldest folded event: queue wait plus
+    /// planning time.
+    #[must_use]
+    pub fn total_latency(&self) -> Duration {
+        self.queue_wait + self.plan_time
+    }
+}
+
+/// A snapshot of the service-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Submissions accepted onto a worker queue.
+    pub submitted: u64,
+    /// Submissions rejected with [`SubmitError::QueueFull`].
+    pub rejected: u64,
+    /// Coalesced re-plans executed.
+    pub replans: u64,
+    /// Re-plans that failed with a [`PlanError`].
+    pub errors: u64,
+    /// Total time spent planning, nanoseconds.
+    pub plan_nanos: u64,
+}
+
+impl ServiceStats {
+    /// Accepted events per executed re-plan (1.0 before any re-plan ran;
+    /// events still queued inflate the ratio until they are served, so read
+    /// it after a drain for an exact figure).
+    #[must_use]
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.replans == 0 {
+            return 1.0;
+        }
+        self.submitted as f64 / self.replans as f64
+    }
+
+    /// Mean planning time per re-plan.
+    #[must_use]
+    pub fn avg_plan_time(&self) -> Duration {
+        Duration::from_nanos(self.plan_nanos / self.replans.max(1))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    replans: AtomicU64,
+    errors: AtomicU64,
+    plan_nanos: AtomicU64,
+}
+
+enum Request {
+    Event {
+        tenant: u64,
+        graph: Arc<ComputationGraph>,
+        submitted: Instant,
+    },
+    Shutdown,
+}
+
+/// A long-lived multi-tenant planning daemon.
+///
+/// Tenants are sharded onto worker threads by `tenant % workers`; each worker
+/// owns the [`SpindleSession`]s of its tenants outright (no session is ever
+/// shared across threads), which guarantees per-tenant FIFO ordering: a
+/// tenant's re-plans execute in submission order, always against its latest
+/// submitted graph. Workers drain their bounded queue greedily between
+/// re-plans and fold queued events per tenant (see
+/// [`CoalescingQueue`]), so a burst of N churn events for one tenant costs
+/// one re-plan, not N. All tenant sessions of a worker pool one
+/// [`ScalabilityEstimator`], so tenants with overlapping operator signatures
+/// share fitted curves.
+///
+/// Results arrive asynchronously on the completion channel returned by
+/// [`PlanService::start`].
+#[derive(Debug)]
+pub struct PlanService {
+    senders: Vec<SyncSender<Request>>,
+    handles: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
+    queue_depth: usize,
+}
+
+impl PlanService {
+    /// Starts the service's worker threads for `cluster` and returns it with
+    /// the receiving end of its completion channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` or `config.queue_depth` is zero.
+    #[must_use]
+    pub fn start(
+        cluster: impl Into<Arc<ClusterSpec>>,
+        config: ServiceConfig,
+    ) -> (Self, Receiver<Completion>) {
+        assert!(config.workers > 0, "service needs at least one worker");
+        assert!(config.queue_depth > 0, "queue depth must be positive");
+        let cluster = cluster.into();
+        let counters = Arc::new(Counters::default());
+        let (completion_tx, completion_rx) = std::sync::mpsc::channel();
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        for worker in 0..config.workers {
+            let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth);
+            senders.push(tx);
+            let cluster = Arc::clone(&cluster);
+            let counters = Arc::clone(&counters);
+            let completions = completion_tx.clone();
+            let planner = config.planner;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("spindle-svc-{worker}"))
+                    .spawn(move || worker_loop(&rx, &cluster, planner, &counters, &completions))
+                    .expect("spawning a service worker thread"),
+            );
+        }
+        (
+            Self {
+                senders,
+                handles,
+                counters,
+                queue_depth: config.queue_depth,
+            },
+            completion_rx,
+        )
+    }
+
+    /// Worker threads the service runs.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Per-worker queue bound.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Submits a churn event: `tenant`'s task mix became `graph`. Returns
+    /// immediately; the re-plan executes on the tenant's worker and its
+    /// [`Completion`] arrives on the completion channel. Never blocks — a
+    /// full worker queue rejects with [`SubmitError::QueueFull`] and a
+    /// retry hint.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under backpressure, or
+    /// [`SubmitError::WorkerGone`] if the tenant's worker has exited.
+    pub fn submit(&self, tenant: u64, graph: Arc<ComputationGraph>) -> Result<(), SubmitError> {
+        let worker = (tenant % self.senders.len() as u64) as usize;
+        match self.senders[worker].try_send(Request::Event {
+            tenant,
+            graph,
+            submitted: Instant::now(),
+        }) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull {
+                    retry_hint: self.retry_hint(),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::WorkerGone),
+        }
+    }
+
+    /// The backoff the service suggests on [`SubmitError::QueueFull`]: its
+    /// average re-plan time so far (at least 100µs).
+    #[must_use]
+    pub fn retry_hint(&self) -> Duration {
+        let replans = self.counters.replans.load(Ordering::Relaxed);
+        if replans == 0 {
+            return MIN_RETRY_HINT;
+        }
+        let avg = self.counters.plan_nanos.load(Ordering::Relaxed) / replans;
+        Duration::from_nanos(avg).max(MIN_RETRY_HINT)
+    }
+
+    /// A snapshot of the service-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            replans: self.counters.replans.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            plan_nanos: self.counters.plan_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the service: every worker drains its remaining queue (accepted
+    /// events are never dropped), then exits. Returns the final counter
+    /// snapshot. Completions of the drained events are still delivered on
+    /// the completion channel before it disconnects.
+    pub fn shutdown(mut self) -> ServiceStats {
+        for sender in &self.senders {
+            // A blocking send is correct here: the worker keeps draining, so
+            // the shutdown marker always fits eventually.
+            let _ = sender.send(Request::Shutdown);
+        }
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for PlanService {
+    fn drop(&mut self) {
+        // Dropping without `shutdown()` still joins the workers: clearing
+        // the senders disconnects the queues, and a disconnected queue ends
+        // the worker loop after its drain.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Receiver<Request>,
+    cluster: &Arc<ClusterSpec>,
+    planner: PlannerConfig,
+    counters: &Counters,
+    completions: &Sender<Completion>,
+) {
+    let estimator = Arc::new(ScalabilityEstimator::new(cluster));
+    let mut sessions: HashMap<u64, SpindleSession> = HashMap::new();
+    let mut queue = CoalescingQueue::new();
+    let mut shutting_down = false;
+    loop {
+        if queue.is_empty() {
+            if shutting_down {
+                break;
+            }
+            // Nothing pending: block for the next request.
+            match rx.recv() {
+                Ok(request) => apply(request, &mut queue, &mut shutting_down),
+                Err(_) => break,
+            }
+        }
+        // Greedy drain: fold every queued event before planning, so a burst
+        // for one tenant coalesces into a single re-plan.
+        while let Ok(request) = rx.try_recv() {
+            apply(request, &mut queue, &mut shutting_down);
+        }
+        let Some(replan) = queue.pop() else { continue };
+        let queue_wait = replan.oldest_submit.elapsed();
+        let session = sessions.entry(replan.tenant).or_insert_with(|| {
+            SpindleSession::with_estimator(Arc::clone(cluster), Arc::clone(&estimator), planner)
+        });
+        let started = Instant::now();
+        let result = session.replan(&replan.graph);
+        let plan_time = started.elapsed();
+        counters.replans.fetch_add(1, Ordering::Relaxed);
+        counters
+            .plan_nanos
+            .fetch_add(plan_time.as_nanos() as u64, Ordering::Relaxed);
+        if result.is_err() {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // A gone receiver just means the caller stopped listening; keep
+        // draining so accepted events still update the counters.
+        let _ = completions.send(Completion {
+            tenant: replan.tenant,
+            result,
+            coalesced: replan.coalesced,
+            queue_wait,
+            plan_time,
+        });
+    }
+}
+
+fn apply(request: Request, queue: &mut CoalescingQueue, shutting_down: &mut bool) {
+    match request {
+        Request::Event {
+            tenant,
+            graph,
+            submitted,
+        } => {
+            queue.push(tenant, graph, submitted);
+        }
+        Request::Shutdown => *shutting_down = true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    fn graph(batch: u32) -> Arc<ComputationGraph> {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("t", [Modality::Audio, Modality::Text], batch);
+        let tower = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(batch, 229, 768),
+                4,
+            )
+            .unwrap();
+        let loss = b
+            .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, 768))
+            .unwrap();
+        b.add_flow(*tower.last().unwrap(), loss).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn submissions_complete_with_valid_plans_in_fifo_order() {
+        let (service, completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 8),
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 16,
+                planner: PlannerConfig::default(),
+            },
+        );
+        assert_eq!(service.num_workers(), 2);
+        for batch in [8u32, 16, 32] {
+            service.submit(0, graph(batch)).unwrap();
+        }
+        service.submit(1, graph(8)).unwrap();
+        let mut tenant0_batches = Vec::new();
+        let mut tenant1 = 0;
+        // 0 and 1 land on different workers; tenant 0's events may coalesce,
+        // but whatever completes must come in submission order with the
+        // latest graph last.
+        let mut events_seen = 0;
+        while events_seen < 4 {
+            let done = completions
+                .recv_timeout(Duration::from_secs(30))
+                .expect("completion");
+            let outcome = done.result.expect("plan succeeds");
+            outcome.plan.validate().unwrap();
+            events_seen += done.coalesced;
+            if done.tenant == 0 {
+                tenant0_batches.push(outcome.plan.num_waves());
+            } else {
+                tenant1 += 1;
+            }
+            assert!(done.plan_time > Duration::ZERO);
+        }
+        assert!(!tenant0_batches.is_empty());
+        assert_eq!(tenant1, 1);
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.replans >= 2, "at least one re-plan per tenant");
+        assert!(stats.replans <= 4);
+        assert!(stats.coalescing_ratio() >= 1.0);
+        assert!(stats.avg_plan_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint_and_drains_on_shutdown() {
+        // One worker, depth 1: the worker blocks planning the first event
+        // while later submissions hit the bound.
+        let (service, completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 8),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 1,
+                planner: PlannerConfig::default(),
+            },
+        );
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for i in 0..200u32 {
+            match service.submit(u64::from(i % 4), graph(8 + (i % 4) * 8)) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::QueueFull { retry_hint }) => {
+                    assert!(retry_hint >= Duration::from_micros(100));
+                    rejected += 1;
+                }
+                Err(SubmitError::WorkerGone) => panic!("worker must be alive"),
+            }
+        }
+        assert!(rejected > 0, "depth-1 queue must push back");
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, accepted);
+        assert_eq!(stats.rejected, rejected);
+        // Every accepted event was served (drained on shutdown), and the
+        // completion channel accounts for all of them.
+        let mut served = 0u64;
+        let mut replans = 0u64;
+        for done in completions.iter() {
+            served += done.coalesced as u64;
+            replans += 1;
+        }
+        assert_eq!(served, accepted);
+        assert_eq!(replans, stats.replans);
+    }
+
+    #[test]
+    fn bursts_coalesce_into_fewer_replans() {
+        let (service, completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 8),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 64,
+                planner: PlannerConfig::default(),
+            },
+        );
+        // A burst of 12 events for one tenant: the worker is busy planning
+        // the first, so the rest sit queued and fold into (far) fewer
+        // re-plans. The final plan must reflect the *last* submitted graph.
+        for batch in (1..=12u32).map(|i| 8 * i) {
+            service.submit(3, graph(batch)).unwrap();
+        }
+        let stats = service.shutdown();
+        let done: Vec<Completion> = completions.iter().collect();
+        let served: usize = done.iter().map(|c| c.coalesced).sum();
+        assert_eq!(served, 12);
+        assert!(done.len() < 12, "burst must coalesce");
+        assert!(stats.coalescing_ratio() > 1.0);
+        let last = done.last().unwrap().result.as_ref().unwrap();
+        let direct = SpindleSession::new(ClusterSpec::homogeneous(1, 8))
+            .plan(&graph(96))
+            .unwrap();
+        assert_eq!(last.plan.waves(), direct.waves(), "latest graph wins");
+    }
+
+    #[test]
+    fn dropping_the_service_joins_workers() {
+        let (service, completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 4),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 4,
+                planner: PlannerConfig::default(),
+            },
+        );
+        service.submit(9, graph(8)).unwrap();
+        drop(service);
+        // The worker drained the event before exiting.
+        let done: Vec<Completion> = completions.iter().collect();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tenant, 9);
+    }
+}

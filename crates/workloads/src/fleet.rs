@@ -1,0 +1,280 @@
+//! Multi-tenant trace generation: many independent arrival schedules merged
+//! onto one global timeline.
+//!
+//! A planning *service* (as opposed to a single session) faces hundreds of
+//! concurrent tenants, each with its own task-churn process. A
+//! [`TenantFleet`] synthesises that load deterministically: a small pool of
+//! seeded [`ArrivalSchedule`]s is shared across tenants (phase graphs are
+//! wrapped in [`Arc`] once per pooled schedule, so a 500-tenant fleet costs
+//! the memory of its pool, not of 500 traces), each tenant replays one pooled
+//! schedule at a seeded start offset, and all events are merged into one
+//! timeline ordered by timestamp. The same seed always produces the same
+//! fleet — load generators and benches replay it reproducibly.
+
+use std::sync::Arc;
+
+use spindle_graph::{ComputationGraph, GraphError, XorShift64Star};
+
+use crate::{hyperscale_churn, ArrivalSchedule, HYPERSCALE_ROSTER};
+
+/// How many distinct seeded schedules a fleet pools by default; tenants
+/// beyond the pool size replay a pooled trace at a different start offset.
+pub const FLEET_DEFAULT_POOL: usize = 8;
+
+/// One task-mix change of one tenant: at `at_s` (seconds since fleet start)
+/// tenant `tenant`'s active task set becomes `graph`.
+#[derive(Debug, Clone)]
+pub struct TenantEvent {
+    /// Event timestamp, seconds since fleet start.
+    pub at_s: f64,
+    /// The tenant whose task mix changes (dense ids `0..num_tenants`).
+    pub tenant: usize,
+    /// Human-readable description of the new task set.
+    pub label: String,
+    /// The tenant's new computation graph (shared across tenants replaying
+    /// the same pooled schedule).
+    pub graph: Arc<ComputationGraph>,
+}
+
+/// A merged timeline of task-mix changes across many synthetic tenants.
+#[derive(Debug, Clone)]
+pub struct TenantFleet {
+    name: String,
+    num_tenants: usize,
+    horizon_s: f64,
+    events: Vec<TenantEvent>,
+}
+
+impl TenantFleet {
+    /// Builds a fleet of `tenants` tenants over a pool of schedules: tenant
+    /// `t` replays `pool[t % pool.len()]` shifted by a seeded start offset in
+    /// `[0, max_offset_s)`. Events are merged into one timeline ordered by
+    /// timestamp (ties broken by tenant id), and the fleet horizon covers
+    /// every tenant's shifted schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty, `tenants` is zero or `max_offset_s` is
+    /// negative.
+    #[must_use]
+    pub fn from_pool(
+        name: impl Into<String>,
+        pool: &[ArrivalSchedule],
+        seed: u64,
+        tenants: usize,
+        max_offset_s: f64,
+    ) -> Self {
+        assert!(!pool.is_empty(), "fleet needs at least one pooled schedule");
+        assert!(tenants > 0, "fleet needs at least one tenant");
+        assert!(max_offset_s >= 0.0, "start offsets cannot be negative");
+        // Share each pooled schedule's phase graphs once across all tenants
+        // replaying it.
+        let shared: Vec<Vec<(f64, String, Arc<ComputationGraph>)>> = pool
+            .iter()
+            .map(|s| {
+                s.arrivals()
+                    .iter()
+                    .map(|a| (a.at_s, a.label.clone(), Arc::new(a.graph.clone())))
+                    .collect()
+            })
+            .collect();
+        let mut rng = XorShift64Star::new(seed);
+        let mut events = Vec::new();
+        let mut horizon_s = 0.0f64;
+        for tenant in 0..tenants {
+            let offset = rng.next_f64() * max_offset_s;
+            let slot = tenant % pool.len();
+            for (at_s, label, graph) in &shared[slot] {
+                events.push(TenantEvent {
+                    at_s: at_s + offset,
+                    tenant,
+                    label: label.clone(),
+                    graph: Arc::clone(graph),
+                });
+            }
+            horizon_s = horizon_s.max(offset + pool[slot].horizon_s());
+        }
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s).then(a.tenant.cmp(&b.tenant)));
+        Self {
+            name: name.into(),
+            num_tenants: tenants,
+            horizon_s,
+            events,
+        }
+    }
+
+    /// A fleet of Multitask-CLIP tenants: the pool holds
+    /// `min(tenants, `[`FLEET_DEFAULT_POOL`]`)` seeded
+    /// [`ArrivalSchedule::multitask_clip_arrivals`] traces of
+    /// `phases_per_tenant` phases at mean gap `mean_gap_s`, and tenant start
+    /// offsets are spread over one mean gap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if a phase graph fails to build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` or `phases_per_tenant` is zero, or `mean_gap_s` is
+    /// not positive.
+    pub fn clip_fleet(
+        seed: u64,
+        tenants: usize,
+        phases_per_tenant: usize,
+        mean_gap_s: f64,
+    ) -> Result<Self, GraphError> {
+        assert!(tenants > 0, "fleet needs at least one tenant");
+        let pool_size = tenants.min(FLEET_DEFAULT_POOL);
+        let pool: Vec<ArrivalSchedule> = (0..pool_size)
+            .map(|i| {
+                ArrivalSchedule::multitask_clip_arrivals(
+                    seed.wrapping_add(i as u64),
+                    phases_per_tenant,
+                    mean_gap_s,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self::from_pool(
+            format!("CLIP fleet ({tenants} tenants, seed {seed})"),
+            &pool,
+            seed,
+            tenants,
+            mean_gap_s,
+        ))
+    }
+
+    /// A fleet of hyperscale-churn tenants: the pool holds
+    /// `min(tenants, `[`FLEET_DEFAULT_POOL`]`)` seeded
+    /// [`hyperscale_churn`] traces starting from `initial_tasks` active
+    /// roster slots (clamped to [`HYPERSCALE_ROSTER`]). This is the
+    /// service-scale stress input: each event re-plans a many-task graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if a phase graph fails to build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants`, `phases_per_tenant` or `initial_tasks` is zero,
+    /// or `mean_gap_s` is not positive.
+    pub fn hyperscale_fleet(
+        seed: u64,
+        tenants: usize,
+        phases_per_tenant: usize,
+        initial_tasks: usize,
+        mean_gap_s: f64,
+    ) -> Result<Self, GraphError> {
+        assert!(tenants > 0, "fleet needs at least one tenant");
+        let pool_size = tenants.min(FLEET_DEFAULT_POOL);
+        let pool: Vec<ArrivalSchedule> = (0..pool_size)
+            .map(|i| {
+                hyperscale_churn(
+                    seed.wrapping_add(i as u64),
+                    initial_tasks.min(HYPERSCALE_ROSTER),
+                    phases_per_tenant,
+                    mean_gap_s,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self::from_pool(
+            format!("Hyperscale fleet ({tenants} tenants, seed {seed})"),
+            &pool,
+            seed,
+            tenants,
+            mean_gap_s,
+        ))
+    }
+
+    /// Fleet name (for experiment output).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tenants (dense ids `0..num_tenants`).
+    #[must_use]
+    pub fn num_tenants(&self) -> usize {
+        self.num_tenants
+    }
+
+    /// The merged timeline, ordered by timestamp.
+    #[must_use]
+    pub fn events(&self) -> &[TenantEvent] {
+        &self.events
+    }
+
+    /// End of the fleet's run, seconds since fleet start.
+    #[must_use]
+    pub fn horizon_s(&self) -> f64 {
+        self.horizon_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clip_fleet_is_deterministic_and_ordered() {
+        let a = TenantFleet::clip_fleet(11, 20, 4, 10.0).unwrap();
+        let b = TenantFleet::clip_fleet(11, 20, 4, 10.0).unwrap();
+        assert_eq!(a.num_tenants(), 20);
+        assert_eq!(a.events().len(), 20 * 4);
+        assert_eq!(a.events().len(), b.events().len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.label, y.label);
+            assert!((x.at_s - y.at_s).abs() < 1e-12);
+        }
+        // Timeline ordered; every tenant appears; horizon beyond every event.
+        assert!(a
+            .events()
+            .windows(2)
+            .all(|w| w[0].at_s <= w[1].at_s + 1e-12));
+        let mut seen = vec![false; a.num_tenants()];
+        for e in a.events() {
+            seen[e.tenant] = true;
+            assert!(e.at_s <= a.horizon_s());
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Different seeds diverge.
+        let c = TenantFleet::clip_fleet(12, 20, 4, 10.0).unwrap();
+        let same = a
+            .events()
+            .iter()
+            .zip(c.events())
+            .all(|(x, y)| (x.at_s - y.at_s).abs() < 1e-12);
+        assert!(!same);
+    }
+
+    #[test]
+    fn pooled_graphs_are_shared_not_cloned() {
+        let fleet = TenantFleet::clip_fleet(5, 32, 3, 10.0).unwrap();
+        // 32 tenants share a pool of 8 schedules x 3 phases = 24 distinct
+        // graphs; every other event graph is a pointer into that pool.
+        let mut distinct: Vec<*const ComputationGraph> = fleet
+            .events()
+            .iter()
+            .map(|e| Arc::as_ptr(&e.graph))
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), FLEET_DEFAULT_POOL * 3);
+    }
+
+    #[test]
+    fn hyperscale_fleet_builds_many_task_graphs() {
+        let fleet = TenantFleet::hyperscale_fleet(7, 10, 3, 12, 30.0).unwrap();
+        assert_eq!(fleet.events().len(), 30);
+        for e in fleet.events() {
+            let tasks = e.graph.tasks().len();
+            assert!((6..=18).contains(&tasks), "bounded churn walk: {tasks}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pooled schedule")]
+    fn empty_pool_panics() {
+        let _ = TenantFleet::from_pool("empty", &[], 0, 1, 0.0);
+    }
+}

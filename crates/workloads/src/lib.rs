@@ -23,6 +23,9 @@
 //!   timeline (task arrivals/departures at timestamps), including a seeded
 //!   random arrival process — the input to the runtime's online re-planning
 //!   loop.
+//! * [`TenantFleet`] — hundreds of concurrent synthetic tenants, each
+//!   replaying a pooled seeded schedule, merged onto one global timeline —
+//!   the input to the multi-tenant planning service's load generator.
 //!
 //! All builders return ordinary [`ComputationGraph`](spindle_graph::ComputationGraph)s;
 //! parameters of components shared across tasks (modality encoders, the
@@ -50,6 +53,7 @@
 
 mod arrivals;
 mod dynamic;
+mod fleet;
 mod hyperscale;
 mod multitask_clip;
 mod ofasys;
@@ -58,6 +62,7 @@ mod qwen_val;
 
 pub use arrivals::{ArrivalSchedule, PhaseArrival};
 pub use dynamic::{figure13_presets, DynamicPhase, DynamicWorkload};
+pub use fleet::{TenantEvent, TenantFleet, FLEET_DEFAULT_POOL};
 pub use hyperscale::{
     hyperscale, hyperscale_churn, hyperscale_subset, HYPERSCALE_DEFAULT_TASKS, HYPERSCALE_ROSTER,
 };

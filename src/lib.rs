@@ -32,6 +32,9 @@
 //!   unified behind [`PlanningSystem`].
 //! * [`workloads`] — the Multitask-CLIP / OFASys / QWen-VAL workload presets
 //!   and the dynamic task-mix schedules.
+//! * [`service`] — planning as a service: a multi-tenant daemon that shards
+//!   sessions across worker threads with re-plan coalescing and bounded-queue
+//!   backpressure.
 //!
 //! ## Quickstart
 //!
@@ -76,6 +79,7 @@ pub use spindle_core as core;
 pub use spindle_estimator as estimator;
 pub use spindle_graph as graph;
 pub use spindle_runtime as runtime;
+pub use spindle_service as service;
 pub use spindle_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.

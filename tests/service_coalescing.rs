@@ -1,0 +1,148 @@
+//! Coalescing equivalence: folding a burst of K churn events for one tenant
+//! into a single re-plan of the *latest* graph must produce a plan
+//! bit-identical to applying the K events sequentially (one re-plan each) and
+//! keeping the last result. This is the safety proof behind the service's
+//! coalescing queue — collapsing a burst changes cost, never output.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use spindle::prelude::*;
+use spindle::service::CoalescingQueue;
+use spindle::workloads::{hyperscale_subset, HYPERSCALE_ROSTER};
+use spindle_cluster::ClusterSpec;
+use spindle_graph::{ComputationGraph, XorShift64Star};
+
+/// Asserts bit-for-bit plan equality (waves include placement and all
+/// floating-point schedule fields via `PartialEq`).
+fn assert_plans_identical(coalesced: &ExecutionPlan, sequential: &ExecutionPlan, context: &str) {
+    assert_eq!(
+        coalesced.num_waves(),
+        sequential.num_waves(),
+        "wave count diverged: {context}"
+    );
+    assert_eq!(
+        coalesced.waves(),
+        sequential.waves(),
+        "waves diverged: {context}"
+    );
+    assert!(
+        coalesced.makespan().to_bits() == sequential.makespan().to_bits(),
+        "makespan diverged: {context}"
+    );
+    assert!(
+        coalesced.theoretical_optimum().to_bits() == sequential.theoretical_optimum().to_bits(),
+        "theoretical optimum diverged: {context}"
+    );
+}
+
+/// Seeded single-slot churn over the hyperscale roster: each step toggles one
+/// random slot (keeping at least 4 active) and yields the resulting graph.
+fn churn_burst(
+    rng: &mut XorShift64Star,
+    active: &mut [bool],
+    k: usize,
+) -> Vec<Arc<ComputationGraph>> {
+    let mut burst = Vec::with_capacity(k);
+    for _ in 0..k {
+        let slot = (rng.next_u64() % HYPERSCALE_ROSTER as u64) as usize;
+        let can_deactivate = active[slot] && active.iter().filter(|&&a| a).count() > 4;
+        active[slot] = !can_deactivate;
+        let slots: Vec<usize> = (0..HYPERSCALE_ROSTER).filter(|&s| active[s]).collect();
+        burst.push(Arc::new(hyperscale_subset(&slots).unwrap()));
+    }
+    burst
+}
+
+#[test]
+fn coalesced_burst_plans_bit_identical_to_sequential_replans() {
+    // Two warm sessions start from the same prefix. A burst of K churn events
+    // arrives: the sequential session re-plans each event; the coalesced
+    // session folds the burst through a CoalescingQueue (exactly the
+    // structure the service workers drain into) and re-plans once.
+    let cluster = ClusterSpec::homogeneous(4, 8);
+    let mut sequential = SpindleSession::new(cluster.clone());
+    let mut coalesced = SpindleSession::new(cluster.clone());
+    let mut rng = XorShift64Star::new(0x5EAF00D);
+    let mut active: Vec<bool> = (0..HYPERSCALE_ROSTER).map(|s| s < 10).collect();
+
+    // Shared warm prefix.
+    let prefix: Vec<usize> = (0..HYPERSCALE_ROSTER).filter(|&s| active[s]).collect();
+    let warmup = Arc::new(hyperscale_subset(&prefix).unwrap());
+    sequential.replan(&warmup).unwrap();
+    coalesced.replan(&warmup).unwrap();
+
+    for (round, k) in [2usize, 5, 9, 3].into_iter().enumerate() {
+        let burst = churn_burst(&mut rng, &mut active, k);
+
+        let mut last_sequential = None;
+        for graph in &burst {
+            last_sequential = Some(sequential.replan(graph).unwrap().plan);
+        }
+        let last_sequential = last_sequential.unwrap();
+
+        let mut queue = CoalescingQueue::new();
+        let now = Instant::now();
+        for graph in &burst {
+            queue.push(7, Arc::clone(graph), now);
+        }
+        let folded = queue.pop().expect("a non-empty burst folds to one re-plan");
+        assert_eq!(folded.coalesced, k, "the whole burst folds into one entry");
+        assert!(queue.pop().is_none(), "one tenant, one folded entry");
+        let outcome = coalesced.replan(&folded.graph).unwrap();
+
+        assert_plans_identical(
+            &outcome.plan,
+            &last_sequential,
+            &format!("round {round}, burst of {k}"),
+        );
+        outcome.plan.validate().unwrap();
+    }
+}
+
+#[test]
+fn interleaved_tenants_coalesce_independently_and_identically() {
+    // Bursts from several tenants interleave in one queue; folding must keep
+    // per-tenant latest-wins semantics, and each tenant's single re-plan must
+    // equal its own sequential replay.
+    let cluster = ClusterSpec::homogeneous(4, 8);
+    let mut rng = XorShift64Star::new(0xBEE);
+    let tenants = 3usize;
+    let mut actives: Vec<Vec<bool>> = (0..tenants)
+        .map(|t| (0..HYPERSCALE_ROSTER).map(|s| s < 8 + t).collect())
+        .collect();
+
+    // Per-tenant event streams, interleaved round-robin into the queue.
+    let bursts: Vec<Vec<Arc<ComputationGraph>>> = actives
+        .iter_mut()
+        .map(|active| churn_burst(&mut rng, active, 4))
+        .collect();
+    let mut queue = CoalescingQueue::new();
+    let now = Instant::now();
+    for step in 0..4 {
+        for (tenant, burst) in bursts.iter().enumerate() {
+            queue.push(tenant as u64, Arc::clone(&burst[step]), now);
+        }
+    }
+    assert_eq!(queue.len(), tenants, "one folded entry per tenant");
+
+    while let Some(folded) = queue.pop() {
+        let tenant = folded.tenant as usize;
+        assert_eq!(folded.coalesced, 4);
+
+        let mut sequential = SpindleSession::new(cluster.clone());
+        let mut last = None;
+        for graph in &bursts[tenant] {
+            last = Some(sequential.replan(graph).unwrap().plan);
+        }
+        let single = SpindleSession::new(cluster.clone())
+            .plan(&folded.graph)
+            .unwrap();
+        assert_plans_identical(
+            &single,
+            &last.unwrap(),
+            &format!("tenant {tenant} interleaved burst"),
+        );
+    }
+    assert!((queue.coalescing_ratio() - 4.0).abs() < 1e-12);
+}
