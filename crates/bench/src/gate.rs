@@ -415,6 +415,76 @@ mod tests {
     }
 
     #[test]
+    fn tail_band_noise_floor_and_gone_compose() {
+        let config = GateConfig::default();
+
+        // A vanished tail entry is still Gone and still fails: the widened
+        // band only softens *slowdowns*, it never excuses a bench that
+        // silently stopped running.
+        let report = compare(
+            &set(&[("service_replan_p99_fleet", 2_000_000.0)]),
+            &set(&[]),
+            &config,
+        );
+        assert_eq!(report.entries[0].verdict, Verdict::Gone);
+        assert!(report.failed());
+
+        // The noise floor shields tail entries exactly like mean entries:
+        // both sides sub-floor passes regardless of the ratio...
+        let report = compare(
+            &set(&[("tiny_p99", 100.0)]),
+            &set(&[("tiny_p99", 499.0)]),
+            &config,
+        );
+        assert_eq!(report.entries[0].verdict, Verdict::Pass);
+        // ...but the shield needs BOTH sides below 500ns — a bench growing
+        // *across* the floor is judged on its delta, with the tail band
+        // applied on top (+60% is the tail fail boundary, so +500% fails).
+        let report = compare(
+            &set(&[("grew_p99", 100.0)]),
+            &set(&[("grew_p99", 600.0)]),
+            &config,
+        );
+        assert_eq!(report.entries[0].verdict, Verdict::Fail);
+        assert!(report.failed());
+
+        // Just inside the widened boundaries: +59.99% is still a Warn for a
+        // tail entry (its fail band ends at +60%), while the same workload
+        // delta on a mean entry is far past its +30% band and fails — and a
+        // mean entry at +29.99% is the Warn the tail band would have passed.
+        let report = compare(
+            &set(&[
+                ("edge_p99", 10_000.0),
+                ("edge", 10_000.0),
+                ("mean_warn", 10_000.0),
+            ]),
+            &set(&[
+                ("edge_p99", 15_999.0),
+                ("edge", 15_999.0),
+                ("mean_warn", 12_999.0),
+            ]),
+            &config,
+        );
+        assert_eq!(report.entries[0].verdict, Verdict::Warn);
+        assert_eq!(report.entries[1].verdict, Verdict::Fail);
+        assert_eq!(report.entries[2].verdict, Verdict::Warn);
+
+        // `_p99` is recognised as a name segment anywhere in the key, and
+        // near-misses stay on the mean band.
+        assert!(GateConfig::is_tail_entry("fig8_p99_iter_spindle"));
+        assert!(!GateConfig::is_tail_entry("fig8_iter_spindle_48t256gpu"));
+        assert!(!GateConfig::is_tail_entry("service_replan_p90_fleet"));
+
+        // Speedups pass even when enormous — the gate is one-sided.
+        let report = compare(
+            &set(&[("fast_p99", 1_000_000.0), ("fast", 1_000_000.0)]),
+            &set(&[("fast_p99", 1_000.0), ("fast", 1_000.0)]),
+            &config,
+        );
+        assert!(report.entries.iter().all(|e| e.verdict == Verdict::Pass));
+    }
+
+    #[test]
     fn markdown_table_lists_every_entry() {
         let config = GateConfig::default();
         let report = compare(

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod gate;
 pub mod microbench;
 

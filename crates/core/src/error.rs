@@ -52,6 +52,27 @@ pub enum PlanError {
         /// Index of the offending wave.
         wave: usize,
     },
+    /// A wave entry's estimated per-device memory exceeds the device's
+    /// capacity.
+    MemoryExceeded {
+        /// Index of the offending wave.
+        wave: usize,
+        /// The MetaOp whose entry overflows.
+        metaop: MetaOpId,
+        /// Estimated per-device bytes required by the entry.
+        required: u64,
+        /// Per-device memory capacity, bytes.
+        capacity: u64,
+    },
+    /// A wave entry was placed on a device outside the cluster.
+    PlacementOutOfRange {
+        /// Index of the offending wave.
+        wave: usize,
+        /// Raw id of the out-of-range device.
+        device: u32,
+        /// Devices the cluster actually has.
+        available: u32,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -82,6 +103,23 @@ impl fmt::Display for PlanError {
             PlanError::PlacementOverlap { wave } => {
                 write!(f, "wave {wave} places two entries on the same device")
             }
+            PlanError::MemoryExceeded {
+                wave,
+                metaop,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "wave {wave} entry {metaop} needs {required} bytes/device but only {capacity} fit"
+            ),
+            PlanError::PlacementOutOfRange {
+                wave,
+                device,
+                available,
+            } => write!(
+                f,
+                "wave {wave} places an entry on device {device} but the cluster has {available}"
+            ),
         }
     }
 }

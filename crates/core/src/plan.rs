@@ -267,6 +267,76 @@ impl ExecutionPlan {
         Ok(())
     }
 
+    /// Checks that every wave entry's estimated per-device memory fits within
+    /// `capacity_bytes` — the memory-bound invariant the scenario fuzzer
+    /// asserts on every randomized draw.
+    ///
+    /// Entries whose memory was never annotated (`memory_per_device == 0`)
+    /// pass trivially; the planner and every baseline annotate theirs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::MemoryExceeded`] naming the first overflowing
+    /// entry.
+    pub fn check_memory(&self, capacity_bytes: u64) -> Result<(), PlanError> {
+        for wave in &self.waves {
+            for entry in &wave.entries {
+                if entry.memory_per_device > capacity_bytes {
+                    return Err(PlanError::MemoryExceeded {
+                        wave: wave.index,
+                        metaop: entry.metaop,
+                        required: entry.memory_per_device,
+                        capacity: capacity_bytes,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that every placed device id actually exists in a cluster of
+    /// [`num_devices`](Self::num_devices) devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::PlacementOutOfRange`] naming the first stray
+    /// device.
+    pub fn check_placement_in_range(&self) -> Result<(), PlanError> {
+        for wave in &self.waves {
+            for entry in &wave.entries {
+                if let Some(group) = &entry.placement {
+                    for d in group.iter() {
+                        if d.0 >= self.num_devices {
+                            return Err(PlanError::PlacementOutOfRange {
+                                wave: wave.index,
+                                device: d.0,
+                                available: self.num_devices,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the full invariant suite the scenario fuzzer enforces on every
+    /// draw: structural validity ([`validate`](Self::validate) — full op
+    /// coverage, per-wave device capacity, wave ordering, disjoint
+    /// placements), complete placement
+    /// ([`require_placement`](Self::require_placement)), in-range device ids
+    /// and the per-device memory bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn check_invariants(&self, device_memory_bytes: u64) -> Result<(), PlanError> {
+        self.validate()?;
+        self.require_placement()?;
+        self.check_placement_in_range()?;
+        self.check_memory(device_memory_bytes)
+    }
+
     /// Average device utilisation over the plan's makespan (compute only).
     #[must_use]
     pub fn average_utilization(&self) -> f64 {
@@ -444,6 +514,65 @@ mod tests {
             plan.require_placement(),
             Err(PlanError::MissingPlacement { wave: 0, .. })
         ));
+    }
+
+    #[test]
+    fn memory_bound_and_placement_range_checks() {
+        let plan = simple_plan();
+        // The toy plan annotates no memory, so any capacity passes.
+        plan.check_memory(1).unwrap();
+        plan.check_invariants(1).unwrap();
+
+        // Inflate one entry's memory beyond the capacity: caught, with the
+        // offending wave and requirement reported.
+        let mg = tiny_metagraph();
+        let mut wave = Wave {
+            index: 0,
+            level: 0,
+            start: 0.0,
+            duration: 2.0,
+            entries: vec![
+                placed(WaveEntry::new(MetaOpId(0), 2, 4, 1.0), 0),
+                placed(WaveEntry::new(MetaOpId(1), 3, 4, 0.5), 4),
+            ],
+        };
+        wave.entries[1].memory_per_device = 100;
+        let plan = ExecutionPlan::new(vec![wave], mg, 8, 1.9, Duration::ZERO);
+        plan.check_memory(100).unwrap();
+        assert!(matches!(
+            plan.check_memory(99),
+            Err(PlanError::MemoryExceeded {
+                wave: 0,
+                metaop: MetaOpId(1),
+                required: 100,
+                capacity: 99,
+            })
+        ));
+        assert!(plan.check_invariants(99).is_err());
+
+        // A placement naming a device the cluster does not have is caught
+        // even though the wave's device *count* is within capacity.
+        let mg = tiny_metagraph();
+        let wave = Wave {
+            index: 0,
+            level: 0,
+            start: 0.0,
+            duration: 2.0,
+            entries: vec![
+                placed(WaveEntry::new(MetaOpId(0), 2, 4, 1.0), 0),
+                placed(WaveEntry::new(MetaOpId(1), 3, 4, 0.5), 6),
+            ],
+        };
+        let plan = ExecutionPlan::new(vec![wave], mg, 8, 1.9, Duration::ZERO);
+        assert!(matches!(
+            plan.check_placement_in_range(),
+            Err(PlanError::PlacementOutOfRange {
+                wave: 0,
+                device: 8,
+                available: 8,
+            })
+        ));
+        assert!(plan.check_invariants(u64::MAX).is_err());
     }
 
     #[test]

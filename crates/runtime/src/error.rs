@@ -18,6 +18,19 @@ pub enum RuntimeError {
         /// Devices available in the executing cluster.
         cluster_devices: u32,
     },
+    /// The simulated iteration time diverged from an analytical reference
+    /// beyond the caller's tolerance — the analytical cost model and the
+    /// event-driven simulator disagree about the same plan.
+    GapExceeded {
+        /// Simulated iteration time, seconds.
+        simulated_s: f64,
+        /// Analytical reference iteration time, seconds.
+        reference_s: f64,
+        /// Relative gap `(simulated - reference) / reference`.
+        gap: f64,
+        /// Tolerance the gap exceeded (absolute value of the relative gap).
+        tolerance: f64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -31,6 +44,18 @@ impl fmt::Display for RuntimeError {
                 f,
                 "plan targets {plan_devices} devices but cluster has {cluster_devices}"
             ),
+            RuntimeError::GapExceeded {
+                simulated_s,
+                reference_s,
+                gap,
+                tolerance,
+            } => write!(
+                f,
+                "simulated iteration {simulated_s:.6}s vs analytical {reference_s:.6}s: \
+                 gap {:+.3}% exceeds ±{:.3}%",
+                gap * 100.0,
+                tolerance * 100.0
+            ),
         }
     }
 }
@@ -39,7 +64,7 @@ impl Error for RuntimeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             RuntimeError::InvalidPlan(e) => Some(e),
-            RuntimeError::ClusterMismatch { .. } => None,
+            RuntimeError::ClusterMismatch { .. } | RuntimeError::GapExceeded { .. } => None,
         }
     }
 }

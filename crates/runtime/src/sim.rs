@@ -208,6 +208,29 @@ impl SimReport {
         }
         (self.total_s - reference_s) / reference_s
     }
+
+    /// Asserts that the simulated iteration time stays within `tolerance`
+    /// (relative, two-sided) of an analytical reference — the
+    /// analytical-vs-simulator cross-check the scenario fuzzer enforces on
+    /// every randomized draw. Returns the gap on success so callers can
+    /// aggregate worst-case statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::GapExceeded`] with both sides and the gap if
+    /// `|gap| > tolerance`.
+    pub fn check_gap_within(&self, reference_s: f64, tolerance: f64) -> Result<f64, RuntimeError> {
+        let gap = self.gap_vs(reference_s);
+        if gap.abs() > tolerance {
+            return Err(RuntimeError::GapExceeded {
+                simulated_s: self.total_s,
+                reference_s,
+                gap,
+                tolerance,
+            });
+        }
+        Ok(gap)
+    }
 }
 
 /// The discrete-event simulator for one execution plan on one cluster.

@@ -520,6 +520,72 @@ mod tests {
     }
 
     #[test]
+    fn coalescing_ratio_is_defined_before_any_replan() {
+        // Regression: replans == 0 used to divide by zero; the ratio must be
+        // the neutral 1.0 (one event per re-plan) and stay finite.
+        let fresh = ServiceStats::default();
+        assert_eq!(fresh.replans, 0);
+        let ratio = fresh.coalescing_ratio();
+        assert!(ratio.is_finite(), "ratio must never be NaN/inf: {ratio}");
+        assert_eq!(ratio, 1.0);
+        // Even with accepted-but-unserved submissions the ratio stays 1.0
+        // until a re-plan actually executes.
+        let queued = ServiceStats {
+            submitted: 7,
+            ..ServiceStats::default()
+        };
+        assert_eq!(queued.coalescing_ratio(), 1.0);
+        // And once re-plans run, it is the exact events-per-replan quotient.
+        let served = ServiceStats {
+            submitted: 12,
+            replans: 4,
+            ..ServiceStats::default()
+        };
+        assert_eq!(served.coalescing_ratio(), 3.0);
+        // A live service that has accepted nothing reports the same neutral
+        // figure through the snapshot path.
+        let (service, _completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 4),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 4,
+                planner: PlannerConfig::default(),
+            },
+        );
+        assert_eq!(service.stats().coalescing_ratio(), 1.0);
+    }
+
+    #[test]
+    fn retry_hint_is_floored_at_100_microseconds() {
+        let (service, _completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 4),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 4,
+                planner: PlannerConfig::default(),
+            },
+        );
+        // Fresh service: no re-plans yet, the hint is exactly the floor.
+        assert_eq!(service.retry_hint(), MIN_RETRY_HINT);
+        assert_eq!(MIN_RETRY_HINT, Duration::from_micros(100));
+
+        // Regression: when the observed mean plan time sits *below* the
+        // floor (here 5µs/replan), the hint must not follow it down — a
+        // sub-100µs backoff would have callers hammering a full queue.
+        service.counters.replans.store(10, Ordering::Relaxed);
+        service.counters.plan_nanos.store(50_000, Ordering::Relaxed);
+        assert_eq!(service.retry_hint(), MIN_RETRY_HINT);
+
+        // Above the floor the hint tracks the observed mean exactly.
+        service.counters.replans.store(4, Ordering::Relaxed);
+        service
+            .counters
+            .plan_nanos
+            .store(4_000_000, Ordering::Relaxed);
+        assert_eq!(service.retry_hint(), Duration::from_millis(1));
+    }
+
+    #[test]
     fn dropping_the_service_joins_workers() {
         let (service, completions) = PlanService::start(
             ClusterSpec::homogeneous(1, 4),

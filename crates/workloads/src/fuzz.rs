@@ -1,0 +1,581 @@
+//! Seeded scenario generation for the fuzzing harness: randomized
+//! workload/cluster/churn configurations drawn from a single xorshift seed.
+//!
+//! A [`Scenario`] is everything one fuzz draw needs: a randomly shaped task
+//! roster (tower shapes and depths, modality mixes, batch/sequence/hidden
+//! dimensions), a cluster shape (NVLink islands of varying width),
+//! heterogeneous per-device speed factors for the event-driven simulator, and
+//! a churn trace toggling tasks in and out of the active set. Everything is
+//! derived deterministically from `(seed, index)`, so any violation found by
+//! the harness is re-runnable from those two numbers alone — and because the
+//! scenario is plain data, it also supports *shrinking*: candidate reductions
+//! (fewer tasks, less churn, a smaller cluster, shallower towers) that a
+//! harness re-checks to find a minimal reproducer.
+//!
+//! The generator lives here rather than in the bench crate so workload-level
+//! property tests (e.g. [`WorkloadSignature`](spindle_graph::WorkloadSignature)
+//! injectivity) can draw from the same distribution the CI fuzz job explores.
+
+use std::fmt::Write as _;
+
+use spindle_graph::{
+    ComputationGraph, GraphBuilder, GraphError, Modality, OpKind, TensorShape, XorShift64Star,
+};
+
+/// Bounds of the scenario space one fuzz run explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzBounds {
+    /// Maximum tasks in a scenario's roster (≥ 1).
+    pub max_tasks: usize,
+    /// Maximum NVLink islands (nodes) of the cluster (≥ 1).
+    pub max_nodes: usize,
+    /// Maximum GPUs per island (≥ 1).
+    pub max_gpus_per_node: usize,
+    /// Maximum encoder-tower depth of a task (≥ 1).
+    pub max_tower_layers: usize,
+    /// Maximum churn events after the initial phase.
+    pub max_churn_events: usize,
+}
+
+impl FuzzBounds {
+    /// The quick-mode bounds used by the CI smoke job: small enough that a
+    /// 64-draw batch over four planning systems finishes in seconds.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            max_tasks: 6,
+            max_nodes: 4,
+            max_gpus_per_node: 8,
+            max_tower_layers: 8,
+            max_churn_events: 3,
+        }
+    }
+
+    /// The full-mode bounds: mid-scale clusters and rosters, still far below
+    /// the hyperscale preset (which the Fig. 8-style experiment covers
+    /// deterministically).
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            max_tasks: 12,
+            max_nodes: 8,
+            max_gpus_per_node: 8,
+            max_tower_layers: 16,
+            max_churn_events: 6,
+        }
+    }
+}
+
+impl Default for FuzzBounds {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// The macro-structure of one randomized task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TowerShape {
+    /// One encoder tower feeding a contrastive loss (MetaLevels 0–1).
+    Single,
+    /// A modality tower and a text tower joined by a contrastive loss — the
+    /// CLIP-style dual encoder.
+    Dual,
+    /// Adaptor → encoder tower → projection → generative loss (MetaLevels
+    /// 0–3), the deep pipeline of the hyperscale preset.
+    Deep,
+}
+
+impl TowerShape {
+    fn label(self) -> &'static str {
+        match self {
+            TowerShape::Single => "single",
+            TowerShape::Dual => "dual",
+            TowerShape::Deep => "deep",
+        }
+    }
+}
+
+/// One randomly drawn task template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzTask {
+    /// Non-text modality of the task.
+    pub modality: Modality,
+    /// Per-task batch size.
+    pub batch: u32,
+    /// Sequence length of the tower input.
+    pub seq: u32,
+    /// Hidden dimension.
+    pub hidden: u32,
+    /// Encoder-tower depth.
+    pub tower_layers: usize,
+    /// Macro shape of the task graph.
+    pub shape: TowerShape,
+}
+
+/// One churn event: roster slot `slot` arrives (joins the active set) or
+/// departs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Index into the scenario's task roster.
+    pub slot: usize,
+    /// `true` for an arrival, `false` for a departure.
+    pub arrive: bool,
+}
+
+/// One fully specified fuzz draw. Plain data: the harness reads it, the
+/// shrinker mutates copies of it, and [`Scenario::to_json`] serializes it for
+/// violation reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Seed of the run this scenario was drawn in.
+    pub seed: u64,
+    /// Index of the draw within the run.
+    pub index: u64,
+    /// NVLink islands of the cluster.
+    pub nodes: usize,
+    /// GPUs per island.
+    pub gpus_per_node: usize,
+    /// The task roster.
+    pub tasks: Vec<FuzzTask>,
+    /// Initial active set (same length as `tasks`, at least one `true`).
+    pub active: Vec<bool>,
+    /// Churn trace applied after the initial phase.
+    pub churn: Vec<ChurnEvent>,
+    /// Heterogeneous per-device speed factors `(device id, factor < 1.0)`
+    /// consumed by the event-driven simulator; unlisted devices run at
+    /// nominal speed.
+    pub speed_factors: Vec<(u32, f64)>,
+}
+
+const MODALITIES: [Modality; 8] = [
+    Modality::Vision,
+    Modality::Audio,
+    Modality::Depth,
+    Modality::Thermal,
+    Modality::Motion,
+    Modality::Video,
+    Modality::BoundingBox,
+    Modality::Structured,
+];
+const BATCHES: [u32; 6] = [4, 8, 16, 24, 32, 48];
+const HIDDENS: [u32; 3] = [512, 768, 1024];
+
+fn pick<T: Copy>(rng: &mut XorShift64Star, options: &[T]) -> T {
+    options[(rng.next_u64() % options.len() as u64) as usize]
+}
+
+fn range(rng: &mut XorShift64Star, lo: u64, hi: u64) -> u64 {
+    debug_assert!(hi > lo);
+    lo + rng.next_u64() % (hi - lo)
+}
+
+impl Scenario {
+    /// Draws scenario `index` of the run seeded with `seed`, within `bounds`.
+    /// The per-draw stream is independent of every other draw (the index is
+    /// folded into the seed scrambler), so draws can be reproduced — and
+    /// shrunk — in isolation.
+    #[must_use]
+    pub fn draw(seed: u64, index: u64, bounds: &FuzzBounds) -> Self {
+        let mut rng = XorShift64Star::new(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let nodes = range(&mut rng, 1, bounds.max_nodes as u64 + 1) as usize;
+        let gpus_per_node = range(&mut rng, 1, bounds.max_gpus_per_node as u64 + 1) as usize;
+        let num_tasks = range(&mut rng, 1, bounds.max_tasks as u64 + 1) as usize;
+        let tasks: Vec<FuzzTask> = (0..num_tasks)
+            .map(|_| FuzzTask {
+                modality: pick(&mut rng, &MODALITIES),
+                batch: pick(&mut rng, &BATCHES),
+                seq: range(&mut rng, 16, 320) as u32,
+                hidden: pick(&mut rng, &HIDDENS),
+                tower_layers: range(&mut rng, 1, bounds.max_tower_layers as u64 + 1) as usize,
+                shape: match rng.next_u64() % 3 {
+                    0 => TowerShape::Single,
+                    1 => TowerShape::Dual,
+                    _ => TowerShape::Deep,
+                },
+            })
+            .collect();
+        // Most tasks start active; the rest are churn-in candidates. At
+        // least one task must be active or there is no phase-0 graph.
+        let mut active: Vec<bool> = (0..num_tasks).map(|_| rng.next_u64() % 5 != 0).collect();
+        if !active.iter().any(|&a| a) {
+            active[0] = true;
+        }
+        // Churn: each event toggles one slot, preferring toggles that keep
+        // the active set non-empty (a departure emptying the set becomes an
+        // arrival of the same slot's opposite).
+        let mut churn = Vec::new();
+        let mut live = active.clone();
+        let mut live_count = live.iter().filter(|&&a| a).count();
+        let events = range(&mut rng, 0, bounds.max_churn_events as u64 + 1) as usize;
+        for _ in 0..events {
+            let slot = range(&mut rng, 0, num_tasks as u64) as usize;
+            let arrive = if live[slot] {
+                // Departure, unless it would empty the active set.
+                live_count == 1
+            } else {
+                true
+            };
+            if live[slot] == arrive {
+                continue; // No-op toggle (the single live task stays).
+            }
+            live[slot] = arrive;
+            live_count = if arrive {
+                live_count + 1
+            } else {
+                live_count - 1
+            };
+            churn.push(ChurnEvent { slot, arrive });
+        }
+        // A sparse set of slow devices (spot-market stragglers) for the
+        // heterogeneous simulator pass.
+        let num_devices = (nodes * gpus_per_node) as u64;
+        let slow = rng.next_u64() % (num_devices / 4 + 1);
+        let mut speed_factors = Vec::new();
+        for _ in 0..slow {
+            let device = (rng.next_u64() % num_devices) as u32;
+            if speed_factors.iter().all(|&(d, _)| d != device) {
+                // Factors in [0.5, 1.0): slower, never faster than nominal.
+                speed_factors.push((device, 0.5 + 0.5 * rng.next_f64()));
+            }
+        }
+        speed_factors.sort_by_key(|&(d, _)| d);
+        Self {
+            seed,
+            index,
+            nodes,
+            gpus_per_node,
+            tasks,
+            active,
+            churn,
+            speed_factors,
+        }
+    }
+
+    /// Total devices of the scenario's cluster.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Builds the graph of one active set over the roster.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if the active set selects no task.
+    pub fn graph_of(&self, active: &[bool]) -> Result<ComputationGraph, GraphError> {
+        let mut b = GraphBuilder::new();
+        for (slot, task) in self.tasks.iter().enumerate() {
+            if !active.get(slot).copied().unwrap_or(false) {
+                continue;
+            }
+            let t = b.add_task(
+                format!("fuzz-{slot}"),
+                [task.modality, Modality::Text],
+                task.batch,
+            );
+            let tower_shape = TensorShape::new(task.batch, task.seq, task.hidden);
+            let head_shape = TensorShape::new(task.batch, 1, task.hidden);
+            match task.shape {
+                TowerShape::Single => {
+                    let tower = b.add_op_chain(
+                        t,
+                        OpKind::Encoder(task.modality),
+                        tower_shape,
+                        task.tower_layers,
+                    )?;
+                    let loss = b.add_op(t, OpKind::ContrastiveLoss, head_shape)?;
+                    b.add_flow(*tower.last().expect("towers are non-empty"), loss)?;
+                }
+                TowerShape::Dual => {
+                    let tower = b.add_op_chain(
+                        t,
+                        OpKind::Encoder(task.modality),
+                        tower_shape,
+                        task.tower_layers,
+                    )?;
+                    let text = b.add_op_chain(
+                        t,
+                        OpKind::Encoder(Modality::Text),
+                        TensorShape::new(task.batch, 77, task.hidden),
+                        (task.tower_layers / 2).max(1),
+                    )?;
+                    let loss = b.add_op(t, OpKind::ContrastiveLoss, head_shape)?;
+                    b.add_flow(*tower.last().expect("towers are non-empty"), loss)?;
+                    b.add_flow(*text.last().expect("towers are non-empty"), loss)?;
+                }
+                TowerShape::Deep => {
+                    let adaptor = b.add_op(t, OpKind::Adaptor(task.modality), tower_shape)?;
+                    let tower = b.add_op_chain(
+                        t,
+                        OpKind::Encoder(task.modality),
+                        tower_shape,
+                        task.tower_layers,
+                    )?;
+                    b.add_flow(adaptor, tower[0])?;
+                    let proj = b.add_op(t, OpKind::Projection, head_shape)?;
+                    b.add_flow(*tower.last().expect("towers are non-empty"), proj)?;
+                    let loss = b.add_op(t, OpKind::GenerativeLoss, head_shape)?;
+                    b.add_flow(proj, loss)?;
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// The phase sequence of the scenario: the initial active set followed by
+    /// the active set after each churn event, each as a labelled graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if a phase graph fails to build.
+    pub fn phases(&self) -> Result<Vec<(String, ComputationGraph)>, GraphError> {
+        let mut active = self.active.clone();
+        let count = active.iter().filter(|&&a| a).count();
+        let mut phases = vec![(format!("{count} tasks"), self.graph_of(&active)?)];
+        for event in &self.churn {
+            active[event.slot] = event.arrive;
+            let count = active.iter().filter(|&&a| a).count();
+            let sign = if event.arrive { '+' } else { '-' };
+            phases.push((
+                format!("{count} tasks ({sign}fuzz-{})", event.slot),
+                self.graph_of(&active)?,
+            ));
+        }
+        Ok(phases)
+    }
+
+    /// Candidate reductions of this scenario, in the order a shrinker should
+    /// try them: structurally large cuts first (drop all churn, halve the
+    /// roster), then single-element cuts (one churn event, one task, one
+    /// island), then parameter cuts (halve tower depths). Every candidate is
+    /// strictly smaller by at least one measure and remains well-formed (≥ 1
+    /// task, ≥ 1 device, a non-empty initial active set).
+    #[must_use]
+    pub fn shrink_candidates(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        // Drop churn wholesale, then one event at a time (from the back, so
+        // prefixes — which the trace semantics depend on — stay intact).
+        if !self.churn.is_empty() {
+            let mut s = self.clone();
+            s.churn.clear();
+            out.push(s);
+            let mut s = self.clone();
+            s.churn.pop();
+            out.push(s);
+        }
+        // Remove one task (re-indexing churn and dropping its events).
+        if self.tasks.len() > 1 {
+            for slot in 0..self.tasks.len() {
+                if let Some(s) = self.without_task(slot) {
+                    out.push(s);
+                }
+            }
+        }
+        // Shrink the cluster. Speed factors for removed devices are dropped.
+        if self.nodes > 1 {
+            let mut s = self.clone();
+            s.nodes = self.nodes / 2;
+            s.retain_speed_factors();
+            out.push(s);
+        }
+        if self.gpus_per_node > 1 {
+            let mut s = self.clone();
+            s.gpus_per_node = self.gpus_per_node / 2;
+            s.retain_speed_factors();
+            out.push(s);
+        }
+        // Shallower towers.
+        if self.tasks.iter().any(|t| t.tower_layers > 1) {
+            let mut s = self.clone();
+            for t in &mut s.tasks {
+                t.tower_layers = (t.tower_layers / 2).max(1);
+            }
+            out.push(s);
+        }
+        out
+    }
+
+    /// A copy with task `slot` removed, or `None` if removing it would leave
+    /// the initial active set empty.
+    fn without_task(&self, slot: usize) -> Option<Scenario> {
+        let mut s = self.clone();
+        s.tasks.remove(slot);
+        s.active.remove(slot);
+        if !s.active.iter().any(|&a| a) {
+            return None;
+        }
+        s.churn.retain(|e| e.slot != slot);
+        for e in &mut s.churn {
+            if e.slot > slot {
+                e.slot -= 1;
+            }
+        }
+        // Dropping events can make the remaining trace redundant (toggling a
+        // slot to the state it is already in); drop those no-ops too.
+        let mut live = s.active.clone();
+        s.churn.retain(|e| {
+            if live[e.slot] == e.arrive {
+                return false;
+            }
+            live[e.slot] = e.arrive;
+            true
+        });
+        // A departure trace may now empty the set; give up on this candidate
+        // if so (other candidates will apply).
+        let mut live = s.active.clone();
+        for e in &s.churn {
+            live[e.slot] = e.arrive;
+            if !live.iter().any(|&a| a) {
+                return None;
+            }
+        }
+        Some(s)
+    }
+
+    fn retain_speed_factors(&mut self) {
+        let n = self.num_devices() as u32;
+        self.speed_factors.retain(|&(d, _)| d < n);
+    }
+
+    /// A compact one-line label for progress output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "draw {} (seed {}): {} tasks ({} active), {}x{} GPUs, {} churn events, {} slow devices",
+            self.index,
+            self.seed,
+            self.tasks.len(),
+            self.active.iter().filter(|&&a| a).count(),
+            self.nodes,
+            self.gpus_per_node,
+            self.churn.len(),
+            self.speed_factors.len()
+        )
+    }
+
+    /// Serializes the full configuration as JSON — the shape violation
+    /// reports embed so an offending draw can be inspected (and re-drawn via
+    /// `--seed`/`--index`) without re-running the generator. Hand-rolled:
+    /// no JSON crate is available offline.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"seed\": {}, \"index\": {}, \"nodes\": {}, \"gpus_per_node\": {}, ",
+            self.seed, self.index, self.nodes, self.gpus_per_node
+        );
+        out.push_str("\"tasks\": [");
+        for (i, t) in self.tasks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"modality\": \"{:?}\", \"batch\": {}, \"seq\": {}, \"hidden\": {}, \
+                 \"tower_layers\": {}, \"shape\": \"{}\", \"active\": {}}}",
+                if i > 0 { ", " } else { "" },
+                t.modality,
+                t.batch,
+                t.seq,
+                t.hidden,
+                t.tower_layers,
+                t.shape.label(),
+                self.active[i]
+            );
+        }
+        out.push_str("], \"churn\": [");
+        for (i, e) in self.churn.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"slot\": {}, \"arrive\": {}}}",
+                if i > 0 { ", " } else { "" },
+                e.slot,
+                e.arrive
+            );
+        }
+        out.push_str("], \"speed_factors\": [");
+        for (i, &(d, f)) in self.speed_factors.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"device\": {d}, \"factor\": {f:.3}}}",
+                if i > 0 { ", " } else { "" }
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_independent() {
+        let bounds = FuzzBounds::quick();
+        let a = Scenario::draw(7, 3, &bounds);
+        let b = Scenario::draw(7, 3, &bounds);
+        assert_eq!(a, b, "same (seed, index) must reproduce the scenario");
+        let c = Scenario::draw(7, 4, &bounds);
+        let d = Scenario::draw(8, 3, &bounds);
+        assert!(a != c || a != d, "distinct draws must diverge");
+    }
+
+    #[test]
+    fn drawn_scenarios_are_well_formed() {
+        let bounds = FuzzBounds::quick();
+        for index in 0..64 {
+            let s = Scenario::draw(42, index, &bounds);
+            assert!(!s.tasks.is_empty() && s.tasks.len() <= bounds.max_tasks);
+            assert!(s.nodes >= 1 && s.nodes <= bounds.max_nodes);
+            assert!(s.gpus_per_node >= 1 && s.gpus_per_node <= bounds.max_gpus_per_node);
+            assert!(s.active.iter().any(|&a| a), "at least one task is active");
+            assert!(s.churn.len() <= bounds.max_churn_events);
+            assert!(s
+                .speed_factors
+                .iter()
+                .all(|&(d, f)| (d as usize) < s.num_devices() && (0.5..1.0).contains(&f)));
+            // Every phase graph builds and stays non-empty.
+            let phases = s.phases().unwrap();
+            assert_eq!(phases.len(), s.churn.len() + 1);
+            for (label, graph) in &phases {
+                assert!(!graph.tasks().is_empty(), "{label}: empty phase");
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller_and_well_formed() {
+        let bounds = FuzzBounds::full();
+        let s = Scenario::draw(1, 5, &bounds);
+        let size = |x: &Scenario| {
+            x.tasks.len() * 1000
+                + x.churn.len() * 100
+                + x.num_devices() * 10
+                + x.tasks.iter().map(|t| t.tower_layers).sum::<usize>()
+        };
+        for cand in s.shrink_candidates() {
+            assert!(size(&cand) < size(&s), "candidate must shrink");
+            assert!(!cand.tasks.is_empty());
+            assert!(cand.num_devices() >= 1);
+            assert!(cand.active.iter().any(|&a| a));
+            cand.phases().unwrap();
+        }
+    }
+
+    #[test]
+    fn json_serialization_mentions_every_dimension() {
+        let s = Scenario::draw(9, 0, &FuzzBounds::quick());
+        let json = s.to_json();
+        for key in [
+            "\"seed\"",
+            "\"index\"",
+            "\"nodes\"",
+            "\"gpus_per_node\"",
+            "\"tasks\"",
+            "\"churn\"",
+            "\"speed_factors\"",
+            "\"tower_layers\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -23,6 +23,9 @@
 //!   timeline (task arrivals/departures at timestamps), including a seeded
 //!   random arrival process — the input to the runtime's online re-planning
 //!   loop.
+//! * [`Scenario`] — seeded randomized scenarios (task rosters, cluster
+//!   shapes, churn traces, heterogeneous device speeds) for the fuzzing
+//!   harness, with deterministic re-draw and shrinking support.
 //! * [`TenantFleet`] — hundreds of concurrent synthetic tenants, each
 //!   replaying a pooled seeded schedule, merged onto one global timeline —
 //!   the input to the multi-tenant planning service's load generator.
@@ -54,6 +57,7 @@
 mod arrivals;
 mod dynamic;
 mod fleet;
+mod fuzz;
 mod hyperscale;
 mod multitask_clip;
 mod ofasys;
@@ -63,6 +67,7 @@ mod qwen_val;
 pub use arrivals::{ArrivalSchedule, PhaseArrival};
 pub use dynamic::{figure13_presets, DynamicPhase, DynamicWorkload};
 pub use fleet::{TenantEvent, TenantFleet, FLEET_DEFAULT_POOL};
+pub use fuzz::{ChurnEvent, FuzzBounds, FuzzTask, Scenario, TowerShape};
 pub use hyperscale::{
     hyperscale, hyperscale_churn, hyperscale_subset, HYPERSCALE_DEFAULT_TASKS, HYPERSCALE_ROSTER,
 };
