@@ -196,6 +196,50 @@ fn main() {
         );
     }
 
+    // -- Elastic topology churn: migration-aware partial re-plan -------------
+    // One device dies, the session re-plans onto the survivors (clean-prefix
+    // placements reused, migration priced), the device returns, the session
+    // re-plans back. The halved pair is the steady-state latency of one
+    // topology-change re-plan — the number the elastic service pays per
+    // tenant on every churn broadcast.
+    group("elastic churn: device loss -> re-plan -> restore -> re-plan");
+    let mut session = SpindleSession::new(clip_cluster.clone());
+    session.plan(&clip10).unwrap();
+    let dead = [spindle_cluster::DeviceId(31)];
+    // First sight of the shrunk topology must actually be migration-aware
+    // churn; afterwards the loss-keyed placement is cached and steady-state
+    // churn re-plans are served structurally (devices_lost 0 against the
+    // cached shrunk placement) — exactly the regime the bench times.
+    session.remove_devices(&dead).unwrap();
+    let probe = session.replan(&clip10).unwrap();
+    assert_eq!(
+        probe.devices_lost, 1,
+        "loss re-plan must see the dead device"
+    );
+    session.restore_devices(&dead);
+    session.replan(&clip10).unwrap();
+    let t = bench("churn_replan_clip-10t/32gpu", warmup, iters, || {
+        session.remove_devices(&dead).unwrap();
+        let _ = session.replan(&clip10).unwrap();
+        session.restore_devices(&dead);
+        let _ = session.replan(&clip10).unwrap();
+    });
+    report.push(("churn_replan_clip-10t/32gpu".to_string(), per_replan(t)));
+
+    let mut session = SpindleSession::new(hyper_cluster.clone());
+    session.plan(&hyper_a).unwrap();
+    let dead = [spindle_cluster::DeviceId(255)];
+    let t = bench("churn_replan_hyperscale-48t/256gpu", warmup, iters, || {
+        session.remove_devices(&dead).unwrap();
+        let _ = session.replan(&hyper_a).unwrap();
+        session.restore_devices(&dead);
+        let _ = session.replan(&hyper_a).unwrap();
+    });
+    report.push((
+        "churn_replan_hyperscale-48t/256gpu".to_string(),
+        per_replan(t),
+    ));
+
     let path = report_path();
     write_json_report(&path, &report).expect("write BENCH_incremental.json");
     println!("\nwrote {} entries to {}", report.len(), path.display());

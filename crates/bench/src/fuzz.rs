@@ -23,8 +23,17 @@
 //! 6. **Cache soundness** — Spindle's warm re-plan of an already-seen phase
 //!    is bit-identical (wave-for-wave) to a cold plan of the same graph;
 //! 7. **Robustness** — a heterogeneous contended simulation (slow devices,
-//!    overlapped comm, link contention) still completes with a finite,
-//!    positive iteration time no shorter than the plan's compute alone.
+//!    transient straggler windows, the scenario's drawn comm-overlap mode,
+//!    link contention) still completes with a finite, positive iteration
+//!    time no shorter than the plan's compute alone.
+//!
+//! Scenarios additionally carry a *device-level* churn trace (removals and
+//! restores of whole device sets). For Spindle — the only system with an
+//! elastic session — every device-churn event triggers a re-plan that is
+//! pushed through the same invariants on the surviving cluster, with two
+//! extra checks: no placement may reference a removed device, and after the
+//! final restore the session must recur bit-identically with a cold plan on
+//! the pristine cluster (invariant 6 under elasticity).
 //!
 //! A failed check becomes a [`Violation`] carrying the draw coordinates and
 //! the serialized scenario; [`shrink`] then greedily re-checks the scenario's
@@ -38,7 +47,7 @@ use std::fmt;
 use spindle_baselines::SystemKind;
 use spindle_cluster::{ClusterSpec, DeviceId};
 use spindle_core::{ExecutionPlan, SpindleSession};
-use spindle_runtime::{RuntimeEngine, SimConfig, Simulator};
+use spindle_runtime::{CommMode, RuntimeEngine, SimConfig, Simulator, Straggler};
 use spindle_workloads::{FuzzBounds, Scenario};
 
 /// The systems every draw is checked against: Spindle plus the three
@@ -282,6 +291,27 @@ pub fn check_scenario(
         .iter()
         .map(|&(d, f)| (DeviceId(d), f))
         .collect();
+    let stragglers: Vec<Straggler> = scenario
+        .straggler_windows
+        .iter()
+        .map(|w| Straggler {
+            device: DeviceId(w.device),
+            slowdown: w.slowdown,
+            from_s: w.from_s,
+            until_s: w.until_s,
+        })
+        .collect();
+    let hetero_config = SimConfig {
+        seed: scenario.seed ^ scenario.index,
+        comm_mode: if scenario.overlap_comm {
+            CommMode::Overlapped
+        } else {
+            CommMode::Serialized
+        },
+        speed_factors,
+        stragglers,
+        ..SimConfig::contended()
+    };
 
     for &system in &FUZZ_SYSTEMS {
         let mut session = SpindleSession::new(cluster.clone());
@@ -375,17 +405,14 @@ pub fn check_scenario(
                 )));
             }
 
-            // 7: heterogeneous contended simulation stays sane. Overlap and
+            // 7: heterogeneous contended simulation stays sane. Slow
+            // devices, straggler windows, the drawn comm-overlap mode and
             // contention can move the total either way relative to the
             // serialized run, but it can never finish faster than the
             // plan's pure compute on the slowest assigned device.
             let hetero = Simulator::new(plan.clone(), &cluster)
                 .with_graph(graph.clone())
-                .with_config(SimConfig {
-                    seed: scenario.seed ^ scenario.index,
-                    speed_factors: speed_factors.clone(),
-                    ..SimConfig::contended()
-                })
+                .with_config(hetero_config.clone())
                 .run_iteration()
                 .map_err(|e| fail(format!("heterogeneous simulation: {e}")))?;
             stats.simulations += 1;
@@ -423,6 +450,104 @@ pub fn check_scenario(
                 }
                 stats.warm_identical += 1;
             }
+        }
+
+        // Device-level churn — Spindle only (baselines have no elastic
+        // session). Every removal/restore re-plans the last phase graph on
+        // the surviving devices and pushes the result through the same
+        // gauntlet, plus: no placement may reference a removed device.
+        if system == SystemKind::Spindle && mutation.is_none() && !scenario.device_churn.is_empty()
+        {
+            let (last_phase, graph) = phases.last().expect("phases are non-empty");
+            let phase = format!("{last_phase} +device-churn");
+            let fail =
+                |detail: String| Box::new(Violation::new(scenario, Some(system), &phase, detail));
+            for event in &scenario.device_churn {
+                let ids: Vec<DeviceId> = event.devices.iter().map(|&d| DeviceId(d)).collect();
+                if event.remove {
+                    session
+                        .remove_devices(&ids)
+                        .map_err(|e| fail(format!("device removal {ids:?}: {e}")))?;
+                } else {
+                    session.restore_devices(&ids);
+                }
+                let outcome = session
+                    .replan(graph)
+                    .map_err(|e| fail(format!("churn re-plan: {e}")))?;
+                let plan = outcome.plan;
+                stats.plans_checked += 1;
+                plan.check_invariants(capacity)
+                    .map_err(|e| fail(format!("churn invariant: {e}")))?;
+                let removed = session.removed_devices();
+                for (w, wave) in plan.waves().iter().enumerate() {
+                    for entry in &wave.entries {
+                        if let Some(group) = &entry.placement {
+                            if let Some(&dead) = removed.iter().find(|&&d| group.contains(d)) {
+                                return Err(fail(format!(
+                                    "wave {w} places {} on removed device {dead:?}",
+                                    entry.metaop
+                                )));
+                            }
+                        }
+                    }
+                }
+                // The surviving cluster still satisfies invariants 5 and 7:
+                // serialized simulation matches the analytical engine, the
+                // heterogeneous contended one stays finite and positive.
+                let churned = session.cluster_handle();
+                let analytical = RuntimeEngine::new(plan.clone(), &churned)
+                    .with_graph(graph.clone())
+                    .run_iteration()
+                    .map_err(|e| fail(format!("churned analytical engine: {e}")))?
+                    .iteration_time_s();
+                let serialized = Simulator::new(plan.clone(), &churned)
+                    .with_graph(graph.clone())
+                    .run_iteration()
+                    .map_err(|e| fail(format!("churned serialized simulation: {e}")))?;
+                stats.simulations += 1;
+                if has_serial_timeline(&plan) {
+                    serialized
+                        .check_gap_within(analytical, cfg.gap_tolerance)
+                        .map_err(|e| fail(format!("churned plan: {e}")))?;
+                }
+                let hetero = Simulator::new(plan.clone(), &churned)
+                    .with_graph(graph.clone())
+                    .with_config(hetero_config.clone())
+                    .run_iteration()
+                    .map_err(|e| fail(format!("churned heterogeneous simulation: {e}")))?;
+                stats.simulations += 1;
+                if !hetero.total_s().is_finite() || hetero.total_s() <= 0.0 {
+                    return Err(fail(format!(
+                        "churned heterogeneous simulation produced a degenerate total of {}s",
+                        hetero.total_s()
+                    )));
+                }
+            }
+            // Restore whatever is still down: the session must recur
+            // bit-identically with a cold plan on the pristine cluster
+            // (invariant 6 under elasticity).
+            let still_down = session.removed_devices().to_vec();
+            if !still_down.is_empty() {
+                session.restore_devices(&still_down);
+            }
+            let outcome = session
+                .replan(graph)
+                .map_err(|e| fail(format!("post-restore re-plan: {e}")))?;
+            let mut cold = SpindleSession::new(cluster.clone());
+            let cold_plan = cold
+                .plan(graph)
+                .map_err(|e| fail(format!("post-restore cold plan: {e}")))?;
+            if outcome.plan.waves() != cold_plan.waves() {
+                return Err(fail(format!(
+                    "restore-then-replan diverged from the cold plan: {} vs {} waves, \
+                     makespans {:.9}s vs {:.9}s",
+                    outcome.plan.waves().len(),
+                    cold_plan.waves().len(),
+                    outcome.plan.makespan(),
+                    cold_plan.makespan()
+                )));
+            }
+            stats.warm_identical += 1;
         }
     }
     stats.draws = 1;

@@ -111,6 +111,45 @@ impl ClusterSpec {
         self.nodes.iter().map(NodeSpec::num_devices).sum()
     }
 
+    /// One past the highest global device id — the size of the dense id
+    /// space. Equals [`ClusterSpec::num_devices`] on a pristine cluster;
+    /// after [`ClusterSpec::without_devices`] it can exceed the device
+    /// count, because surviving devices keep their global ids and the
+    /// numbering gains holes instead of being compacted.
+    #[must_use]
+    pub fn device_space(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.devices.iter())
+            .map(|d| d.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A copy of this cluster with `removed` devices taken out of their
+    /// nodes — the surviving set after churn (spot reclamation, GPU
+    /// failure, preemption). Surviving devices keep their global ids, so
+    /// the numbering gains holes rather than being compacted, and nodes
+    /// keep their [`NodeId`]s — a node whose devices are all removed stays
+    /// in the layout as an empty island so link endpoints remain stable.
+    /// Ids in `removed` that are absent (unknown or already removed) are
+    /// ignored, making the operation idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::EmptyCluster`] if removal would leave no
+    /// device at all.
+    pub fn without_devices(&self, removed: &[DeviceId]) -> Result<Self, ClusterError> {
+        let mut spec = self.clone();
+        for node in &mut spec.nodes {
+            node.devices.retain(|d| !removed.contains(d));
+        }
+        if spec.num_devices() == 0 {
+            return Err(ClusterError::EmptyCluster);
+        }
+        Ok(spec)
+    }
+
     /// Number of nodes (device islands).
     #[must_use]
     pub fn num_nodes(&self) -> usize {
@@ -126,11 +165,14 @@ impl ClusterSpec {
             .collect()
     }
 
-    /// The device islands of the cluster (one per node).
+    /// The device islands of the cluster (one per node). Nodes emptied by
+    /// [`ClusterSpec::without_devices`] are skipped — an island with no
+    /// devices cannot host work.
     #[must_use]
     pub fn islands(&self) -> Vec<Island> {
         self.nodes
             .iter()
+            .filter(|n| !n.devices.is_empty())
             .map(|n| Island {
                 id: n.id,
                 devices: n.devices.iter().copied().collect(),
@@ -314,6 +356,36 @@ mod tests {
         let s = c.to_string();
         assert!(s.contains("2 node"));
         assert!(s.contains("8 GPU"));
+    }
+
+    #[test]
+    fn without_devices_keeps_stable_ids_and_node_layout() {
+        let c = ClusterSpec::homogeneous(2, 4);
+        let survived = c
+            .without_devices(&[DeviceId(0), DeviceId(5), DeviceId(6), DeviceId(7)])
+            .unwrap();
+        assert_eq!(survived.num_devices(), 4);
+        // Ids are stable: the id space spans up to the highest survivor.
+        assert_eq!(survived.device_space(), 5);
+        assert!(!survived.contains(DeviceId(0)));
+        assert!(survived.contains(DeviceId(4)));
+        assert_eq!(survived.node_of(DeviceId(4)).unwrap(), NodeId(1));
+        // Node 1 still hosts DeviceId(4); removing it empties the node,
+        // which then stops contributing an island but keeps its NodeId.
+        let bare = survived.without_devices(&[DeviceId(4)]).unwrap();
+        assert_eq!(bare.num_nodes(), 2);
+        assert_eq!(bare.islands().len(), 1);
+        assert_eq!(bare.device_space(), 4);
+        // Removing unknown or already-removed ids is a no-op.
+        assert_eq!(
+            bare.without_devices(&[DeviceId(0), DeviceId(99)]).unwrap(),
+            bare.without_devices(&[]).unwrap()
+        );
+        // Removing everything is rejected.
+        assert_eq!(
+            bare.without_devices(&[DeviceId(1), DeviceId(2), DeviceId(3)]),
+            Err(ClusterError::EmptyCluster)
+        );
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub enum PlanError {
         /// Per-device memory capacity, bytes.
         capacity: u64,
     },
+    /// Planning panicked — a bug in the planner, not a property of the
+    /// input. The session that panicked may hold half-updated state and must
+    /// be discarded; the multi-tenant service maps this to a per-tenant
+    /// completion error instead of letting the panic take the worker down.
+    Panicked {
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
     /// A wave entry was placed on a device outside the cluster.
     PlacementOutOfRange {
         /// Index of the offending wave.
@@ -112,6 +120,9 @@ impl fmt::Display for PlanError {
                 f,
                 "wave {wave} entry {metaop} needs {required} bytes/device but only {capacity} fit"
             ),
+            PlanError::Panicked { message } => {
+                write!(f, "planning panicked: {message}")
+            }
             PlanError::PlacementOutOfRange {
                 wave,
                 device,

@@ -86,12 +86,14 @@ pub use metagraph::{MetaGraph, MetaLevel};
 pub use metaop::{MetaOp, MetaOpId};
 pub use mpsp::ContinuousSolution;
 pub use pipeline::{ContractedGraph, CurveSet, LevelSchedule};
-pub use placement::{LocalityPlacement, PlacementPolicy, PlacementStrategy, SequentialPlacement};
+pub use placement::{
+    LocalityPlacement, PlacementCheckpoint, PlacementPolicy, PlacementStrategy, SequentialPlacement,
+};
 pub use plan::{ExecutionPlan, Wave, WaveEntry};
 pub use planner::curves_for;
 #[allow(deprecated)]
 pub use planner::Planner;
-pub use session::{PlannerConfig, ReplanOutcome, SpindleSession};
+pub use session::{PlannerConfig, ReplanOutcome, SpindleSession, TopologyImpact};
 pub use structural::{
     LevelArtifact, LevelKey, PlacedSkeleton, PlanKey, StructuralCacheStats, StructuralPlanCache,
     StructuralReuse, DEFAULT_STRUCTURAL_CACHE_BUDGET,

@@ -27,7 +27,10 @@ use crate::arena::{MetaOpArena, PlanningStats};
 use crate::mpsp::{self, MpspItem, MpspScratch};
 use crate::structural::{LevelArtifact, LevelKey, StructuralPlanCache};
 use crate::wavefront::{CurveMap, WavefrontScratch};
-use crate::{allocator, ExecutionPlan, MetaGraph, MetaOpId, PlacementPolicy, PlanError, Wave};
+use crate::{
+    allocator, ExecutionPlan, MetaGraph, MetaOpId, PlacementCheckpoint, PlacementPolicy,
+    PlacementStrategy, PlanError, Wave,
+};
 
 /// Stage-1 artifact: the contracted MetaGraph of a workload, behind an
 /// [`Arc`] so plans (and cached plan skeletons) share it without deep copies.
@@ -304,6 +307,13 @@ impl LevelSchedule {
         self.waves.last().map_or(0.0, Wave::end)
     }
 
+    /// Decomposes the schedule into its raw waves and theoretical optimum —
+    /// the partial re-plan path consumes these directly, splicing a subset of
+    /// the waves behind a reused placed prefix.
+    pub(crate) fn into_parts(self) -> (Vec<Wave>, f64) {
+        (self.waves, self.theoretical_optimum)
+    }
+
     /// Stage 4: assigns concrete devices to every wave entry through `policy`
     /// and assembles the final [`ExecutionPlan`].
     ///
@@ -330,7 +340,47 @@ impl LevelSchedule {
             planning_time,
         );
         policy.place(&mut plan, cluster)?;
+        plan.set_device_space(cluster.device_space() as u32);
         Ok(plan)
+    }
+
+    /// [`place`](Self::place) for the locality strategy, additionally
+    /// snapshotting the placement pass's state after every level — the
+    /// [`PlacementCheckpoint`]s that make migration-aware partial re-planning
+    /// possible after device churn (one checkpoint per level, in level
+    /// order). Strategies other than [`PlacementStrategy::Locality`] carry no
+    /// cross-wave state, so they return an empty checkpoint list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::CapacityExceeded`] if a wave requests more devices
+    /// than the cluster provides.
+    pub fn place_checkpointed(
+        self,
+        contracted: &ContractedGraph,
+        cluster: &ClusterSpec,
+        strategy: PlacementStrategy,
+        planning_time: Duration,
+    ) -> Result<(ExecutionPlan, Vec<PlacementCheckpoint>), PlanError> {
+        let mut plan = ExecutionPlan::new(
+            self.waves,
+            contracted.metagraph_handle(),
+            self.num_devices,
+            self.theoretical_optimum,
+            planning_time,
+        );
+        crate::placement::check_capacity(&plan, cluster)?;
+        let checkpoints = match strategy {
+            PlacementStrategy::Locality => {
+                crate::placement::place_locality_checkpointed(&mut plan, cluster)
+            }
+            PlacementStrategy::Sequential => {
+                strategy.policy().place(&mut plan, cluster)?;
+                Vec::new()
+            }
+        };
+        plan.set_device_space(cluster.device_space() as u32);
+        Ok((plan, checkpoints))
     }
 }
 

@@ -11,9 +11,9 @@
 //!    memory-first assignment (the paper's "alternative placements with
 //!    sub-optimal communication costs and better memory balance").
 
-use spindle_cluster::{ClusterSpec, DeviceGroup, DeviceId};
+use spindle_cluster::{ClusterSpec, DeviceGroup, DeviceId, Island};
 
-use crate::{ExecutionPlan, MetaOpId, PlanError};
+use crate::{ExecutionPlan, MetaOpId, PlanError, Wave};
 
 /// A device-placement policy: maps every wave entry of a plan onto concrete
 /// devices.
@@ -110,7 +110,7 @@ pub fn place(
 
 /// Shared precondition of every built-in policy: no wave may request more
 /// devices than the cluster provides.
-fn check_capacity(plan: &ExecutionPlan, cluster: &ClusterSpec) -> Result<(), PlanError> {
+pub(crate) fn check_capacity(plan: &ExecutionPlan, cluster: &ClusterSpec) -> Result<(), PlanError> {
     let total_devices = cluster.num_devices() as u32;
     for wave in plan.waves() {
         if wave.devices_used() > total_devices {
@@ -138,60 +138,211 @@ fn place_sequential(plan: &mut ExecutionPlan) {
     }
 }
 
-/// Locality-, communication- and memory-aware placement.
+/// Snapshot of the locality pass's cross-wave state at a level boundary:
+/// per-device memory load, MetaOp-on-device residency, and each MetaOp's last
+/// device group. Stored per level alongside cached plan skeletons so that a
+/// topology change can keep the placements of a clean prefix of levels and
+/// resume the pass — restricted to the surviving device set — from the first
+/// dirty level instead of re-placing the whole plan
+/// (see [`SpindleSession::replan`](crate::SpindleSession::replan)).
+///
+/// The snapshot is sparse (device-id keyed, not dense-indexed), so it can be
+/// restored onto a cluster whose device numbering gained holes after
+/// [`ClusterSpec::without_devices`]. State attached to devices that no longer
+/// exist is dropped on restore — exactly the state whose loss forces a
+/// migration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlacementCheckpoint {
+    /// Bytes resident per device; only loaded devices are listed.
+    memory_used: Vec<(DeviceId, u64)>,
+    /// `(metaop index, device)` residency pairs.
+    resident: Vec<(u32, DeviceId)>,
+    /// Last device group of each placed MetaOp, by metaop index.
+    last_placement: Vec<(u32, DeviceGroup)>,
+}
+
+impl PlacementCheckpoint {
+    /// Approximate heap footprint, for cache byte accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.memory_used.len() * std::mem::size_of::<(DeviceId, u64)>()
+            + self.resident.len() * std::mem::size_of::<(u32, DeviceId)>()
+            + self
+                .last_placement
+                .iter()
+                .map(|(_, g)| {
+                    std::mem::size_of::<(u32, DeviceGroup)>()
+                        + g.len() * std::mem::size_of::<DeviceId>()
+                })
+                .sum::<usize>()
+    }
+}
+
+/// The locality pass (§3.5) with its cross-wave state made explicit, so the
+/// state can be checkpointed at level boundaries and restored later.
 ///
 /// All working state is dense and reused across waves: device sets are
-/// `Vec`-indexed by `DeviceId`, per-MetaOp state by `MetaOpId`, and the
-/// MetaGraph adjacency is extracted once up front instead of being re-scanned
-/// (and re-allocated) per entry.
-fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
-    let islands = cluster.islands();
-    let capacity = cluster.device_memory_bytes();
-    let num_devices = cluster.num_devices();
-    let num_metaops = plan.metagraph().num_metaops();
+/// `Vec`-indexed by `DeviceId` (sized by [`ClusterSpec::device_space`], so a
+/// post-churn cluster with holes in its numbering indexes safely), per-MetaOp
+/// state by `MetaOpId`, and the MetaGraph adjacency is extracted once up
+/// front instead of being re-scanned (and re-allocated) per entry.
+struct LocalityPass {
+    islands: Vec<Island>,
+    all_devices: Vec<DeviceId>,
+    capacity: u64,
+    /// Devices available for allocation (the surviving count).
+    num_devices: usize,
+    /// Dense id-space size (one past the highest device id).
+    space: usize,
+    num_metaops: usize,
+    preds: Vec<Vec<MetaOpId>>,
+    succs: Vec<Vec<MetaOpId>>,
+    volume: Vec<u64>,
+    // Cross-wave state — what checkpoints capture.
+    memory_used: Vec<u64>,
+    resident: Vec<bool>,
+    last_placement: Vec<Option<DeviceGroup>>,
+    // Per-wave scratch.
+    free: Vec<bool>,
+    affinity: Vec<i64>,
+    order: Vec<usize>,
+    island_order: Vec<usize>,
+    candidates: Vec<DeviceId>,
+    chosen: Vec<DeviceId>,
+}
 
-    // Dense adjacency and communication volume of each MetaOp: bytes it
-    // receives plus bytes it sends along MetaGraph edges (guides guideline 2).
-    // Extracted before the placement loop so the MetaGraph is never cloned.
-    let mut preds: Vec<Vec<MetaOpId>> = vec![Vec::new(); num_metaops];
-    let mut succs: Vec<Vec<MetaOpId>> = vec![Vec::new(); num_metaops];
-    for &(a, b) in plan.metagraph().edges() {
-        preds[b.index()].push(a);
-        succs[a.index()].push(b);
+impl LocalityPass {
+    fn new(plan: &ExecutionPlan, cluster: &ClusterSpec) -> Self {
+        let num_metaops = plan.metagraph().num_metaops();
+        let space = cluster.device_space();
+
+        // Dense adjacency and communication volume of each MetaOp: bytes it
+        // receives plus bytes it sends along MetaGraph edges (guideline 2).
+        let mut preds: Vec<Vec<MetaOpId>> = vec![Vec::new(); num_metaops];
+        let mut succs: Vec<Vec<MetaOpId>> = vec![Vec::new(); num_metaops];
+        for &(a, b) in plan.metagraph().edges() {
+            preds[b.index()].push(a);
+            succs[a.index()].push(b);
+        }
+        let mut volume: Vec<u64> = vec![0; num_metaops];
+        for metaop in plan.metagraph().metaops() {
+            let i = metaop.id().index();
+            let incoming: u64 = preds[i]
+                .iter()
+                .map(|&p| plan.metagraph().metaop(p).representative().output_bytes())
+                .sum();
+            let outgoing = metaop.representative().output_bytes() * succs[i].len() as u64;
+            volume[i] = incoming + outgoing;
+        }
+
+        Self {
+            islands: cluster.islands(),
+            all_devices: cluster.all_devices().iter().collect(),
+            capacity: cluster.device_memory_bytes(),
+            num_devices: cluster.num_devices(),
+            space,
+            num_metaops,
+            preds,
+            succs,
+            volume,
+            memory_used: vec![0; space],
+            resident: vec![false; num_metaops * space],
+            last_placement: vec![None; num_metaops],
+            free: vec![false; space],
+            affinity: vec![0; space],
+            order: Vec::new(),
+            island_order: Vec::new(),
+            candidates: Vec::new(),
+            chosen: Vec::new(),
+        }
     }
-    let mut volume: Vec<u64> = vec![0; num_metaops];
-    for metaop in plan.metagraph().metaops() {
-        let i = metaop.id().index();
-        let incoming: u64 = preds[i]
-            .iter()
-            .map(|&p| plan.metagraph().metaop(p).representative().output_bytes())
-            .sum();
-        let outgoing = metaop.representative().output_bytes() * succs[i].len() as u64;
-        volume[i] = incoming + outgoing;
+
+    /// Snapshots the cross-wave state in sparse, id-stable form.
+    fn checkpoint(&self) -> PlacementCheckpoint {
+        PlacementCheckpoint {
+            memory_used: self
+                .memory_used
+                .iter()
+                .enumerate()
+                .filter(|&(_, &bytes)| bytes > 0)
+                .map(|(i, &bytes)| (DeviceId(i as u32), bytes))
+                .collect(),
+            resident: (0..self.num_metaops)
+                .flat_map(|m| {
+                    let row = &self.resident[m * self.space..(m + 1) * self.space];
+                    row.iter()
+                        .enumerate()
+                        .filter(|&(_, &r)| r)
+                        .map(move |(d, _)| (m as u32, DeviceId(d as u32)))
+                })
+                .collect(),
+            last_placement: self
+                .last_placement
+                .iter()
+                .enumerate()
+                .filter_map(|(m, g)| g.as_ref().map(|g| (m as u32, g.clone())))
+                .collect(),
+        }
     }
 
-    let mut memory_used: Vec<u64> = vec![0; num_devices];
-    let mut resident: Vec<bool> = vec![false; num_metaops * num_devices];
-    let mut last_placement: Vec<Option<DeviceGroup>> = vec![None; num_metaops];
-    let mut free: Vec<bool> = vec![false; num_devices];
-    let mut affinity: Vec<i64> = vec![0; num_devices];
-    let mut order: Vec<usize> = Vec::new();
-    let mut island_order: Vec<usize> = Vec::new();
-    let mut candidates: Vec<DeviceId> = Vec::new();
-    let mut chosen: Vec<DeviceId> = Vec::new();
+    /// Loads a checkpoint, dropping state attached to devices that are not
+    /// part of this pass's cluster (they were removed by churn). A last
+    /// placement touching a removed device keeps its surviving members —
+    /// affinity toward the survivors still makes the data flows cheap.
+    fn restore(&mut self, checkpoint: &PlacementCheckpoint) {
+        let mut present = vec![false; self.space];
+        for &d in &self.all_devices {
+            present[d.index()] = true;
+        }
+        self.memory_used.fill(0);
+        for &(d, bytes) in &checkpoint.memory_used {
+            if d.index() < self.space && present[d.index()] {
+                self.memory_used[d.index()] = bytes;
+            }
+        }
+        self.resident.fill(false);
+        for &(m, d) in &checkpoint.resident {
+            let m = m as usize;
+            if m < self.num_metaops && d.index() < self.space && present[d.index()] {
+                self.resident[m * self.space + d.index()] = true;
+            }
+        }
+        self.last_placement.fill(None);
+        for (m, group) in &checkpoint.last_placement {
+            let m = *m as usize;
+            if m >= self.num_metaops {
+                continue;
+            }
+            let survivors: DeviceGroup = group
+                .iter()
+                .filter(|d| d.index() < self.space && present[d.index()])
+                .collect();
+            if !survivors.is_empty() {
+                self.last_placement[m] = Some(survivors);
+            }
+        }
+    }
 
-    for wave in plan.waves_mut() {
-        free.fill(true);
+    /// Places every entry of one wave, advancing the cross-wave state.
+    fn place_wave(&mut self, wave: &mut Wave) {
+        self.free.fill(false);
+        for &d in &self.all_devices {
+            self.free[d.index()] = true;
+        }
         // Guideline 2: place the most communication-intensive entries first.
-        order.clear();
-        order.extend(0..wave.entries.len());
-        order.sort_by_key(|&i| std::cmp::Reverse(volume[wave.entries[i].metaop.index()]));
+        self.order.clear();
+        self.order.extend(0..wave.entries.len());
+        let volume = &self.volume;
+        self.order
+            .sort_by_key(|&i| std::cmp::Reverse(volume[wave.entries[i].metaop.index()]));
 
-        for &idx in order.iter() {
+        for oi in 0..self.order.len() {
+            let idx = self.order[oi];
             let entry = &wave.entries[idx];
-            let needed = (entry.devices as usize).min(num_devices);
+            let needed = (entry.devices as usize).min(self.num_devices);
             // Affinity of each device for this entry.
-            affinity.fill(0);
+            self.affinity.fill(0);
             let mark = |group: Option<&DeviceGroup>, weight: i64, affinity: &mut Vec<i64>| {
                 if let Some(g) = group {
                     for d in g.iter() {
@@ -200,28 +351,43 @@ fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
                 }
             };
             mark(
-                last_placement[entry.metaop.index()].as_ref(),
+                self.last_placement[entry.metaop.index()].as_ref(),
                 4,
-                &mut affinity,
+                &mut self.affinity,
             );
-            for &pred in &preds[entry.metaop.index()] {
-                mark(last_placement[pred.index()].as_ref(), 2, &mut affinity);
+            for &pred in &self.preds[entry.metaop.index()] {
+                mark(
+                    self.last_placement[pred.index()].as_ref(),
+                    2,
+                    &mut self.affinity,
+                );
             }
             // Sibling affinity: co-locate with MetaOps that feed the same
             // successor, so the successor's inputs end up on one island.
-            for &succ in &succs[entry.metaop.index()] {
-                for &sibling in &preds[succ.index()] {
+            for &succ in &self.succs[entry.metaop.index()] {
+                for &sibling in &self.preds[succ.index()] {
                     if sibling != entry.metaop {
-                        mark(last_placement[sibling.index()].as_ref(), 1, &mut affinity);
+                        mark(
+                            self.last_placement[sibling.index()].as_ref(),
+                            1,
+                            &mut self.affinity,
+                        );
                     }
                 }
             }
 
             // Guideline 1: choose islands first, preferring islands with
             // enough free devices, high affinity and plenty of free memory.
-            island_order.clear();
-            island_order.extend(0..islands.len());
-            island_order.sort_by_key(|&k| {
+            self.island_order.clear();
+            self.island_order.extend(0..self.islands.len());
+            let (islands, free, affinity, memory_used, capacity) = (
+                &self.islands,
+                &self.free,
+                &self.affinity,
+                &self.memory_used,
+                self.capacity,
+            );
+            self.island_order.sort_by_key(|&k| {
                 let island = &islands[k];
                 let mut free_count = 0usize;
                 let mut free_mem = 0u64;
@@ -244,61 +410,137 @@ fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
                 )
             });
 
-            chosen.clear();
-            for &k in &island_order {
-                if chosen.len() >= needed {
+            self.chosen.clear();
+            for ki in 0..self.island_order.len() {
+                let k = self.island_order[ki];
+                if self.chosen.len() >= needed {
                     break;
                 }
-                candidates.clear();
-                candidates.extend(islands[k].devices.iter().filter(|d| free[d.index()]));
+                self.candidates.clear();
+                self.candidates.extend(
+                    self.islands[k]
+                        .devices
+                        .iter()
+                        .filter(|d| self.free[d.index()]),
+                );
                 // Guideline 3 tie-break: most affine, then most free memory.
-                candidates.sort_by_key(|d| {
+                let (affinity, memory_used) = (&self.affinity, &self.memory_used);
+                self.candidates.sort_by_key(|d| {
                     (
                         std::cmp::Reverse(affinity[d.index()]),
                         memory_used[d.index()],
                         d.0,
                     )
                 });
-                for &d in candidates.iter() {
-                    if chosen.len() >= needed {
+                for ci in 0..self.candidates.len() {
+                    if self.chosen.len() >= needed {
                         break;
                     }
-                    chosen.push(d);
+                    let d = self.candidates[ci];
+                    self.chosen.push(d);
                 }
             }
 
             // Memory-balance fallback: if any chosen device would exceed its
             // capacity, redo the choice ordering devices purely by free memory.
             let per_device = wave.entries[idx].memory_per_device;
-            let would_overflow = chosen
+            let would_overflow = self
+                .chosen
                 .iter()
-                .any(|d| memory_used[d.index()] + per_device > capacity);
+                .any(|d| self.memory_used[d.index()] + per_device > self.capacity);
             if would_overflow {
-                candidates.clear();
-                candidates.extend(
-                    (0..num_devices)
-                        .filter(|&i| free[i])
-                        .map(|i| DeviceId(i as u32)),
-                );
-                candidates.sort_by_key(|d| (memory_used[d.index()], d.0));
-                chosen.clear();
-                chosen.extend(candidates.iter().take(needed));
+                self.candidates.clear();
+                self.candidates
+                    .extend(self.all_devices.iter().filter(|d| self.free[d.index()]));
+                let memory_used = &self.memory_used;
+                self.candidates
+                    .sort_by_key(|d| (memory_used[d.index()], d.0));
+                self.chosen.clear();
+                let take = needed.min(self.candidates.len());
+                self.chosen.extend(self.candidates.iter().take(take));
             }
 
             let metaop = wave.entries[idx].metaop;
-            for &d in &chosen {
-                free[d.index()] = false;
-                let slot = metaop.index() * num_devices + d.index();
-                if !resident[slot] {
-                    resident[slot] = true;
-                    memory_used[d.index()] = memory_used[d.index()].saturating_add(per_device);
+            for i in 0..self.chosen.len() {
+                let d = self.chosen[i];
+                self.free[d.index()] = false;
+                let slot = metaop.index() * self.space + d.index();
+                if !self.resident[slot] {
+                    self.resident[slot] = true;
+                    self.memory_used[d.index()] =
+                        self.memory_used[d.index()].saturating_add(per_device);
                 }
             }
-            let group: DeviceGroup = chosen.iter().copied().collect();
-            last_placement[metaop.index()] = Some(group.clone());
+            let group: DeviceGroup = self.chosen.iter().copied().collect();
+            self.last_placement[metaop.index()] = Some(group.clone());
             wave.entries[idx].placement = Some(group);
         }
     }
+}
+
+/// Locality-, communication- and memory-aware placement.
+fn place_locality(plan: &mut ExecutionPlan, cluster: &ClusterSpec) {
+    let mut pass = LocalityPass::new(plan, cluster);
+    for wave in plan.waves_mut() {
+        pass.place_wave(wave);
+    }
+}
+
+/// [`place_locality`] that also snapshots the pass state at every level
+/// boundary. `checkpoints[i]` is the state after the last wave of the `i`-th
+/// level of the plan, in wave order — restoring `checkpoints[i]` and
+/// re-placing levels `i+1..` reproduces a full pass exactly.
+pub(crate) fn place_locality_checkpointed(
+    plan: &mut ExecutionPlan,
+    cluster: &ClusterSpec,
+) -> Vec<PlacementCheckpoint> {
+    let mut pass = LocalityPass::new(plan, cluster);
+    let mut checkpoints = Vec::new();
+    let mut current_level: Option<usize> = None;
+    for wave in plan.waves_mut() {
+        if let Some(level) = current_level {
+            if level != wave.level {
+                checkpoints.push(pass.checkpoint());
+            }
+        }
+        current_level = Some(wave.level);
+        pass.place_wave(wave);
+    }
+    if current_level.is_some() {
+        checkpoints.push(pass.checkpoint());
+    }
+    checkpoints
+}
+
+/// Resumes a locality pass from `resume_from` (the checkpoint taken after the
+/// last clean level) and places only `plan.waves_mut()[first_wave..]` — the
+/// waves of the dirty levels — onto `cluster`'s surviving devices. Waves
+/// before `first_wave` keep whatever placement they already carry. Returns
+/// one checkpoint per level placed, so the resulting hybrid plan can itself
+/// seed the next partial re-plan.
+pub(crate) fn place_locality_resume(
+    plan: &mut ExecutionPlan,
+    cluster: &ClusterSpec,
+    first_wave: usize,
+    resume_from: &PlacementCheckpoint,
+) -> Vec<PlacementCheckpoint> {
+    let mut pass = LocalityPass::new(plan, cluster);
+    pass.restore(resume_from);
+    let mut checkpoints = Vec::new();
+    let mut current_level: Option<usize> = None;
+    for wave in plan.waves_mut().iter_mut().skip(first_wave) {
+        if let Some(level) = current_level {
+            if level != wave.level {
+                checkpoints.push(pass.checkpoint());
+            }
+        }
+        current_level = Some(wave.level);
+        pass.place_wave(wave);
+    }
+    if current_level.is_some() {
+        checkpoints.push(pass.checkpoint());
+    }
+    checkpoints
 }
 
 #[cfg(test)]

@@ -111,6 +111,11 @@ pub struct ExecutionPlan {
     /// op maps.
     metagraph: Arc<MetaGraph>,
     num_devices: u32,
+    /// One past the highest device id the plan may legally reference. Equals
+    /// `num_devices` on a pristine cluster; larger after device churn, where
+    /// surviving devices keep their global ids and the numbering has holes
+    /// (see [`ClusterSpec::device_space`](spindle_cluster::ClusterSpec::device_space)).
+    device_space: u32,
     theoretical_optimum: f64,
     planning_time: Duration,
 }
@@ -118,6 +123,9 @@ pub struct ExecutionPlan {
 impl ExecutionPlan {
     /// Assembles a plan from its parts. Baseline planners use this constructor
     /// to describe their own (non-wavefront) schedules in the same format.
+    /// The plan's device id space defaults to `0..num_devices`; planning on a
+    /// post-churn cluster with id holes widens it via
+    /// [`set_device_space`](Self::set_device_space).
     #[must_use]
     pub fn new(
         waves: Vec<Wave>,
@@ -130,6 +138,7 @@ impl ExecutionPlan {
             waves,
             metagraph: metagraph.into(),
             num_devices,
+            device_space: num_devices,
             theoretical_optimum,
             planning_time,
         }
@@ -167,6 +176,23 @@ impl ExecutionPlan {
     #[must_use]
     pub fn num_devices(&self) -> u32 {
         self.num_devices
+    }
+
+    /// One past the highest device id the plan may legally reference. On a
+    /// pristine cluster this equals [`num_devices`](Self::num_devices); after
+    /// device churn it can exceed it, because survivors keep their global
+    /// ids and the numbering gains holes.
+    #[must_use]
+    pub fn device_space(&self) -> u32 {
+        self.device_space.max(self.num_devices)
+    }
+
+    /// Widens the legal device id space to `space` (for plans placed on a
+    /// post-churn cluster whose surviving ids are not contiguous). Values
+    /// below `num_devices` are ignored — the space never shrinks below the
+    /// device count.
+    pub fn set_device_space(&mut self, space: u32) {
+        self.device_space = space.max(self.num_devices);
     }
 
     /// The theoretical optimum `Σ_levels C̃*` from the continuous relaxation —
@@ -294,23 +320,25 @@ impl ExecutionPlan {
         Ok(())
     }
 
-    /// Checks that every placed device id actually exists in a cluster of
-    /// [`num_devices`](Self::num_devices) devices.
+    /// Checks that every placed device id lies within the plan's device id
+    /// space ([`device_space`](Self::device_space) — `0..num_devices` on a
+    /// pristine cluster, wider when churn left holes in the numbering).
     ///
     /// # Errors
     ///
     /// Returns [`PlanError::PlacementOutOfRange`] naming the first stray
     /// device.
     pub fn check_placement_in_range(&self) -> Result<(), PlanError> {
+        let space = self.device_space();
         for wave in &self.waves {
             for entry in &wave.entries {
                 if let Some(group) = &entry.placement {
                     for d in group.iter() {
-                        if d.0 >= self.num_devices {
+                        if d.0 >= space {
                             return Err(PlanError::PlacementOutOfRange {
                                 wave: wave.index,
                                 device: d.0,
-                                available: self.num_devices,
+                                available: space,
                             });
                         }
                     }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use spindle_cluster::ClusterSpec;
+use spindle_cluster::{ClusterSpec, DeviceId, LinkClass, NodeId};
 use spindle_estimator::{CurveCacheStats, ScalabilityEstimator, DEFAULT_CURVE_CACHE_BUDGET};
 use spindle_graph::ComputationGraph;
 
@@ -13,11 +13,48 @@ use crate::structural::{
     PlacedSkeleton, PlanKey, StructuralCacheStats, StructuralPlanCache, StructuralReuse,
     DEFAULT_STRUCTURAL_CACHE_BUDGET,
 };
-use crate::{mpsp, ExecutionPlan, PlacementStrategy, PlanError, PlanningStats};
+use crate::{
+    mpsp, ExecutionPlan, PlacementCheckpoint, PlacementStrategy, PlanError, PlanningStats, Wave,
+};
 
-/// One produced plan with its hot-path counters and structural-reuse probe.
-type PhasePlan = (ExecutionPlan, PlanningStats, StructuralReuse);
+/// One produced plan with its hot-path counters, structural-reuse probe and
+/// topology-change impact (all-zero when the topology did not change).
+type PhasePlan = (
+    ExecutionPlan,
+    PlanningStats,
+    StructuralReuse,
+    TopologyImpact,
+);
 type PhaseResult = Result<PhasePlan, PlanError>;
+
+/// What a topology change cost one re-plan: how many devices the session lost
+/// relative to the placement being reused, how much of the plan had to be
+/// re-placed, and the estimated parameter-migration traffic.
+///
+/// Migration is priced with the analytical α-β link model
+/// ([`InterconnectSpec::transfer_time`](spindle_cluster::InterconnectSpec::transfer_time)):
+/// for every MetaOp whose placement shifted, the bytes resident per lost
+/// device move once over the cheapest class of link that connects an old
+/// replica to the new device (intra-island when a surviving replica shares
+/// the island, inter-island otherwise), and the per-transfer times are
+/// summed — a serialized upper bound. The runtime simulator charges the finer
+/// contended cost by pushing the same transfers through its flow model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TopologyImpact {
+    /// Devices lost relative to the topology the reused placement was made
+    /// for (0 when the topology did not shrink since the last plan of this
+    /// structure).
+    pub devices_lost: usize,
+    /// Levels whose placement had to be redone on the surviving device set.
+    /// A clean prefix of levels (placements untouched by the loss) keeps its
+    /// placements and pays zero migration.
+    pub levels_replaced: usize,
+    /// Parameter bytes that must move to realize the new placement. Zero when
+    /// the previous placement is unknown (nothing to diff against).
+    pub migration_bytes: u64,
+    /// Serialized α-β estimate of the migration time, seconds.
+    pub migration_cost_s: f64,
+}
 
 /// Tunable knobs of the planner.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +122,19 @@ pub struct ReplanOutcome {
     /// Cache entries evicted *during this re-plan* to stay within the
     /// configured byte budgets (both caches combined).
     pub evictions: usize,
+    /// Devices lost since the placement being reused was made (0 when the
+    /// topology did not shrink; see [`TopologyImpact::devices_lost`]).
+    pub devices_lost: usize,
+    /// Levels re-placed onto the surviving device set after a topology
+    /// change; the remaining `levels_total - levels_replaced` clean-prefix
+    /// levels kept their placements and paid zero migration.
+    pub levels_replaced: usize,
+    /// Parameter bytes that must move to realize the new placement
+    /// ([`TopologyImpact::migration_bytes`]).
+    pub migration_bytes: u64,
+    /// Serialized α-β estimate of the migration time, seconds
+    /// ([`TopologyImpact::migration_cost_s`]).
+    pub migration_cost: f64,
 }
 
 impl ReplanOutcome {
@@ -150,7 +200,18 @@ impl ReplanOutcome {
 /// ```
 #[derive(Debug)]
 pub struct SpindleSession {
+    /// The *active* cluster — `pristine` minus the currently `removed`
+    /// devices. All planning happens against this.
     cluster: Arc<ClusterSpec>,
+    /// The full cluster as constructed, before any churn.
+    pristine: Arc<ClusterSpec>,
+    /// Currently removed device ids (sorted, deduplicated).
+    removed: Vec<DeviceId>,
+    /// The active device set before the most recent topology change:
+    /// `(device count, missing ids)`. Lets the next re-plan probe the
+    /// structural cache for the pre-churn placed skeleton and reuse its
+    /// clean-prefix placements.
+    prev_topology: Option<(u32, Vec<u32>)>,
     estimator: Arc<ScalabilityEstimator>,
     config: PlannerConfig,
     plans_produced: usize,
@@ -183,8 +244,12 @@ impl SpindleSession {
         estimator: Arc<ScalabilityEstimator>,
         config: PlannerConfig,
     ) -> Self {
+        let cluster = cluster.into();
         Self {
-            cluster: cluster.into(),
+            pristine: Arc::clone(&cluster),
+            cluster,
+            removed: Vec::new(),
+            prev_topology: None,
             estimator,
             config,
             plans_produced: 0,
@@ -203,6 +268,96 @@ impl SpindleSession {
     #[must_use]
     pub fn cluster_handle(&self) -> Arc<ClusterSpec> {
         Arc::clone(&self.cluster)
+    }
+
+    /// The full cluster this session was created with, before any device
+    /// churn.
+    #[must_use]
+    pub fn pristine_cluster(&self) -> &ClusterSpec {
+        &self.pristine
+    }
+
+    /// Devices currently removed from the active cluster (sorted).
+    #[must_use]
+    pub fn removed_devices(&self) -> &[DeviceId] {
+        &self.removed
+    }
+
+    /// The `(device count, missing ids)` signature of a cluster's active
+    /// device set within its dense id space.
+    fn device_set_signature(cluster: &ClusterSpec) -> (u32, Vec<u32>) {
+        let space = cluster.device_space();
+        let mut present = vec![false; space];
+        for d in cluster.all_devices().iter() {
+            present[d.index()] = true;
+        }
+        let missing = (0..space as u32)
+            .filter(|&i| !present[i as usize])
+            .collect();
+        (cluster.num_devices() as u32, missing)
+    }
+
+    /// Rebuilds the active cluster from `pristine` minus `removed`, recording
+    /// the previous active set for partial placement reuse. Returns the
+    /// signed change in device count (positive = devices lost).
+    fn apply_topology(&mut self) -> Result<isize, PlanError> {
+        let before = self.cluster.num_devices() as isize;
+        let next = self
+            .pristine
+            .without_devices(&self.removed)
+            .map_err(|_| PlanError::EmptyCluster)?;
+        let after = next.num_devices() as isize;
+        if before != after || next.all_devices() != self.cluster.all_devices() {
+            self.prev_topology = Some(Self::device_set_signature(&self.cluster));
+            self.cluster = Arc::new(next);
+        }
+        Ok(before - after)
+    }
+
+    /// Removes `devices` from the active cluster — the topology-change entry
+    /// point for device churn (spot reclamation, GPU failure, preemption).
+    /// Ids already removed or unknown are ignored. Subsequent plans place
+    /// onto the surviving set only; the next re-plan of a structure planned
+    /// before the change reuses the placements of its clean prefix of levels
+    /// and reports the migration the dirty suffix costs (see
+    /// [`ReplanOutcome`]).
+    ///
+    /// Returns the number of devices actually lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::EmptyCluster`] (leaving the session unchanged) if
+    /// the removal would leave no device.
+    pub fn remove_devices(&mut self, devices: &[DeviceId]) -> Result<usize, PlanError> {
+        let saved = self.removed.clone();
+        for &d in devices {
+            if !self.removed.contains(&d) {
+                self.removed.push(d);
+            }
+        }
+        self.removed.sort_unstable();
+        match self.apply_topology() {
+            Ok(delta) => Ok(delta.max(0) as usize),
+            Err(e) => {
+                self.removed = saved;
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns previously removed `devices` to the active cluster (spot
+    /// capacity coming back, a node rejoining). Ids not currently removed are
+    /// ignored. A restore that returns the cluster to a previously planned
+    /// topology lets re-plans serve placed skeletons cached for that
+    /// topology — bit-identical to cold plans of the restored cluster.
+    ///
+    /// Returns the number of devices actually regained.
+    pub fn restore_devices(&mut self, devices: &[DeviceId]) -> usize {
+        self.removed.retain(|d| !devices.contains(d));
+        match self.apply_topology() {
+            Ok(delta) => (-delta).max(0) as usize,
+            Err(_) => unreachable!("restoring devices cannot empty the cluster"),
+        }
     }
 
     /// The session's estimator (and its persistent curve cache).
@@ -336,7 +491,7 @@ impl SpindleSession {
         if self.cluster.num_devices() == 0 {
             return Err(PlanError::EmptyCluster);
         }
-        let (plan, stats, _reuse) = self.plan_shared(graph)?;
+        let (plan, stats, _reuse, _impact) = self.plan_shared(graph)?;
         self.stats.merge(&stats);
         self.plans_produced += 1;
         Ok(plan)
@@ -363,7 +518,7 @@ impl SpindleSession {
         }
         let before = self.cache_stats();
         let evictions_before = self.cache_evictions();
-        let (plan, stats, reuse) = self.plan_shared(graph)?;
+        let (plan, stats, reuse, impact) = self.plan_shared(graph)?;
         self.stats.merge(&stats);
         self.plans_produced += 1;
         let after = self.cache_stats();
@@ -378,6 +533,10 @@ impl SpindleSession {
             placement_reused: reuse.placement_reused,
             cache_bytes: self.cache_bytes(),
             evictions: self.cache_evictions().saturating_sub(evictions_before),
+            devices_lost: impact.devices_lost,
+            levels_replaced: impact.levels_replaced,
+            migration_bytes: impact.migration_bytes,
+            migration_cost: impact.migration_cost_s,
         })
     }
 
@@ -451,7 +610,7 @@ impl SpindleSession {
             produced.push(result?);
         }
         let mut plans = Vec::with_capacity(produced.len());
-        for (plan, stats, _reuse) in produced {
+        for (plan, stats, _reuse, _impact) in produced {
             self.stats.merge(&stats);
             self.plans_produced += 1;
             plans.push(plan);
@@ -476,6 +635,7 @@ impl SpindleSession {
         let contracted = self.contract(graph);
         let curves = self.resolve_curves(&contracted)?;
         let num_devices = self.cluster.num_devices() as u32;
+        let device_space = self.cluster.device_space() as u32;
         let cache = if self.config.structural_cache {
             self.structural
                 .ensure_epsilon(self.config.bisection_epsilon);
@@ -483,8 +643,10 @@ impl SpindleSession {
         } else {
             None
         };
-        let plan_key =
-            cache.map(|_| PlanKey::of(contracted.metagraph(), num_devices, self.config.placement));
+        let plan_key = cache.map(|_| {
+            let (n, missing) = Self::device_set_signature(&self.cluster);
+            PlanKey::with_device_set(contracted.metagraph(), n, missing, self.config.placement)
+        });
         if let Some(skeleton) = plan_key
             .as_ref()
             .and_then(|k| cache.expect("key implies cache").skeleton(k))
@@ -493,13 +655,14 @@ impl SpindleSession {
             // the freshly contracted MetaGraph. Bit-identical to the full
             // pipeline by construction of `PlanKey`.
             let levels_total = contracted.metagraph().levels().len();
-            let plan = ExecutionPlan::new(
+            let mut plan = ExecutionPlan::new(
                 skeleton.waves.clone(),
                 contracted.metagraph_handle(),
                 num_devices,
                 skeleton.theoretical_optimum,
                 started.elapsed(),
             );
+            plan.set_device_space(device_space);
             let stats = PlanningStats {
                 levels_reused: levels_total as u64,
                 ..PlanningStats::default()
@@ -509,7 +672,34 @@ impl SpindleSession {
                 levels_reused: levels_total,
                 placement_reused: true,
             };
-            return Ok((plan, stats, reuse));
+            return Ok((plan, stats, reuse, TopologyImpact::default()));
+        }
+        // Migration-aware partial placement reuse: when the topology shrank
+        // since this structure was last placed, salvage the clean prefix of
+        // levels from the pre-churn skeleton instead of re-placing everything.
+        let mut impact = TopologyImpact::default();
+        if let (Some(c), Some((prev_n, prev_missing))) = (cache, self.prev_topology.as_ref()) {
+            if *prev_n > num_devices && self.config.placement == PlacementStrategy::Locality {
+                impact.devices_lost = (*prev_n - num_devices) as usize;
+                let prev_key = PlanKey::with_device_set(
+                    contracted.metagraph(),
+                    *prev_n,
+                    prev_missing.clone(),
+                    self.config.placement,
+                );
+                if let Some(old) = c.skeleton(&prev_key) {
+                    if let Some(result) =
+                        self.replan_after_loss(&contracted, &curves, &old, c, impact, started)?
+                    {
+                        return Ok(result);
+                    }
+                } else {
+                    // The pre-churn placement was evicted: nothing to diff
+                    // against, so the whole plan is re-placed and the
+                    // migration volume is unknown (reported as zero).
+                    impact.levels_replaced = contracted.metagraph().levels().len();
+                }
+            }
         }
         let schedule = LevelSchedule::build_with_cache(
             &contracted,
@@ -525,10 +715,10 @@ impl SpindleSession {
             levels_reused: stats.levels_reused as usize,
             placement_reused: false,
         };
-        let mut plan = schedule.place(
+        let (mut plan, checkpoints) = schedule.place_checkpointed(
             &contracted,
             &self.cluster,
-            self.config.placement.policy(),
+            self.config.placement,
             started.elapsed(),
         )?;
         plan.set_planning_time(started.elapsed());
@@ -538,10 +728,212 @@ impl SpindleSession {
                 PlacedSkeleton {
                     waves: plan.waves().to_vec(),
                     theoretical_optimum: plan.theoretical_optimum(),
+                    checkpoints,
                 },
             );
         }
-        Ok((plan, stats, reuse))
+        Ok((plan, stats, reuse, impact))
+    }
+
+    /// The partial-reuse re-plan after device loss: keep the placements of
+    /// the maximal clean prefix of levels (none of their placed devices was
+    /// removed — they pay zero migration), rebuild and re-place the dirty
+    /// suffix onto the surviving devices by resuming the placement pass from
+    /// the last clean level's checkpoint, and price the parameter migration
+    /// the suffix's placement shift causes. Returns `Ok(None)` when the old
+    /// skeleton cannot seed a resume (no usable checkpoints) — the caller
+    /// falls back to a full re-plan.
+    fn replan_after_loss(
+        &self,
+        contracted: &ContractedGraph,
+        curves: &CurveSet,
+        old: &PlacedSkeleton,
+        cache: &StructuralPlanCache,
+        mut impact: TopologyImpact,
+        started: Instant,
+    ) -> Result<Option<PhasePlan>, PlanError> {
+        let num_devices = self.cluster.num_devices() as u32;
+        let device_space = self.cluster.device_space();
+        let levels_total = contracted.metagraph().levels().len();
+        let num_metaops = contracted.metagraph().num_metaops();
+        let mut present = vec![false; device_space];
+        for d in self.cluster.all_devices().iter() {
+            present[d.index()] = true;
+        }
+        // The clean prefix: maximal leading run of levels whose placements
+        // reference surviving devices only.
+        let mut clean_prefix = 0usize;
+        'levels: for lvl in 0..levels_total {
+            for wave in old.waves.iter().filter(|w| w.level == lvl) {
+                for entry in &wave.entries {
+                    let clean = entry.placement.as_ref().is_some_and(|g| {
+                        g.iter()
+                            .all(|d| d.index() < device_space && present[d.index()])
+                    });
+                    if !clean {
+                        break 'levels;
+                    }
+                }
+            }
+            clean_prefix += 1;
+        }
+        let new_key = {
+            let (n, missing) = Self::device_set_signature(&self.cluster);
+            PlanKey::with_device_set(contracted.metagraph(), n, missing, self.config.placement)
+        };
+        if clean_prefix == levels_total {
+            // Every placed device survived: the old plan is feasible on the
+            // surviving set as-is (disjoint placements on survivors cannot
+            // exceed the surviving capacity) and pays zero migration.
+            let mut plan = ExecutionPlan::new(
+                old.waves.clone(),
+                contracted.metagraph_handle(),
+                num_devices,
+                old.theoretical_optimum,
+                started.elapsed(),
+            );
+            plan.set_device_space(device_space as u32);
+            cache.insert_skeleton(
+                new_key,
+                PlacedSkeleton {
+                    waves: old.waves.clone(),
+                    theoretical_optimum: old.theoretical_optimum,
+                    checkpoints: old.checkpoints.clone(),
+                },
+            );
+            let stats = PlanningStats {
+                levels_reused: levels_total as u64,
+                ..PlanningStats::default()
+            };
+            let reuse = StructuralReuse {
+                levels_total,
+                levels_reused: levels_total,
+                placement_reused: true,
+            };
+            impact.levels_replaced = 0;
+            return Ok(Some((plan, stats, reuse, impact)));
+        }
+        if clean_prefix > 0 && old.checkpoints.len() < clean_prefix {
+            // Skeleton predates checkpointing (or used a stateless strategy):
+            // nothing to resume from.
+            return Ok(None);
+        }
+        // Where the suffix MetaOps used to live, for the migration diff.
+        let mut old_sites: Vec<Vec<DeviceId>> = vec![Vec::new(); num_metaops];
+        for wave in old.waves.iter().filter(|w| w.level >= clean_prefix) {
+            for entry in &wave.entries {
+                if let Some(group) = &entry.placement {
+                    let sites = &mut old_sites[entry.metaop.index()];
+                    for d in group.iter() {
+                        if !sites.contains(&d) {
+                            sites.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        // Re-solve every level at the surviving capacity (level artifacts
+        // cached per capacity make repeats cheap), keep the clean prefix's
+        // old waves verbatim, and splice the freshly scheduled suffix after
+        // them.
+        let schedule = LevelSchedule::build_with_cache(
+            contracted,
+            curves,
+            &self.estimator,
+            num_devices,
+            self.config.bisection_epsilon,
+            Some(cache),
+        );
+        let stats = schedule.stats();
+        let (new_waves, new_optimum) = schedule.into_parts();
+        let mut waves: Vec<Wave> = old
+            .waves
+            .iter()
+            .filter(|w| w.level < clean_prefix)
+            .cloned()
+            .collect();
+        let prefix_len = waves.len();
+        let mut now = waves.last().map_or(0.0, Wave::end);
+        for mut wave in new_waves.into_iter().filter(|w| w.level >= clean_prefix) {
+            wave.index = waves.len();
+            wave.start = now;
+            now = wave.end();
+            waves.push(wave);
+        }
+        let mut plan = ExecutionPlan::new(
+            waves,
+            contracted.metagraph_handle(),
+            num_devices,
+            new_optimum,
+            started.elapsed(),
+        );
+        crate::placement::check_capacity(&plan, &self.cluster)?;
+        let resume = if clean_prefix > 0 {
+            old.checkpoints[clean_prefix - 1].clone()
+        } else {
+            PlacementCheckpoint::default()
+        };
+        let suffix_checkpoints =
+            crate::placement::place_locality_resume(&mut plan, &self.cluster, prefix_len, &resume);
+        plan.set_device_space(device_space as u32);
+        // Price the migration: for every suffix MetaOp, each device it now
+        // occupies but did not before receives that MetaOp's per-device bytes
+        // over the cheapest link class connecting it to a surviving old
+        // replica (intra-island when one shares the island, inter-island
+        // otherwise — including the no-survivor case, a checkpoint restore).
+        let interconnect = self.cluster.interconnect();
+        let mut new_sites: Vec<Vec<DeviceId>> = vec![Vec::new(); num_metaops];
+        let mut bytes_per_device: Vec<u64> = vec![0; num_metaops];
+        for wave in plan.waves().iter().skip(prefix_len) {
+            for entry in &wave.entries {
+                let m = entry.metaop.index();
+                bytes_per_device[m] = bytes_per_device[m].max(entry.memory_per_device);
+                if let Some(group) = &entry.placement {
+                    for d in group.iter() {
+                        if !new_sites[m].contains(&d) {
+                            new_sites[m].push(d);
+                        }
+                    }
+                }
+            }
+        }
+        for m in 0..num_metaops {
+            let bytes = bytes_per_device[m];
+            if bytes == 0 {
+                continue;
+            }
+            let old_nodes: Vec<NodeId> = old_sites[m]
+                .iter()
+                .filter(|d| d.index() < device_space && present[d.index()])
+                .filter_map(|&d| self.cluster.node_of(d).ok())
+                .collect();
+            for &d in new_sites[m].iter().filter(|d| !old_sites[m].contains(d)) {
+                impact.migration_bytes += bytes;
+                let class = match self.cluster.node_of(d) {
+                    Ok(node) if old_nodes.contains(&node) => LinkClass::IntraIsland,
+                    _ => LinkClass::InterIsland,
+                };
+                impact.migration_cost_s += interconnect.transfer_time(class, bytes);
+            }
+        }
+        let mut checkpoints = old.checkpoints[..clean_prefix].to_vec();
+        checkpoints.extend(suffix_checkpoints);
+        cache.insert_skeleton(
+            new_key,
+            PlacedSkeleton {
+                waves: plan.waves().to_vec(),
+                theoretical_optimum: new_optimum,
+                checkpoints,
+            },
+        );
+        plan.set_planning_time(started.elapsed());
+        let reuse = StructuralReuse {
+            levels_total,
+            levels_reused: stats.levels_reused as usize,
+            placement_reused: false,
+        };
+        impact.levels_replaced = levels_total - clean_prefix;
+        Ok(Some((plan, stats, reuse, impact)))
     }
 
     /// The theoretical optimum `Σ C̃*` of a workload on this session's
@@ -833,6 +1225,146 @@ mod tests {
         let refit = session.replan(&graph).unwrap();
         assert!(refit.new_curve_fits > 0, "evicted curves are fitted anew");
         assert_eq!(refit.plan.waves(), cold.plan.waves());
+    }
+
+    /// A 3-level chain (embedding → towers → loss) whose first level is a
+    /// single MetaOp: on a 12-device cluster its power-of-two allocation
+    /// occupies only devices 0..8, so removing a high-id device leaves level
+    /// 0's placement clean while dirtying the later, work-conserving levels.
+    fn staged_workload() -> ComputationGraph {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("staged", [Modality::Audio, Modality::Text], 8);
+        let embed = b
+            .add_op(t, OpKind::Embedding, TensorShape::new(8, 229, 768))
+            .unwrap();
+        let audio = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(8, 229, 768),
+                8,
+            )
+            .unwrap();
+        let text = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(8, 77, 768),
+                6,
+            )
+            .unwrap();
+        let loss = b
+            .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768))
+            .unwrap();
+        b.add_flow(embed, audio[0]).unwrap();
+        b.add_flow(embed, text[0]).unwrap();
+        b.add_flow(*audio.last().unwrap(), loss).unwrap();
+        b.add_flow(*text.last().unwrap(), loss).unwrap();
+        b.build().unwrap()
+    }
+
+    fn placed_devices(plan: &ExecutionPlan) -> Vec<spindle_cluster::DeviceId> {
+        let mut devices = Vec::new();
+        for wave in plan.waves() {
+            for entry in &wave.entries {
+                if let Some(group) = &entry.placement {
+                    for d in group.iter() {
+                        if !devices.contains(&d) {
+                            devices.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        devices
+    }
+
+    #[test]
+    fn device_loss_replan_reuses_clean_prefix_and_prices_migration() {
+        let graph = staged_workload();
+        let cluster = ClusterSpec::homogeneous(3, 4);
+        let capacity = cluster.device_memory_bytes();
+        let mut session = SpindleSession::new(cluster);
+        let cold = session.replan(&graph).unwrap();
+        assert_eq!(cold.devices_lost, 0);
+        assert_eq!(cold.levels_replaced, 0);
+        assert_eq!(cold.migration_bytes, 0);
+        let dead = spindle_cluster::DeviceId(11);
+        assert!(placed_devices(&cold.plan).contains(&dead));
+        let cold_prefix: Vec<Wave> = cold
+            .plan
+            .waves()
+            .iter()
+            .filter(|w| w.level == 0)
+            .cloned()
+            .collect();
+
+        assert_eq!(session.remove_devices(&[dead]).unwrap(), 1);
+        assert_eq!(session.cluster().num_devices(), 11);
+        let churned = session.replan(&graph).unwrap();
+        assert_eq!(churned.devices_lost, 1);
+        assert_eq!(churned.levels_total, 3);
+        assert!(
+            churned.levels_replaced > 0 && churned.levels_replaced < churned.levels_total,
+            "partial churn must replace a proper suffix, got {}/{}",
+            churned.levels_replaced,
+            churned.levels_total
+        );
+        assert!(churned.migration_bytes > 0, "placement shift moves bytes");
+        assert!(churned.migration_cost > 0.0);
+        churned.plan.check_invariants(capacity).unwrap();
+        assert!(
+            !placed_devices(&churned.plan).contains(&dead),
+            "removed device must not appear in any placement"
+        );
+        // The clean prefix keeps its placements verbatim — zero migration.
+        let new_prefix: Vec<Wave> = churned
+            .plan
+            .waves()
+            .iter()
+            .filter(|w| w.level == 0)
+            .cloned()
+            .collect();
+        assert_eq!(cold_prefix, new_prefix);
+        // A second re-plan on the shrunken topology is a plain skeleton hit.
+        let settled = session.replan(&graph).unwrap();
+        assert_eq!(settled.devices_lost, 0);
+        assert!(settled.placement_reused);
+        assert_eq!(settled.plan.waves(), churned.plan.waves());
+    }
+
+    #[test]
+    fn restore_then_recur_is_bit_identical_to_cold() {
+        let graph = staged_workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(3, 4));
+        let cold = session.replan(&graph).unwrap();
+        let dead = [spindle_cluster::DeviceId(9), spindle_cluster::DeviceId(11)];
+        assert_eq!(session.remove_devices(&dead).unwrap(), 2);
+        session.replan(&graph).unwrap();
+        assert_eq!(session.restore_devices(&dead), 2);
+        assert_eq!(session.cluster().num_devices(), 12);
+        assert_eq!(session.removed_devices(), &[]);
+        let restored = session.replan(&graph).unwrap();
+        assert_eq!(restored.plan.waves(), cold.plan.waves());
+        // And with a cleared cache the restored re-plan still reproduces the
+        // cold plan bit for bit — determinism, not cache luck.
+        session.clear_structural_cache();
+        let recomputed = session.replan(&graph).unwrap();
+        assert_eq!(recomputed.plan.waves(), cold.plan.waves());
+    }
+
+    #[test]
+    fn removing_every_device_is_rejected_and_leaves_session_usable() {
+        let graph = workload();
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 4));
+        session.plan(&graph).unwrap();
+        let all: Vec<_> = session.cluster().all_devices().iter().collect();
+        assert!(matches!(
+            session.remove_devices(&all),
+            Err(PlanError::EmptyCluster)
+        ));
+        assert_eq!(session.cluster().num_devices(), 4, "session unchanged");
+        session.plan(&graph).unwrap();
     }
 
     #[test]

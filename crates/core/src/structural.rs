@@ -37,7 +37,7 @@ use std::sync::{Arc, RwLock};
 
 use spindle_graph::WorkloadSignature;
 
-use crate::{MetaGraph, MetaLevel, PlacementStrategy, Wave, WaveEntry};
+use crate::{MetaGraph, MetaLevel, PlacementCheckpoint, PlacementStrategy, Wave, WaveEntry};
 
 /// Default byte budget of the structural plan cache: comfortably holds every
 /// artifact of paper-scale and hyperscale runs while bounding a long-running
@@ -111,18 +111,37 @@ impl LevelKey {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     num_devices: u32,
+    /// Device ids absent from the dense space `0..num_devices + missing.len()`
+    /// — empty on a pristine cluster, the removed ids after device churn.
+    /// Two post-churn clusters can have equal device *counts* but different
+    /// survivor *sets*; their placed skeletons are not interchangeable.
+    missing: Vec<u32>,
     placement: PlacementStrategy,
     metaops: Vec<(WorkloadSignature, u32)>,
     edges: Vec<(u32, u32)>,
 }
 
 impl PlanKey {
-    /// Builds the plan-level key of `metagraph` for a cluster of
-    /// `num_devices` under `placement`.
+    /// Builds the plan-level key of `metagraph` for a pristine cluster of
+    /// `num_devices` contiguous devices under `placement`.
     #[must_use]
     pub fn of(metagraph: &MetaGraph, num_devices: u32, placement: PlacementStrategy) -> Self {
+        Self::with_device_set(metagraph, num_devices, Vec::new(), placement)
+    }
+
+    /// Builds the key for an explicit device set: `num_devices` survivors in
+    /// the dense id space `0..num_devices + missing.len()` with `missing`
+    /// (sorted) ids absent.
+    #[must_use]
+    pub fn with_device_set(
+        metagraph: &MetaGraph,
+        num_devices: u32,
+        missing: Vec<u32>,
+        placement: PlacementStrategy,
+    ) -> Self {
         Self {
             num_devices,
+            missing,
             placement,
             metaops: metagraph
                 .metaops()
@@ -137,6 +156,7 @@ impl PlanKey {
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
+            + self.missing.len() * std::mem::size_of::<u32>()
             + self.metaops.len() * std::mem::size_of::<(WorkloadSignature, u32)>()
             + self.edges.len() * std::mem::size_of::<(u32, u32)>()
     }
@@ -286,14 +306,27 @@ pub struct PlacedSkeleton {
     pub waves: Vec<Wave>,
     /// The plan's theoretical optimum `Σ C̃*`.
     pub theoretical_optimum: f64,
+    /// Placement-pass state snapshotted after each level (`checkpoints[i]` =
+    /// state after the last wave of level `i`). After device churn, a clean
+    /// prefix of levels keeps its placements and the pass resumes from the
+    /// last clean checkpoint instead of re-placing the whole plan. Empty for
+    /// stateless placement strategies.
+    pub checkpoints: Vec<PlacementCheckpoint>,
 }
 
 impl PlacedSkeleton {
-    /// Approximate memory footprint of the skeleton (waves, entries and
-    /// placement device lists), for cache byte accounting.
+    /// Approximate memory footprint of the skeleton (waves, entries,
+    /// placement device lists and level checkpoints), for cache byte
+    /// accounting.
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.waves.iter().map(wave_bytes).sum::<usize>()
+        std::mem::size_of::<Self>()
+            + self.waves.iter().map(wave_bytes).sum::<usize>()
+            + self
+                .checkpoints
+                .iter()
+                .map(PlacementCheckpoint::approx_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -762,6 +795,7 @@ mod tests {
             PlacedSkeleton {
                 waves: Vec::new(),
                 theoretical_optimum: 1.0,
+                checkpoints: Vec::new(),
             },
         );
         assert!(cache.skeleton(&plan_key).is_some());
@@ -834,6 +868,7 @@ mod tests {
             PlacedSkeleton {
                 waves: Vec::new(),
                 theoretical_optimum: 1.0,
+                checkpoints: Vec::new(),
             },
         );
         assert!(cache.bytes() <= cache.budget());

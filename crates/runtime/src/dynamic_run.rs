@@ -14,11 +14,14 @@
 use std::fmt;
 use std::sync::Arc;
 
-use spindle_core::SpindleSession;
-use spindle_workloads::ArrivalSchedule;
+use spindle_cluster::DeviceId;
+use spindle_core::{ExecutionPlan, SpindleSession};
+use spindle_graph::ComputationGraph;
+use spindle_workloads::{ArrivalSchedule, DeviceChurnEvent, DeviceChurnKind, ScheduleEvent};
 
 use crate::metrics::UtilizationSample;
-use crate::sim::{SimConfig, Simulator};
+use crate::migrate::{migration_bytes, migration_flows, price_migration};
+use crate::sim::{FaultSpec, SimConfig, Simulator};
 use crate::{RuntimeEngine, RuntimeError};
 
 /// What happened in one phase of a dynamic run.
@@ -57,12 +60,56 @@ pub struct PhaseRunReport {
     pub utilization_trace: Vec<UtilizationSample>,
 }
 
+/// What happened at one device-churn event of a dynamic run.
+#[derive(Debug, Clone)]
+pub struct ChurnRunReport {
+    /// Event timestamp, simulated seconds since run start.
+    pub at_s: f64,
+    /// The schedule's event label.
+    pub label: String,
+    /// `true` for a removal (device death / preemption), `false` for a
+    /// restore.
+    pub removed: bool,
+    /// The global device ids the event named.
+    pub devices: Vec<u32>,
+    /// Devices lost relative to the previous plan's topology (removals of
+    /// already-dead devices count zero).
+    pub devices_lost: usize,
+    /// MetaLevels of the re-planned graph.
+    pub levels_total: usize,
+    /// MetaLevels whose placement had to be redone; the remaining clean
+    /// prefix kept its placements and paid zero migration.
+    pub levels_replaced: usize,
+    /// Wall-clock cost of the topology re-plan, milliseconds.
+    pub replan_ms: f64,
+    /// Parameter bytes of the actual migration flow set (old plan → new
+    /// plan), the same flows [`sim_migration_s`](Self::sim_migration_s)
+    /// prices. Unlike the planner's loss-side estimate this also counts a
+    /// restore moving parameters back onto returned devices.
+    pub migration_bytes: u64,
+    /// The planner's serialized α-β migration price, seconds (upper bound).
+    pub planner_migration_s: f64,
+    /// The migration makespan with all flows concurrent under the
+    /// simulator's equal-share link-contention model, seconds.
+    pub sim_migration_s: f64,
+    /// In-flight compute seconds the device death discarded mid-wave.
+    pub wasted_compute_s: f64,
+    /// Simulated iteration time before the event, seconds (0 when no phase
+    /// was active yet).
+    pub iteration_before_s: f64,
+    /// Simulated iteration time on the re-planned topology, seconds.
+    pub iteration_after_s: f64,
+}
+
 /// The full report of a dynamic run.
 #[derive(Debug, Clone)]
 pub struct DynamicRunReport {
     /// Per-phase reports in arrival order.
     pub phases: Vec<PhaseRunReport>,
-    /// Total simulated training time across all phases, seconds.
+    /// Per-event reports of the schedule's device churn, in timeline order.
+    pub churn: Vec<ChurnRunReport>,
+    /// Total simulated training time across all phases, including churn
+    /// overhead (wasted in-flight compute and migration makespans), seconds.
     pub total_simulated_s: f64,
     /// Total online re-planning time, milliseconds.
     pub total_replan_ms: f64,
@@ -99,6 +146,16 @@ impl DynamicRunReport {
         self.phases.iter().map(|p| p.gap.abs()).fold(0.0, f64::max)
     }
 
+    /// Total simulated seconds lost to device churn: discarded in-flight
+    /// compute plus contention-priced migration makespans.
+    #[must_use]
+    pub fn churn_overhead_s(&self) -> f64 {
+        self.churn
+            .iter()
+            .map(|c| c.wasted_compute_s + c.sim_migration_s)
+            .sum()
+    }
+
     /// Fraction of MetaLevels spliced from the structural plan cache over
     /// the online re-plans (phases after the first). 1.0 means every re-plan
     /// was fully incremental.
@@ -132,7 +189,16 @@ impl fmt::Display for DynamicRunReport {
             self.structural_reuse_rate() * 100.0,
             self.total_simulated_s / 1e3,
             self.worst_gap() * 100.0
-        )
+        )?;
+        if !self.churn.is_empty() {
+            write!(
+                f,
+                ", {} topology changes ({:.3} s churn overhead)",
+                self.churn.len(),
+                self.churn_overhead_s()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -165,65 +231,189 @@ impl<'s> DynamicRunLoop<'s> {
         self
     }
 
-    /// Executes the schedule: at every arrival the session re-plans the new
-    /// task mix, the new plan is simulated, and the phase trains until the
-    /// next arrival (at least one iteration per phase).
+    /// Executes the schedule's merged timeline. At every task arrival the
+    /// session re-plans the new task mix, the new plan is simulated, and the
+    /// phase trains until the next arrival (at least one iteration per
+    /// phase). At every device-churn event the topology changes mid-run: a
+    /// removal kills the in-flight iteration at the event instant (wasted
+    /// compute is charged), the session re-plans the active task mix onto
+    /// the survivors — reusing the placements of every level untouched by
+    /// the loss — and the parameter migration implied by the placement diff
+    /// is priced through the simulator's link-contention model. The loop
+    /// never dies with the devices: it degrades and carries on.
     ///
     /// # Errors
     ///
     /// Propagates planning failures as [`RuntimeError::InvalidPlan`] and
     /// simulation failures unchanged.
     pub fn run(&mut self, schedule: &ArrivalSchedule) -> Result<DynamicRunReport, RuntimeError> {
-        let cluster = self.session.cluster_handle();
         let mut phases = Vec::with_capacity(schedule.arrivals().len());
+        let mut churn = Vec::with_capacity(schedule.num_topology_changes());
         let mut total_simulated_s = 0.0;
         let mut total_replan_ms = 0.0;
-        for (i, arrival) in schedule.arrivals().iter().enumerate() {
-            // Online re-plan at the arrival, against the warm session cache.
-            let outcome = self.session.replan(&arrival.graph)?;
-            let replan_ms = outcome.plan.planning_time().as_secs_f64() * 1e3;
-            total_replan_ms += replan_ms;
-            let plan = Arc::new(outcome.plan);
+        // The active phase: its graph, its current plan, the plan's simulated
+        // iteration time and the instant the plan took effect.
+        let mut active: Option<(&ComputationGraph, Arc<ExecutionPlan>, f64, f64)> = None;
+        let mut phase_idx = 0;
+        for event in schedule.timeline() {
+            match event {
+                ScheduleEvent::Phase(arrival) => {
+                    // Online re-plan at the arrival, against the warm session
+                    // cache.
+                    let outcome = self.session.replan(&arrival.graph)?;
+                    let replan_ms = outcome.plan.planning_time().as_secs_f64() * 1e3;
+                    total_replan_ms += replan_ms;
+                    let plan = Arc::new(outcome.plan);
+                    let cluster = self.session.cluster_handle();
 
-            // Price the plan both ways: closed form and event-driven.
-            let analytical = RuntimeEngine::new(Arc::clone(&plan), &cluster)
-                .with_graph(&arrival.graph)
-                .with_config(self.sim_config.engine)
-                .run_iteration()?;
-            let sim = Simulator::new(Arc::clone(&plan), &cluster)
-                .with_graph(&arrival.graph)
-                .with_config(self.sim_config.clone())
-                .run_iteration()?;
+                    // Price the plan both ways: closed form and event-driven.
+                    let analytical = RuntimeEngine::new(Arc::clone(&plan), &cluster)
+                        .with_graph(&arrival.graph)
+                        .with_config(self.sim_config.engine)
+                        .run_iteration()?;
+                    let sim = Simulator::new(Arc::clone(&plan), &cluster)
+                        .with_graph(&arrival.graph)
+                        .with_config(self.sim_config.clone())
+                        .run_iteration()?;
 
-            let window_s = schedule.phase_window_s(i);
-            let iterations = if sim.total_s() > 0.0 {
-                ((window_s / sim.total_s()).floor() as u64).max(1)
-            } else {
-                1
-            };
-            total_simulated_s += iterations as f64 * sim.total_s();
+                    let window_s = schedule.phase_window_s(phase_idx);
+                    let iterations = if sim.total_s() > 0.0 {
+                        ((window_s / sim.total_s()).floor() as u64).max(1)
+                    } else {
+                        1
+                    };
+                    total_simulated_s += iterations as f64 * sim.total_s();
 
-            phases.push(PhaseRunReport {
-                label: arrival.label.clone(),
-                arrival_s: arrival.at_s,
-                replan_ms,
-                new_curve_fits: outcome.new_curve_fits,
-                cache_hits: outcome.cache_hits,
-                warm: outcome.warm,
-                levels_total: outcome.levels_total,
-                levels_reused: outcome.levels_reused,
-                placement_reused: outcome.placement_reused,
-                sim_iteration_s: sim.total_s(),
-                analytical_iteration_s: analytical.iteration_time_s(),
-                gap: sim.gap_vs(analytical.iteration_time_s()),
-                iterations,
-                utilization_trace: sim.utilization_trace().to_vec(),
-            });
+                    phases.push(PhaseRunReport {
+                        label: arrival.label.clone(),
+                        arrival_s: arrival.at_s,
+                        replan_ms,
+                        new_curve_fits: outcome.new_curve_fits,
+                        cache_hits: outcome.cache_hits,
+                        warm: outcome.warm,
+                        levels_total: outcome.levels_total,
+                        levels_reused: outcome.levels_reused,
+                        placement_reused: outcome.placement_reused,
+                        sim_iteration_s: sim.total_s(),
+                        analytical_iteration_s: analytical.iteration_time_s(),
+                        gap: sim.gap_vs(analytical.iteration_time_s()),
+                        iterations,
+                        utilization_trace: sim.utilization_trace().to_vec(),
+                    });
+                    active = Some((&arrival.graph, plan, sim.total_s(), arrival.at_s));
+                    phase_idx += 1;
+                }
+                ScheduleEvent::Churn(event) => {
+                    let report = self.on_churn(event, &mut active)?;
+                    total_replan_ms += report.replan_ms;
+                    total_simulated_s += report.wasted_compute_s + report.sim_migration_s;
+                    churn.push(report);
+                }
+            }
         }
         Ok(DynamicRunReport {
             phases,
+            churn,
             total_simulated_s,
             total_replan_ms,
+        })
+    }
+
+    /// Applies one device-churn event to the session mid-run and re-plans
+    /// the active task mix on the changed topology.
+    fn on_churn(
+        &mut self,
+        event: &DeviceChurnEvent,
+        active: &mut Option<(&ComputationGraph, Arc<ExecutionPlan>, f64, f64)>,
+    ) -> Result<ChurnRunReport, RuntimeError> {
+        let device_ids: Vec<DeviceId> = event.devices.iter().map(|&d| DeviceId(d)).collect();
+        let removed = event.kind == DeviceChurnKind::Remove;
+
+        // A removal strikes the iteration in flight: fault-inject the death
+        // into the current plan's simulation at the event's offset within
+        // the iteration and charge the discarded compute.
+        let mut wasted_compute_s = 0.0;
+        if removed {
+            if let Some((graph, plan, iter_s, since_s)) = active.as_ref() {
+                if *iter_s > 0.0 {
+                    let offset = (event.at_s - since_s).rem_euclid(*iter_s);
+                    let cluster = self.session.cluster_handle();
+                    let (_, fault) = Simulator::new(Arc::clone(plan), &cluster)
+                        .with_graph(*graph)
+                        .with_config(self.sim_config.clone())
+                        .run_iteration_with_fault(&FaultSpec {
+                            at_s: offset,
+                            devices: device_ids.clone(),
+                        })?;
+                    wasted_compute_s = fault.wasted_compute_s;
+                }
+            }
+            self.session.remove_devices(&device_ids)?;
+        } else {
+            self.session.restore_devices(&device_ids);
+        }
+
+        let Some((graph, old_plan, iter_before_s, _)) = active.take() else {
+            // Topology changed before any task arrived: nothing to re-plan.
+            return Ok(ChurnRunReport {
+                at_s: event.at_s,
+                label: event.label.clone(),
+                removed,
+                devices: event.devices.clone(),
+                devices_lost: 0,
+                levels_total: 0,
+                levels_replaced: 0,
+                replan_ms: 0.0,
+                migration_bytes: 0,
+                planner_migration_s: 0.0,
+                sim_migration_s: 0.0,
+                wasted_compute_s,
+                iteration_before_s: 0.0,
+                iteration_after_s: 0.0,
+            });
+        };
+
+        // Re-plan the active task mix on the survivors; levels untouched by
+        // the loss keep their placements (partial placement reuse).
+        let outcome = self.session.replan(graph)?;
+        let replan_ms = outcome.plan.planning_time().as_secs_f64() * 1e3;
+        let devices_lost = outcome.devices_lost;
+        let levels_total = outcome.levels_total;
+        let levels_replaced = outcome.levels_replaced;
+        let planner_migration_s = outcome.migration_cost;
+        let new_plan = Arc::new(outcome.plan);
+        let cluster = self.session.cluster_handle();
+
+        // Price the actual migration flow set through the contention model.
+        // The flows — not the planner's loss-side estimate — are the bytes
+        // reported: a restore moves parameters back onto returned devices
+        // even though the planner charges no loss migration for it.
+        let flows = migration_flows(&old_plan, &new_plan, &cluster);
+        let moved_bytes = migration_bytes(&flows);
+        let sim_migration_s = price_migration(&cluster, &flows, self.sim_config.contention);
+
+        let sim = Simulator::new(Arc::clone(&new_plan), &cluster)
+            .with_graph(graph)
+            .with_config(self.sim_config.clone())
+            .run_iteration()?;
+        let iteration_after_s = sim.total_s();
+        *active = Some((graph, new_plan, iteration_after_s, event.at_s));
+
+        Ok(ChurnRunReport {
+            at_s: event.at_s,
+            label: event.label.clone(),
+            removed,
+            devices: event.devices.clone(),
+            devices_lost,
+            levels_total,
+            levels_replaced,
+            replan_ms,
+            migration_bytes: moved_bytes,
+            planner_migration_s,
+            sim_migration_s,
+            wasted_compute_s,
+            iteration_before_s: iter_before_s,
+            iteration_after_s,
         })
     }
 }
@@ -270,6 +460,88 @@ mod tests {
         }
         let text = report.to_string();
         assert!(text.contains("3 online re-plans"));
+    }
+
+    #[test]
+    fn device_churn_degrades_gracefully_and_recovers() {
+        let schedule = ArrivalSchedule::multitask_clip_arrivals(5, 3, 60.0)
+            .unwrap()
+            .with_seeded_device_churn(17, 16, 10);
+        assert!(schedule.num_topology_changes() > 0, "seed must draw churn");
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+        let report = DynamicRunLoop::new(&mut session)
+            .with_sim_config(SimConfig::contended())
+            .run(&schedule)
+            .unwrap();
+        assert_eq!(report.phases.len(), schedule.arrivals().len());
+        assert_eq!(report.churn.len(), schedule.num_topology_changes());
+        for c in &report.churn {
+            // Every event re-plans onto a live topology: the loop survives.
+            assert!(c.iteration_after_s > 0.0 || c.levels_total == 0);
+            if c.removed && c.devices_lost > 0 {
+                // Losing a small slice of capacity changes the iteration
+                // time boundedly (it can even speed up: shallower
+                // parallelism means less sync overhead). What must hold is
+                // that the run continues at a sane pace, not a cliff.
+                assert!(
+                    c.iteration_after_s <= c.iteration_before_s * 4.0
+                        && c.iteration_after_s >= c.iteration_before_s * 0.25,
+                    "lost {} devices, iteration jumped {} -> {}",
+                    c.devices_lost,
+                    c.iteration_before_s,
+                    c.iteration_after_s
+                );
+                // Migration is priced, and the contended price can beat the
+                // planner's serialized α-β bound only through overlap — it
+                // never exceeds serial by more than rounding.
+                if c.migration_bytes > 0 {
+                    assert!(c.planner_migration_s > 0.0);
+                }
+            }
+        }
+        assert!(report.total_simulated_s > 0.0);
+        let text = report.to_string();
+        assert!(text.contains("topology changes"), "display: {text}");
+    }
+
+    #[test]
+    fn removal_before_any_arrival_is_survived() {
+        use spindle_workloads::{DeviceChurnEvent, DeviceChurnKind};
+        let base = ArrivalSchedule::multitask_clip_arrivals(3, 3, 40.0).unwrap();
+        // The seeded arrival process starts its first phase at t=0, so place
+        // a removal at the earliest representable instant after it and a
+        // restore later; then move the first arrival's events around them.
+        let churn = vec![
+            DeviceChurnEvent {
+                at_s: 0.0,
+                kind: DeviceChurnKind::Remove,
+                devices: vec![14, 15],
+                label: "early loss".into(),
+            },
+            DeviceChurnEvent {
+                at_s: base.horizon_s() * 0.5,
+                kind: DeviceChurnKind::Restore,
+                devices: vec![14, 15],
+                label: "capacity back".into(),
+            },
+        ];
+        let schedule = base.with_device_churn(churn);
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+        let report = DynamicRunLoop::new(&mut session).run(&schedule).unwrap();
+        assert_eq!(report.churn.len(), 2);
+        // The removal lands at t=0 after the first arrival (arrivals sort
+        // first on ties), so a plan is already active and gets re-planned
+        // down to 14 devices.
+        assert!(report.churn[0].removed);
+        assert_eq!(report.churn[0].devices_lost, 2);
+        assert!(report.churn[0].levels_replaced > 0);
+        // The restore re-plans back up: nothing is "lost".
+        assert!(!report.churn[1].removed);
+        assert_eq!(report.churn[1].devices_lost, 0);
+        assert!(report.churn[1].iteration_after_s > 0.0);
+        // The restore re-planned on the full device set again: the next
+        // removal of the same devices would be a real loss.
+        assert_eq!(session.removed_devices().len(), 0);
     }
 
     #[test]

@@ -126,6 +126,13 @@ pub enum SimEventKind {
         /// Index of the group in the parameter pool.
         group: usize,
     },
+    /// Injected device death: the iteration aborted here.
+    DeviceFault {
+        /// Number of devices that died.
+        devices: usize,
+        /// In-flight entries killed by the deaths.
+        killed: usize,
+    },
     /// The iteration completed.
     IterationEnd,
 }
@@ -146,6 +153,9 @@ impl fmt::Display for SimEventKind {
             SimEventKind::FlowEnd { from, to } => write!(f, "flow-end {from}->{to}"),
             SimEventKind::SyncStart { group } => write!(f, "sync-start group{group}"),
             SimEventKind::SyncEnd { group } => write!(f, "sync-end group{group}"),
+            SimEventKind::DeviceFault { devices, killed } => {
+                write!(f, "device-fault x{devices} killed{killed}")
+            }
             SimEventKind::IterationEnd => write!(f, "iteration-end"),
         }
     }

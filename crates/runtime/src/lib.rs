@@ -66,11 +66,12 @@ mod error;
 mod events;
 mod localize;
 mod metrics;
+mod migrate;
 mod param_groups;
 mod sim;
 mod transmission;
 
-pub use dynamic_run::{DynamicRunLoop, DynamicRunReport, PhaseRunReport};
+pub use dynamic_run::{ChurnRunReport, DynamicRunLoop, DynamicRunReport, PhaseRunReport};
 pub use engine::{EngineConfig, IntoShared, RuntimeEngine};
 pub use error::RuntimeError;
 pub use events::{EventLog, LoggedEvent, SimEventKind};
@@ -78,8 +79,9 @@ pub use localize::LocalizedPlan;
 pub use metrics::{
     sample_utilization_trace, ComputeInterval, IterationReport, TimeBreakdown, UtilizationSample,
 };
+pub use migrate::{migration_bytes, migration_flows, price_migration, MigrationFlow};
 pub use param_groups::ParamGroupPool;
-pub use sim::{CommMode, SimConfig, SimReport, Simulator, Straggler};
+pub use sim::{CommMode, FaultReport, FaultSpec, SimConfig, SimReport, Simulator, Straggler};
 pub use transmission::{
     derive_transmission_sites, derive_transmissions, total_transmission_time, Transmission,
     TransmissionKind, TransmissionSite,

@@ -1,0 +1,263 @@
+//! Parameter-migration flows after a topology change, priced through the
+//! simulator's link-contention model.
+//!
+//! When the planner re-places a workload after device churn, every device
+//! that newly hosts a MetaOp replica must receive that replica's parameter
+//! shard from a surviving old replica. The planner itself prices this
+//! serially with the α-β interconnect model (an upper bound, reported as
+//! `ReplanOutcome::migration_cost`); this module derives the *concrete* flow
+//! set from the old and new plans and prices it the way the event-driven
+//! simulator prices wave-boundary traffic — all flows issued concurrently,
+//! sharing link bandwidth equal-share at the most contended link
+//! ([`LinkOccupancy`]). The contended price is what the elastic run loop
+//! charges the timeline.
+
+use std::collections::BTreeMap;
+
+use spindle_cluster::{
+    transfer_footprint, ClusterSpec, CommModel, DeviceGroup, DeviceId, LinkId, LinkOccupancy,
+};
+use spindle_core::{ExecutionPlan, MetaOpId};
+
+/// One parameter-shard move: `bytes` of MetaOp state travel from a surviving
+/// replica to a device that newly hosts the MetaOp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationFlow {
+    /// The MetaOp whose state moves.
+    pub metaop: MetaOpId,
+    /// Surviving source replica.
+    pub from: DeviceId,
+    /// Newly placed destination device.
+    pub to: DeviceId,
+    /// Parameter bytes moved (the MetaOp's per-device memory footprint).
+    pub bytes: u64,
+}
+
+/// Derives the migration flows implied by re-placing `old` as `new` on
+/// `cluster` (the post-churn cluster: its device set is the survivor set).
+///
+/// For every device that hosts a MetaOp in `new` but did not in `old`, one
+/// flow is emitted from the nearest surviving old replica — a same-node
+/// replica if one exists, otherwise the first surviving replica. MetaOps
+/// with no surviving replica (all old hosts died) or no annotated memory
+/// emit no flow: their state cannot be *moved*, it must be re-materialised.
+#[must_use]
+pub fn migration_flows(
+    old: &ExecutionPlan,
+    new: &ExecutionPlan,
+    cluster: &ClusterSpec,
+) -> Vec<MigrationFlow> {
+    let survivors = cluster.all_devices();
+    let mut old_sites: BTreeMap<MetaOpId, Vec<DeviceId>> = BTreeMap::new();
+    for wave in old.waves() {
+        for entry in &wave.entries {
+            let Some(group) = &entry.placement else {
+                continue;
+            };
+            let sites = old_sites.entry(entry.metaop).or_default();
+            for d in group.iter() {
+                if survivors.contains(d) && !sites.contains(&d) {
+                    sites.push(d);
+                }
+            }
+        }
+    }
+    let mut flows = Vec::new();
+    let mut new_seen: BTreeMap<MetaOpId, Vec<DeviceId>> = BTreeMap::new();
+    for wave in new.waves() {
+        for entry in &wave.entries {
+            let Some(group) = &entry.placement else {
+                continue;
+            };
+            let Some(sources) = old_sites.get(&entry.metaop) else {
+                continue;
+            };
+            if sources.is_empty() || entry.memory_per_device == 0 {
+                continue;
+            }
+            let seen = new_seen.entry(entry.metaop).or_default();
+            for d in group.iter() {
+                if seen.contains(&d) {
+                    continue;
+                }
+                seen.push(d);
+                if sources.contains(&d) {
+                    continue;
+                }
+                let node = cluster.node_of(d).ok();
+                let from = sources
+                    .iter()
+                    .copied()
+                    .find(|&s| cluster.node_of(s).ok() == node && node.is_some())
+                    .unwrap_or(sources[0]);
+                flows.push(MigrationFlow {
+                    metaop: entry.metaop,
+                    from,
+                    to: d,
+                    bytes: entry.memory_per_device,
+                });
+            }
+        }
+    }
+    flows
+}
+
+/// Total bytes moved by a flow set.
+#[must_use]
+pub fn migration_bytes(flows: &[MigrationFlow]) -> u64 {
+    flows.iter().map(|f| f.bytes).sum()
+}
+
+/// Prices a migration flow set on `cluster`: all flows start concurrently,
+/// and with `contended` each flow's service rate is its nominal bandwidth
+/// divided by the worst concurrent-flow count on any link of its footprint —
+/// exactly the equal-share model the event-driven simulator applies to
+/// wave-boundary traffic. Without contention, flows overlap at full rate and
+/// the price is the slowest flow. Returns the makespan of the migration,
+/// seconds.
+#[must_use]
+pub fn price_migration(cluster: &ClusterSpec, flows: &[MigrationFlow], contended: bool) -> f64 {
+    struct Active {
+        remaining_s: f64,
+        footprint: Vec<LinkId>,
+    }
+    let comm = CommModel::new(cluster);
+    let mut active: Vec<Active> = flows
+        .iter()
+        .map(|f| Active {
+            remaining_s: comm.p2p_time(f.from, f.to, f.bytes),
+            footprint: transfer_footprint(
+                cluster,
+                &DeviceGroup::contiguous(f.from, 1),
+                &DeviceGroup::contiguous(f.to, 1),
+            ),
+        })
+        .collect();
+    let mut occupancy = LinkOccupancy::new();
+    if contended {
+        for flow in &active {
+            occupancy.register(&flow.footprint);
+        }
+    }
+    let mut now = 0.0_f64;
+    while !active.is_empty() {
+        // Next completion at current equal-share rates.
+        let step = active
+            .iter()
+            .map(|f| f.remaining_s * occupancy.congestion(&f.footprint) as f64)
+            .fold(f64::INFINITY, f64::min);
+        now += step;
+        for flow in &mut active {
+            flow.remaining_s -= step / occupancy.congestion(&flow.footprint) as f64;
+        }
+        let eps = 1e-12 * now.max(1.0);
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].remaining_s <= eps {
+                let done = active.swap_remove(i);
+                if contended {
+                    occupancy.release(&done.footprint);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_core::SpindleSession;
+    use spindle_graph::{ComputationGraph, GraphBuilder, Modality, OpKind, TensorShape};
+
+    fn graph() -> ComputationGraph {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("audio-text", [Modality::Audio, Modality::Text], 64);
+        let audio = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Audio),
+                TensorShape::new(64, 229, 768),
+                8,
+            )
+            .unwrap();
+        let text = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Text),
+                TensorShape::new(64, 77, 768),
+                6,
+            )
+            .unwrap();
+        let loss = b
+            .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(64, 1, 768))
+            .unwrap();
+        b.add_flow(*audio.last().unwrap(), loss).unwrap();
+        b.add_flow(*text.last().unwrap(), loss).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_plans_need_no_migration() {
+        let cluster = ClusterSpec::homogeneous(2, 4);
+        let g = graph();
+        let plan = SpindleSession::new(cluster.clone()).plan(&g).unwrap();
+        let flows = migration_flows(&plan, &plan, &cluster);
+        assert!(flows.is_empty(), "same placement moves nothing: {flows:?}");
+        assert_eq!(price_migration(&cluster, &flows, true), 0.0);
+    }
+
+    #[test]
+    fn device_loss_produces_priced_flows_from_survivors() {
+        let full = ClusterSpec::homogeneous(2, 4);
+        let g = graph();
+        let mut session = SpindleSession::new(full.clone());
+        let old = session.plan(&g).unwrap();
+        session.remove_devices(&[DeviceId(7)]).unwrap();
+        let new = session.replan(&g).unwrap().plan;
+        let shrunk = session.cluster_handle();
+        let flows = migration_flows(&old, &new, &shrunk);
+        // Every flow originates at a survivor and lands on a survivor that
+        // did not previously host the MetaOp.
+        for flow in &flows {
+            assert_ne!(flow.from, DeviceId(7));
+            assert_ne!(flow.to, DeviceId(7));
+            assert_ne!(flow.from, flow.to);
+            assert!(flow.bytes > 0);
+        }
+        if !flows.is_empty() {
+            let relaxed = price_migration(&shrunk, &flows, false);
+            let contended = price_migration(&shrunk, &flows, true);
+            assert!(relaxed > 0.0);
+            assert!(
+                contended >= relaxed - 1e-12,
+                "contention can only slow migration: {contended} vs {relaxed}"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_prices_shared_links_above_the_lone_flow() {
+        let cluster = ClusterSpec::homogeneous(2, 4);
+        // Two cross-island flows out of the same node share its uplink.
+        let flows = vec![
+            MigrationFlow {
+                metaop: MetaOpId(0),
+                from: DeviceId(0),
+                to: DeviceId(4),
+                bytes: 1 << 30,
+            },
+            MigrationFlow {
+                metaop: MetaOpId(1),
+                from: DeviceId(1),
+                to: DeviceId(5),
+                bytes: 1 << 30,
+            },
+        ];
+        let lone = price_migration(&cluster, &flows[..1], true);
+        let both = price_migration(&cluster, &flows, true);
+        assert!(both > lone * 1.5, "shared uplink must halve the rate");
+    }
+}

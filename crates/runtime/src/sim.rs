@@ -71,6 +71,37 @@ impl Straggler {
     }
 }
 
+/// A device-death fault: at `at_s` simulated seconds into the iteration the
+/// listed devices die. Whatever they were computing at that instant is lost
+/// (the wave can never complete its barrier), the iteration aborts, and the
+/// caller is expected to re-plan onto the survivors — the elastic-cluster
+/// path [`DynamicRunLoop`](crate::DynamicRunLoop) drives end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Fault instant, simulated seconds since the start of the iteration.
+    pub at_s: f64,
+    /// The devices that die.
+    pub devices: Vec<DeviceId>,
+}
+
+/// What a [`FaultSpec`] did to the iteration it interrupted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// `true` if the fault instant fell inside the iteration. When the
+    /// iteration finished first, the report is all zeros except `at_s`.
+    pub fired: bool,
+    /// The effective fault instant, simulated seconds.
+    pub at_s: f64,
+    /// Compute seconds already spent on in-flight entries that involved a
+    /// dead device — work the fault discarded.
+    pub wasted_compute_s: f64,
+    /// In-flight entries killed because a dead device was in their group.
+    pub killed_entries: usize,
+    /// Waves that had fully completed (including their boundary flows) when
+    /// the fault fired.
+    pub completed_waves: usize,
+}
+
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -293,6 +324,34 @@ impl Simulator {
         run.execute();
         Ok(run.into_report())
     }
+
+    /// Simulates one training iteration with a device-death fault armed: if
+    /// the fault instant falls inside the iteration, the listed devices die
+    /// at that instant, every in-flight entry touching them is killed, and
+    /// the iteration aborts there (the returned report's makespan is the
+    /// fault instant). If the iteration finishes first, the fault never
+    /// fires and the run is identical to [`Self::run_iteration`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Self::run_iteration`].
+    pub fn run_iteration_with_fault(
+        &self,
+        fault: &FaultSpec,
+    ) -> Result<(SimReport, FaultReport), RuntimeError> {
+        let localized =
+            LocalizedPlan::new(Arc::clone(&self.plan), &self.cluster, self.graph.as_deref())?;
+        let mut run = Run::new(&localized, &self.cluster, &self.comm, &self.config);
+        run.fault = Some(fault);
+        run.execute();
+        let fault_report = run.fault_report.take().unwrap_or(FaultReport {
+            fired: false,
+            at_s: fault.at_s,
+            completed_waves: localized.plan().num_waves(),
+            ..FaultReport::default()
+        });
+        Ok((run.into_report(), fault_report))
+    }
 }
 
 /// An inter-wave transmission or parameter sync waiting to be serviced.
@@ -360,6 +419,11 @@ struct Run<'a> {
     intervals: Vec<ComputeInterval>,
     flows_executed: usize,
     syncs_executed: usize,
+    /// Outstanding compute entries of the current wave: `(entry index,
+    /// scheduled end)` — what a mid-wave fault kills.
+    inflight: Vec<(usize, f64)>,
+    fault: Option<&'a FaultSpec>,
+    fault_report: Option<FaultReport>,
 }
 
 impl<'a> Run<'a> {
@@ -395,6 +459,9 @@ impl<'a> Run<'a> {
             intervals: Vec::new(),
             flows_executed: 0,
             syncs_executed: 0,
+            inflight: Vec::new(),
+            fault: None,
+            fault_report: None,
         }
     }
 
@@ -411,6 +478,12 @@ impl<'a> Run<'a> {
                 self.finish();
                 break;
             };
+            if let Some(fault) = self.fault {
+                if self.fault_report.is_none() && fault.at_s <= t {
+                    self.fire_fault(fault);
+                    break;
+                }
+            }
             self.now = self.now.max(t);
             match ev {
                 Ev::ComputeEnd { wave, entry } => self.on_compute_end(wave, entry),
@@ -488,6 +561,7 @@ impl<'a> Run<'a> {
         self.wave_start = self.now;
         let wave = &self.localized.plan().waves()[w];
         self.outstanding_compute = wave.entries.len();
+        self.inflight.clear();
         for (idx, entry) in wave.entries.iter().enumerate() {
             let group = entry
                 .placement
@@ -530,6 +604,7 @@ impl<'a> Run<'a> {
                     devices: entry.devices,
                 },
             );
+            self.inflight.push((idx, self.now + duration));
             self.queue.push(
                 self.now + duration,
                 Ev::ComputeEnd {
@@ -547,6 +622,7 @@ impl<'a> Run<'a> {
         let metaop = self.localized.plan().waves()[wave].entries[entry].metaop;
         self.log
             .push(self.now, SimEventKind::ComputeEnd { wave, metaop });
+        self.inflight.retain(|&(idx, _)| idx != entry);
         self.outstanding_compute -= 1;
         if self.outstanding_compute == 0 {
             self.wave_complete();
@@ -757,6 +833,66 @@ impl<'a> Run<'a> {
                 Stage::Compute => unreachable!("flows only complete in comm stages"),
             }
         }
+    }
+
+    /// The device-death fault fires: in-flight entries touching a dead
+    /// device are killed (their compute so far counted as wasted), busy-time
+    /// accounting is trimmed to the fault instant for every outstanding
+    /// entry, and the iteration aborts there.
+    fn fire_fault(&mut self, fault: &FaultSpec) {
+        self.now = self.now.max(fault.at_s);
+        let mut wasted = 0.0;
+        let mut killed = 0;
+        let completed_waves;
+        match self.stage {
+            Stage::Compute => {
+                completed_waves = self.wave;
+                let elapsed = self.now - self.wave_start;
+                let wave = &self.localized.plan().waves()[self.wave];
+                for &(idx, scheduled_end) in &self.inflight {
+                    let group = wave.entries[idx]
+                        .placement
+                        .as_ref()
+                        .expect("localisation requires placement");
+                    if fault.devices.iter().any(|&d| group.contains(d)) {
+                        wasted += elapsed;
+                        killed += 1;
+                    }
+                    // No outstanding entry runs past the fault: trim the
+                    // busy seconds credited up front at schedule time.
+                    let overrun = (scheduled_end - self.now).max(0.0);
+                    for d in group.iter() {
+                        if let Some(busy) = self.device_busy.get_mut(&d) {
+                            *busy = (*busy - overrun).max(0.0);
+                        }
+                    }
+                }
+                self.compute_s += elapsed;
+            }
+            Stage::Boundary => {
+                completed_waves = self.wave + 1;
+                self.comm_s += self.now - self.stage_start;
+            }
+            Stage::Sync => {
+                completed_waves = self.localized.plan().num_waves();
+                self.sync_s += self.now - self.stage_start;
+            }
+        }
+        self.log.push(
+            self.now,
+            SimEventKind::DeviceFault {
+                devices: fault.devices.len(),
+                killed,
+            },
+        );
+        self.fault_report = Some(FaultReport {
+            fired: true,
+            at_s: self.now,
+            wasted_compute_s: wasted,
+            killed_entries: killed,
+            completed_waves,
+        });
+        self.finish();
     }
 
     fn finish(&mut self) {
@@ -1035,6 +1171,76 @@ mod tests {
             sim.utilization_trace().len(),
             EngineConfig::default().trace_samples
         );
+    }
+
+    #[test]
+    fn mid_wave_fault_kills_in_flight_work_and_aborts() {
+        let (plan, graph, cluster) = plan_on(1, 8);
+        let nominal = Simulator::new(plan.clone(), &cluster)
+            .with_graph(&graph)
+            .run_iteration()
+            .unwrap();
+        let at_s = plan.waves()[0].duration / 2.0;
+        let (report, fault) = Simulator::new(plan, &cluster)
+            .with_graph(&graph)
+            .run_iteration_with_fault(&FaultSpec {
+                at_s,
+                devices: vec![DeviceId(0)],
+            })
+            .unwrap();
+        assert!(fault.fired);
+        assert!((fault.at_s - at_s).abs() < 1e-12);
+        assert!(fault.killed_entries > 0, "device 0 was computing mid-wave");
+        assert!(fault.wasted_compute_s > 0.0);
+        assert_eq!(fault.completed_waves, 0);
+        // The iteration aborts at the fault instant.
+        assert!((report.total_s() - at_s).abs() < 1e-12);
+        assert!(report.total_s() < nominal.total_s());
+        // Busy time stays conserved after trimming in-flight entries.
+        for (&d, &busy) in report.device_busy_s() {
+            assert!(busy <= report.total_s() + 1e-9, "{d} busy {busy}");
+        }
+        // The fault is on the deterministic event log.
+        assert!(report.event_log().render().contains("device-fault"));
+    }
+
+    #[test]
+    fn fault_after_the_iteration_never_fires() {
+        let (plan, graph, cluster) = plan_on(1, 8);
+        let nominal = Simulator::new(plan.clone(), &cluster)
+            .with_graph(&graph)
+            .run_iteration()
+            .unwrap();
+        let (report, fault) = Simulator::new(plan.clone(), &cluster)
+            .with_graph(&graph)
+            .run_iteration_with_fault(&FaultSpec {
+                at_s: nominal.total_s() * 2.0,
+                devices: vec![DeviceId(0)],
+            })
+            .unwrap();
+        assert!(!fault.fired);
+        assert_eq!(fault.wasted_compute_s, 0.0);
+        assert_eq!(fault.completed_waves, plan.num_waves());
+        assert!((report.total_s() - nominal.total_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_on_an_idle_device_wastes_nothing() {
+        let (plan, graph, cluster) = plan_on(1, 8);
+        // DeviceId(200) is not in the cluster: nothing in flight dies, but
+        // the iteration still aborts (the device pool changed under the run).
+        let at_s = plan.waves()[0].duration / 2.0;
+        let (report, fault) = Simulator::new(plan, &cluster)
+            .with_graph(&graph)
+            .run_iteration_with_fault(&FaultSpec {
+                at_s,
+                devices: vec![DeviceId(200)],
+            })
+            .unwrap();
+        assert!(fault.fired);
+        assert_eq!(fault.killed_entries, 0);
+        assert_eq!(fault.wasted_compute_s, 0.0);
+        assert!((report.total_s() - at_s).abs() < 1e-12);
     }
 
     #[test]

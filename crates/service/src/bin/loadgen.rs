@@ -22,8 +22,25 @@ use std::time::{Duration, Instant};
 
 use spindle_cluster::ClusterSpec;
 use spindle_core::PlannerConfig;
+use spindle_graph::XorShift64Star;
 use spindle_service::{Completion, PlanService, ServiceConfig, SubmitError};
 use spindle_workloads::TenantFleet;
+
+/// Hard ceiling on one backpressure wait. `retry_hint` tracks the service's
+/// average re-plan time, so the exponential ramp only matters when the queue
+/// stays full across several retries; 20 ms keeps even that case responsive.
+const BACKOFF_CAP: Duration = Duration::from_millis(20);
+
+/// Capped exponential backoff for one backpressure retry: `retry_hint`
+/// doubled per failed attempt, multiplied by a seeded jitter in
+/// `[0.5, 1.5)` so a fleet of generators does not retry in lockstep.
+fn backoff_delay(retry_hint: Duration, attempt: u32, rng: &mut XorShift64Star) -> Duration {
+    let base = retry_hint
+        .saturating_mul(1u32 << attempt.min(10))
+        .min(BACKOFF_CAP);
+    let jitter = 0.5 + rng.next_f64();
+    Duration::from_secs_f64(base.as_secs_f64() * jitter).min(BACKOFF_CAP)
+}
 
 fn quick_mode() -> bool {
     std::env::var("SPINDLE_BENCH_QUICK").is_ok_and(|v| v == "1" || v == "true")
@@ -97,21 +114,35 @@ fn replay(
         evictions: 0,
     };
     let mut rejections = 0u64;
+    let mut backoff_rng = XorShift64Star::new(0x10ad_9e4e ^ fleet.events().len() as u64);
     let start = Instant::now();
     for event in fleet.events() {
         // Opportunistically drain finished work between submissions.
         while let Ok(done) = completions.try_recv() {
             tally.record(done);
         }
+        let mut attempt = 0u32;
         loop {
             match service.submit(event.tenant as u64, Arc::clone(&event.graph)) {
                 Ok(()) => break,
                 Err(SubmitError::QueueFull { retry_hint }) => {
                     rejections += 1;
-                    // Backpressure: wait for one completion (frees a queue
-                    // slot soon after) or the hinted interval, then retry.
-                    if let Ok(done) = completions.recv_timeout(retry_hint) {
-                        tally.record(done);
+                    // Backpressure: back off for the hinted interval (doubled
+                    // per consecutive rejection, jittered, capped), draining
+                    // completions while we wait — each one frees a queue slot
+                    // soon after, so waiting on the channel *is* the backoff.
+                    let delay = backoff_delay(retry_hint, attempt, &mut backoff_rng);
+                    attempt += 1;
+                    let wait_until = Instant::now() + delay;
+                    loop {
+                        let left = wait_until.saturating_duration_since(Instant::now());
+                        if left.is_zero() {
+                            break;
+                        }
+                        match completions.recv_timeout(left) {
+                            Ok(done) => tally.record(done),
+                            Err(_) => break,
+                        }
                     }
                 }
                 Err(SubmitError::WorkerGone) => unreachable!("workers outlive the replay"),

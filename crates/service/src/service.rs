@@ -3,13 +3,14 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use spindle_cluster::ClusterSpec;
+use spindle_cluster::{ClusterSpec, DeviceId};
 use spindle_core::{PlanError, PlannerConfig, ReplanOutcome, SpindleSession};
 use spindle_estimator::ScalabilityEstimator;
 use spindle_graph::ComputationGraph;
@@ -80,6 +81,9 @@ pub struct Completion {
     /// The re-plan outcome (plan plus cache-warmth probe), or the planning
     /// error.
     pub result: Result<ReplanOutcome, PlanError>,
+    /// `true` when this re-plan was triggered by a cluster topology change
+    /// ([`PlanService::submit_topology`]) rather than a task-mix event.
+    pub topology_change: bool,
     /// Churn events folded into this re-plan (≥ 1; > 1 means coalescing
     /// saved `coalesced - 1` full re-plans).
     pub coalesced: usize,
@@ -105,9 +109,14 @@ pub struct ServiceStats {
     pub submitted: u64,
     /// Submissions rejected with [`SubmitError::QueueFull`].
     pub rejected: u64,
-    /// Coalesced re-plans executed.
+    /// Coalesced re-plans executed for task-mix events.
     pub replans: u64,
-    /// Re-plans that failed with a [`PlanError`].
+    /// Re-plans executed because the cluster topology changed (one per
+    /// affected tenant per change; not counted in `replans`, so the
+    /// coalescing ratio keeps its events-per-replan meaning).
+    pub topology_replans: u64,
+    /// Re-plans that failed with a [`PlanError`], plus worker loops that
+    /// panicked.
     pub errors: u64,
     /// Total time spent planning, nanoseconds.
     pub plan_nanos: u64,
@@ -137,6 +146,7 @@ struct Counters {
     submitted: AtomicU64,
     rejected: AtomicU64,
     replans: AtomicU64,
+    topology_replans: AtomicU64,
     errors: AtomicU64,
     plan_nanos: AtomicU64,
 }
@@ -145,6 +155,11 @@ enum Request {
     Event {
         tenant: u64,
         graph: Arc<ComputationGraph>,
+        submitted: Instant,
+    },
+    Topology {
+        removed: Vec<DeviceId>,
+        restored: Vec<DeviceId>,
         submitted: Instant,
     },
     Shutdown,
@@ -202,7 +217,19 @@ impl PlanService {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("spindle-svc-{worker}"))
-                    .spawn(move || worker_loop(&rx, &cluster, planner, &counters, &completions))
+                    .spawn(move || {
+                        // The whole loop is panic-guarded: a panic that
+                        // escapes the per-tenant guards still ends the
+                        // worker cleanly (its queue disconnects, submit
+                        // reports WorkerGone, shutdown's join never hangs)
+                        // and is surfaced on the error counter.
+                        let guarded = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            worker_loop(&rx, &cluster, planner, &counters, &completions);
+                        }));
+                        if guarded.is_err() {
+                            counters.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
                     .expect("spawning a service worker thread"),
             );
         }
@@ -260,6 +287,49 @@ impl PlanService {
         }
     }
 
+    /// Submits a cluster topology change: `removed` devices left the pool
+    /// and `restored` devices rejoined it. The change is broadcast to every
+    /// worker; each worker applies it to all of its tenant sessions and
+    /// re-plans every tenant's latest task mix on the changed device set,
+    /// delivering one [`Completion`] per affected tenant (with
+    /// `topology_change == true`). Tenants are isolated: one tenant's
+    /// re-plan failure — or panic — becomes that tenant's completion error,
+    /// never a worker death.
+    ///
+    /// Unlike [`Self::submit`], topology changes use a *blocking* enqueue:
+    /// they are rare, must not be dropped under backpressure, and every
+    /// worker has to observe the same device set. Returns the number of
+    /// workers notified.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::WorkerGone`] if no worker is alive to apply the
+    /// change.
+    pub fn submit_topology(
+        &self,
+        removed: &[DeviceId],
+        restored: &[DeviceId],
+    ) -> Result<usize, SubmitError> {
+        let submitted = Instant::now();
+        let mut notified = 0;
+        for sender in &self.senders {
+            if sender
+                .send(Request::Topology {
+                    removed: removed.to_vec(),
+                    restored: restored.to_vec(),
+                    submitted,
+                })
+                .is_ok()
+            {
+                notified += 1;
+            }
+        }
+        if notified == 0 {
+            return Err(SubmitError::WorkerGone);
+        }
+        Ok(notified)
+    }
+
     /// The backoff the service suggests on [`SubmitError::QueueFull`]: its
     /// average re-plan time so far (at least 100µs).
     #[must_use]
@@ -279,6 +349,7 @@ impl PlanService {
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             replans: self.counters.replans.load(Ordering::Relaxed),
+            topology_replans: self.counters.topology_replans.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             plan_nanos: self.counters.plan_nanos.load(Ordering::Relaxed),
         }
@@ -314,6 +385,37 @@ impl Drop for PlanService {
     }
 }
 
+/// Runs one tenant's re-plan behind a panic guard. A planner panic poisons
+/// only that tenant: it is reported as [`PlanError::Panicked`] and the
+/// caller discards the tenant's session.
+fn guarded_replan(
+    session: &mut SpindleSession,
+    graph: &ComputationGraph,
+) -> Result<ReplanOutcome, PlanError> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| session.replan(graph)))
+        .unwrap_or_else(|payload| Err(panic_error(&payload)))
+}
+
+/// Maps a caught panic payload to the per-tenant [`PlanError::Panicked`]
+/// the completion channel reports.
+fn panic_error(payload: &(dyn std::any::Any + Send)) -> PlanError {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    PlanError::Panicked { message }
+}
+
+struct WorkerState {
+    sessions: HashMap<u64, SpindleSession>,
+    last_graph: HashMap<u64, Arc<ComputationGraph>>,
+    /// The devices currently removed from the cluster, applied to sessions
+    /// created after the topology change so new tenants see the same
+    /// survivor set as old ones.
+    removed_now: Vec<DeviceId>,
+}
+
 fn worker_loop(
     rx: &Receiver<Request>,
     cluster: &Arc<ClusterSpec>,
@@ -322,45 +424,86 @@ fn worker_loop(
     completions: &Sender<Completion>,
 ) {
     let estimator = Arc::new(ScalabilityEstimator::new(cluster));
-    let mut sessions: HashMap<u64, SpindleSession> = HashMap::new();
+    let mut state = WorkerState {
+        sessions: HashMap::new(),
+        last_graph: HashMap::new(),
+        removed_now: Vec::new(),
+    };
     let mut queue = CoalescingQueue::new();
+    let mut topology: Vec<(Vec<DeviceId>, Vec<DeviceId>, Instant)> = Vec::new();
     let mut shutting_down = false;
     loop {
-        if queue.is_empty() {
+        if queue.is_empty() && topology.is_empty() {
             if shutting_down {
                 break;
             }
             // Nothing pending: block for the next request.
             match rx.recv() {
-                Ok(request) => apply(request, &mut queue, &mut shutting_down),
+                Ok(request) => apply(request, &mut queue, &mut topology, &mut shutting_down),
                 Err(_) => break,
             }
         }
         // Greedy drain: fold every queued event before planning, so a burst
         // for one tenant coalesces into a single re-plan.
         while let Ok(request) = rx.try_recv() {
-            apply(request, &mut queue, &mut shutting_down);
+            apply(request, &mut queue, &mut topology, &mut shutting_down);
+        }
+        // Topology changes first: subsequent tenant re-plans must see the
+        // new device set.
+        for (removed, restored, submitted) in topology.drain(..) {
+            apply_topology(
+                &removed,
+                &restored,
+                submitted,
+                &mut state,
+                counters,
+                completions,
+            );
         }
         let Some(replan) = queue.pop() else { continue };
         let queue_wait = replan.oldest_submit.elapsed();
-        let session = sessions.entry(replan.tenant).or_insert_with(|| {
-            SpindleSession::with_estimator(Arc::clone(cluster), Arc::clone(&estimator), planner)
+        let removed_now = &state.removed_now;
+        let session = state.sessions.entry(replan.tenant).or_insert_with(|| {
+            let mut session = SpindleSession::with_estimator(
+                Arc::clone(cluster),
+                Arc::clone(&estimator),
+                planner,
+            );
+            if !removed_now.is_empty() {
+                // Never fails: a non-empty survivor set already planned for
+                // the worker's other tenants.
+                let _ = session.remove_devices(removed_now);
+            }
+            session
         });
         let started = Instant::now();
-        let result = session.replan(&replan.graph);
+        let result = guarded_replan(session, &replan.graph);
         let plan_time = started.elapsed();
         counters.replans.fetch_add(1, Ordering::Relaxed);
         counters
             .plan_nanos
             .fetch_add(plan_time.as_nanos() as u64, Ordering::Relaxed);
-        if result.is_err() {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
+        match &result {
+            Ok(_) => {
+                state
+                    .last_graph
+                    .insert(replan.tenant, Arc::clone(&replan.graph));
+            }
+            Err(error) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                if matches!(error, PlanError::Panicked { .. }) {
+                    // The session may hold half-updated caches: discard it.
+                    state.sessions.remove(&replan.tenant);
+                    state.last_graph.remove(&replan.tenant);
+                }
+            }
         }
         // A gone receiver just means the caller stopped listening; keep
         // draining so accepted events still update the counters.
         let _ = completions.send(Completion {
             tenant: replan.tenant,
             result,
+            topology_change: false,
             coalesced: replan.coalesced,
             queue_wait,
             plan_time,
@@ -368,7 +511,76 @@ fn worker_loop(
     }
 }
 
-fn apply(request: Request, queue: &mut CoalescingQueue, shutting_down: &mut bool) {
+/// Applies one topology change to every tenant session of a worker and
+/// re-plans each tenant's latest task mix on the changed device set. Each
+/// tenant is isolated: its failure (or panic) is its own completion error.
+fn apply_topology(
+    removed: &[DeviceId],
+    restored: &[DeviceId],
+    submitted: Instant,
+    state: &mut WorkerState,
+    counters: &Counters,
+    completions: &Sender<Completion>,
+) {
+    state.removed_now.retain(|d| !restored.contains(d));
+    for &d in removed {
+        if !state.removed_now.contains(&d) {
+            state.removed_now.push(d);
+        }
+    }
+    let mut tenants: Vec<u64> = state.sessions.keys().copied().collect();
+    tenants.sort_unstable();
+    let mut poisoned = Vec::new();
+    for tenant in tenants {
+        let session = state.sessions.get_mut(&tenant).expect("tenant listed");
+        if !restored.is_empty() {
+            session.restore_devices(restored);
+        }
+        let shrink = if removed.is_empty() {
+            Ok(0)
+        } else {
+            session.remove_devices(removed)
+        };
+        // A tenant that never completed a plan has no task mix to re-plan;
+        // its session still observed the topology change above.
+        let Some(graph) = state.last_graph.get(&tenant).cloned() else {
+            continue;
+        };
+        let queue_wait = submitted.elapsed();
+        let started = Instant::now();
+        let result = match shrink {
+            Ok(_) => guarded_replan(session, &graph),
+            Err(error) => Err(error),
+        };
+        let plan_time = started.elapsed();
+        counters.topology_replans.fetch_add(1, Ordering::Relaxed);
+        if let Err(error) = &result {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            if matches!(error, PlanError::Panicked { .. }) {
+                poisoned.push(tenant);
+            }
+        }
+        let _ = completions.send(Completion {
+            tenant,
+            result,
+            topology_change: true,
+            coalesced: 1,
+            queue_wait,
+            plan_time,
+        });
+    }
+    for tenant in poisoned {
+        state.sessions.remove(&tenant);
+        state.last_graph.remove(&tenant);
+    }
+}
+
+fn apply(
+    request: Request,
+    queue: &mut CoalescingQueue,
+    topology: &mut Vec<(Vec<DeviceId>, Vec<DeviceId>, Instant)>,
+    shutting_down: &mut bool,
+) {
     match request {
         Request::Event {
             tenant,
@@ -377,6 +589,11 @@ fn apply(request: Request, queue: &mut CoalescingQueue, shutting_down: &mut bool
         } => {
             queue.push(tenant, graph, submitted);
         }
+        Request::Topology {
+            removed,
+            restored,
+            submitted,
+        } => topology.push((removed, restored, submitted)),
         Request::Shutdown => *shutting_down = true,
     }
 }
@@ -583,6 +800,148 @@ mod tests {
             .plan_nanos
             .store(4_000_000, Ordering::Relaxed);
         assert_eq!(service.retry_hint(), Duration::from_millis(1));
+    }
+
+    fn drain_ok(completions: &Receiver<Completion>, expect: usize) -> Vec<Completion> {
+        (0..expect)
+            .map(|_| {
+                completions
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("completion")
+            })
+            .collect()
+    }
+
+    fn uses_device(outcome: &ReplanOutcome, device: u32) -> bool {
+        outcome.plan.waves().iter().any(|w| {
+            w.entries.iter().any(|e| {
+                e.placement
+                    .as_ref()
+                    .is_some_and(|g| g.contains(spindle_cluster::DeviceId(device)))
+            })
+        })
+    }
+
+    #[test]
+    fn topology_change_replans_every_tenant_on_the_survivors() {
+        let (service, completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 8),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 16,
+                planner: PlannerConfig::default(),
+            },
+        );
+        service.submit(0, graph(16)).unwrap();
+        service.submit(1, graph(32)).unwrap();
+        for done in drain_ok(&completions, 2) {
+            assert!(!done.topology_change);
+            done.result.expect("task-mix plan succeeds");
+        }
+
+        // Device 7 dies: both tenants re-plan onto the 7 survivors.
+        let notified = service
+            .submit_topology(&[spindle_cluster::DeviceId(7)], &[])
+            .unwrap();
+        assert_eq!(notified, 1);
+        let mut tenants_seen = Vec::new();
+        for done in drain_ok(&completions, 2) {
+            assert!(done.topology_change);
+            assert_eq!(done.coalesced, 1);
+            let outcome = done.result.expect("topology re-plan succeeds");
+            outcome.plan.validate().unwrap();
+            assert!(
+                !uses_device(&outcome, 7),
+                "tenant {} placed work on the dead device",
+                done.tenant
+            );
+            assert_eq!(outcome.devices_lost, 1);
+            tenants_seen.push(done.tenant);
+        }
+        tenants_seen.sort_unstable();
+        assert_eq!(tenants_seen, vec![0, 1]);
+
+        // A tenant arriving after the change plans on the survivors too.
+        service.submit(2, graph(8)).unwrap();
+        let done = drain_ok(&completions, 1).pop().unwrap();
+        let outcome = done.result.expect("new tenant plans");
+        assert!(!uses_device(&outcome, 7), "new tenant saw the old topology");
+
+        // The device comes back: every tenant re-plans at full capacity and
+        // may use device 7 again.
+        service
+            .submit_topology(&[], &[spindle_cluster::DeviceId(7)])
+            .unwrap();
+        for done in drain_ok(&completions, 3) {
+            assert!(done.topology_change);
+            let outcome = done.result.expect("restore re-plan succeeds");
+            assert_eq!(outcome.devices_lost, 0);
+            outcome.plan.validate().unwrap();
+        }
+
+        let stats = service.shutdown();
+        assert_eq!(stats.topology_replans, 5, "2 on loss + 3 on restore");
+        assert_eq!(stats.errors, 0);
+        // Topology re-plans stay out of the coalescing denominator.
+        assert_eq!(stats.replans, 3);
+    }
+
+    #[test]
+    fn removing_every_device_is_a_tenant_error_not_a_worker_death() {
+        let (service, completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 4),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 16,
+                planner: PlannerConfig::default(),
+            },
+        );
+        service.submit(0, graph(8)).unwrap();
+        drain_ok(&completions, 1)
+            .pop()
+            .unwrap()
+            .result
+            .expect("initial plan");
+        // Removing all four devices cannot be applied; the tenant gets an
+        // error completion and the worker lives on.
+        let all: Vec<spindle_cluster::DeviceId> = (0..4).map(spindle_cluster::DeviceId).collect();
+        service.submit_topology(&all, &[]).unwrap();
+        let done = drain_ok(&completions, 1).pop().unwrap();
+        assert!(done.topology_change);
+        assert!(done.result.is_err(), "empty cluster must be rejected");
+        // The worker is still serving: the same tenant re-plans fine.
+        service.submit(0, graph(16)).unwrap();
+        let done = drain_ok(&completions, 1).pop().unwrap();
+        done.result
+            .expect("worker survived the bad topology change");
+        let stats = service.shutdown();
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn panic_payloads_map_to_per_tenant_plan_errors() {
+        for (payload, needle) in [
+            (
+                std::panic::catch_unwind(|| panic!("boom at wave 3")).unwrap_err(),
+                "boom at wave 3",
+            ),
+            (
+                std::panic::catch_unwind(|| panic!("{}", String::from("formatted"))).unwrap_err(),
+                "formatted",
+            ),
+            (
+                std::panic::catch_unwind(|| std::panic::panic_any(42_u32)).unwrap_err(),
+                "non-string panic payload",
+            ),
+        ] {
+            match panic_error(payload.as_ref()) {
+                PlanError::Panicked { message } => assert!(
+                    message.contains(needle),
+                    "payload mapped to {message:?}, wanted {needle:?}"
+                ),
+                other => panic!("wrong error: {other:?}"),
+            }
+        }
     }
 
     #[test]

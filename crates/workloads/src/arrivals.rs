@@ -26,12 +26,62 @@ pub struct PhaseArrival {
     pub graph: ComputationGraph,
 }
 
-/// A timeline of task-mix changes over one training run.
+/// What a device-churn event does to the cluster's device pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceChurnKind {
+    /// The devices leave the pool (spot reclamation, GPU failure, the start
+    /// of a preemption window).
+    Remove,
+    /// Previously removed devices rejoin the pool (capacity restored, the
+    /// end of a preemption window).
+    Restore,
+}
+
+/// One device-topology change at a simulated timestamp: a node or GPU range
+/// leaving or rejoining the cluster. Device ids are global ids into the
+/// cluster the schedule is run against (the workloads crate does not depend
+/// on the cluster model, mirroring the scenario fuzzer's convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceChurnEvent {
+    /// Event timestamp, seconds since run start.
+    pub at_s: f64,
+    /// Whether the devices leave or rejoin.
+    pub kind: DeviceChurnKind,
+    /// The affected global device ids.
+    pub devices: Vec<u32>,
+    /// Human-readable description (for run reports).
+    pub label: String,
+}
+
+/// One entry of the merged run timeline: a task-mix change or a
+/// device-topology change (see [`ArrivalSchedule::timeline`]).
+#[derive(Debug, Clone, Copy)]
+pub enum ScheduleEvent<'a> {
+    /// The active task set changes.
+    Phase(&'a PhaseArrival),
+    /// The device pool changes.
+    Churn(&'a DeviceChurnEvent),
+}
+
+impl ScheduleEvent<'_> {
+    /// The event's timestamp, seconds since run start.
+    #[must_use]
+    pub fn at_s(&self) -> f64 {
+        match self {
+            Self::Phase(p) => p.at_s,
+            Self::Churn(c) => c.at_s,
+        }
+    }
+}
+
+/// A timeline of task-mix changes — and, optionally, device-churn events —
+/// over one training run.
 #[derive(Debug, Clone)]
 pub struct ArrivalSchedule {
     name: String,
     horizon_s: f64,
     arrivals: Vec<PhaseArrival>,
+    device_churn: Vec<DeviceChurnEvent>,
 }
 
 impl ArrivalSchedule {
@@ -55,6 +105,7 @@ impl ArrivalSchedule {
             name: name.into(),
             horizon_s,
             arrivals,
+            device_churn: Vec::new(),
         }
     }
 
@@ -125,6 +176,165 @@ impl ArrivalSchedule {
             arrivals,
             horizon,
         ))
+    }
+
+    /// Attaches explicit device-churn events to the schedule (sorted by
+    /// timestamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event lies outside `[0, horizon)` or names no device.
+    #[must_use]
+    pub fn with_device_churn(mut self, mut events: Vec<DeviceChurnEvent>) -> Self {
+        for event in &events {
+            assert!(
+                event.at_s >= 0.0 && event.at_s < self.horizon_s,
+                "churn event at {} outside the run horizon {}",
+                event.at_s,
+                self.horizon_s
+            );
+            assert!(!event.devices.is_empty(), "churn event names no device");
+        }
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        self.device_churn = events;
+        self
+    }
+
+    /// Draws a seeded sequence of device-churn events over the schedule's
+    /// horizon for a cluster of `num_devices` devices: GPU-range and
+    /// node-scale removals, explicit restores, and preemption windows
+    /// (a removal whose devices rejoin after a bounded window). At most half
+    /// the cluster is ever down at once, so the run always keeps capacity.
+    /// The same seed always produces the same events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_devices` is zero.
+    #[must_use]
+    pub fn with_seeded_device_churn(self, seed: u64, num_devices: u32, events: usize) -> Self {
+        assert!(num_devices > 0, "churn needs a device pool");
+        let mut rng = XorShift64Star::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let horizon = self.horizon_s;
+        let max_down = (num_devices / 2).max(1) as usize;
+        // Draw the event instants first and walk them in time order, so the
+        // down-set accounting below matches exactly what a replay sees.
+        let mut times: Vec<f64> = (0..events)
+            .map(|_| horizon * (0.05 + 0.80 * rng.next_f64()))
+            .collect();
+        times.sort_by(f64::total_cmp);
+        let mut down: Vec<u32> = Vec::new();
+        let mut pending_restores: Vec<(f64, Vec<u32>)> = Vec::new();
+        let mut out: Vec<DeviceChurnEvent> = Vec::new();
+        let flush_restores = |cutoff: f64,
+                              down: &mut Vec<u32>,
+                              pending: &mut Vec<(f64, Vec<u32>)>,
+                              out: &mut Vec<DeviceChurnEvent>| {
+            pending.sort_by(|a, b| a.0.total_cmp(&b.0));
+            while pending.first().is_some_and(|(t, _)| *t <= cutoff) {
+                let (t, devices) = pending.remove(0);
+                down.retain(|d| !devices.contains(d));
+                out.push(DeviceChurnEvent {
+                    at_s: t,
+                    kind: DeviceChurnKind::Restore,
+                    label: format!("preemption window over: {} devices back", devices.len()),
+                    devices,
+                });
+            }
+        };
+        for at_s in times {
+            flush_restores(at_s, &mut down, &mut pending_restores, &mut out);
+            let draw = rng.next_u64() % 4;
+            if draw == 3 && !down.is_empty() {
+                // Explicit restore of part of the down set.
+                let k = 1 + rng.next_u64() as usize % down.len();
+                let devices: Vec<u32> = down.drain(..k).collect();
+                out.push(DeviceChurnEvent {
+                    at_s,
+                    kind: DeviceChurnKind::Restore,
+                    label: format!("{} devices restored", devices.len()),
+                    devices,
+                });
+                continue;
+            }
+            let budget = max_down.saturating_sub(down.len());
+            if budget == 0 {
+                continue;
+            }
+            // Removal span: occasionally node-scale, usually a small GPU
+            // range.
+            let span = if draw == 0 {
+                (num_devices / 4).max(1)
+            } else {
+                (num_devices / 8).max(1)
+            };
+            let len = 1 + rng.next_u64() % u64::from(span);
+            let start = rng.next_u64() % u64::from(num_devices);
+            let devices: Vec<u32> = (0..len)
+                .map(|k| ((start + k) % u64::from(num_devices)) as u32)
+                .filter(|d| !down.contains(d))
+                .take(budget)
+                .collect();
+            if devices.is_empty() {
+                continue;
+            }
+            down.extend(&devices);
+            let preempt = draw == 2;
+            out.push(DeviceChurnEvent {
+                at_s,
+                kind: DeviceChurnKind::Remove,
+                label: if preempt {
+                    format!("{} devices preempted", devices.len())
+                } else {
+                    format!("{} devices lost", devices.len())
+                },
+                devices: devices.clone(),
+            });
+            if preempt {
+                let window = horizon * (0.04 + 0.08 * rng.next_f64());
+                pending_restores.push(((at_s + window).min(horizon * 0.97), devices));
+            }
+        }
+        flush_restores(horizon, &mut down, &mut pending_restores, &mut out);
+        out.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        Self {
+            device_churn: out,
+            ..self
+        }
+    }
+
+    /// The device-churn events in timeline order (empty unless attached).
+    #[must_use]
+    pub fn device_churn(&self) -> &[DeviceChurnEvent] {
+        &self.device_churn
+    }
+
+    /// Number of device-topology changes in the schedule.
+    #[must_use]
+    pub fn num_topology_changes(&self) -> usize {
+        self.device_churn.len()
+    }
+
+    /// The merged run timeline: task arrivals and device-churn events in one
+    /// time-ordered sequence (arrivals first on equal timestamps, so a phase
+    /// plans against the pool the churn event is about to change).
+    #[must_use]
+    pub fn timeline(&self) -> Vec<ScheduleEvent<'_>> {
+        let mut events: Vec<ScheduleEvent<'_>> = self
+            .arrivals
+            .iter()
+            .map(ScheduleEvent::Phase)
+            .chain(self.device_churn.iter().map(ScheduleEvent::Churn))
+            .collect();
+        events.sort_by(|a, b| {
+            a.at_s().total_cmp(&b.at_s()).then_with(|| {
+                let rank = |e: &ScheduleEvent<'_>| match e {
+                    ScheduleEvent::Phase(_) => 0,
+                    ScheduleEvent::Churn(_) => 1,
+                };
+                rank(a).cmp(&rank(b))
+            })
+        });
+        events
     }
 
     /// Schedule name (for experiment output).
@@ -216,5 +426,75 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_schedule_panics() {
         let _ = ArrivalSchedule::new("empty", Vec::new(), 1.0);
+    }
+
+    #[test]
+    fn seeded_device_churn_is_reproducible_and_bounded() {
+        let num_devices = 16;
+        let base = || ArrivalSchedule::multitask_clip_arrivals(7, 6, 40.0).unwrap();
+        let a = base().with_seeded_device_churn(11, num_devices, 24);
+        let b = base().with_seeded_device_churn(11, num_devices, 24);
+        assert_eq!(a.device_churn(), b.device_churn());
+        assert!(a.num_topology_changes() > 0);
+        let c = base().with_seeded_device_churn(12, num_devices, 24);
+        assert_ne!(a.device_churn(), c.device_churn(), "seeds must differ");
+
+        // Replay the event stream: the down set never exceeds half the
+        // cluster, ids are in range, timestamps within the horizon and
+        // non-decreasing, restores only name down devices.
+        let mut down: Vec<u32> = Vec::new();
+        let mut prev = 0.0_f64;
+        for event in a.device_churn() {
+            assert!(event.at_s >= prev && event.at_s <= a.horizon_s());
+            prev = event.at_s;
+            assert!(!event.devices.is_empty());
+            assert!(event.devices.iter().all(|d| *d < num_devices));
+            match event.kind {
+                DeviceChurnKind::Remove => {
+                    for d in &event.devices {
+                        assert!(!down.contains(d), "device {d} removed twice");
+                        down.push(*d);
+                    }
+                    assert!(down.len() <= (num_devices / 2) as usize);
+                }
+                DeviceChurnKind::Restore => {
+                    for d in &event.devices {
+                        assert!(down.contains(d), "restore of a live device {d}");
+                    }
+                    down.retain(|d| !event.devices.contains(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_merges_arrivals_and_churn_in_time_order() {
+        let s = ArrivalSchedule::multitask_clip_arrivals(3, 5, 30.0)
+            .unwrap()
+            .with_seeded_device_churn(9, 8, 12);
+        let timeline = s.timeline();
+        assert_eq!(
+            timeline.len(),
+            s.arrivals().len() + s.num_topology_changes()
+        );
+        assert!(timeline.windows(2).all(|w| w[0].at_s() <= w[1].at_s()));
+        let phases = timeline
+            .iter()
+            .filter(|e| matches!(e, ScheduleEvent::Phase(_)))
+            .count();
+        assert_eq!(phases, s.arrivals().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the run horizon")]
+    fn explicit_churn_outside_horizon_panics() {
+        let s = ArrivalSchedule::multitask_clip_arrivals(3, 4, 30.0).unwrap();
+        let horizon = s.horizon_s();
+        let _ = s.with_device_churn(vec![DeviceChurnEvent {
+            at_s: horizon + 1.0,
+            kind: DeviceChurnKind::Remove,
+            devices: vec![0],
+            label: "late".into(),
+        }]);
     }
 }

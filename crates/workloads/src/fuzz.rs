@@ -4,8 +4,10 @@
 //! A [`Scenario`] is everything one fuzz draw needs: a randomly shaped task
 //! roster (tower shapes and depths, modality mixes, batch/sequence/hidden
 //! dimensions), a cluster shape (NVLink islands of varying width),
-//! heterogeneous per-device speed factors for the event-driven simulator, and
-//! a churn trace toggling tasks in and out of the active set. Everything is
+//! heterogeneous per-device speed factors and transient straggler windows
+//! for the event-driven simulator, a comm-overlap mode, a churn trace
+//! toggling tasks in and out of the active set, and a device-level churn
+//! trace (removals and restores) exercising elastic re-planning. Everything is
 //! derived deterministically from `(seed, index)`, so any violation found by
 //! the harness is re-runnable from those two numbers alone — and because the
 //! scenario is plain data, it also supports *shrinking*: candidate reductions
@@ -35,6 +37,10 @@ pub struct FuzzBounds {
     pub max_tower_layers: usize,
     /// Maximum churn events after the initial phase.
     pub max_churn_events: usize,
+    /// Maximum time-bounded straggler windows per draw.
+    pub max_straggler_windows: usize,
+    /// Maximum device-level churn events (removals/restores) per draw.
+    pub max_device_churn: usize,
 }
 
 impl FuzzBounds {
@@ -48,6 +54,8 @@ impl FuzzBounds {
             max_gpus_per_node: 8,
             max_tower_layers: 8,
             max_churn_events: 3,
+            max_straggler_windows: 2,
+            max_device_churn: 2,
         }
     }
 
@@ -62,6 +70,8 @@ impl FuzzBounds {
             max_gpus_per_node: 8,
             max_tower_layers: 16,
             max_churn_events: 6,
+            max_straggler_windows: 4,
+            max_device_churn: 4,
         }
     }
 }
@@ -122,6 +132,33 @@ pub struct ChurnEvent {
     pub arrive: bool,
 }
 
+/// A time-bounded slowdown of one device, consumed by the heterogeneous
+/// simulator pass (a transient straggler rather than a permanently slow
+/// device).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerWindow {
+    /// The straggling device's stable id.
+    pub device: u32,
+    /// Execution-time multiplier while the window is active (≥ 1).
+    pub slowdown: f64,
+    /// Window start, seconds of simulated time.
+    pub from_s: f64,
+    /// Window end, seconds of simulated time.
+    pub until_s: f64,
+}
+
+/// One device-level churn event, applied after the task-churn phases:
+/// `remove == true` takes `devices` out of the cluster, `false` brings them
+/// back. The generator guarantees removals never target an already-down
+/// device and always leave at least one survivor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceChurnDraw {
+    /// `true` removes the devices, `false` restores them.
+    pub remove: bool,
+    /// Stable device ids the event touches (non-empty).
+    pub devices: Vec<u32>,
+}
+
 /// One fully specified fuzz draw. Plain data: the harness reads it, the
 /// shrinker mutates copies of it, and [`Scenario::to_json`] serializes it for
 /// violation reports.
@@ -145,6 +182,14 @@ pub struct Scenario {
     /// consumed by the event-driven simulator; unlisted devices run at
     /// nominal speed.
     pub speed_factors: Vec<(u32, f64)>,
+    /// Whether the robustness pass overlaps boundary/sync flows (the
+    /// simulator's `CommMode::Overlapped`) or serializes them; both modes
+    /// run with link contention enabled.
+    pub overlap_comm: bool,
+    /// Transient straggler windows for the robustness pass.
+    pub straggler_windows: Vec<StragglerWindow>,
+    /// Device-level churn trace exercising elastic re-planning.
+    pub device_churn: Vec<DeviceChurnDraw>,
 }
 
 const MODALITIES: [Modality; 8] = [
@@ -239,6 +284,57 @@ impl Scenario {
             }
         }
         speed_factors.sort_by_key(|&(d, _)| d);
+        // Comm-overlap mode and transient straggler windows for the
+        // robustness pass. Window times are fractions of a second — the
+        // scale of one simulated iteration — so some windows overlap real
+        // execution and some land harmlessly outside it.
+        let overlap_comm = rng.next_u64() % 2 == 0;
+        let windows = range(&mut rng, 0, bounds.max_straggler_windows as u64 + 1);
+        let mut straggler_windows = Vec::new();
+        for _ in 0..windows {
+            let from_s = 0.1 * rng.next_f64();
+            straggler_windows.push(StragglerWindow {
+                device: (rng.next_u64() % num_devices) as u32,
+                slowdown: 1.5 + 2.5 * rng.next_f64(),
+                from_s,
+                until_s: from_s + 0.01 + 0.19 * rng.next_f64(),
+            });
+        }
+        // Device-level churn: removals draw contiguous-mod-wrap spans of
+        // currently-up devices, capped so at least half the cluster (and
+        // always at least one device) survives; a coin flip turns an event
+        // into a restore of the oldest casualties instead.
+        let mut device_churn = Vec::new();
+        let mut down: Vec<u32> = Vec::new();
+        let max_down = (num_devices as usize) / 2;
+        let churn_events = range(&mut rng, 0, bounds.max_device_churn as u64 + 1) as usize;
+        for _ in 0..churn_events {
+            if !down.is_empty() && rng.next_u64() % 2 == 0 {
+                let k = range(&mut rng, 1, down.len() as u64 + 1) as usize;
+                let devices: Vec<u32> = down.drain(..k).collect();
+                device_churn.push(DeviceChurnDraw {
+                    remove: false,
+                    devices,
+                });
+            } else {
+                let headroom = max_down.saturating_sub(down.len());
+                if headroom == 0 {
+                    continue;
+                }
+                let k = range(&mut rng, 1, headroom as u64 + 1) as usize;
+                let start = rng.next_u64() % num_devices;
+                let devices: Vec<u32> = (0..num_devices)
+                    .map(|i| ((start + i) % num_devices) as u32)
+                    .filter(|d| !down.contains(d))
+                    .take(k)
+                    .collect();
+                down.extend(&devices);
+                device_churn.push(DeviceChurnDraw {
+                    remove: true,
+                    devices,
+                });
+            }
+        }
         Self {
             seed,
             index,
@@ -248,6 +344,9 @@ impl Scenario {
             active,
             churn,
             speed_factors,
+            overlap_comm,
+            straggler_windows,
+            device_churn,
         }
     }
 
@@ -363,6 +462,22 @@ impl Scenario {
             s.churn.pop();
             out.push(s);
         }
+        // Drop the robustness-pass dimensions: device churn (wholesale,
+        // then from the back so the remove-before-restore prefix structure
+        // survives) and straggler windows.
+        if !self.device_churn.is_empty() {
+            let mut s = self.clone();
+            s.device_churn.clear();
+            out.push(s);
+            let mut s = self.clone();
+            s.device_churn.pop();
+            out.push(s);
+        }
+        if !self.straggler_windows.is_empty() {
+            let mut s = self.clone();
+            s.straggler_windows.clear();
+            out.push(s);
+        }
         // Remove one task (re-indexing churn and dropping its events).
         if self.tasks.len() > 1 {
             for slot in 0..self.tasks.len() {
@@ -371,17 +486,18 @@ impl Scenario {
                 }
             }
         }
-        // Shrink the cluster. Speed factors for removed devices are dropped.
+        // Shrink the cluster. Per-device draws (speed factors, straggler
+        // windows, device churn) are re-fitted to the smaller id space.
         if self.nodes > 1 {
             let mut s = self.clone();
             s.nodes = self.nodes / 2;
-            s.retain_speed_factors();
+            s.sanitize_devices();
             out.push(s);
         }
         if self.gpus_per_node > 1 {
             let mut s = self.clone();
             s.gpus_per_node = self.gpus_per_node / 2;
-            s.retain_speed_factors();
+            s.sanitize_devices();
             out.push(s);
         }
         // Shallower towers.
@@ -432,16 +548,41 @@ impl Scenario {
         Some(s)
     }
 
-    fn retain_speed_factors(&mut self) {
+    /// Re-fits every per-device draw to the current device id space after a
+    /// cluster shrink: out-of-range speed factors and straggler windows are
+    /// dropped, device-churn events lose their out-of-range ids (empty
+    /// events vanish), and the churn trace is truncated at the first removal
+    /// that would no longer leave a survivor.
+    fn sanitize_devices(&mut self) {
         let n = self.num_devices() as u32;
         self.speed_factors.retain(|&(d, _)| d < n);
+        self.straggler_windows.retain(|w| w.device < n);
+        let mut down = 0usize;
+        let mut kept = Vec::new();
+        for mut e in std::mem::take(&mut self.device_churn) {
+            e.devices.retain(|&d| d < n);
+            if e.devices.is_empty() {
+                continue;
+            }
+            if e.remove {
+                if down + e.devices.len() >= n as usize {
+                    break;
+                }
+                down += e.devices.len();
+            } else {
+                down = down.saturating_sub(e.devices.len());
+            }
+            kept.push(e);
+        }
+        self.device_churn = kept;
     }
 
     /// A compact one-line label for progress output.
     #[must_use]
     pub fn label(&self) -> String {
         format!(
-            "draw {} (seed {}): {} tasks ({} active), {}x{} GPUs, {} churn events, {} slow devices",
+            "draw {} (seed {}): {} tasks ({} active), {}x{} GPUs, {} churn events, \
+             {} slow devices, {} stragglers, {} device-churn events, {} comm",
             self.index,
             self.seed,
             self.tasks.len(),
@@ -449,7 +590,14 @@ impl Scenario {
             self.nodes,
             self.gpus_per_node,
             self.churn.len(),
-            self.speed_factors.len()
+            self.speed_factors.len(),
+            self.straggler_windows.len(),
+            self.device_churn.len(),
+            if self.overlap_comm {
+                "overlapped"
+            } else {
+                "serialized"
+            }
         )
     }
 
@@ -499,6 +647,29 @@ impl Scenario {
                 if i > 0 { ", " } else { "" }
             );
         }
+        let _ = write!(out, "], \"overlap_comm\": {}, ", self.overlap_comm);
+        out.push_str("\"straggler_windows\": [");
+        for (i, w) in self.straggler_windows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"device\": {}, \"slowdown\": {:.3}, \"from_s\": {:.4}, \"until_s\": {:.4}}}",
+                if i > 0 { ", " } else { "" },
+                w.device,
+                w.slowdown,
+                w.from_s,
+                w.until_s
+            );
+        }
+        out.push_str("], \"device_churn\": [");
+        for (i, e) in self.device_churn.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"remove\": {}, \"devices\": {:?}}}",
+                if i > 0 { ", " } else { "" },
+                e.remove,
+                e.devices
+            );
+        }
         out.push_str("]}");
         out
     }
@@ -533,6 +704,30 @@ mod tests {
                 .speed_factors
                 .iter()
                 .all(|&(d, f)| (d as usize) < s.num_devices() && (0.5..1.0).contains(&f)));
+            assert!(s.straggler_windows.len() <= bounds.max_straggler_windows);
+            assert!(s.straggler_windows.iter().all(|w| {
+                (w.device as usize) < s.num_devices()
+                    && w.slowdown >= 1.0
+                    && w.until_s > w.from_s
+                    && w.from_s >= 0.0
+            }));
+            // Device churn: never an empty event, never a double-remove,
+            // restores only name down devices, at least one survivor at
+            // every point of the trace.
+            assert!(s.device_churn.len() <= bounds.max_device_churn);
+            let mut down: Vec<u32> = Vec::new();
+            for e in &s.device_churn {
+                assert!(!e.devices.is_empty());
+                assert!(e.devices.iter().all(|&d| (d as usize) < s.num_devices()));
+                if e.remove {
+                    assert!(e.devices.iter().all(|d| !down.contains(d)));
+                    down.extend(&e.devices);
+                    assert!(down.len() < s.num_devices(), "a removal left no survivor");
+                } else {
+                    assert!(e.devices.iter().all(|d| down.contains(d)));
+                    down.retain(|d| !e.devices.contains(d));
+                }
+            }
             // Every phase graph builds and stays non-empty.
             let phases = s.phases().unwrap();
             assert_eq!(phases.len(), s.churn.len() + 1);
@@ -547,8 +742,10 @@ mod tests {
         let bounds = FuzzBounds::full();
         let s = Scenario::draw(1, 5, &bounds);
         let size = |x: &Scenario| {
-            x.tasks.len() * 1000
-                + x.churn.len() * 100
+            x.tasks.len() * 100_000
+                + x.churn.len() * 10_000
+                + x.device_churn.len() * 1_000
+                + x.straggler_windows.len() * 300
                 + x.num_devices() * 10
                 + x.tasks.iter().map(|t| t.tower_layers).sum::<usize>()
         };
@@ -557,6 +754,21 @@ mod tests {
             assert!(!cand.tasks.is_empty());
             assert!(cand.num_devices() >= 1);
             assert!(cand.active.iter().any(|&a| a));
+            // Per-device draws stay in range after a cluster shrink, and the
+            // device-churn trace still leaves survivors at every step.
+            let n = cand.num_devices() as u32;
+            assert!(cand.speed_factors.iter().all(|&(d, _)| d < n));
+            assert!(cand.straggler_windows.iter().all(|w| w.device < n));
+            let mut down = 0usize;
+            for e in &cand.device_churn {
+                assert!(!e.devices.is_empty() && e.devices.iter().all(|&d| d < n));
+                if e.remove {
+                    down += e.devices.len();
+                    assert!(down < n as usize);
+                } else {
+                    down = down.saturating_sub(e.devices.len());
+                }
+            }
             cand.phases().unwrap();
         }
     }
@@ -574,6 +786,9 @@ mod tests {
             "\"churn\"",
             "\"speed_factors\"",
             "\"tower_layers\"",
+            "\"overlap_comm\"",
+            "\"straggler_windows\"",
+            "\"device_churn\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -64,10 +64,14 @@ mod ofasys;
 mod presets;
 mod qwen_val;
 
-pub use arrivals::{ArrivalSchedule, PhaseArrival};
+pub use arrivals::{
+    ArrivalSchedule, DeviceChurnEvent, DeviceChurnKind, PhaseArrival, ScheduleEvent,
+};
 pub use dynamic::{figure13_presets, DynamicPhase, DynamicWorkload};
 pub use fleet::{TenantEvent, TenantFleet, FLEET_DEFAULT_POOL};
-pub use fuzz::{ChurnEvent, FuzzBounds, FuzzTask, Scenario, TowerShape};
+pub use fuzz::{
+    ChurnEvent, DeviceChurnDraw, FuzzBounds, FuzzTask, Scenario, StragglerWindow, TowerShape,
+};
 pub use hyperscale::{
     hyperscale, hyperscale_churn, hyperscale_subset, HYPERSCALE_DEFAULT_TASKS, HYPERSCALE_ROSTER,
 };

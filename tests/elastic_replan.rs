@@ -1,0 +1,206 @@
+//! Elastic re-planning properties: a session that loses devices must
+//! re-plan onto the survivors with every plan invariant intact, never place
+//! work on a dead device, price the migration it induces, reuse the clean
+//! prefix of unaffected levels — and, once the devices return, recur
+//! bit-for-bit with a cold plan as if the churn never happened.
+
+use spindle::prelude::*;
+use spindle::runtime::{SimConfig, Simulator};
+use spindle_cluster::ClusterSpec;
+use spindle_core::ReplanOutcome;
+use spindle_graph::{ComputationGraph, GraphBuilder, TensorShape, XorShift64Star};
+
+/// A 3-level chain (embedding → towers → loss) whose first level is a single
+/// MetaOp: on a 12-device cluster its power-of-two allocation occupies only
+/// devices 0..8, so removals of high-id devices leave level 0's placement
+/// clean — the partial-prefix-reuse case — while low-id removals dirty every
+/// level.
+fn staged_graph() -> ComputationGraph {
+    let mut b = GraphBuilder::new();
+    let t = b.add_task("staged", [Modality::Audio, Modality::Text], 8);
+    let embed = b
+        .add_op(t, OpKind::Embedding, TensorShape::new(8, 229, 768))
+        .unwrap();
+    let audio = b
+        .add_op_chain(
+            t,
+            OpKind::Encoder(Modality::Audio),
+            TensorShape::new(8, 229, 768),
+            8,
+        )
+        .unwrap();
+    let text = b
+        .add_op_chain(
+            t,
+            OpKind::Encoder(Modality::Text),
+            TensorShape::new(8, 77, 768),
+            6,
+        )
+        .unwrap();
+    let loss = b
+        .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(8, 1, 768))
+        .unwrap();
+    b.add_flow(embed, audio[0]).unwrap();
+    b.add_flow(embed, text[0]).unwrap();
+    b.add_flow(*audio.last().unwrap(), loss).unwrap();
+    b.add_flow(*text.last().unwrap(), loss).unwrap();
+    b.build().unwrap()
+}
+
+/// No wave entry of `outcome` may be placed on any of `removed`.
+fn assert_no_dead_placement(outcome: &ReplanOutcome, removed: &[DeviceId], context: &str) {
+    for (w, wave) in outcome.plan.waves().iter().enumerate() {
+        for entry in &wave.entries {
+            if let Some(group) = &entry.placement {
+                for &dead in removed {
+                    assert!(
+                        !group.contains(dead),
+                        "{context}: wave {w} entry {} placed on removed {dead:?}",
+                        entry.metaop
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_removals_replan_onto_survivors_with_invariants_intact() {
+    let cluster = ClusterSpec::homogeneous(3, 4);
+    let capacity = cluster.device_memory_bytes();
+    let graph = staged_graph();
+    let mut rng = XorShift64Star::new(0x0E1A_571C);
+    let mut saw_partial_reuse = false;
+    let mut saw_priced_migration = false;
+
+    for step in 0..12 {
+        let mut session = SpindleSession::new(cluster.clone());
+        let baseline = session.plan(&graph).unwrap();
+        // Remove 1–3 distinct devices, drawn over the whole id space so
+        // some draws hit level-0 devices (full re-placement) and some only
+        // the high-id tail (clean level-0 prefix, partial reuse).
+        let k = 1 + (rng.next_u64() % 3) as usize;
+        let mut removed: Vec<DeviceId> = Vec::new();
+        while removed.len() < k {
+            let d = DeviceId((rng.next_u64() % 12) as u32);
+            if !removed.contains(&d) {
+                removed.push(d);
+            }
+        }
+        let shrunk = session.remove_devices(&removed).unwrap();
+        assert_eq!(shrunk, removed.len(), "step {step}: all removals applied");
+
+        let outcome = session.replan(&graph).unwrap();
+        let context = format!("step {step} (removed {removed:?})");
+        outcome.plan.check_invariants(capacity).unwrap();
+        assert_no_dead_placement(&outcome, &removed, &context);
+        assert_eq!(outcome.devices_lost, removed.len(), "{context}");
+        assert!(
+            outcome.levels_replaced <= outcome.levels_total,
+            "{context}: replaced more levels than exist"
+        );
+        // Migration is priced exactly when placements actually moved.
+        assert_eq!(
+            outcome.migration_bytes > 0,
+            outcome.migration_cost > 0.0,
+            "{context}: bytes {} vs cost {}",
+            outcome.migration_bytes,
+            outcome.migration_cost
+        );
+        if outcome.levels_replaced > 0 && outcome.levels_replaced < outcome.levels_total {
+            saw_partial_reuse = true;
+        }
+        if outcome.migration_bytes > 0 {
+            saw_priced_migration = true;
+        }
+        // The baseline plan (pre-churn) is untouched by the re-plan.
+        assert_eq!(baseline.num_devices(), 12);
+    }
+    assert!(
+        saw_partial_reuse,
+        "no draw exercised partial prefix reuse (0 < levels_replaced < levels_total)"
+    );
+    assert!(
+        saw_priced_migration,
+        "no draw induced (and priced) any migration"
+    );
+}
+
+#[test]
+fn restore_then_recur_is_bit_identical_to_a_cold_plan() {
+    let cluster = ClusterSpec::homogeneous(2, 8);
+    let graph = multitask_clip(5).unwrap();
+    let mut session = SpindleSession::new(cluster.clone());
+    session.plan(&graph).unwrap();
+
+    // Walk through a removal, a further removal, a partial restore and a
+    // full restore, re-planning at every step.
+    let first: Vec<DeviceId> = vec![DeviceId(3), DeviceId(4)];
+    let second: Vec<DeviceId> = vec![DeviceId(12)];
+    session.remove_devices(&first).unwrap();
+    session.replan(&graph).unwrap();
+    session.remove_devices(&second).unwrap();
+    session.replan(&graph).unwrap();
+    assert_eq!(session.restore_devices(&second), 1);
+    session.replan(&graph).unwrap();
+    assert_eq!(session.restore_devices(&first), 2);
+    assert!(session.removed_devices().is_empty());
+
+    let warm = session.replan(&graph).unwrap();
+    let cold = SpindleSession::new(cluster).plan(&graph).unwrap();
+    assert_eq!(
+        warm.plan.waves(),
+        cold.waves(),
+        "waves diverged after churn"
+    );
+    assert!(
+        warm.plan.makespan().to_bits() == cold.makespan().to_bits(),
+        "makespan diverged: {} vs {}",
+        warm.plan.makespan(),
+        cold.makespan()
+    );
+    assert_eq!(warm.plan.num_devices(), cold.num_devices());
+    assert_eq!(warm.devices_lost, 0);
+}
+
+#[test]
+fn half_cluster_loss_degrades_simulated_time_proportionally() {
+    // A controlled degradation check: lose nodes 2 and 3 of a 4x8 cluster
+    // (half the devices) under a workload wide enough to keep all 32 busy.
+    // Halving the devices at most doubles the per-wave compute; boundary
+    // and sync costs shift but stay the same order, so the simulated
+    // iteration must land within a proportional band — not collapse, not
+    // blow up.
+    let cluster = ClusterSpec::homogeneous(4, 8);
+    let graph = multitask_clip(8).unwrap();
+    let mut session = SpindleSession::new(cluster.clone());
+    let full_plan = session.plan(&graph).unwrap();
+    let before = Simulator::new(full_plan, &cluster)
+        .with_graph(graph.clone())
+        .with_config(SimConfig::contended())
+        .run_iteration()
+        .unwrap()
+        .total_s();
+
+    let removed: Vec<DeviceId> = (16..32).map(DeviceId).collect();
+    session.remove_devices(&removed).unwrap();
+    let outcome = session.replan(&graph).unwrap();
+    assert_eq!(outcome.devices_lost, 16);
+    assert_no_dead_placement(&outcome, &removed, "half-cluster loss");
+    let survivors = session.cluster_handle();
+    let after = Simulator::new(outcome.plan, &survivors)
+        .with_graph(graph.clone())
+        .with_config(SimConfig::contended())
+        .run_iteration()
+        .unwrap()
+        .total_s();
+
+    assert!(
+        after <= before * 2.5,
+        "losing half the cluster more than 2.5x'd the iteration: {before:.4}s -> {after:.4}s"
+    );
+    assert!(
+        after >= before * 0.8,
+        "losing half the cluster sped the iteration up: {before:.4}s -> {after:.4}s"
+    );
+}
