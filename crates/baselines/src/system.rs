@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use spindle_cluster::ClusterSpec;
 use spindle_core::{ExecutionPlan, PlanError, PlanningSystem, SpindlePlanner, SpindleSession};
 use spindle_graph::ComputationGraph;
 
@@ -110,27 +109,6 @@ impl BaselineSystem {
     pub fn kind(&self) -> SystemKind {
         self.kind
     }
-
-    /// Plans one training iteration of `graph` on `cluster` with this system's
-    /// strategy, using a throwaway single-plan session.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlanError`] if the cluster is empty or profiling fails.
-    #[deprecated(
-        since = "0.2.0",
-        note = "create a `SpindleSession` and plan through the `PlanningSystem` \
-                trait (`SystemKind::planning_system`) so curve fits are cached \
-                across plans"
-    )]
-    pub fn plan(
-        &self,
-        graph: &ComputationGraph,
-        cluster: &ClusterSpec,
-    ) -> Result<ExecutionPlan, PlanError> {
-        let mut session = SpindleSession::new(cluster.clone());
-        self.kind.planning_system().plan(graph, &mut session)
-    }
 }
 
 impl PlanningSystem for BaselineSystem {
@@ -150,6 +128,7 @@ impl PlanningSystem for BaselineSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spindle_cluster::ClusterSpec;
     use spindle_runtime::RuntimeEngine;
     use spindle_workloads::multitask_clip;
 
@@ -202,18 +181,6 @@ mod tests {
         let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
         let plan = PlanningSystem::plan(&mut dispatcher, &graph, &mut session).unwrap();
         plan.validate().unwrap();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_baseline_shim_still_plans() {
-        let graph = multitask_clip(2).unwrap();
-        let cluster = ClusterSpec::homogeneous(1, 8);
-        let plan = BaselineSystem::new(SystemKind::DeepSpeed)
-            .plan(&graph, &cluster)
-            .unwrap();
-        plan.validate().unwrap();
-        plan.require_placement().unwrap();
     }
 
     #[test]

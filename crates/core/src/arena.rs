@@ -98,6 +98,23 @@ impl MetaOpArena {
     }
 }
 
+/// The cache-telemetry pair shared by every surface that reports on the
+/// session caches (estimator curve cache plus structural plan cache combined):
+/// a point-in-time byte gauge and an eviction count.
+///
+/// One struct serves both [`PlanningStats`] (lifetime evictions) and
+/// [`ReplanOutcome`](crate::ReplanOutcome) (evictions during that re-plan), so
+/// the two reporting surfaces cannot drift apart field by field. The
+/// surrounding type documents which eviction window applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheTelemetry {
+    /// Approximate bytes currently held by the caches — a gauge, not a
+    /// counter.
+    pub bytes: usize,
+    /// Cache entries evicted to stay within the configured byte budgets.
+    pub evictions: u64,
+}
+
 /// Counters describing one planning pass's hot-path behaviour, exposed through
 /// [`SpindleSession::planning_stats`](crate::SpindleSession::planning_stats).
 ///
@@ -124,15 +141,12 @@ pub struct PlanningStats {
     pub mpsp_scratch_high_water: usize,
     /// High-water mark of the wavefront scratch (largest pending set).
     pub wavefront_scratch_high_water: usize,
-    /// Approximate bytes currently held by the session's caches (curve cache
-    /// plus structural plan cache). A point-in-time gauge, not a counter: the
+    /// Session cache telemetry. `cache.bytes` is a point-in-time gauge: the
     /// session's [`planning_stats`](crate::SpindleSession::planning_stats)
     /// snapshot fills it; per-pass stats leave it zero and `merge` keeps the
-    /// latest non-zero observation.
-    pub cache_bytes: usize,
-    /// Cache entries evicted to stay within the configured byte budgets
-    /// (curve cache plus structural plan cache), over the session's lifetime.
-    pub cache_evictions: u64,
+    /// latest non-zero observation. `cache.evictions` counts over the
+    /// session's lifetime; `merge` keeps the max.
+    pub cache: CacheTelemetry,
 }
 
 impl PlanningStats {
@@ -149,10 +163,10 @@ impl PlanningStats {
         self.wavefront_scratch_high_water = self
             .wavefront_scratch_high_water
             .max(other.wavefront_scratch_high_water);
-        if other.cache_bytes != 0 {
-            self.cache_bytes = other.cache_bytes;
+        if other.cache.bytes != 0 {
+            self.cache.bytes = other.cache.bytes;
         }
-        self.cache_evictions = self.cache_evictions.max(other.cache_evictions);
+        self.cache.evictions = self.cache.evictions.max(other.cache.evictions);
     }
 }
 
@@ -210,8 +224,10 @@ mod tests {
             levels_reused: 1,
             mpsp_scratch_high_water: 4,
             wavefront_scratch_high_water: 2,
-            cache_bytes: 0,
-            cache_evictions: 2,
+            cache: CacheTelemetry {
+                bytes: 0,
+                evictions: 2,
+            },
         };
         let b = PlanningStats {
             mpsp_solves: 2,
@@ -221,8 +237,10 @@ mod tests {
             levels_reused: 3,
             mpsp_scratch_high_water: 3,
             wavefront_scratch_high_water: 6,
-            cache_bytes: 4096,
-            cache_evictions: 1,
+            cache: CacheTelemetry {
+                bytes: 4096,
+                evictions: 1,
+            },
         };
         a.merge(&b);
         assert_eq!(a.mpsp_solves, 3);
@@ -232,7 +250,7 @@ mod tests {
         assert_eq!(a.levels_reused, 4);
         assert_eq!(a.mpsp_scratch_high_water, 4);
         assert_eq!(a.wavefront_scratch_high_water, 6);
-        assert_eq!(a.cache_bytes, 4096, "gauge takes the latest observation");
-        assert_eq!(a.cache_evictions, 2, "lifetime counter keeps the max");
+        assert_eq!(a.cache.bytes, 4096, "gauge takes the latest observation");
+        assert_eq!(a.cache.evictions, 2, "lifetime counter keeps the max");
     }
 }

@@ -80,7 +80,7 @@ mod system;
 pub mod wavefront;
 
 pub use allocator::{AllocationPlan, DiscreteAllocation, MetaOpAllocation};
-pub use arena::{MetaOpArena, PlanningStats};
+pub use arena::{CacheTelemetry, MetaOpArena, PlanningStats};
 pub use error::PlanError;
 pub use metagraph::{MetaGraph, MetaLevel};
 pub use metaop::{MetaOp, MetaOpId};
@@ -91,8 +91,6 @@ pub use placement::{
 };
 pub use plan::{ExecutionPlan, Wave, WaveEntry};
 pub use planner::curves_for;
-#[allow(deprecated)]
-pub use planner::Planner;
 pub use session::{PlannerConfig, ReplanOutcome, SpindleSession, TopologyImpact};
 pub use structural::{
     LevelArtifact, LevelKey, PlacedSkeleton, PlanKey, StructuralCacheStats, StructuralPlanCache,

@@ -266,8 +266,7 @@ impl LevelSchedule {
             mpsp_scratch_high_water: mpsp_scratch.high_water(),
             wavefront_scratch_high_water: wavefront_scratch.high_water(),
             // Session-level gauges; per-pass stats leave them empty.
-            cache_bytes: 0,
-            cache_evictions: 0,
+            cache: crate::CacheTelemetry::default(),
         };
         Self {
             waves,

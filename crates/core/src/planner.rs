@@ -1,117 +1,13 @@
-//! The legacy one-shot planner — a thin deprecated shim over
-//! [`SpindleSession`].
+//! Free-standing planning helpers shared by baselines and tests.
+//!
+//! The legacy one-shot `Planner` shim that used to live here was removed in
+//! 0.3 — use [`SpindleSession`](crate::SpindleSession) (owned, cache-friendly,
+//! staged) instead. Only [`curves_for`] remains.
 
-use std::sync::Arc;
-
-use spindle_cluster::ClusterSpec;
 use spindle_estimator::ScalabilityEstimator;
-use spindle_graph::ComputationGraph;
 
 use crate::wavefront::CurveMap;
-use crate::{ExecutionPlan, MetaGraph, PlanError, PlannerConfig, SpindleSession};
-
-/// The original single-shot Spindle planner API.
-///
-/// `Planner` borrows the graph and cluster and rebuilds the scalability
-/// estimator on every construction, so repeated planning re-fits every scaling
-/// curve from scratch. [`SpindleSession`] owns its state, keeps the curve
-/// cache warm across plans, and exposes the pipeline stage by stage — new code
-/// should use it directly. This shim remains for one release and simply
-/// drives a session internally.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `SpindleSession` (owned, cache-friendly, staged) instead; \
-            `Planner` is a one-shot shim over it"
-)]
-#[derive(Debug)]
-pub struct Planner<'a> {
-    graph: &'a ComputationGraph,
-    cluster: &'a ClusterSpec,
-    estimator: Arc<ScalabilityEstimator>,
-    config: PlannerConfig,
-}
-
-#[allow(deprecated)]
-impl<'a> Planner<'a> {
-    /// Creates a planner with the default configuration and the default
-    /// analytic performance model for `cluster`.
-    #[must_use]
-    pub fn new(graph: &'a ComputationGraph, cluster: &'a ClusterSpec) -> Self {
-        Self::with_config(graph, cluster, PlannerConfig::default())
-    }
-
-    /// Creates a planner with an explicit configuration.
-    #[must_use]
-    pub fn with_config(
-        graph: &'a ComputationGraph,
-        cluster: &'a ClusterSpec,
-        config: PlannerConfig,
-    ) -> Self {
-        Self {
-            graph,
-            cluster,
-            estimator: Arc::new(ScalabilityEstimator::new(cluster)),
-            config,
-        }
-    }
-
-    /// Creates a planner that uses a caller-supplied estimator (e.g. one backed
-    /// by recorded profiles instead of the analytic model).
-    #[must_use]
-    pub fn with_estimator(
-        graph: &'a ComputationGraph,
-        cluster: &'a ClusterSpec,
-        estimator: ScalabilityEstimator,
-        config: PlannerConfig,
-    ) -> Self {
-        Self {
-            graph,
-            cluster,
-            estimator: Arc::new(estimator),
-            config,
-        }
-    }
-
-    /// The planner's configuration.
-    #[must_use]
-    pub fn config(&self) -> &PlannerConfig {
-        &self.config
-    }
-
-    /// The estimator used by this planner.
-    #[must_use]
-    pub fn estimator(&self) -> &ScalabilityEstimator {
-        &self.estimator
-    }
-
-    /// Runs the full planning pipeline and returns the execution plan.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PlanError::EmptyCluster`] for clusters without devices and
-    /// [`PlanError::NoCurve`] if an operator cannot be profiled.
-    pub fn plan(&self) -> Result<ExecutionPlan, PlanError> {
-        self.session().plan(self.graph)
-    }
-
-    /// The theoretical optimum `Σ C̃*` of the workload, computed directly from
-    /// the per-level MPSP solutions without building the full plan.
-    ///
-    /// # Errors
-    ///
-    /// Same failure modes as [`plan`](Self::plan).
-    pub fn theoretical_optimum(&self) -> Result<f64, PlanError> {
-        self.session().theoretical_optimum(self.graph)
-    }
-
-    fn session(&self) -> SpindleSession {
-        SpindleSession::with_estimator(
-            Arc::new(self.cluster.clone()),
-            Arc::clone(&self.estimator),
-            self.config,
-        )
-    }
-}
+use crate::{MetaGraph, PlanError};
 
 /// Helper for baseline planners and tests: builds the curve map of a MetaGraph
 /// against an estimator.
@@ -134,10 +30,10 @@ pub fn curves_for(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+    use spindle_cluster::ClusterSpec;
+    use spindle_graph::{ComputationGraph, GraphBuilder, Modality, OpKind, TensorShape};
 
     /// A 2-task contrastive workload with heterogeneous towers.
     fn workload() -> ComputationGraph {
@@ -170,55 +66,6 @@ mod tests {
             b.add_flow(*text.last().unwrap(), loss).unwrap();
         }
         b.build().unwrap()
-    }
-
-    #[test]
-    fn legacy_shim_still_plans() {
-        let graph = workload();
-        let cluster = ClusterSpec::homogeneous(1, 8);
-        let plan = Planner::new(&graph, &cluster).plan().unwrap();
-        plan.validate().unwrap();
-        plan.require_placement().unwrap();
-        assert!(plan.makespan() > 0.0);
-    }
-
-    #[test]
-    fn legacy_shim_matches_session_output() {
-        let graph = workload();
-        let cluster = ClusterSpec::homogeneous(2, 8);
-        let shim = Planner::new(&graph, &cluster).plan().unwrap();
-        let session = SpindleSession::new(cluster).plan(&graph).unwrap();
-        assert_eq!(shim.waves(), session.waves());
-        assert!((shim.theoretical_optimum() - session.theoretical_optimum()).abs() < 1e-12);
-    }
-
-    #[test]
-    fn theoretical_optimum_skips_plan_construction() {
-        let graph = workload();
-        let cluster = ClusterSpec::homogeneous(1, 8);
-        let planner = Planner::new(&graph, &cluster);
-        let direct = planner.theoretical_optimum().unwrap();
-        let plan = planner.plan().unwrap();
-        assert!((direct - plan.theoretical_optimum()).abs() < 1e-12);
-        assert!(direct > 0.0);
-    }
-
-    #[test]
-    fn config_accessors_work() {
-        let graph = workload();
-        let cluster = ClusterSpec::homogeneous(2, 8);
-        let config = PlannerConfig {
-            placement: crate::PlacementStrategy::Sequential,
-            ..PlannerConfig::default()
-        };
-        let planner = Planner::with_config(&graph, &cluster, config);
-        assert_eq!(
-            planner.config().placement,
-            crate::PlacementStrategy::Sequential
-        );
-        assert!(planner.estimator().cached_curves() == 0);
-        let plan = planner.plan().unwrap();
-        plan.require_placement().unwrap();
     }
 
     #[test]

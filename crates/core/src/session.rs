@@ -14,7 +14,8 @@ use crate::structural::{
     DEFAULT_STRUCTURAL_CACHE_BUDGET,
 };
 use crate::{
-    mpsp, ExecutionPlan, PlacementCheckpoint, PlacementStrategy, PlanError, PlanningStats, Wave,
+    mpsp, CacheTelemetry, ExecutionPlan, PlacementCheckpoint, PlacementStrategy, PlanError,
+    PlanningStats, Wave,
 };
 
 /// One produced plan with its hot-path counters, structural-reuse probe and
@@ -116,12 +117,12 @@ pub struct ReplanOutcome {
     /// `true` if the fully placed wave list was served structurally (every
     /// level clean and the plan structure seen before), skipping placement.
     pub placement_reused: bool,
-    /// Approximate bytes held by the session's caches (curve cache plus
-    /// structural plan cache) after this re-plan.
-    pub cache_bytes: usize,
-    /// Cache entries evicted *during this re-plan* to stay within the
-    /// configured byte budgets (both caches combined).
-    pub evictions: usize,
+    /// Cache telemetry for this re-plan: `cache.bytes` is the bytes held by
+    /// the session's caches (curve cache plus structural plan cache) after
+    /// the re-plan, `cache.evictions` counts entries evicted *during this
+    /// re-plan* to stay within the configured byte budgets (both caches
+    /// combined).
+    pub cache: CacheTelemetry,
     /// Devices lost since the placement being reused was made (0 when the
     /// topology did not shrink; see [`TopologyImpact::devices_lost`]).
     pub devices_lost: usize,
@@ -447,8 +448,10 @@ impl SpindleSession {
     #[must_use]
     pub fn planning_stats(&self) -> PlanningStats {
         let mut stats = self.stats;
-        stats.cache_bytes = self.cache_bytes();
-        stats.cache_evictions = self.cache_evictions() as u64;
+        stats.cache = CacheTelemetry {
+            bytes: self.cache_bytes(),
+            evictions: self.cache_evictions() as u64,
+        };
         stats
     }
 
@@ -531,8 +534,10 @@ impl SpindleSession {
             levels_total: reuse.levels_total,
             levels_reused: reuse.levels_reused,
             placement_reused: reuse.placement_reused,
-            cache_bytes: self.cache_bytes(),
-            evictions: self.cache_evictions().saturating_sub(evictions_before),
+            cache: CacheTelemetry {
+                bytes: self.cache_bytes(),
+                evictions: self.cache_evictions().saturating_sub(evictions_before) as u64,
+            },
             devices_lost: impact.devices_lost,
             levels_replaced: impact.levels_replaced,
             migration_bytes: impact.migration_bytes,
@@ -1207,18 +1212,18 @@ mod tests {
         let mut session = SpindleSession::new(ClusterSpec::homogeneous(1, 8));
         let cold = session.replan(&graph).unwrap();
         assert!(
-            cold.cache_bytes > 0,
+            cold.cache.bytes > 0,
             "caches hold the cold plan's artifacts"
         );
-        assert_eq!(cold.evictions, 0, "default budgets are generous");
+        assert_eq!(cold.cache.evictions, 0, "default budgets are generous");
         let stats = session.planning_stats();
-        assert_eq!(stats.cache_bytes, session.cache_bytes());
-        assert_eq!(stats.cache_evictions, 0);
+        assert_eq!(stats.cache.bytes, session.cache_bytes());
+        assert_eq!(stats.cache.evictions, 0);
         // Starve both caches: the next pass evicts everything it inserts.
         session.config_mut().structural_cache_budget = 1;
         session.config_mut().curve_cache_budget = 1;
         let starved = session.replan(&graph).unwrap();
-        assert!(starved.evictions > 0, "tiny budgets must evict");
+        assert!(starved.cache.evictions > 0, "tiny budgets must evict");
         assert!(session.cache_bytes() <= 2, "hard byte bound on both caches");
         assert_eq!(starved.plan.waves(), cold.plan.waves(), "plans unaffected");
         // A post-eviction re-plan re-fits from scratch yet stays identical.

@@ -1,0 +1,327 @@
+//! Per-tenant fairness: token-bucket rate limits, byte quotas and the weights
+//! driving the deficit-round-robin drain of the coalescing queue.
+//!
+//! Two mechanisms, applied at different points of a submission's life:
+//!
+//! 1. **Admission** ([`TenantThrottle`]): before a graph reaches a worker
+//!    queue, the tenant's token buckets are charged — one bucket counts
+//!    *submissions per second*, the other *wire bytes per second* (the byte
+//!    cost is [`graph_wire_len`](crate::proto::graph_wire_len), so the TCP
+//!    and in-process transports charge identical figures). An empty bucket
+//!    rejects with a precise refill hint instead of queueing — a chatty
+//!    tenant's backlog never forms.
+//! 2. **Drain order** ([`TenantPolicy::weight`]): once admitted, pending
+//!    tenants are served by deficit round-robin (see
+//!    [`CoalescingQueue`](crate::CoalescingQueue)), so a tenant's share of
+//!    worker time is proportional to its weight regardless of its event rate.
+//!
+//! All state is keyed by explicit [`std::time::Instant`]s, so tests drive
+//! time deterministically.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Per-tenant fairness knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// Deficit-round-robin weight: the tenant's relative share of worker
+    /// time when the queue is contended. Zero is clamped to one.
+    pub weight: u32,
+    /// Sustained submissions per second (token-bucket refill rate).
+    /// `f64::INFINITY` disables the rate limit.
+    pub rate: f64,
+    /// Burst capacity in submissions (token-bucket depth).
+    pub burst: f64,
+    /// Sustained wire bytes per second. `f64::INFINITY` disables the quota.
+    pub byte_rate: f64,
+    /// Burst capacity in wire bytes.
+    pub byte_burst: f64,
+}
+
+impl TenantPolicy {
+    /// No limits and unit weight — the default for unknown tenants.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self {
+            weight: 1,
+            rate: f64::INFINITY,
+            burst: f64::INFINITY,
+            byte_rate: f64::INFINITY,
+            byte_burst: f64::INFINITY,
+        }
+    }
+
+    /// Whether any bucket actually limits this tenant.
+    #[must_use]
+    pub fn is_limited(&self) -> bool {
+        self.rate.is_finite() || self.byte_rate.is_finite()
+    }
+
+    /// The DRR weight with the zero case clamped away.
+    #[must_use]
+    pub fn effective_weight(&self) -> u32 {
+        self.weight.max(1)
+    }
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// Service-wide fairness configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FairnessConfig {
+    /// Policy applied to tenants without an override.
+    pub default_policy: TenantPolicy,
+    /// Per-tenant overrides.
+    pub overrides: HashMap<u64, TenantPolicy>,
+    /// Deficit-round-robin quantum in graph operators per rotation; `0`
+    /// selects a quantum large enough that equal-weight tenants are served
+    /// strictly FIFO (one full graph per visit).
+    pub quantum: u64,
+}
+
+impl FairnessConfig {
+    /// The policy governing `tenant`.
+    #[must_use]
+    pub fn policy(&self, tenant: u64) -> TenantPolicy {
+        self.overrides
+            .get(&tenant)
+            .copied()
+            .unwrap_or(self.default_policy)
+    }
+
+    /// Whether any tenant can ever be throttled — the fast-path check that
+    /// lets unlimited configurations skip wire-length computation entirely.
+    #[must_use]
+    pub fn any_limits(&self) -> bool {
+        self.default_policy.is_limited() || self.overrides.values().any(TenantPolicy::is_limited)
+    }
+}
+
+/// One token bucket: `level` tokens at `refreshed`, refilling at `rate`/s
+/// up to `burst`.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    level: f64,
+    rate: f64,
+    burst: f64,
+    refreshed: Instant,
+}
+
+impl Bucket {
+    fn new(rate: f64, burst: f64, now: Instant) -> Self {
+        Self {
+            level: burst,
+            rate,
+            burst,
+            refreshed: now,
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        if self.rate.is_finite() {
+            let dt = now.saturating_duration_since(self.refreshed).as_secs_f64();
+            self.level = (self.level + dt * self.rate).min(self.burst);
+        }
+        self.refreshed = now;
+    }
+
+    /// Charges `cost` tokens, or reports how long until they will exist.
+    fn charge(&mut self, cost: f64, now: Instant) -> Result<(), Duration> {
+        if !self.rate.is_finite() {
+            return Ok(());
+        }
+        self.refill(now);
+        if self.level >= cost {
+            self.level -= cost;
+            return Ok(());
+        }
+        let missing = cost - self.level;
+        // A cost above the burst depth can never succeed; hint one full
+        // burst-refill period so callers back off hard instead of spinning.
+        let wait = if cost > self.burst {
+            self.burst / self.rate.max(f64::MIN_POSITIVE)
+        } else {
+            missing / self.rate.max(f64::MIN_POSITIVE)
+        };
+        Err(Duration::from_secs_f64(wait.max(1e-6)))
+    }
+}
+
+/// Admission-control state for every tenant the service has seen.
+#[derive(Debug)]
+pub struct TenantThrottle {
+    config: FairnessConfig,
+    buckets: HashMap<u64, (Bucket, Bucket)>,
+}
+
+impl TenantThrottle {
+    /// Creates a throttle enforcing `config`.
+    #[must_use]
+    pub fn new(config: FairnessConfig) -> Self {
+        Self {
+            config,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The configuration this throttle enforces.
+    #[must_use]
+    pub fn config(&self) -> &FairnessConfig {
+        &self.config
+    }
+
+    /// Whether admission can ever reject — callers skip byte-cost
+    /// computation when it cannot.
+    #[must_use]
+    pub fn enforcing(&self) -> bool {
+        self.config.any_limits()
+    }
+
+    /// Charges one submission of `bytes` wire bytes to `tenant` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// The minimum wait until both buckets would admit the submission.
+    /// Nothing is charged on rejection.
+    pub fn admit(&mut self, tenant: u64, bytes: usize, now: Instant) -> Result<(), Duration> {
+        let policy = self.config.policy(tenant);
+        if !policy.is_limited() {
+            return Ok(());
+        }
+        let (events, volume) = self.buckets.entry(tenant).or_insert_with(|| {
+            (
+                Bucket::new(policy.rate, policy.burst, now),
+                Bucket::new(policy.byte_rate, policy.byte_burst, now),
+            )
+        });
+        // Check both before charging either: a rejection must not consume
+        // tokens, or a tenant bouncing off one bucket would starve the other.
+        let saved = (*events, *volume);
+        match events
+            .charge(1.0, now)
+            .and_then(|()| volume.charge(bytes as f64, now))
+        {
+            Ok(()) => Ok(()),
+            Err(wait) => {
+                (*events, *volume) = saved;
+                events.refill(now);
+                volume.refill(now);
+                Err(wait)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn unlimited_tenants_are_never_throttled() {
+        let mut throttle = TenantThrottle::new(FairnessConfig::default());
+        assert!(!throttle.enforcing());
+        let now = t0();
+        for i in 0..10_000 {
+            assert!(throttle.admit(7, 1 << 20, now).is_ok(), "submission {i}");
+        }
+    }
+
+    #[test]
+    fn rate_limit_enforces_burst_then_refill() {
+        let mut config = FairnessConfig::default();
+        config.overrides.insert(
+            1,
+            TenantPolicy {
+                rate: 10.0,
+                burst: 3.0,
+                ..TenantPolicy::unlimited()
+            },
+        );
+        let mut throttle = TenantThrottle::new(config);
+        assert!(throttle.enforcing());
+        let start = t0();
+        // The burst admits exactly three back-to-back submissions.
+        for _ in 0..3 {
+            throttle.admit(1, 0, start).unwrap();
+        }
+        let wait = throttle.admit(1, 0, start).unwrap_err();
+        // One token refills in 100 ms at 10/s.
+        assert!(wait >= Duration::from_millis(99), "hint was {wait:?}");
+        assert!(wait <= Duration::from_millis(101), "hint was {wait:?}");
+        // After the hinted wait the submission is admitted.
+        throttle.admit(1, 0, start + wait).unwrap();
+        // An unrelated tenant is untouched.
+        throttle.admit(2, 0, start).unwrap();
+    }
+
+    #[test]
+    fn byte_quota_charges_wire_bytes() {
+        let mut config = FairnessConfig::default();
+        config.default_policy = TenantPolicy {
+            byte_rate: 1000.0,
+            byte_burst: 2500.0,
+            ..TenantPolicy::unlimited()
+        };
+        let mut throttle = TenantThrottle::new(config);
+        let start = t0();
+        throttle.admit(1, 1000, start).unwrap();
+        throttle.admit(1, 1000, start).unwrap();
+        // 500 bytes left; a 1000-byte graph must wait for ~500 more.
+        let wait = throttle.admit(1, 1000, start).unwrap_err();
+        assert!(wait >= Duration::from_millis(499), "hint was {wait:?}");
+        assert!(wait <= Duration::from_millis(501), "hint was {wait:?}");
+        // The rejected attempt consumed nothing: a 500-byte graph still fits.
+        throttle.admit(1, 500, start).unwrap();
+    }
+
+    #[test]
+    fn oversized_costs_hint_a_full_refill_not_forever() {
+        let mut config = FairnessConfig::default();
+        config.default_policy = TenantPolicy {
+            byte_rate: 100.0,
+            byte_burst: 50.0,
+            ..TenantPolicy::unlimited()
+        };
+        let mut throttle = TenantThrottle::new(config);
+        // A 1000-byte graph can never fit a 50-byte bucket; the hint is the
+        // bucket's own refill period, not ten seconds.
+        let wait = throttle.admit(1, 1000, t0()).unwrap_err();
+        assert!(wait <= Duration::from_secs(1), "hint was {wait:?}");
+    }
+
+    #[test]
+    fn policy_lookup_prefers_overrides() {
+        let mut config = FairnessConfig {
+            default_policy: TenantPolicy {
+                weight: 2,
+                ..TenantPolicy::unlimited()
+            },
+            ..FairnessConfig::default()
+        };
+        config.overrides.insert(
+            9,
+            TenantPolicy {
+                weight: 7,
+                ..TenantPolicy::unlimited()
+            },
+        );
+        assert_eq!(config.policy(9).weight, 7);
+        assert_eq!(config.policy(1).weight, 2);
+        assert_eq!(
+            TenantPolicy {
+                weight: 0,
+                ..TenantPolicy::unlimited()
+            }
+            .effective_weight(),
+            1
+        );
+    }
+}

@@ -9,17 +9,29 @@
 //! planned by a fixed pool of worker threads. Three mechanisms carry the
 //! load:
 //!
-//! * **Sharding** — tenants map onto workers by `tenant % workers`; each
-//!   worker owns its tenants' sessions outright, so per-tenant re-plans are
-//!   FIFO and no lock is ever taken on a session.
+//! * **Sharding** — tenants map onto workers by rendezvous (highest-random-
+//!   weight) hashing over stable worker keys; each worker owns its tenants'
+//!   sessions outright, so per-tenant re-plans are FIFO and no lock is ever
+//!   taken on a session. Stable keys make [`PlanService::resize`] cheap:
+//!   re-sharding moves only the tenants whose highest-scoring key changed.
 //! * **Coalescing** — workers drain their queue greedily between re-plans
 //!   and fold queued events per tenant ([`CoalescingQueue`]): a burst of N
-//!   churn events costs one re-plan against the latest graph, not N.
-//! * **Backpressure** — worker queues are bounded; when one is full,
-//!   [`PlanService::submit`] rejects with a retry hint instead of buffering
-//!   without limit. Combined with the session caches' byte budgets
+//!   churn events costs one re-plan against the latest graph, not N. Under
+//!   contention the queue drains by deficit round-robin, weighted by the
+//!   service's [`FairnessConfig`].
+//! * **Backpressure & fairness** — worker queues are bounded; when one is
+//!   full, [`PlanService::submit`] rejects with a retry hint instead of
+//!   buffering without limit, and per-tenant token buckets
+//!   ([`TenantThrottle`]) reject over-quota tenants before they reach a
+//!   queue at all. Combined with the session caches' byte budgets
 //!   (see [`PlannerConfig`](spindle_core::PlannerConfig)), the daemon's
 //!   memory stays bounded no matter how long it runs.
+//!
+//! Remote callers speak a versioned, length-prefixed binary protocol
+//! ([`proto`]-module framing) to a [`TcpIngress`] built on a nonblocking
+//! `std::net` listener; in-process callers use [`LocalClient`]. Both
+//! implement [`ServiceApi`] and produce bit-identical plan fingerprints for
+//! the same submissions, which the `loadgen` binary proves on every run.
 //!
 //! The `loadgen` binary replays seeded multi-tenant traces
 //! ([`TenantFleet`](spindle_workloads::TenantFleet)) against a service and
@@ -58,8 +70,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod api;
 mod coalesce;
+mod fairness;
+mod listener;
+pub mod proto;
 mod service;
 
+pub use api::{ApiCompletion, LocalClient, ServiceApi, TcpClient};
 pub use coalesce::{CoalescedReplan, CoalescingQueue};
+pub use fairness::{FairnessConfig, TenantPolicy, TenantThrottle};
+pub use listener::TcpIngress;
+pub use proto::{
+    ErrorCode, FrameDecoder, ReplanSummary, Request, Response, WireError, WireStats, PROTO_VERSION,
+};
 pub use service::{Completion, PlanService, ServiceConfig, ServiceStats, SubmitError};

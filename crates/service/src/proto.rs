@@ -1,0 +1,1270 @@
+//! The versioned, length-prefixed binary wire protocol of the planning
+//! service.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` payload length
+//! followed by the payload, whose first byte is the message tag. The format is
+//! hand-rolled (the workspace takes no serialization dependency) and strictly
+//! deterministic: encoding the same value twice yields identical bytes, which
+//! is what lets the load generator prove the TCP and in-process transports
+//! behaviorally identical by comparing [`ReplanSummary::plan_fingerprint`]s.
+//!
+//! ```text
+//! frame    := [len: u32 LE] [payload: len bytes]
+//! payload  := [tag: u8] [body]
+//! ```
+//!
+//! Decoding is strict: unknown tags, truncated bodies, trailing bytes,
+//! out-of-range enum values, invalid UTF-8 and frames above
+//! [`MAX_FRAME_LEN`] are all [`WireError`]s — a malformed frame never reaches
+//! the worker shards (the listener answers [`Response::Error`] and closes the
+//! offending connection).
+//!
+//! Version negotiation: a client's first message must be
+//! [`Request::Hello`] carrying [`PROTO_VERSION`]; the server answers
+//! [`Response::HelloAck`] or rejects the connection with
+//! [`ErrorCode::UnsupportedVersion`].
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use spindle_cluster::DeviceId;
+use spindle_core::{CacheTelemetry, ReplanOutcome};
+use spindle_graph::{
+    ComputationGraph, Modality, OpId, OpKind, Operator, ParamId, TaskId, TaskSpec, TensorShape,
+};
+
+use crate::ServiceStats;
+
+/// The wire-protocol version this build speaks.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on a frame's payload length. Anything larger is rejected
+/// before buffering — a single malformed length prefix must not make the
+/// listener allocate gigabytes.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Bytes of the frame length prefix.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+// Request payload tags.
+const TAG_HELLO: u8 = 0x01;
+const TAG_SUBMIT_GRAPH: u8 = 0x02;
+const TAG_TOPOLOGY: u8 = 0x03;
+const TAG_STATS: u8 = 0x04;
+const TAG_SHUTDOWN: u8 = 0x05;
+
+// Response payload tags.
+const TAG_HELLO_ACK: u8 = 0x81;
+const TAG_ACCEPTED: u8 = 0x82;
+const TAG_PLAN_READY: u8 = 0x83;
+const TAG_REJECTED: u8 = 0x84;
+const TAG_STATS_REPLY: u8 = 0x85;
+const TAG_TOPOLOGY_ACK: u8 = 0x86;
+const TAG_ERROR: u8 = 0x87;
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before the value being read was complete.
+    Truncated,
+    /// A frame announced a payload above [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The announced payload length.
+        len: usize,
+    },
+    /// Bytes remained after the message was fully decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// The payload's first byte is not a known message tag.
+    UnknownTag(u8),
+    /// An enum field carried an out-of-range value.
+    BadEnum {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending wire value.
+        value: u32,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A length field exceeded the remaining body.
+    BadLength,
+    /// The decoded graph failed [`ComputationGraph::new`] validation.
+    InvalidGraph(String),
+    /// A `Hello` carried a protocol version this build does not speak.
+    UnsupportedVersion(u16),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "frame body truncated"),
+            Self::Oversized { len } => {
+                write!(f, "frame payload of {len} bytes exceeds {MAX_FRAME_LEN}")
+            }
+            Self::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete message")
+            }
+            Self::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            Self::BadEnum { what, value } => write!(f, "bad {what} value {value}"),
+            Self::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            Self::BadLength => write!(f, "length field exceeds the frame body"),
+            Self::InvalidGraph(e) => write!(f, "decoded graph is invalid: {e}"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build: {PROTO_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Stable numeric error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame could not be decoded (any [`WireError`] except version
+    /// mismatch). The connection is closed after this error.
+    Malformed = 1,
+    /// The `Hello` version is not supported. The connection is closed.
+    UnsupportedVersion = 2,
+    /// A request arrived before the connection's `Hello`. Closed.
+    HelloRequired = 3,
+    /// The submitted graph failed validation.
+    InvalidGraph = 4,
+    /// The service rejected the request (worker gone / shutting down).
+    Unavailable = 5,
+    /// An unexpected server-side failure.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    fn from_u16(value: u16) -> Result<Self, WireError> {
+        Ok(match value {
+            1 => Self::Malformed,
+            2 => Self::UnsupportedVersion,
+            3 => Self::HelloRequired,
+            4 => Self::InvalidGraph,
+            5 => Self::Unavailable,
+            6 => Self::Internal,
+            other => {
+                return Err(WireError::BadEnum {
+                    what: "error code",
+                    value: u32::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version negotiation; must be the first message of every connection.
+    Hello {
+        /// The protocol version the client speaks.
+        proto_version: u16,
+    },
+    /// A churn event: `tenant`'s task mix became `graph`.
+    SubmitGraph {
+        /// The tenant whose task mix changed.
+        tenant: u64,
+        /// The tenant's new computation graph.
+        graph: Arc<ComputationGraph>,
+    },
+    /// A cluster topology change, broadcast to every worker.
+    Topology {
+        /// Devices that left the pool.
+        removed: Vec<DeviceId>,
+        /// Devices that rejoined the pool.
+        restored: Vec<DeviceId>,
+    },
+    /// Request a [`Response::Stats`] snapshot.
+    Stats,
+    /// Drain and stop the service; the server answers with any remaining
+    /// [`Response::PlanReady`] frames followed by a final [`Response::Stats`].
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `Hello` accepted; the server speaks `proto_version`.
+    HelloAck {
+        /// The version the server will use on this connection.
+        proto_version: u16,
+    },
+    /// A `SubmitGraph` was accepted onto its tenant's worker queue. The
+    /// re-plan itself arrives later as [`Response::PlanReady`].
+    Accepted {
+        /// The tenant whose submission was accepted.
+        tenant: u64,
+    },
+    /// One finished re-plan (the wire form of a
+    /// [`Completion`](crate::Completion)).
+    PlanReady {
+        /// The tenant that was re-planned.
+        tenant: u64,
+        /// Summary of the produced plan; empty/default fields with
+        /// `error != None` mean the re-plan failed.
+        outcome: ReplanSummary,
+        /// Planning error message, if the re-plan failed.
+        error: Option<String>,
+        /// `true` when triggered by a topology change.
+        topology_change: bool,
+        /// Churn events folded into this re-plan.
+        coalesced: u32,
+        /// Queue wait of the oldest folded event, nanoseconds.
+        queue_wait_ns: u64,
+        /// Planning time, nanoseconds.
+        plan_time_ns: u64,
+    },
+    /// A `SubmitGraph` was rejected by backpressure or a tenant quota.
+    Rejected {
+        /// The tenant whose submission was rejected.
+        tenant: u64,
+        /// Suggested backoff before retrying, nanoseconds.
+        retry_hint_ns: u64,
+        /// `true` when a per-tenant fairness quota (not queue depth)
+        /// rejected the submission.
+        throttled: bool,
+    },
+    /// Service-wide counter snapshot.
+    Stats(WireStats),
+    /// A `Topology` change was broadcast to `workers` workers.
+    TopologyAck {
+        /// Workers notified of the change.
+        workers: u32,
+    },
+    /// A request failed; for [`ErrorCode::Malformed`],
+    /// [`ErrorCode::UnsupportedVersion`] and [`ErrorCode::HelloRequired`] the
+    /// server closes the connection after sending this.
+    Error {
+        /// Stable numeric code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// The wire form of [`ServiceStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Submissions accepted onto a worker queue.
+    pub submitted: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected: u64,
+    /// Submissions rejected by per-tenant fairness quotas.
+    pub throttled: u64,
+    /// Coalesced re-plans executed.
+    pub replans: u64,
+    /// Topology-change re-plans executed.
+    pub topology_replans: u64,
+    /// Failed re-plans plus worker panics.
+    pub errors: u64,
+    /// Total planning time, nanoseconds.
+    pub plan_nanos: u64,
+}
+
+impl From<ServiceStats> for WireStats {
+    fn from(s: ServiceStats) -> Self {
+        Self {
+            submitted: s.submitted,
+            rejected: s.rejected,
+            throttled: s.throttled,
+            replans: s.replans,
+            topology_replans: s.topology_replans,
+            errors: s.errors,
+            plan_nanos: s.plan_nanos,
+        }
+    }
+}
+
+impl From<WireStats> for ServiceStats {
+    fn from(s: WireStats) -> Self {
+        Self {
+            submitted: s.submitted,
+            rejected: s.rejected,
+            throttled: s.throttled,
+            replans: s.replans,
+            topology_replans: s.topology_replans,
+            errors: s.errors,
+            plan_nanos: s.plan_nanos,
+        }
+    }
+}
+
+/// A transport-portable summary of a [`ReplanOutcome`].
+///
+/// The full outcome owns an [`ExecutionPlan`](spindle_core::ExecutionPlan);
+/// shipping every wave over the wire would be wasteful when clients only need
+/// the plan's identity and the cache-warmth probe. The summary therefore
+/// carries the plan's *fingerprint* — an FNV-1a hash over every wave entry's
+/// exact bit pattern — plus the outcome's counters. Two plans have equal
+/// fingerprints iff their wave structure, timings and placements are
+/// bit-identical, which is the property the transport-equivalence cross-check
+/// asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplanSummary {
+    /// Bit pattern of the plan's makespan (seconds as `f64::to_bits`).
+    pub makespan_bits: u64,
+    /// Number of waves in the plan.
+    pub num_waves: u32,
+    /// FNV-1a fingerprint over every wave's entries (metaop, layers, devices,
+    /// per-op time bits, start/duration bits and placement device ids).
+    pub plan_fingerprint: u64,
+    /// Operator signatures profiled and fitted anew.
+    pub new_curve_fits: u32,
+    /// Curve-cache hits served while producing the plan.
+    pub cache_hits: u32,
+    /// `true` if the curve cache was fully warm.
+    pub warm: bool,
+    /// MetaLevels of the re-planned graph.
+    pub levels_total: u32,
+    /// Levels spliced from the structural plan cache.
+    pub levels_reused: u32,
+    /// `true` if the fully placed wave list was served structurally.
+    pub placement_reused: bool,
+    /// Session cache telemetry after the re-plan.
+    pub cache: CacheTelemetry,
+    /// Devices lost since the reused placement was made.
+    pub devices_lost: u32,
+    /// Levels re-placed after a topology change.
+    pub levels_replaced: u32,
+    /// Parameter bytes that must move to realize the new placement.
+    pub migration_bytes: u64,
+    /// Bit pattern of the estimated migration time in seconds.
+    pub migration_cost_bits: u64,
+}
+
+impl ReplanSummary {
+    /// Summarises a full [`ReplanOutcome`] for the wire.
+    #[must_use]
+    pub fn of(outcome: &ReplanOutcome) -> Self {
+        let mut fp = Fnv1a::new();
+        for wave in outcome.plan.waves() {
+            fp.u64(wave.index as u64);
+            fp.u64(wave.level as u64);
+            fp.u64(wave.start.to_bits());
+            fp.u64(wave.duration.to_bits());
+            for entry in &wave.entries {
+                fp.u64(entry.metaop.index() as u64);
+                fp.u64(u64::from(entry.layers));
+                fp.u64(u64::from(entry.devices));
+                fp.u64(entry.time_per_op.to_bits());
+                fp.u64(entry.exec_time.to_bits());
+                fp.u64(entry.memory_per_device);
+                match &entry.placement {
+                    None => fp.u64(u64::MAX),
+                    Some(group) => {
+                        fp.u64(group.len() as u64);
+                        for d in group.iter() {
+                            fp.u64(u64::from(d.0));
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            makespan_bits: outcome.plan.makespan().to_bits(),
+            num_waves: outcome.plan.num_waves() as u32,
+            plan_fingerprint: fp.finish(),
+            new_curve_fits: outcome.new_curve_fits as u32,
+            cache_hits: outcome.cache_hits as u32,
+            warm: outcome.warm,
+            levels_total: outcome.levels_total as u32,
+            levels_reused: outcome.levels_reused as u32,
+            placement_reused: outcome.placement_reused,
+            cache: outcome.cache,
+            devices_lost: outcome.devices_lost as u32,
+            levels_replaced: outcome.levels_replaced as u32,
+            migration_bytes: outcome.migration_bytes,
+            migration_cost_bits: outcome.migration_cost.to_bits(),
+        }
+    }
+
+    /// The plan's makespan in seconds.
+    #[must_use]
+    pub fn makespan(&self) -> f64 {
+        f64::from_bits(self.makespan_bits)
+    }
+}
+
+/// Incremental FNV-1a over `u64` words.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers / readers
+// ---------------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// A strict reader over one frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::BadLength)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::BadEnum {
+                what: "bool",
+                value: u32::from(other),
+            }),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len).map_err(|_| WireError::BadLength)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph (de)serialization
+// ---------------------------------------------------------------------------
+
+fn modality_tag(m: Modality) -> u8 {
+    Modality::ALL
+        .iter()
+        .position(|&x| x == m)
+        .expect("Modality::ALL covers every modality") as u8
+}
+
+fn modality_from_tag(tag: u8) -> Result<Modality, WireError> {
+    Modality::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(WireError::BadEnum {
+            what: "modality",
+            value: u32::from(tag),
+        })
+}
+
+/// `(tag, modality payload)` of an [`OpKind`]. The enum is `#[non_exhaustive]`
+/// upstream; kinds unknown to this protocol version cannot be encoded.
+fn kind_tag(kind: OpKind) -> (u8, Option<Modality>) {
+    match kind {
+        OpKind::Encoder(m) => (0, Some(m)),
+        OpKind::Adaptor(m) => (1, Some(m)),
+        OpKind::LmEncoder => (2, None),
+        OpKind::LmDecoder => (3, None),
+        OpKind::LmDecoderOnly => (4, None),
+        OpKind::Embedding => (5, None),
+        OpKind::Projection => (6, None),
+        OpKind::ContrastiveLoss => (7, None),
+        OpKind::GenerativeLoss => (8, None),
+        // `OpKind` is non-exhaustive upstream; this protocol version covers
+        // all nine kinds that exist today.
+        _ => unreachable!("unknown OpKind cannot be built by this workspace"),
+    }
+}
+
+fn kind_from_reader(r: &mut Reader<'_>) -> Result<OpKind, WireError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => OpKind::Encoder(modality_from_tag(r.u8()?)?),
+        1 => OpKind::Adaptor(modality_from_tag(r.u8()?)?),
+        2 => OpKind::LmEncoder,
+        3 => OpKind::LmDecoder,
+        4 => OpKind::LmDecoderOnly,
+        5 => OpKind::Embedding,
+        6 => OpKind::Projection,
+        7 => OpKind::ContrastiveLoss,
+        8 => OpKind::GenerativeLoss,
+        other => {
+            return Err(WireError::BadEnum {
+                what: "op kind",
+                value: u32::from(other),
+            })
+        }
+    })
+}
+
+/// Appends the deterministic wire encoding of `graph` to `out`.
+pub fn encode_graph(graph: &ComputationGraph, out: &mut Vec<u8>) {
+    put_u32(out, graph.tasks().len() as u32);
+    for task in graph.tasks() {
+        put_u32(out, task.id().0);
+        put_str(out, task.name());
+        put_u8(out, task.modalities().len() as u8);
+        for &m in task.modalities() {
+            put_u8(out, modality_tag(m));
+        }
+        put_u32(out, task.batch_size());
+    }
+    put_u32(out, graph.ops().len() as u32);
+    for op in graph.ops() {
+        put_u32(out, op.id().0);
+        let (tag, modality) = kind_tag(op.kind());
+        put_u8(out, tag);
+        if let Some(m) = modality {
+            put_u8(out, modality_tag(m));
+        }
+        put_u32(out, op.task().0);
+        let shape = op.input_shape();
+        put_u32(out, shape.batch);
+        put_u32(out, shape.seq);
+        put_u32(out, shape.hidden);
+        put_u64(out, op.flops_forward().to_bits());
+        put_u64(out, op.param_bytes());
+        put_u64(out, op.output_bytes());
+        put_u16(out, op.params().len() as u16);
+        for &p in op.params() {
+            put_u32(out, p.0);
+        }
+    }
+    put_u32(out, graph.edges().len() as u32);
+    for &(src, dst) in graph.edges() {
+        put_u32(out, src.0);
+        put_u32(out, dst.0);
+    }
+}
+
+/// Exact length of [`encode_graph`]'s output, without allocating. Used as the
+/// byte cost of a submission under per-tenant byte quotas — both transports
+/// charge the same figure.
+#[must_use]
+pub fn graph_wire_len(graph: &ComputationGraph) -> usize {
+    let mut len = 4;
+    for task in graph.tasks() {
+        len += 4 + 4 + task.name().len() + 1 + task.modalities().len() + 4;
+    }
+    len += 4;
+    for op in graph.ops() {
+        let (_, modality) = kind_tag(op.kind());
+        len += 4 + 1 + usize::from(modality.is_some()) + 4 + 12 + 8 + 8 + 8 + 2;
+        len += 4 * op.params().len();
+    }
+    len + 4 + 8 * graph.edges().len()
+}
+
+fn decode_graph(r: &mut Reader<'_>) -> Result<ComputationGraph, WireError> {
+    let num_tasks = r.u32()? as usize;
+    let mut tasks = Vec::with_capacity(num_tasks.min(1024));
+    for _ in 0..num_tasks {
+        let id = TaskId(r.u32()?);
+        let name = r.str()?;
+        let num_modalities = r.u8()? as usize;
+        let mut modalities = Vec::with_capacity(num_modalities);
+        for _ in 0..num_modalities {
+            modalities.push(modality_from_tag(r.u8()?)?);
+        }
+        let batch = r.u32()?;
+        tasks.push(TaskSpec::new(id, name, modalities, batch));
+    }
+    let num_ops = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(num_ops.min(65_536));
+    for _ in 0..num_ops {
+        let id = OpId(r.u32()?);
+        let kind = kind_from_reader(r)?;
+        let task = TaskId(r.u32()?);
+        let shape = TensorShape::new(r.u32()?, r.u32()?, r.u32()?);
+        let flops_forward = f64::from_bits(r.u64()?);
+        let param_bytes = r.u64()?;
+        let output_bytes = r.u64()?;
+        let mut op = Operator::new(id, kind, task, shape).with_costs(
+            flops_forward,
+            param_bytes,
+            output_bytes,
+        );
+        let num_params = r.u16()? as usize;
+        for _ in 0..num_params {
+            op = op.with_param(ParamId(r.u32()?));
+        }
+        ops.push(op);
+    }
+    let num_edges = r.u32()? as usize;
+    let mut edges = Vec::with_capacity(num_edges.min(65_536));
+    for _ in 0..num_edges {
+        edges.push((OpId(r.u32()?), OpId(r.u32()?)));
+    }
+    ComputationGraph::new(ops, edges, tasks).map_err(|e| WireError::InvalidGraph(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Message (de)serialization
+// ---------------------------------------------------------------------------
+
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+impl Request {
+    /// Encodes the request as one complete frame (length prefix included).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Self::Hello { proto_version } => {
+                put_u8(&mut p, TAG_HELLO);
+                put_u16(&mut p, *proto_version);
+            }
+            Self::SubmitGraph { tenant, graph } => {
+                put_u8(&mut p, TAG_SUBMIT_GRAPH);
+                put_u64(&mut p, *tenant);
+                encode_graph(graph, &mut p);
+            }
+            Self::Topology { removed, restored } => {
+                put_u8(&mut p, TAG_TOPOLOGY);
+                put_u32(&mut p, removed.len() as u32);
+                for d in removed {
+                    put_u32(&mut p, d.0);
+                }
+                put_u32(&mut p, restored.len() as u32);
+                for d in restored {
+                    put_u32(&mut p, d.0);
+                }
+            }
+            Self::Stats => put_u8(&mut p, TAG_STATS),
+            Self::Shutdown => put_u8(&mut p, TAG_SHUTDOWN),
+        }
+        frame(p)
+    }
+
+    /// Decodes a request from one frame payload (no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]: strict decoding rejects unknown tags, truncation,
+    /// trailing bytes and invalid graphs.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let request = match r.u8()? {
+            TAG_HELLO => Self::Hello {
+                proto_version: r.u16()?,
+            },
+            TAG_SUBMIT_GRAPH => {
+                let tenant = r.u64()?;
+                let graph = Arc::new(decode_graph(&mut r)?);
+                Self::SubmitGraph { tenant, graph }
+            }
+            TAG_TOPOLOGY => {
+                let n = r.u32()? as usize;
+                let mut removed = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    removed.push(DeviceId(r.u32()?));
+                }
+                let n = r.u32()? as usize;
+                let mut restored = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    restored.push(DeviceId(r.u32()?));
+                }
+                Self::Topology { removed, restored }
+            }
+            TAG_STATS => Self::Stats,
+            TAG_SHUTDOWN => Self::Shutdown,
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+fn put_summary(out: &mut Vec<u8>, s: &ReplanSummary) {
+    put_u64(out, s.makespan_bits);
+    put_u32(out, s.num_waves);
+    put_u64(out, s.plan_fingerprint);
+    put_u32(out, s.new_curve_fits);
+    put_u32(out, s.cache_hits);
+    put_bool(out, s.warm);
+    put_u32(out, s.levels_total);
+    put_u32(out, s.levels_reused);
+    put_bool(out, s.placement_reused);
+    put_u64(out, s.cache.bytes as u64);
+    put_u64(out, s.cache.evictions);
+    put_u32(out, s.devices_lost);
+    put_u32(out, s.levels_replaced);
+    put_u64(out, s.migration_bytes);
+    put_u64(out, s.migration_cost_bits);
+}
+
+fn read_summary(r: &mut Reader<'_>) -> Result<ReplanSummary, WireError> {
+    Ok(ReplanSummary {
+        makespan_bits: r.u64()?,
+        num_waves: r.u32()?,
+        plan_fingerprint: r.u64()?,
+        new_curve_fits: r.u32()?,
+        cache_hits: r.u32()?,
+        warm: r.bool()?,
+        levels_total: r.u32()?,
+        levels_reused: r.u32()?,
+        placement_reused: r.bool()?,
+        cache: CacheTelemetry {
+            bytes: r.u64()? as usize,
+            evictions: r.u64()?,
+        },
+        devices_lost: r.u32()?,
+        levels_replaced: r.u32()?,
+        migration_bytes: r.u64()?,
+        migration_cost_bits: r.u64()?,
+    })
+}
+
+impl Response {
+    /// Encodes the response as one complete frame (length prefix included).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Self::HelloAck { proto_version } => {
+                put_u8(&mut p, TAG_HELLO_ACK);
+                put_u16(&mut p, *proto_version);
+            }
+            Self::Accepted { tenant } => {
+                put_u8(&mut p, TAG_ACCEPTED);
+                put_u64(&mut p, *tenant);
+            }
+            Self::PlanReady {
+                tenant,
+                outcome,
+                error,
+                topology_change,
+                coalesced,
+                queue_wait_ns,
+                plan_time_ns,
+            } => {
+                put_u8(&mut p, TAG_PLAN_READY);
+                put_u64(&mut p, *tenant);
+                put_summary(&mut p, outcome);
+                match error {
+                    None => put_bool(&mut p, false),
+                    Some(message) => {
+                        put_bool(&mut p, true);
+                        put_str(&mut p, message);
+                    }
+                }
+                put_bool(&mut p, *topology_change);
+                put_u32(&mut p, *coalesced);
+                put_u64(&mut p, *queue_wait_ns);
+                put_u64(&mut p, *plan_time_ns);
+            }
+            Self::Rejected {
+                tenant,
+                retry_hint_ns,
+                throttled,
+            } => {
+                put_u8(&mut p, TAG_REJECTED);
+                put_u64(&mut p, *tenant);
+                put_u64(&mut p, *retry_hint_ns);
+                put_bool(&mut p, *throttled);
+            }
+            Self::Stats(stats) => {
+                put_u8(&mut p, TAG_STATS_REPLY);
+                put_u64(&mut p, stats.submitted);
+                put_u64(&mut p, stats.rejected);
+                put_u64(&mut p, stats.throttled);
+                put_u64(&mut p, stats.replans);
+                put_u64(&mut p, stats.topology_replans);
+                put_u64(&mut p, stats.errors);
+                put_u64(&mut p, stats.plan_nanos);
+            }
+            Self::TopologyAck { workers } => {
+                put_u8(&mut p, TAG_TOPOLOGY_ACK);
+                put_u32(&mut p, *workers);
+            }
+            Self::Error { code, message } => {
+                put_u8(&mut p, TAG_ERROR);
+                put_u16(&mut p, *code as u16);
+                put_str(&mut p, message);
+            }
+        }
+        frame(p)
+    }
+
+    /// Decodes a response from one frame payload (no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]: strict decoding rejects unknown tags, truncation
+    /// and trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let response = match r.u8()? {
+            TAG_HELLO_ACK => Self::HelloAck {
+                proto_version: r.u16()?,
+            },
+            TAG_ACCEPTED => Self::Accepted { tenant: r.u64()? },
+            TAG_PLAN_READY => {
+                let tenant = r.u64()?;
+                let outcome = read_summary(&mut r)?;
+                let error = if r.bool()? { Some(r.str()?) } else { None };
+                Self::PlanReady {
+                    tenant,
+                    outcome,
+                    error,
+                    topology_change: r.bool()?,
+                    coalesced: r.u32()?,
+                    queue_wait_ns: r.u64()?,
+                    plan_time_ns: r.u64()?,
+                }
+            }
+            TAG_REJECTED => Self::Rejected {
+                tenant: r.u64()?,
+                retry_hint_ns: r.u64()?,
+                throttled: r.bool()?,
+            },
+            TAG_STATS_REPLY => Self::Stats(WireStats {
+                submitted: r.u64()?,
+                rejected: r.u64()?,
+                throttled: r.u64()?,
+                replans: r.u64()?,
+                topology_replans: r.u64()?,
+                errors: r.u64()?,
+                plan_nanos: r.u64()?,
+            }),
+            TAG_TOPOLOGY_ACK => Self::TopologyAck { workers: r.u32()? },
+            TAG_ERROR => {
+                let code = ErrorCode::from_u16(r.u16()?)?;
+                let message = r.str()?;
+                Self::Error { code, message }
+            }
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+/// Converts a nanosecond wire field back to a [`Duration`].
+#[must_use]
+pub fn duration_from_ns(ns: u64) -> Duration {
+    Duration::from_nanos(ns)
+}
+
+// ---------------------------------------------------------------------------
+// Incremental frame decoding
+// ---------------------------------------------------------------------------
+
+/// Reassembles frames from an arbitrary-chunked byte stream.
+///
+/// Both ends of a nonblocking connection feed whatever bytes `read` produced
+/// into [`FrameDecoder::extend`] and pull complete frame payloads out of
+/// [`FrameDecoder::next_frame`] — partial frames simply stay buffered until
+/// the rest arrives. An oversized length prefix is rejected as soon as the
+/// four header bytes are in, before any payload is buffered.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds freshly read bytes into the decoder.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by the largest
+        // in-flight frame instead of the connection's lifetime traffic.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame payload, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] when a frame announces a payload above
+    /// [`MAX_FRAME_LEN`]; the decoder is poisoned for the connection (the
+    /// caller must close it — the stream can no longer be framed).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..FRAME_HEADER_LEN].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized { len });
+        }
+        if avail.len() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = avail[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+        self.start += FRAME_HEADER_LEN + len;
+        Ok(Some(payload))
+    }
+
+    /// Bytes currently buffered (partial frame waiting for more input).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_graph::{GraphBuilder, XorShift64Star};
+
+    /// A seeded random-but-valid graph: a chain per task with varying kinds,
+    /// shapes, overridden costs and shared params — exercising every field of
+    /// the wire format.
+    fn random_graph(rng: &mut XorShift64Star) -> ComputationGraph {
+        let mut b = GraphBuilder::new();
+        let num_tasks = 1 + (rng.next_u64() % 3) as usize;
+        for t in 0..num_tasks {
+            let m = Modality::ALL[(rng.next_u64() % 9) as usize];
+            let batch = 1 + (rng.next_u64() % 32) as u32;
+            let task = b.add_task(format!("task-{t}"), [m, Modality::Text], batch);
+            let layers = 1 + (rng.next_u64() % 5) as usize;
+            let chain = b
+                .add_op_chain(
+                    task,
+                    OpKind::Encoder(m),
+                    TensorShape::new(batch, m.typical_sequence_length(), 768),
+                    layers,
+                )
+                .unwrap();
+            let loss = b
+                .add_op(
+                    task,
+                    OpKind::ContrastiveLoss,
+                    TensorShape::new(batch, 1, 768),
+                )
+                .unwrap();
+            b.add_flow(*chain.last().unwrap(), loss).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn roundtrip_request(request: &Request) {
+        let bytes = request.encode();
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&bytes);
+        let payload = decoder.next_frame().unwrap().expect("complete frame");
+        let decoded = Request::decode(&payload).unwrap();
+        assert_eq!(
+            decoded.encode(),
+            bytes,
+            "re-encoding a decoded request must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn requests_roundtrip_bit_identically_under_seeded_draws() {
+        let mut rng = XorShift64Star::new(0x5EED);
+        for round in 0..24 {
+            let graph = Arc::new(random_graph(&mut rng));
+            roundtrip_request(&Request::SubmitGraph {
+                tenant: rng.next_u64(),
+                graph,
+            });
+            let removed: Vec<DeviceId> = (0..(rng.next_u64() % 4))
+                .map(|_| DeviceId((rng.next_u64() % 64) as u32))
+                .collect();
+            let restored: Vec<DeviceId> = (0..(rng.next_u64() % 4))
+                .map(|_| DeviceId((rng.next_u64() % 64) as u32))
+                .collect();
+            roundtrip_request(&Request::Topology { removed, restored });
+            roundtrip_request(&Request::Hello {
+                proto_version: (rng.next_u64() % 8) as u16,
+            });
+            roundtrip_request(&Request::Stats);
+            roundtrip_request(&Request::Shutdown);
+            assert!(round < 24);
+        }
+    }
+
+    #[test]
+    fn decoded_graphs_are_semantically_identical() {
+        let mut rng = XorShift64Star::new(0xBEEF);
+        for _ in 0..16 {
+            let graph = random_graph(&mut rng);
+            let mut bytes = Vec::new();
+            encode_graph(&graph, &mut bytes);
+            assert_eq!(bytes.len(), graph_wire_len(&graph), "length oracle drifts");
+            let mut r = Reader::new(&bytes);
+            let decoded = decode_graph(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(decoded.ops(), graph.ops());
+            assert_eq!(decoded.edges(), graph.edges());
+            assert_eq!(decoded.tasks(), graph.tasks());
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_bit_identically_under_seeded_draws() {
+        let mut rng = XorShift64Star::new(0xFACE);
+        for _ in 0..32 {
+            let summary = ReplanSummary {
+                makespan_bits: rng.next_u64(),
+                num_waves: (rng.next_u64() % 1000) as u32,
+                plan_fingerprint: rng.next_u64(),
+                new_curve_fits: (rng.next_u64() % 100) as u32,
+                cache_hits: (rng.next_u64() % 100) as u32,
+                warm: rng.next_u64() % 2 == 0,
+                levels_total: (rng.next_u64() % 40) as u32,
+                levels_reused: (rng.next_u64() % 40) as u32,
+                placement_reused: rng.next_u64() % 2 == 0,
+                cache: CacheTelemetry {
+                    bytes: (rng.next_u64() % (1 << 30)) as usize,
+                    evictions: rng.next_u64() % 1000,
+                },
+                devices_lost: (rng.next_u64() % 8) as u32,
+                levels_replaced: (rng.next_u64() % 40) as u32,
+                migration_bytes: rng.next_u64(),
+                migration_cost_bits: rng.next_u64(),
+            };
+            let responses = [
+                Response::HelloAck {
+                    proto_version: (rng.next_u64() % 4) as u16,
+                },
+                Response::Accepted {
+                    tenant: rng.next_u64(),
+                },
+                Response::PlanReady {
+                    tenant: rng.next_u64(),
+                    outcome: summary,
+                    error: if rng.next_u64() % 2 == 0 {
+                        None
+                    } else {
+                        Some("planner failed".to_string())
+                    },
+                    topology_change: rng.next_u64() % 2 == 0,
+                    coalesced: 1 + (rng.next_u64() % 12) as u32,
+                    queue_wait_ns: rng.next_u64(),
+                    plan_time_ns: rng.next_u64(),
+                },
+                Response::Rejected {
+                    tenant: rng.next_u64(),
+                    retry_hint_ns: rng.next_u64(),
+                    throttled: rng.next_u64() % 2 == 0,
+                },
+                Response::Stats(WireStats {
+                    submitted: rng.next_u64(),
+                    rejected: rng.next_u64(),
+                    throttled: rng.next_u64(),
+                    replans: rng.next_u64(),
+                    topology_replans: rng.next_u64(),
+                    errors: rng.next_u64(),
+                    plan_nanos: rng.next_u64(),
+                }),
+                Response::TopologyAck {
+                    workers: (rng.next_u64() % 64) as u32,
+                },
+                Response::Error {
+                    code: ErrorCode::InvalidGraph,
+                    message: "self-loop".to_string(),
+                },
+            ];
+            for response in responses {
+                let bytes = response.encode();
+                let payload = &bytes[FRAME_HEADER_LEN..];
+                let decoded = Response::decode(payload).unwrap();
+                assert_eq!(decoded, response);
+                assert_eq!(decoded.encode(), bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let mut rng = XorShift64Star::new(1);
+        let graph = Arc::new(random_graph(&mut rng));
+        let bytes = Request::SubmitGraph { tenant: 1, graph }.encode();
+        // Every strict prefix of the payload fails to decode.
+        for cut in 1..(bytes.len() - FRAME_HEADER_LEN).min(64) {
+            let payload = &bytes[FRAME_HEADER_LEN..bytes.len() - cut];
+            assert!(
+                Request::decode(payload).is_err(),
+                "cut {cut} decoded anyway"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let bytes = Request::Stats.encode();
+        let mut payload = bytes[FRAME_HEADER_LEN..].to_vec();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(&payload),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_enums_are_rejected() {
+        assert_eq!(Request::decode(&[0x7f]), Err(WireError::UnknownTag(0x7f)));
+        assert_eq!(Response::decode(&[0x00]), Err(WireError::UnknownTag(0x00)));
+        // A modality tag of 200 is out of range.
+        let mut payload = vec![TAG_SUBMIT_GRAPH];
+        put_u64(&mut payload, 5);
+        put_u32(&mut payload, 1); // one task
+        put_u32(&mut payload, 0); // task id
+        put_str(&mut payload, "t");
+        put_u8(&mut payload, 1); // one modality
+        put_u8(&mut payload, 200); // bad tag
+        assert_eq!(
+            Request::decode(&payload),
+            Err(WireError::BadEnum {
+                what: "modality",
+                value: 200
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_at_the_header() {
+        let mut decoder = FrameDecoder::new();
+        let bad_len = (MAX_FRAME_LEN + 1) as u32;
+        decoder.extend(&bad_len.to_le_bytes());
+        assert_eq!(
+            decoder.next_frame(),
+            Err(WireError::Oversized {
+                len: MAX_FRAME_LEN + 1
+            })
+        );
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_byte_by_byte() {
+        let a = Request::Hello {
+            proto_version: PROTO_VERSION,
+        }
+        .encode();
+        let b = Request::Stats.encode();
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for &byte in &stream {
+            decoder.extend(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], a[FRAME_HEADER_LEN..].to_vec());
+        assert_eq!(frames[1], b[FRAME_HEADER_LEN..].to_vec());
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn invalid_graphs_are_rejected_by_decode() {
+        // A graph with a self-loop edge: structurally well-formed bytes,
+        // semantically invalid — ComputationGraph::new must veto it.
+        let mut payload = vec![TAG_SUBMIT_GRAPH];
+        put_u64(&mut payload, 9);
+        put_u32(&mut payload, 1); // one task
+        put_u32(&mut payload, 0);
+        put_str(&mut payload, "t");
+        put_u8(&mut payload, 1);
+        put_u8(&mut payload, 0); // text
+        put_u32(&mut payload, 8);
+        put_u32(&mut payload, 1); // one op
+        put_u32(&mut payload, 0); // op id
+        put_u8(&mut payload, 7); // contrastive loss
+        put_u32(&mut payload, 0); // task
+        put_u32(&mut payload, 8);
+        put_u32(&mut payload, 1);
+        put_u32(&mut payload, 768);
+        put_u64(&mut payload, 1.0f64.to_bits());
+        put_u64(&mut payload, 2);
+        put_u64(&mut payload, 3);
+        put_u16(&mut payload, 0); // no params
+        put_u32(&mut payload, 1); // one edge
+        put_u32(&mut payload, 0); // 0 -> 0: self-loop
+        put_u32(&mut payload, 0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::InvalidGraph(_))
+        ));
+    }
+}

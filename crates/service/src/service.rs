@@ -1,12 +1,12 @@
 //! The multi-tenant planning daemon: sharded workers, bounded queues,
-//! explicit backpressure.
+//! explicit backpressure, per-tenant fairness and hot re-sharding.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -15,16 +15,24 @@ use spindle_core::{PlanError, PlannerConfig, ReplanOutcome, SpindleSession};
 use spindle_estimator::ScalabilityEstimator;
 use spindle_graph::ComputationGraph;
 
-use crate::CoalescingQueue;
+use crate::proto::graph_wire_len;
+use crate::{CoalescingQueue, FairnessConfig, TenantThrottle};
 
 /// Fallback retry hint before the service has completed any re-plan.
 const MIN_RETRY_HINT: Duration = Duration::from_micros(100);
 
+// Sessions migrate between worker threads during `resize`; this fails to
+// compile if `SpindleSession` ever stops being `Send`.
+#[allow(dead_code)]
+fn assert_send<T: Send>() {}
+const _: fn() = assert_send::<SpindleSession>;
+
 /// Tunable knobs of a [`PlanService`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
-    /// Worker threads; each owns the sessions of the tenants sharded onto it
-    /// (`tenant % workers`). Defaults to the machine's available parallelism.
+    /// Worker threads; tenants map onto them by rendezvous hashing over
+    /// stable worker keys (see [`PlanService::resize`]). Defaults to the
+    /// machine's available parallelism.
     pub workers: usize,
     /// Bound of each worker's request queue. Submissions beyond it are
     /// rejected with [`SubmitError::QueueFull`] — explicit backpressure
@@ -33,6 +41,9 @@ pub struct ServiceConfig {
     /// Planner configuration of every tenant session (placement strategy,
     /// bisection epsilon, cache budgets).
     pub planner: PlannerConfig,
+    /// Per-tenant fairness: admission quotas, DRR weights and the drain
+    /// quantum. The default enforces nothing and drains strictly FIFO.
+    pub fairness: FairnessConfig,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +52,7 @@ impl Default for ServiceConfig {
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             queue_depth: 64,
             planner: PlannerConfig::default(),
+            fairness: FairnessConfig::default(),
         }
     }
 }
@@ -55,6 +67,12 @@ pub enum SubmitError {
         /// Suggested backoff before retrying.
         retry_hint: Duration,
     },
+    /// The tenant's fairness quota (submission rate or byte volume) is
+    /// exhausted; nothing was queued or charged.
+    Throttled {
+        /// Exact wait until the tenant's buckets would admit the submission.
+        retry_hint: Duration,
+    },
     /// The tenant's worker is gone (the service is shutting down or the
     /// worker panicked); the submission can never be served.
     WorkerGone,
@@ -65,6 +83,9 @@ impl fmt::Display for SubmitError {
         match self {
             Self::QueueFull { retry_hint } => {
                 write!(f, "worker queue full; retry in ~{retry_hint:?}")
+            }
+            Self::Throttled { retry_hint } => {
+                write!(f, "tenant quota exhausted; retry in ~{retry_hint:?}")
             }
             Self::WorkerGone => write!(f, "worker gone; service is shut down"),
         }
@@ -109,6 +130,9 @@ pub struct ServiceStats {
     pub submitted: u64,
     /// Submissions rejected with [`SubmitError::QueueFull`].
     pub rejected: u64,
+    /// Submissions rejected with [`SubmitError::Throttled`] (per-tenant
+    /// quota, not queue depth).
+    pub throttled: u64,
     /// Coalesced re-plans executed for task-mix events.
     pub replans: u64,
     /// Re-plans executed because the cluster topology changed (one per
@@ -145,15 +169,24 @@ impl ServiceStats {
 struct Counters {
     submitted: AtomicU64,
     rejected: AtomicU64,
+    throttled: AtomicU64,
     replans: AtomicU64,
     topology_replans: AtomicU64,
     errors: AtomicU64,
     plan_nanos: AtomicU64,
 }
 
+/// One tenant's state in flight between workers during a re-shard.
+struct TenantMove {
+    tenant: u64,
+    session: Box<SpindleSession>,
+    last_graph: Option<Arc<ComputationGraph>>,
+}
+
 enum Request {
     Event {
         tenant: u64,
+        weight: u32,
         graph: Arc<ComputationGraph>,
         submitted: Instant,
     },
@@ -162,30 +195,100 @@ enum Request {
         restored: Vec<DeviceId>,
         submitted: Instant,
     },
+    /// Re-shard directive for a surviving worker: drain everything pending,
+    /// then emit a [`TenantMove`] for every owned tenant whose rendezvous
+    /// owner under `keys` is no longer this worker.
+    Reshard {
+        keys: Arc<Vec<u64>>,
+        moves: Sender<TenantMove>,
+    },
+    /// Re-shard directive for a retiring worker: drain everything pending,
+    /// emit every owned tenant, then exit.
+    Retire {
+        moves: Sender<TenantMove>,
+    },
+    /// A tenant migrating in from another worker during a re-shard.
+    Adopt {
+        tenant: u64,
+        session: Box<SpindleSession>,
+        last_graph: Option<Arc<ComputationGraph>>,
+    },
     Shutdown,
+}
+
+/// One worker shard: a stable rendezvous key plus the queue feeding its
+/// thread.
+#[derive(Clone)]
+struct Shard {
+    key: u64,
+    sender: SyncSender<Request>,
+}
+
+/// SplitMix64: the rendezvous mixing function. Stable across runs and
+/// transports, so tenant→worker assignment is reproducible.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Highest-random-weight score of placing `tenant` on the worker with `key`.
+fn rendezvous_score(key: u64, tenant: u64) -> u64 {
+    splitmix64(key ^ splitmix64(tenant))
+}
+
+/// The rendezvous owner of `tenant` among `keys` (highest score wins).
+fn owner_key(keys: &[u64], tenant: u64) -> u64 {
+    *keys
+        .iter()
+        .max_by_key(|&&key| rendezvous_score(key, tenant))
+        .expect("at least one worker key")
 }
 
 /// A long-lived multi-tenant planning daemon.
 ///
-/// Tenants are sharded onto worker threads by `tenant % workers`; each worker
-/// owns the [`SpindleSession`]s of its tenants outright (no session is ever
-/// shared across threads), which guarantees per-tenant FIFO ordering: a
-/// tenant's re-plans execute in submission order, always against its latest
-/// submitted graph. Workers drain their bounded queue greedily between
-/// re-plans and fold queued events per tenant (see
-/// [`CoalescingQueue`]), so a burst of N churn events for one tenant costs
-/// one re-plan, not N. All tenant sessions of a worker pool one
-/// [`ScalabilityEstimator`], so tenants with overlapping operator signatures
-/// share fitted curves.
+/// Tenants are sharded onto worker threads by *rendezvous (highest-random-
+/// weight) hashing* over stable worker keys; each worker owns the
+/// [`SpindleSession`]s of its tenants outright (no session is ever shared
+/// across threads), which guarantees per-tenant FIFO ordering: a tenant's
+/// re-plans execute in submission order, always against its latest submitted
+/// graph. Rendezvous hashing is what makes [`PlanService::resize`] cheap —
+/// growing or shrinking the worker pool only moves the tenants whose
+/// highest-scoring key changed, provably the minimum possible.
+///
+/// Workers drain their bounded queue greedily between re-plans and fold
+/// queued events per tenant (see [`CoalescingQueue`]); the queue drains by
+/// deficit round-robin using the weights of the service's
+/// [`FairnessConfig`], and admission is rate-limited per tenant by a
+/// [`TenantThrottle`] shared by every transport. All tenant sessions of a
+/// worker pool one [`ScalabilityEstimator`], so tenants with overlapping
+/// operator signatures share fitted curves (a migrated tenant keeps the
+/// estimator of its origin worker — cross-worker sharing is a cost
+/// optimisation, never a correctness input, since plans are deterministic).
 ///
 /// Results arrive asynchronously on the completion channel returned by
 /// [`PlanService::start`].
 #[derive(Debug)]
 pub struct PlanService {
-    senders: Vec<SyncSender<Request>>,
-    handles: Vec<JoinHandle<()>>,
+    shards: RwLock<Vec<Shard>>,
+    handles: Mutex<Vec<(u64, JoinHandle<()>)>>,
     counters: Arc<Counters>,
     queue_depth: usize,
+    throttle: Mutex<TenantThrottle>,
+    /// Retained so `resize` can wire new workers to the same completion
+    /// channel; drops with the service, disconnecting the receiver.
+    completion_tx: Sender<Completion>,
+    cluster: Arc<ClusterSpec>,
+    planner: PlannerConfig,
+    quantum: u64,
+    next_key: AtomicU64,
+}
+
+impl fmt::Debug for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shard").field("key", &self.key).finish()
+    }
 }
 
 impl PlanService {
@@ -205,49 +308,43 @@ impl PlanService {
         let cluster = cluster.into();
         let counters = Arc::new(Counters::default());
         let (completion_tx, completion_rx) = std::sync::mpsc::channel();
-        let mut senders = Vec::with_capacity(config.workers);
+        let quantum = config.fairness.quantum;
+        let mut shards = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
-        for worker in 0..config.workers {
-            let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth);
-            senders.push(tx);
-            let cluster = Arc::clone(&cluster);
-            let counters = Arc::clone(&counters);
-            let completions = completion_tx.clone();
-            let planner = config.planner;
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("spindle-svc-{worker}"))
-                    .spawn(move || {
-                        // The whole loop is panic-guarded: a panic that
-                        // escapes the per-tenant guards still ends the
-                        // worker cleanly (its queue disconnects, submit
-                        // reports WorkerGone, shutdown's join never hangs)
-                        // and is surfaced on the error counter.
-                        let guarded = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            worker_loop(&rx, &cluster, planner, &counters, &completions);
-                        }));
-                        if guarded.is_err() {
-                            counters.errors.fetch_add(1, Ordering::Relaxed);
-                        }
-                    })
-                    .expect("spawning a service worker thread"),
+        for key in 0..config.workers as u64 {
+            let (sender, handle) = spawn_worker(
+                key,
+                config.queue_depth,
+                &cluster,
+                config.planner,
+                quantum,
+                &counters,
+                &completion_tx,
             );
+            shards.push(Shard { key, sender });
+            handles.push((key, handle));
         }
         (
             Self {
-                senders,
-                handles,
+                shards: RwLock::new(shards),
+                handles: Mutex::new(handles),
                 counters,
                 queue_depth: config.queue_depth,
+                throttle: Mutex::new(TenantThrottle::new(config.fairness)),
+                completion_tx,
+                cluster,
+                planner: config.planner,
+                quantum,
+                next_key: AtomicU64::new(config.workers as u64),
             },
             completion_rx,
         )
     }
 
-    /// Worker threads the service runs.
+    /// Worker threads the service currently runs.
     #[must_use]
     pub fn num_workers(&self) -> usize {
-        self.senders.len()
+        self.shards.read().expect("shards lock").len()
     }
 
     /// Per-worker queue bound.
@@ -260,16 +357,39 @@ impl PlanService {
     /// immediately; the re-plan executes on the tenant's worker and its
     /// [`Completion`] arrives on the completion channel. Never blocks — a
     /// full worker queue rejects with [`SubmitError::QueueFull`] and a
-    /// retry hint.
+    /// retry hint, an exhausted tenant quota with [`SubmitError::Throttled`].
     ///
     /// # Errors
     ///
-    /// [`SubmitError::QueueFull`] under backpressure, or
+    /// [`SubmitError::Throttled`] when the tenant's admission quota is
+    /// exhausted, [`SubmitError::QueueFull`] under backpressure, or
     /// [`SubmitError::WorkerGone`] if the tenant's worker has exited.
     pub fn submit(&self, tenant: u64, graph: Arc<ComputationGraph>) -> Result<(), SubmitError> {
-        let worker = (tenant % self.senders.len() as u64) as usize;
-        match self.senders[worker].try_send(Request::Event {
+        let weight = {
+            let mut throttle = self.throttle.lock().expect("throttle lock");
+            if throttle.enforcing() {
+                // The byte cost is the graph's wire length, so the TCP and
+                // in-process transports charge identical figures.
+                let bytes = graph_wire_len(&graph);
+                if let Err(wait) = throttle.admit(tenant, bytes, Instant::now()) {
+                    self.counters.throttled.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Throttled {
+                        retry_hint: wait.max(MIN_RETRY_HINT),
+                    });
+                }
+            }
+            throttle.config().policy(tenant).effective_weight()
+        };
+        let shards = self.shards.read().expect("shards lock");
+        let Some(shard) = shards
+            .iter()
+            .max_by_key(|shard| rendezvous_score(shard.key, tenant))
+        else {
+            return Err(SubmitError::WorkerGone);
+        };
+        match shard.sender.try_send(Request::Event {
             tenant,
+            weight,
             graph,
             submitted: Instant::now(),
         }) {
@@ -312,8 +432,9 @@ impl PlanService {
     ) -> Result<usize, SubmitError> {
         let submitted = Instant::now();
         let mut notified = 0;
-        for sender in &self.senders {
-            if sender
+        for shard in self.shards.read().expect("shards lock").iter() {
+            if shard
+                .sender
                 .send(Request::Topology {
                     removed: removed.to_vec(),
                     restored: restored.to_vec(),
@@ -328,6 +449,102 @@ impl PlanService {
             return Err(SubmitError::WorkerGone);
         }
         Ok(notified)
+    }
+
+    /// Re-shards the service to `workers` worker threads *without dropping a
+    /// single accepted submission*, returning the number of tenants that
+    /// migrated.
+    ///
+    /// Concurrent [`submit`](Self::submit)s block for the duration (they
+    /// take the shard read lock), so every submission is either accepted
+    /// before the re-shard — and then drained by its owning worker before
+    /// that worker migrates or retires — or routed by the new shard table
+    /// after it. Rendezvous hashing keeps moves minimal: growing from *n* to
+    /// *m* workers moves only tenants whose highest-scoring key is new
+    /// (≈ `(m-n)/m` of them), and shrinking moves only the retired workers'
+    /// tenants. A migrating tenant's in-flight work is fully planned by its
+    /// old worker first, so per-tenant FIFO ordering survives the move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn resize(&self, workers: usize) -> usize {
+        assert!(workers > 0, "service needs at least one worker");
+        let mut shards = self.shards.write().expect("shards lock");
+        if shards.len() == workers {
+            return 0;
+        }
+        let mut victims: Vec<Shard> = Vec::new();
+        if workers > shards.len() {
+            let mut handles = self.handles.lock().expect("handles lock");
+            for _ in shards.len()..workers {
+                let key = self.next_key.fetch_add(1, Ordering::Relaxed);
+                let (sender, handle) = spawn_worker(
+                    key,
+                    self.queue_depth,
+                    &self.cluster,
+                    self.planner,
+                    self.quantum,
+                    &self.counters,
+                    &self.completion_tx,
+                );
+                shards.push(Shard { key, sender });
+                handles.push((key, handle));
+            }
+        } else {
+            victims = shards.split_off(workers);
+        }
+        let keys: Arc<Vec<u64>> = Arc::new(shards.iter().map(|s| s.key).collect());
+        let (moves_tx, moves_rx) = std::sync::mpsc::channel();
+        for shard in shards.iter() {
+            let _ = shard.sender.send(Request::Reshard {
+                keys: Arc::clone(&keys),
+                moves: moves_tx.clone(),
+            });
+        }
+        for victim in &victims {
+            let _ = victim.sender.send(Request::Retire {
+                moves: moves_tx.clone(),
+            });
+        }
+        drop(moves_tx);
+        // Workers drain their queues, then stream their leaving tenants here;
+        // the channel disconnects once every worker finished migrating.
+        let mut moved = 0;
+        for TenantMove {
+            tenant,
+            session,
+            last_graph,
+        } in moves_rx
+        {
+            let owner = owner_key(&keys, tenant);
+            let shard = shards
+                .iter()
+                .find(|s| s.key == owner)
+                .expect("owner key is in the new shard set");
+            // Blocking send: adoption must not be lost, and the owner is
+            // alive and draining.
+            let _ = shard.sender.send(Request::Adopt {
+                tenant,
+                session,
+                last_graph,
+            });
+            moved += 1;
+        }
+        // Retired workers exit after emitting their tenants; reap them.
+        let victim_keys: Vec<u64> = victims.iter().map(|v| v.key).collect();
+        drop(victims);
+        let mut handles = self.handles.lock().expect("handles lock");
+        let mut remaining = Vec::with_capacity(handles.len());
+        for (key, handle) in handles.drain(..) {
+            if victim_keys.contains(&key) {
+                let _ = handle.join();
+            } else {
+                remaining.push((key, handle));
+            }
+        }
+        *handles = remaining;
+        moved
     }
 
     /// The backoff the service suggests on [`SubmitError::QueueFull`]: its
@@ -348,6 +565,7 @@ impl PlanService {
         ServiceStats {
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
+            throttled: self.counters.throttled.load(Ordering::Relaxed),
             replans: self.counters.replans.load(Ordering::Relaxed),
             topology_replans: self.counters.topology_replans.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
@@ -359,30 +577,81 @@ impl PlanService {
     /// events are never dropped), then exits. Returns the final counter
     /// snapshot. Completions of the drained events are still delivered on
     /// the completion channel before it disconnects.
-    pub fn shutdown(mut self) -> ServiceStats {
-        for sender in &self.senders {
-            // A blocking send is correct here: the worker keeps draining, so
-            // the shutdown marker always fits eventually.
-            let _ = sender.send(Request::Shutdown);
+    pub fn shutdown(self) -> ServiceStats {
+        self.stop_workers();
+        self.stats()
+    }
+
+    /// Sends shutdown to every worker, drops the senders and joins.
+    fn stop_workers(&self) {
+        {
+            let shards = self.shards.read().expect("shards lock");
+            for shard in shards.iter() {
+                // A blocking send is correct here: the worker keeps
+                // draining, so the shutdown marker always fits eventually.
+                let _ = shard.sender.send(Request::Shutdown);
+            }
         }
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
+        self.shards.write().expect("shards lock").clear();
+        let mut handles = self.handles.lock().expect("handles lock");
+        for (_, handle) in handles.drain(..) {
             let _ = handle.join();
         }
-        self.stats()
     }
 }
 
 impl Drop for PlanService {
     fn drop(&mut self) {
         // Dropping without `shutdown()` still joins the workers: clearing
-        // the senders disconnects the queues, and a disconnected queue ends
-        // the worker loop after its drain.
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
+        // the shards disconnects the queues, and a disconnected queue ends
+        // the worker loop after its drain. (After `shutdown()` this is a
+        // no-op: shards and handles are already empty.)
+        self.shards.write().expect("shards lock").clear();
+        let mut handles = self.handles.lock().expect("handles lock");
+        for (_, handle) in handles.drain(..) {
             let _ = handle.join();
         }
     }
+}
+
+/// Spawns one worker thread with the given stable rendezvous `key`.
+fn spawn_worker(
+    key: u64,
+    queue_depth: usize,
+    cluster: &Arc<ClusterSpec>,
+    planner: PlannerConfig,
+    quantum: u64,
+    counters: &Arc<Counters>,
+    completions: &Sender<Completion>,
+) -> (SyncSender<Request>, JoinHandle<()>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth);
+    let cluster = Arc::clone(cluster);
+    let counters = Arc::clone(counters);
+    let completions = completions.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("spindle-svc-{key}"))
+        .spawn(move || {
+            // The whole loop is panic-guarded: a panic that escapes the
+            // per-tenant guards still ends the worker cleanly (its queue
+            // disconnects, submit reports WorkerGone, shutdown's join never
+            // hangs) and is surfaced on the error counter.
+            let guarded = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                worker_loop(
+                    key,
+                    &rx,
+                    &cluster,
+                    planner,
+                    quantum,
+                    &counters,
+                    &completions,
+                );
+            }));
+            if guarded.is_err() {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .expect("spawning a service worker thread");
+    (tx, handle)
 }
 
 /// Runs one tenant's re-plan behind a panic guard. A planner panic poisons
@@ -416,10 +685,18 @@ struct WorkerState {
     removed_now: Vec<DeviceId>,
 }
 
+/// A pending re-shard directive; `keys: None` means this worker retires.
+struct Migration {
+    keys: Option<Arc<Vec<u64>>>,
+    moves: Sender<TenantMove>,
+}
+
 fn worker_loop(
+    key: u64,
     rx: &Receiver<Request>,
     cluster: &Arc<ClusterSpec>,
     planner: PlannerConfig,
+    quantum: u64,
     counters: &Counters,
     completions: &Sender<Completion>,
 ) {
@@ -429,24 +706,39 @@ fn worker_loop(
         last_graph: HashMap::new(),
         removed_now: Vec::new(),
     };
-    let mut queue = CoalescingQueue::new();
+    let mut queue = CoalescingQueue::with_quantum(quantum);
     let mut topology: Vec<(Vec<DeviceId>, Vec<DeviceId>, Instant)> = Vec::new();
+    let mut migration: Option<Migration> = None;
     let mut shutting_down = false;
     loop {
-        if queue.is_empty() && topology.is_empty() {
+        if queue.is_empty() && topology.is_empty() && migration.is_none() {
             if shutting_down {
                 break;
             }
             // Nothing pending: block for the next request.
             match rx.recv() {
-                Ok(request) => apply(request, &mut queue, &mut topology, &mut shutting_down),
+                Ok(request) => apply(
+                    request,
+                    &mut state,
+                    &mut queue,
+                    &mut topology,
+                    &mut migration,
+                    &mut shutting_down,
+                ),
                 Err(_) => break,
             }
         }
         // Greedy drain: fold every queued event before planning, so a burst
         // for one tenant coalesces into a single re-plan.
         while let Ok(request) = rx.try_recv() {
-            apply(request, &mut queue, &mut topology, &mut shutting_down);
+            apply(
+                request,
+                &mut state,
+                &mut queue,
+                &mut topology,
+                &mut migration,
+                &mut shutting_down,
+            );
         }
         // Topology changes first: subsequent tenant re-plans must see the
         // new device set.
@@ -460,55 +752,114 @@ fn worker_loop(
                 completions,
             );
         }
-        let Some(replan) = queue.pop() else { continue };
-        let queue_wait = replan.oldest_submit.elapsed();
-        let removed_now = &state.removed_now;
-        let session = state.sessions.entry(replan.tenant).or_insert_with(|| {
-            let mut session = SpindleSession::with_estimator(
-                Arc::clone(cluster),
-                Arc::clone(&estimator),
-                planner,
-            );
-            if !removed_now.is_empty() {
-                // Never fails: a non-empty survivor set already planned for
-                // the worker's other tenants.
-                let _ = session.remove_devices(removed_now);
+        if let Some(directive) = migration.take() {
+            // Drain-before-migrate: every accepted event is planned by the
+            // worker that accepted it, so migration never reorders or drops
+            // a tenant's in-flight work (submissions are blocked on the
+            // shard lock for the whole re-shard, so the queue is complete).
+            while let Some(replan) = queue.pop() {
+                plan_one(
+                    replan,
+                    &mut state,
+                    cluster,
+                    &estimator,
+                    planner,
+                    counters,
+                    completions,
+                );
             }
-            session
-        });
-        let started = Instant::now();
-        let result = guarded_replan(session, &replan.graph);
-        let plan_time = started.elapsed();
-        counters.replans.fetch_add(1, Ordering::Relaxed);
-        counters
-            .plan_nanos
-            .fetch_add(plan_time.as_nanos() as u64, Ordering::Relaxed);
-        match &result {
-            Ok(_) => {
-                state
-                    .last_graph
-                    .insert(replan.tenant, Arc::clone(&replan.graph));
-            }
-            Err(error) => {
-                counters.errors.fetch_add(1, Ordering::Relaxed);
-                if matches!(error, PlanError::Panicked { .. }) {
-                    // The session may hold half-updated caches: discard it.
-                    state.sessions.remove(&replan.tenant);
-                    state.last_graph.remove(&replan.tenant);
+            let mut tenants: Vec<u64> = state.sessions.keys().copied().collect();
+            tenants.sort_unstable();
+            for tenant in tenants {
+                let stays = directive
+                    .keys
+                    .as_deref()
+                    .is_some_and(|keys| owner_key(keys, tenant) == key);
+                if stays {
+                    continue;
                 }
+                let session = state.sessions.remove(&tenant).expect("tenant listed");
+                let last_graph = state.last_graph.remove(&tenant);
+                let _ = directive.moves.send(TenantMove {
+                    tenant,
+                    session: Box::new(session),
+                    last_graph,
+                });
+            }
+            if directive.keys.is_none() {
+                // Retired: the moves sender drops here, signalling the
+                // re-shard coordinator that this worker is done.
+                return;
+            }
+            continue;
+        }
+        let Some(replan) = queue.pop() else { continue };
+        plan_one(
+            replan,
+            &mut state,
+            cluster,
+            &estimator,
+            planner,
+            counters,
+            completions,
+        );
+    }
+}
+
+/// Plans one coalesced re-plan and delivers its completion.
+fn plan_one(
+    replan: crate::CoalescedReplan,
+    state: &mut WorkerState,
+    cluster: &Arc<ClusterSpec>,
+    estimator: &Arc<ScalabilityEstimator>,
+    planner: PlannerConfig,
+    counters: &Counters,
+    completions: &Sender<Completion>,
+) {
+    let queue_wait = replan.oldest_submit.elapsed();
+    let removed_now = &state.removed_now;
+    let session = state.sessions.entry(replan.tenant).or_insert_with(|| {
+        let mut session =
+            SpindleSession::with_estimator(Arc::clone(cluster), Arc::clone(estimator), planner);
+        if !removed_now.is_empty() {
+            // Never fails: a non-empty survivor set already planned for
+            // the worker's other tenants.
+            let _ = session.remove_devices(removed_now);
+        }
+        session
+    });
+    let started = Instant::now();
+    let result = guarded_replan(session, &replan.graph);
+    let plan_time = started.elapsed();
+    counters.replans.fetch_add(1, Ordering::Relaxed);
+    counters
+        .plan_nanos
+        .fetch_add(plan_time.as_nanos() as u64, Ordering::Relaxed);
+    match &result {
+        Ok(_) => {
+            state
+                .last_graph
+                .insert(replan.tenant, Arc::clone(&replan.graph));
+        }
+        Err(error) => {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+            if matches!(error, PlanError::Panicked { .. }) {
+                // The session may hold half-updated caches: discard it.
+                state.sessions.remove(&replan.tenant);
+                state.last_graph.remove(&replan.tenant);
             }
         }
-        // A gone receiver just means the caller stopped listening; keep
-        // draining so accepted events still update the counters.
-        let _ = completions.send(Completion {
-            tenant: replan.tenant,
-            result,
-            topology_change: false,
-            coalesced: replan.coalesced,
-            queue_wait,
-            plan_time,
-        });
     }
+    // A gone receiver just means the caller stopped listening; keep
+    // draining so accepted events still update the counters.
+    let _ = completions.send(Completion {
+        tenant: replan.tenant,
+        result,
+        topology_change: false,
+        coalesced: replan.coalesced,
+        queue_wait,
+        plan_time,
+    });
 }
 
 /// Applies one topology change to every tenant session of a worker and
@@ -577,23 +928,45 @@ fn apply_topology(
 
 fn apply(
     request: Request,
+    state: &mut WorkerState,
     queue: &mut CoalescingQueue,
     topology: &mut Vec<(Vec<DeviceId>, Vec<DeviceId>, Instant)>,
+    migration: &mut Option<Migration>,
     shutting_down: &mut bool,
 ) {
     match request {
         Request::Event {
             tenant,
+            weight,
             graph,
             submitted,
         } => {
-            queue.push(tenant, graph, submitted);
+            queue.push_weighted(tenant, weight, graph, submitted);
         }
         Request::Topology {
             removed,
             restored,
             submitted,
         } => topology.push((removed, restored, submitted)),
+        Request::Reshard { keys, moves } => {
+            *migration = Some(Migration {
+                keys: Some(keys),
+                moves,
+            });
+        }
+        Request::Retire { moves } => {
+            *migration = Some(Migration { keys: None, moves });
+        }
+        Request::Adopt {
+            tenant,
+            session,
+            last_graph,
+        } => {
+            state.sessions.insert(tenant, *session);
+            if let Some(graph) = last_graph {
+                state.last_graph.insert(tenant, graph);
+            }
+        }
         Request::Shutdown => *shutting_down = true,
     }
 }
@@ -628,7 +1001,7 @@ mod tests {
             ServiceConfig {
                 workers: 2,
                 queue_depth: 16,
-                planner: PlannerConfig::default(),
+                ..ServiceConfig::default()
             },
         );
         assert_eq!(service.num_workers(), 2);
@@ -638,9 +1011,9 @@ mod tests {
         service.submit(1, graph(8)).unwrap();
         let mut tenant0_batches = Vec::new();
         let mut tenant1 = 0;
-        // 0 and 1 land on different workers; tenant 0's events may coalesce,
-        // but whatever completes must come in submission order with the
-        // latest graph last.
+        // 0 and 1 may land on different workers; tenant 0's events may
+        // coalesce, but whatever completes must come in submission order
+        // with the latest graph last.
         let mut events_seen = 0;
         while events_seen < 4 {
             let done = completions
@@ -676,7 +1049,7 @@ mod tests {
             ServiceConfig {
                 workers: 1,
                 queue_depth: 1,
-                planner: PlannerConfig::default(),
+                ..ServiceConfig::default()
             },
         );
         let mut accepted = 0u64;
@@ -688,13 +1061,14 @@ mod tests {
                     assert!(retry_hint >= Duration::from_micros(100));
                     rejected += 1;
                 }
-                Err(SubmitError::WorkerGone) => panic!("worker must be alive"),
+                Err(other) => panic!("worker must be alive and unthrottled: {other}"),
             }
         }
         assert!(rejected > 0, "depth-1 queue must push back");
         let stats = service.shutdown();
         assert_eq!(stats.submitted, accepted);
         assert_eq!(stats.rejected, rejected);
+        assert_eq!(stats.throttled, 0, "no fairness config, no throttling");
         // Every accepted event was served (drained on shutdown), and the
         // completion channel accounts for all of them.
         let mut served = 0u64;
@@ -714,7 +1088,7 @@ mod tests {
             ServiceConfig {
                 workers: 1,
                 queue_depth: 64,
-                planner: PlannerConfig::default(),
+                ..ServiceConfig::default()
             },
         );
         // A burst of 12 events for one tenant: the worker is busy planning
@@ -766,7 +1140,7 @@ mod tests {
             ServiceConfig {
                 workers: 1,
                 queue_depth: 4,
-                planner: PlannerConfig::default(),
+                ..ServiceConfig::default()
             },
         );
         assert_eq!(service.stats().coalescing_ratio(), 1.0);
@@ -779,7 +1153,7 @@ mod tests {
             ServiceConfig {
                 workers: 1,
                 queue_depth: 4,
-                planner: PlannerConfig::default(),
+                ..ServiceConfig::default()
             },
         );
         // Fresh service: no re-plans yet, the hint is exactly the floor.
@@ -829,7 +1203,7 @@ mod tests {
             ServiceConfig {
                 workers: 1,
                 queue_depth: 16,
-                planner: PlannerConfig::default(),
+                ..ServiceConfig::default()
             },
         );
         service.submit(0, graph(16)).unwrap();
@@ -893,7 +1267,7 @@ mod tests {
             ServiceConfig {
                 workers: 1,
                 queue_depth: 16,
-                planner: PlannerConfig::default(),
+                ..ServiceConfig::default()
             },
         );
         service.submit(0, graph(8)).unwrap();
@@ -951,7 +1325,7 @@ mod tests {
             ServiceConfig {
                 workers: 1,
                 queue_depth: 4,
-                planner: PlannerConfig::default(),
+                ..ServiceConfig::default()
             },
         );
         service.submit(9, graph(8)).unwrap();
@@ -960,5 +1334,135 @@ mod tests {
         let done: Vec<Completion> = completions.iter().collect();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].tenant, 9);
+    }
+
+    #[test]
+    fn rendezvous_moves_are_minimal_and_deterministic() {
+        // Growing the key set must never move a tenant between two surviving
+        // keys — the defining property of rendezvous hashing.
+        let old_keys: Vec<u64> = (0..4).collect();
+        let new_keys: Vec<u64> = (0..6).collect();
+        let mut moved = 0;
+        for tenant in 0..1000u64 {
+            let before = owner_key(&old_keys, tenant);
+            let after = owner_key(&new_keys, tenant);
+            if before != after {
+                assert!(after >= 4, "tenant {tenant} moved between survivors");
+                moved += 1;
+            }
+            // Determinism: the owner is a pure function of keys and tenant.
+            assert_eq!(after, owner_key(&new_keys, tenant));
+        }
+        // Expected fraction ~ 2/6 of tenants; allow generous slack.
+        assert!((150..=550).contains(&moved), "moved {moved} of 1000");
+
+        // Shrinking only moves the removed keys' tenants.
+        for tenant in 0..1000u64 {
+            let before = owner_key(&new_keys, tenant);
+            let after = owner_key(&old_keys, tenant);
+            if before < 4 {
+                assert_eq!(before, after, "tenant {tenant} moved off a survivor");
+            }
+        }
+    }
+
+    #[test]
+    fn throttled_submissions_are_rejected_without_queueing() {
+        use crate::TenantPolicy;
+        let mut fairness = FairnessConfig::default();
+        fairness.overrides.insert(
+            5,
+            TenantPolicy {
+                rate: 0.5,
+                burst: 2.0,
+                ..TenantPolicy::unlimited()
+            },
+        );
+        let (service, completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 8),
+            ServiceConfig {
+                workers: 1,
+                queue_depth: 16,
+                fairness,
+                ..ServiceConfig::default()
+            },
+        );
+        // The burst admits two submissions; the third is throttled with a
+        // rate-derived hint, and an unlimited tenant is unaffected.
+        service.submit(5, graph(8)).unwrap();
+        service.submit(5, graph(16)).unwrap();
+        match service.submit(5, graph(24)) {
+            Err(SubmitError::Throttled { retry_hint }) => {
+                assert!(retry_hint >= Duration::from_secs(1), "hint {retry_hint:?}");
+            }
+            other => panic!("expected throttle, got {other:?}"),
+        }
+        service.submit(6, graph(8)).unwrap();
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.throttled, 1);
+        assert_eq!(stats.rejected, 0);
+        let served: usize = completions.iter().map(|c| c.coalesced).sum();
+        assert_eq!(served, 3, "throttled events never reach a worker");
+    }
+
+    #[test]
+    fn resize_migrates_sessions_and_loses_nothing() {
+        let (service, completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 8),
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 32,
+                ..ServiceConfig::default()
+            },
+        );
+        for tenant in 0..6u64 {
+            service
+                .submit(tenant, graph(8 + tenant as u32 * 8))
+                .unwrap();
+        }
+        // Grow while the first plans are still in flight, then shrink back.
+        let moved_up = service.resize(4);
+        assert_eq!(service.num_workers(), 4);
+        for tenant in 0..6u64 {
+            service
+                .submit(tenant, graph(16 + tenant as u32 * 8))
+                .unwrap();
+        }
+        let moved_down = service.resize(1);
+        assert_eq!(service.num_workers(), 1);
+        for tenant in 0..6u64 {
+            service
+                .submit(tenant, graph(24 + tenant as u32 * 8))
+                .unwrap();
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 18);
+        assert_eq!(stats.errors, 0);
+        let mut served = 0usize;
+        for done in completions.iter() {
+            served += done.coalesced;
+            done.result.expect("every re-plan succeeds across resizes");
+        }
+        assert_eq!(served, 18, "no accepted submission may be lost");
+        // Shrinking to one worker moves every tenant that lived elsewhere;
+        // growing moves only re-owned tenants. Both are bounded by the
+        // tenant count.
+        assert!(moved_up <= 6);
+        assert!(moved_down <= 6);
+    }
+
+    #[test]
+    fn resize_to_same_size_is_a_no_op() {
+        let (service, _completions) = PlanService::start(
+            ClusterSpec::homogeneous(1, 4),
+            ServiceConfig {
+                workers: 2,
+                queue_depth: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(service.resize(2), 0);
+        assert_eq!(service.num_workers(), 2);
     }
 }

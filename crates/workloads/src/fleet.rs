@@ -143,6 +143,55 @@ impl TenantFleet {
         ))
     }
 
+    /// A CLIP fleet with one deliberately *chatty* tenant: tenant 0 churns
+    /// `chatter`× as often as everyone else (`chatter * phases_per_tenant`
+    /// phases at mean gap `mean_gap_s / chatter`), while tenants `1..` keep
+    /// the regular [`Self::clip_fleet`] cadence. This is the adversarial
+    /// input for per-tenant fairness: without weighting or throttling the
+    /// chatty tenant monopolises the worker drain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if a phase graph fails to build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants < 2` (a chatty tenant needs quiet victims),
+    /// `phases_per_tenant` or `chatter` is zero, or `mean_gap_s` is not
+    /// positive.
+    pub fn chatty_clip_fleet(
+        seed: u64,
+        tenants: usize,
+        phases_per_tenant: usize,
+        mean_gap_s: f64,
+        chatter: usize,
+    ) -> Result<Self, GraphError> {
+        assert!(tenants >= 2, "a chatty tenant needs quiet victims");
+        assert!(chatter > 0, "chatter multiplier must be positive");
+        let mut fleet = Self::clip_fleet(seed, tenants, phases_per_tenant, mean_gap_s)?;
+        let chatty = ArrivalSchedule::multitask_clip_arrivals(
+            seed ^ 0xC4A7_7E17,
+            phases_per_tenant * chatter,
+            mean_gap_s / chatter as f64,
+        )?;
+        fleet.events.retain(|e| e.tenant != 0);
+        for a in chatty.arrivals() {
+            fleet.events.push(TenantEvent {
+                at_s: a.at_s,
+                tenant: 0,
+                label: format!("chatty {}", a.label),
+                graph: Arc::new(a.graph.clone()),
+            });
+        }
+        fleet
+            .events
+            .sort_by(|a, b| a.at_s.total_cmp(&b.at_s).then(a.tenant.cmp(&b.tenant)));
+        fleet.horizon_s = fleet.horizon_s.max(chatty.horizon_s());
+        fleet.name =
+            format!("Chatty CLIP fleet ({tenants} tenants, tenant 0 at {chatter}x, seed {seed})");
+        Ok(fleet)
+    }
+
     /// A fleet of hyperscale-churn tenants: the pool holds
     /// `min(tenants, `[`FLEET_DEFAULT_POOL`]`)` seeded
     /// [`hyperscale_churn`] traces starting from `initial_tasks` active

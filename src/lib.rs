@@ -94,8 +94,4 @@ pub mod prelude {
     pub use spindle_graph::{ComputationGraph, Modality, OpKind, TaskSpec};
     pub use spindle_runtime::{IterationReport, RuntimeEngine};
     pub use spindle_workloads::{multitask_clip, ofasys, qwen_val, WorkloadPreset};
-
-    // The deprecated one-shot planner remains available for one release.
-    #[allow(deprecated)]
-    pub use spindle_core::Planner;
 }

@@ -49,7 +49,7 @@ fn budgeted_caches_never_exceed_their_budgets_under_churn() {
             session.cache_bytes(),
             structural_budget + curve_budget
         );
-        assert!(outcome.cache_bytes <= structural_budget + curve_budget);
+        assert!(outcome.cache.bytes <= structural_budget + curve_budget);
 
         let cold = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
         assert_plans_identical(&outcome.plan, &cold, &format!("budgeted churn step {step}"));
@@ -63,8 +63,8 @@ fn budgeted_caches_never_exceed_their_budgets_under_churn() {
         "a 24-step roster walk under tight budgets must evict"
     );
     let stats = session.planning_stats();
-    assert_eq!(stats.cache_bytes, session.cache_bytes());
-    assert_eq!(stats.cache_evictions, session.cache_evictions() as u64);
+    assert_eq!(stats.cache.bytes, session.cache_bytes());
+    assert_eq!(stats.cache.evictions, session.cache_evictions() as u64);
 }
 
 #[test]

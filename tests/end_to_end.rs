@@ -114,20 +114,19 @@ fn session_quickstart_flow_works() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_planner_shim_matches_the_session_api() {
-    // `Planner::new(..).plan()` must keep working for one release and produce
-    // exactly what a fresh session produces.
+fn independent_sessions_produce_identical_plans() {
+    // With the one-shot `Planner` shim gone, `SpindleSession` is the only
+    // entry point — two fresh sessions over the same cluster must agree
+    // bit-for-bit, and the `PlanningSystem` trait is the only baseline surface.
     let cluster = ClusterSpec::homogeneous(2, 8);
     let model = multitask_clip(4).unwrap();
-    let legacy = Planner::new(&model, &cluster).plan().unwrap();
-    let mut session = SpindleSession::new(cluster.clone());
-    let modern = session.plan(&model).unwrap();
-    assert_eq!(legacy.waves(), modern.waves());
-    assert!((legacy.theoretical_optimum() - modern.theoretical_optimum()).abs() < 1e-12);
-    // The deprecated BaselineSystem::plan shim stays functional too.
+    let first = SpindleSession::new(cluster.clone()).plan(&model).unwrap();
+    let second = SpindleSession::new(cluster.clone()).plan(&model).unwrap();
+    assert_eq!(first.waves(), second.waves());
+    assert!((first.theoretical_optimum() - second.theoretical_optimum()).abs() < 1e-12);
+    let mut session = SpindleSession::new(cluster);
     let baseline = BaselineSystem::new(SystemKind::DeepSpeed)
-        .plan(&model, &cluster)
+        .plan(&model, &mut session)
         .unwrap();
     baseline.validate().unwrap();
 }

@@ -1,0 +1,263 @@
+//! Integration tests of the TCP ingress: protocol discipline, malformed-frame
+//! isolation and transport equivalence against the in-process fast path.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use spindle::cluster::ClusterSpec;
+use spindle::graph::{ComputationGraph, GraphBuilder, Modality, OpKind, TensorShape};
+use spindle::service::{
+    proto, ErrorCode, FrameDecoder, LocalClient, Response, ServiceApi, ServiceConfig, TcpClient,
+    TcpIngress, PROTO_VERSION,
+};
+
+fn graph(batch: u32) -> Arc<ComputationGraph> {
+    let mut b = GraphBuilder::new();
+    let t = b.add_task("t", [Modality::Vision, Modality::Text], batch);
+    let tower = b
+        .add_op_chain(
+            t,
+            OpKind::Encoder(Modality::Vision),
+            TensorShape::new(batch, 197, 768),
+            4,
+        )
+        .unwrap();
+    let loss = b
+        .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(batch, 1, 768))
+        .unwrap();
+    b.add_flow(*tower.last().unwrap(), loss).unwrap();
+    Arc::new(b.build().unwrap())
+}
+
+fn ingress() -> TcpIngress {
+    TcpIngress::bind(
+        "127.0.0.1:0",
+        ClusterSpec::homogeneous(1, 8),
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 16,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind loopback ingress")
+}
+
+/// Reads raw frames off a hand-driven socket until one decodes, with a
+/// deadline so protocol bugs fail the test instead of hanging it.
+fn read_response(stream: &mut TcpStream, decoder: &mut FrameDecoder) -> Option<Response> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(payload) = decoder.next_frame().expect("client-side framing") {
+            return Some(Response::decode(&payload).expect("server sent a valid response"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => decoder.extend(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+}
+
+#[test]
+fn hello_is_required_before_anything_else() {
+    let ingress = ingress();
+    let mut stream = TcpStream::connect(ingress.local_addr()).unwrap();
+    // A Stats request before Hello draws HelloRequired and a close.
+    stream
+        .write_all(&spindle::service::Request::Stats.encode())
+        .unwrap();
+    let mut decoder = FrameDecoder::new();
+    match read_response(&mut stream, &mut decoder) {
+        Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::HelloRequired),
+        other => panic!("expected HelloRequired error, got {other:?}"),
+    }
+    assert_eq!(read_response(&mut stream, &mut decoder), None, "closed");
+    ingress.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    let ingress = ingress();
+    let mut stream = TcpStream::connect(ingress.local_addr()).unwrap();
+    stream
+        .write_all(
+            &spindle::service::Request::Hello {
+                proto_version: PROTO_VERSION + 1,
+            }
+            .encode(),
+        )
+        .unwrap();
+    let mut decoder = FrameDecoder::new();
+    match read_response(&mut stream, &mut decoder) {
+        Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected UnsupportedVersion error, got {other:?}"),
+    }
+    ingress.shutdown();
+}
+
+#[test]
+fn malformed_frames_kill_only_their_connection() {
+    let ingress = ingress();
+    let addr = ingress.local_addr();
+
+    // A healthy client connects first and keeps working throughout.
+    let mut good = TcpClient::connect(addr).expect("good client connects");
+
+    // Bad client 1: valid Hello, then an unknown tag.
+    let mut bad = TcpStream::connect(addr).unwrap();
+    bad.write_all(
+        &spindle::service::Request::Hello {
+            proto_version: PROTO_VERSION,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let mut decoder = FrameDecoder::new();
+    assert!(matches!(
+        read_response(&mut bad, &mut decoder),
+        Some(Response::HelloAck { .. })
+    ));
+    bad.write_all(&[1, 0, 0, 0, 0x7f]).unwrap(); // frame: len 1, unknown tag
+    match read_response(&mut bad, &mut decoder) {
+        Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed error, got {other:?}"),
+    }
+    assert_eq!(read_response(&mut bad, &mut decoder), None, "closed");
+
+    // Bad client 2: an oversized length prefix is rejected at the header.
+    let mut huge = TcpStream::connect(addr).unwrap();
+    huge.write_all(
+        &spindle::service::Request::Hello {
+            proto_version: PROTO_VERSION,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let mut decoder = FrameDecoder::new();
+    assert!(matches!(
+        read_response(&mut huge, &mut decoder),
+        Some(Response::HelloAck { .. })
+    ));
+    huge.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    match read_response(&mut huge, &mut decoder) {
+        Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed error, got {other:?}"),
+    }
+
+    // Bad client 3: a truncated frame (announced longer than sent, then the
+    // connection goes away) leaves no residue — the server just reaps it.
+    let mut trunc = TcpStream::connect(addr).unwrap();
+    trunc.write_all(&[200, 0, 0, 0, 0x02, 1, 2, 3]).unwrap();
+    drop(trunc);
+
+    // The good client still plans, the workers never noticed any of it.
+    good.submit(7, &graph(8))
+        .expect("good client still accepted");
+    let done = good
+        .poll_completion(Duration::from_secs(30))
+        .expect("good client still gets completions");
+    assert_eq!(done.tenant, 7);
+    let summary = done.result.expect("plan succeeds");
+    assert!(summary.num_waves > 0);
+
+    let (stats, _) = good.finish();
+    assert_eq!(stats.errors, 0, "malformed frames never reach a worker");
+    assert_eq!(stats.submitted, 1);
+    ingress.shutdown();
+}
+
+#[test]
+fn transports_produce_bit_identical_plans() {
+    // The same three-tenant trace through both transports: every tenant's
+    // final plan fingerprint must match bit for bit.
+    let trace: Vec<(u64, Arc<ComputationGraph>)> = vec![
+        (0, graph(8)),
+        (1, graph(16)),
+        (2, graph(32)),
+        (0, graph(24)),
+        (1, graph(8)),
+    ];
+    let mut local = LocalClient::start(
+        ClusterSpec::homogeneous(1, 8),
+        ServiceConfig {
+            workers: 1,
+            queue_depth: 16,
+            ..ServiceConfig::default()
+        },
+    );
+    for (tenant, graph) in &trace {
+        local.submit(*tenant, graph).expect("local accepts");
+    }
+    let (local_stats, local_done) = local.finish();
+
+    let ingress = ingress();
+    let mut tcp = TcpClient::connect(ingress.local_addr()).expect("connect");
+    for (tenant, graph) in &trace {
+        tcp.submit(*tenant, graph).expect("tcp accepts");
+    }
+    let (tcp_stats, tcp_done) = tcp.finish();
+    ingress.shutdown();
+
+    assert_eq!(local_stats.errors, 0);
+    assert_eq!(tcp_stats.errors, 0);
+    assert_eq!(local_stats.submitted, 5);
+    assert_eq!(tcp_stats.submitted, 5);
+
+    let finals = |done: &[spindle::service::ApiCompletion]| {
+        let mut map = std::collections::BTreeMap::new();
+        for c in done {
+            map.insert(c.tenant, c.result.as_ref().expect("plans").plan_fingerprint);
+        }
+        map
+    };
+    let local_fp = finals(&local_done);
+    let tcp_fp = finals(&tcp_done);
+    assert_eq!(local_fp.len(), 3);
+    assert_eq!(local_fp, tcp_fp, "transports diverged on final plans");
+}
+
+#[test]
+fn stats_and_topology_flow_over_the_wire() {
+    let ingress = ingress();
+    let mut client = TcpClient::connect(ingress.local_addr()).expect("connect");
+    client.submit(3, &graph(8)).unwrap();
+    let done = client
+        .poll_completion(Duration::from_secs(30))
+        .expect("completion");
+    assert!(done.result.is_ok());
+
+    // A topology change over the wire re-plans the tenant on the survivors.
+    let workers = client
+        .submit_topology(&[spindle::cluster::DeviceId(7)], &[])
+        .expect("topology broadcast");
+    assert_eq!(workers, 1);
+    let done = client
+        .poll_completion(Duration::from_secs(30))
+        .expect("topology completion");
+    assert!(done.topology_change);
+    assert!(done.result.is_ok());
+
+    let (stats, rest) = client.finish();
+    assert!(rest.is_empty());
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.topology_replans, 1);
+    assert_eq!(stats.errors, 0);
+    ingress.shutdown();
+}
+
+#[test]
+fn graph_wire_len_matches_encoded_length_for_fleet_graphs() {
+    // The throttle charges `graph_wire_len` without encoding; the analytic
+    // figure must equal the real encoding for arbitrary graphs.
+    for batch in [1u32, 8, 64] {
+        let g = graph(batch);
+        let mut bytes = Vec::new();
+        proto::encode_graph(&g, &mut bytes);
+        assert_eq!(bytes.len(), proto::graph_wire_len(&g), "batch {batch}");
+    }
+}
