@@ -240,6 +240,48 @@ fn main() {
         per_replan(t),
     ));
 
+    // -- Recovery re-plan: whole-node loss with restore accounting -----------
+    // An entire NVLink island dies, so some MetaOps lose every replica: the
+    // re-plan must detect them, and the runtime partitions the delta into
+    // migration flows and priced storage restores. The halved pair is the
+    // steady-state latency of one recovery-aware re-plan *including* flow
+    // derivation and restore pricing — the full control-plane cost of a
+    // fault, minus the simulated data movement itself.
+    group("recovery re-plan: whole-node loss -> restore-priced re-plan");
+    let recovery_cluster = ClusterSpec::homogeneous(2, 4)
+        .with_storage(spindle_cluster::StorageSpec::disaggregated_nvme());
+    let clip5 = multitask_clip(5).unwrap();
+    let policy = spindle_runtime::CheckpointPolicy::every(64);
+    let node1: Vec<spindle_cluster::DeviceId> = (4..8).map(spindle_cluster::DeviceId).collect();
+    let mut session = SpindleSession::new(recovery_cluster.clone());
+    let mut prev = session.plan(&clip5).unwrap();
+    // Prove the case exercises the restore path before timing it.
+    session.remove_devices(&node1).unwrap();
+    let shrunk = session.replan(&clip5).unwrap();
+    let probe = spindle_runtime::migration_flows(&prev, &shrunk.plan, &session.cluster_handle());
+    assert!(
+        probe.restore_bytes() > 0,
+        "whole-node loss must strand MetaOps for the recovery bench to be honest"
+    );
+    session.restore_devices(&node1);
+    prev = session.replan(&clip5).unwrap().plan;
+    let t = bench("recovery_replan_clip-5t/8gpu", warmup, iters, || {
+        session.remove_devices(&node1).unwrap();
+        let outcome = session.replan(&clip5).unwrap();
+        let migration =
+            spindle_runtime::migration_flows(&prev, &outcome.plan, &session.cluster_handle());
+        let stall = spindle_runtime::price_restore(
+            &session.cluster_handle(),
+            &migration.restores,
+            &policy,
+            true,
+        );
+        assert!(stall.is_finite());
+        session.restore_devices(&node1);
+        prev = session.replan(&clip5).unwrap().plan;
+    });
+    report.push(("recovery_replan_clip-5t/8gpu".to_string(), per_replan(t)));
+
     let path = report_path();
     write_json_report(&path, &report).expect("write BENCH_incremental.json");
     println!("\nwrote {} entries to {}", report.len(), path.display());

@@ -17,7 +17,10 @@ use std::sync::Arc;
 use spindle_bench::microbench::{bench, group, quick_mode, write_json_report, Timing};
 use spindle_cluster::ClusterSpec;
 use spindle_core::SpindleSession;
-use spindle_runtime::{DynamicRunLoop, RuntimeEngine, SimConfig, Simulator, Straggler};
+use spindle_runtime::{
+    price_checkpoint_write, CheckpointPolicy, DynamicRunLoop, RuntimeEngine, SimConfig, Simulator,
+    Straggler,
+};
 use spindle_workloads::{multitask_clip, ArrivalSchedule, DynamicWorkload};
 
 fn report_path() -> PathBuf {
@@ -95,6 +98,31 @@ fn main() {
         assert!(report.replans() >= 2);
     });
     report.push(("dynloop_clip_4phase/16gpu".to_string(), t));
+
+    group("checkpoint write pricing (contended storage model)");
+    // The steady-state cost the run loop charges per checkpoint: derive the
+    // plan's per-device write flows and push them through the contended
+    // storage-link model. This is pure pricing — no simulation — and sits on
+    // the run loop's per-iteration path whenever a cadence is active.
+    let policy = CheckpointPolicy::every(64);
+    for (name, tasks, gpus) in [
+        ("clip-4t/16gpu", 4usize, 16usize),
+        ("clip-10t/32gpu", 10, 32),
+    ] {
+        let graph = multitask_clip(tasks).unwrap();
+        let cluster = ClusterSpec::homogeneous(gpus / 8, 8);
+        let plan = Arc::new(SpindleSession::new(cluster.clone()).plan(&graph).unwrap());
+        let t = bench(
+            &format!("checkpoint_overhead_{name}"),
+            warmup,
+            iters,
+            || {
+                let stall = price_checkpoint_write(&cluster, &plan, &policy, true);
+                assert!(stall > 0.0);
+            },
+        );
+        report.push((format!("checkpoint_overhead_{name}"), t));
+    }
 
     let path = report_path();
     write_json_report(&path, &report).expect("write BENCH_sim.json");

@@ -92,8 +92,12 @@ fn main() -> ExitCode {
         return match fuzz::check_scenario(&scenario, &cfg, None) {
             Ok(stats) => {
                 println!(
-                    "ok: {} plans checked, {} simulations, {} warm re-plans bit-identical",
-                    stats.plans_checked, stats.simulations, stats.warm_identical
+                    "ok: {} plans checked, {} simulations, {} warm re-plans bit-identical, \
+                     {} recovery checks",
+                    stats.plans_checked,
+                    stats.simulations,
+                    stats.warm_identical,
+                    stats.recovery_checked
                 );
                 ExitCode::SUCCESS
             }
@@ -129,8 +133,8 @@ fn main() -> ExitCode {
             let s = report.stats;
             println!(
                 "\nall {} draws clean: {} plans checked, {} simulations, \
-                 {} warm re-plans bit-identical to cold plans",
-                s.draws, s.plans_checked, s.simulations, s.warm_identical
+                 {} warm re-plans bit-identical to cold plans, {} recovery checks",
+                s.draws, s.plans_checked, s.simulations, s.warm_identical, s.recovery_checked
             );
             ExitCode::SUCCESS
         }

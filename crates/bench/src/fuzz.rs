@@ -35,6 +35,18 @@
 //! final restore the session must recur bit-identically with a cold plan on
 //! the pristine cluster (invariant 6 under elasticity).
 //!
+//! 8. **Recovery accounting** — scenarios also draw a checkpoint cadence and
+//!    a storage-tier bandwidth. At every device-churn event the runtime's
+//!    migration/restore partition must agree with ground truth computed
+//!    directly from the previous plan: restore bytes are charged *iff* some
+//!    stateful MetaOp's every replica fell inside the removed set, the
+//!    re-materialised count matches exactly, restore pricing over the drawn
+//!    storage tier stays finite and positive, and the planner's own
+//!    loss-side counters never claim a restore ground truth disproves.
+//!    Finally, the steady-state checkpoint-write charge must be monotone in
+//!    the cadence: checkpointing half as often can never cost more write
+//!    time over a fixed horizon.
+//!
 //! A failed check becomes a [`Violation`] carrying the draw coordinates and
 //! the serialized scenario; [`shrink`] then greedily re-checks the scenario's
 //! reduction candidates to find a minimal reproducer. [`Mutation`]s exist to
@@ -45,9 +57,12 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use spindle_baselines::SystemKind;
-use spindle_cluster::{ClusterSpec, DeviceId};
-use spindle_core::{ExecutionPlan, SpindleSession};
-use spindle_runtime::{CommMode, RuntimeEngine, SimConfig, Simulator, Straggler};
+use spindle_cluster::{ClusterSpec, DeviceId, StorageSpec};
+use spindle_core::{ExecutionPlan, MetaOpId, SpindleSession};
+use spindle_runtime::{
+    migration_flows, price_checkpoint_write, price_restore, CheckpointPolicy, CommMode,
+    RuntimeEngine, SimConfig, Simulator, Straggler,
+};
 use spindle_workloads::{FuzzBounds, Scenario};
 
 /// The systems every draw is checked against: Spindle plus the three
@@ -261,6 +276,9 @@ pub struct FuzzStats {
     pub warm_identical: u64,
     /// Simulations executed (serialized + heterogeneous contended).
     pub simulations: u64,
+    /// Device-churn events whose recovery accounting (restore-iff-all-dead,
+    /// re-materialised counts, restore pricing) was verified.
+    pub recovery_checked: u64,
 }
 
 /// Checks every invariant for one scenario. `mutation` corrupts Spindle's
@@ -276,7 +294,19 @@ pub fn check_scenario(
     mutation: Option<Mutation>,
 ) -> Result<FuzzStats, Box<Violation>> {
     let mut stats = FuzzStats::default();
-    let cluster = ClusterSpec::homogeneous(scenario.nodes, scenario.gpus_per_node);
+    // The drawn storage tier (spine keeps the default 4x node-link ratio)
+    // propagates through `without_devices`, so churned survivor clusters
+    // price restores against the same tier.
+    let cluster = ClusterSpec::homogeneous(scenario.nodes, scenario.gpus_per_node).with_storage(
+        StorageSpec {
+            node_bandwidth: scenario.storage_gbps * 1e9,
+            spine_bandwidth: scenario.storage_gbps * 4e9,
+            latency_s: 2e-3,
+        },
+    );
+    let policy = scenario
+        .checkpoint_cadence
+        .map_or_else(CheckpointPolicy::default, CheckpointPolicy::every);
     let capacity = cluster.device_memory_bytes();
     let phases = scenario.phases().map_err(|e| {
         Box::new(Violation::new(
@@ -462,6 +492,14 @@ pub fn check_scenario(
             let phase = format!("{last_phase} +device-churn");
             let fail =
                 |detail: String| Box::new(Violation::new(scenario, Some(system), &phase, detail));
+            // The placement the first churn event diffs against; updated
+            // after every event so each re-plan is compared to its true
+            // predecessor. Served from the warm cache (bit-identical to the
+            // phase plan per invariant 6).
+            let mut prev_plan = session
+                .replan(graph)
+                .map_err(|e| fail(format!("pre-churn snapshot re-plan: {e}")))?
+                .plan;
             for event in &scenario.device_churn {
                 let ids: Vec<DeviceId> = event.devices.iter().map(|&d| DeviceId(d)).collect();
                 if event.remove {
@@ -474,6 +512,8 @@ pub fn check_scenario(
                 let outcome = session
                     .replan(graph)
                     .map_err(|e| fail(format!("churn re-plan: {e}")))?;
+                let planner_rematerialized = outcome.rematerialized_metaops;
+                let planner_restore_bytes = outcome.restore_bytes;
                 let plan = outcome.plan;
                 stats.plans_checked += 1;
                 plan.check_invariants(capacity)
@@ -522,6 +562,83 @@ pub fn check_scenario(
                         hetero.total_s()
                     )));
                 }
+                // Invariant 8: recovery accounting. Diff the plan against its
+                // predecessor on the surviving cluster: restore traffic exists
+                // iff some stateful MetaOp lost every replica, the per-MetaOp
+                // count is exact, and restore pricing over the drawn storage
+                // tier stays finite and positive.
+                let mut old_sites: BTreeMap<MetaOpId, Vec<DeviceId>> = BTreeMap::new();
+                for wave in prev_plan.waves() {
+                    for entry in &wave.entries {
+                        if let Some(group) = &entry.placement {
+                            let sites = old_sites.entry(entry.metaop).or_default();
+                            for d in group.iter() {
+                                if !sites.contains(&d) {
+                                    sites.push(d);
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut new_live: Vec<MetaOpId> = Vec::new();
+                for wave in plan.waves() {
+                    for entry in &wave.entries {
+                        if entry.placement.is_some()
+                            && entry.memory_per_device > 0
+                            && !new_live.contains(&entry.metaop)
+                        {
+                            new_live.push(entry.metaop);
+                        }
+                    }
+                }
+                let truly_dead = old_sites
+                    .iter()
+                    .filter(|(id, sites)| {
+                        new_live.contains(id) && sites.iter().all(|d| removed.contains(d))
+                    })
+                    .count();
+                let migration = migration_flows(&prev_plan, &plan, &churned);
+                if migration.rematerialized_metaops() != truly_dead {
+                    return Err(fail(format!(
+                        "runtime re-materialises {} MetaOps but ground truth says {} lost \
+                         every replica",
+                        migration.rematerialized_metaops(),
+                        truly_dead
+                    )));
+                }
+                if (migration.restore_bytes() > 0) != (truly_dead > 0) {
+                    return Err(fail(format!(
+                        "restore_bytes {} disagrees with {} all-replicas-dead MetaOps",
+                        migration.restore_bytes(),
+                        truly_dead
+                    )));
+                }
+                if policy.enabled() && !migration.restores.is_empty() {
+                    let stall = price_restore(&churned, &migration.restores, &policy, true);
+                    if !stall.is_finite() || stall <= 0.0 {
+                        return Err(fail(format!(
+                            "restore of {} bytes priced to a degenerate {stall}s",
+                            migration.restore_bytes()
+                        )));
+                    }
+                }
+                // The session's own loss-side counters are best-effort (a
+                // fallback full re-plan loses the old placement and reports
+                // zero), so hold them to one-directional consistency only.
+                if (planner_rematerialized > 0) != (planner_restore_bytes > 0) {
+                    return Err(fail(format!(
+                        "session counters disagree: {planner_rematerialized} re-materialised \
+                         MetaOps vs {planner_restore_bytes} restore bytes"
+                    )));
+                }
+                if planner_restore_bytes > 0 && truly_dead == 0 {
+                    return Err(fail(format!(
+                        "session reports {planner_restore_bytes} restore bytes but no MetaOp \
+                         lost every replica"
+                    )));
+                }
+                stats.recovery_checked += 1;
+                prev_plan = plan;
             }
             // Restore whatever is still down: the session must recur
             // bit-identically with a cold plan on the pristine cluster
@@ -548,6 +665,29 @@ pub fn check_scenario(
                 )));
             }
             stats.warm_identical += 1;
+            // Invariant 8, write-side: over a fixed horizon, checkpointing
+            // half as often can never cost more write time than the drawn
+            // cadence — the steady-state charge is monotone.
+            if let Some(k) = scenario.checkpoint_cadence {
+                const HORIZON_ITERS: u64 = 256;
+                let charge = |cadence: u32| {
+                    let p = CheckpointPolicy::every(cadence);
+                    #[allow(clippy::cast_precision_loss)]
+                    let n = p.checkpoints_in(HORIZON_ITERS) as f64;
+                    n * price_checkpoint_write(&cluster, &outcome.plan, &p, true)
+                };
+                let dense = charge(k);
+                let sparse = charge(k.saturating_mul(2));
+                if sparse > dense + 1e-9 {
+                    return Err(fail(format!(
+                        "checkpoint write charge is not monotone in cadence: every {k} iters \
+                         costs {dense:.9}s over {HORIZON_ITERS} iters, every {} costs \
+                         {sparse:.9}s",
+                        k.saturating_mul(2)
+                    )));
+                }
+                stats.recovery_checked += 1;
+            }
         }
     }
     stats.draws = 1;
@@ -626,6 +766,7 @@ pub fn run_with(cfg: &FuzzConfig, mut progress: impl FnMut(u64, &str)) -> FuzzRe
                 stats.plans_checked += s.plans_checked;
                 stats.warm_identical += s.warm_identical;
                 stats.simulations += s.simulations;
+                stats.recovery_checked += s.recovery_checked;
             }
             Err(v) => {
                 let (scenario, v) = if cfg.shrink {
@@ -649,9 +790,81 @@ pub fn run_with(cfg: &FuzzConfig, mut progress: impl FnMut(u64, &str)) -> FuzzRe
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spindle_graph::Modality;
+    use spindle_workloads::{DeviceChurnDraw, FuzzTask, TowerShape};
 
     fn tiny_cfg() -> FuzzConfig {
         FuzzConfig::quick(0xF022, 4)
+    }
+
+    /// A hand-built scenario whose single churn event removes a whole node
+    /// under a multi-task roster, guaranteeing at least one MetaOp loses
+    /// every replica — so the restore-iff-all-dead invariant is exercised on
+    /// its positive side, not just vacuously.
+    #[test]
+    fn whole_node_loss_exercises_the_restore_invariant() {
+        let modalities = [
+            Modality::Vision,
+            Modality::Audio,
+            Modality::Depth,
+            Modality::Thermal,
+            Modality::Motion,
+        ];
+        let tasks: Vec<FuzzTask> = modalities
+            .iter()
+            .enumerate()
+            .map(|(i, &modality)| FuzzTask {
+                modality,
+                batch: 8 + 4 * u32::try_from(i).unwrap(),
+                seq: 64,
+                hidden: 256,
+                tower_layers: 2 + i % 3,
+                shape: TowerShape::Dual,
+            })
+            .collect();
+        let scenario = Scenario {
+            seed: 0xD00D,
+            index: 0,
+            nodes: 2,
+            gpus_per_node: 4,
+            active: vec![true; tasks.len()],
+            tasks,
+            churn: vec![],
+            speed_factors: vec![],
+            overlap_comm: false,
+            straggler_windows: vec![],
+            device_churn: vec![DeviceChurnDraw {
+                remove: true,
+                devices: vec![4, 5, 6, 7],
+            }],
+            checkpoint_cadence: Some(3),
+            storage_gbps: 8.0,
+        };
+        // Ground truth first: on this roster the node-1 removal really does
+        // strand MetaOps with zero surviving replicas, so the harness check
+        // below cannot pass vacuously.
+        let cluster = ClusterSpec::homogeneous(2, 4).with_storage(spindle_cluster::StorageSpec {
+            node_bandwidth: 8e9,
+            spine_bandwidth: 32e9,
+            latency_s: 2e-3,
+        });
+        let phases = scenario.phases().expect("phase graphs build");
+        let (_, graph) = phases.last().expect("roster is non-empty");
+        let mut session = SpindleSession::new(cluster);
+        let before = session.replan(graph).expect("initial plan").plan;
+        let dead: Vec<DeviceId> = (4..8).map(DeviceId).collect();
+        session.remove_devices(&dead).expect("node removal");
+        let after = session.replan(graph).expect("churn re-plan").plan;
+        let survivors = session.cluster_handle();
+        let migration = migration_flows(&before, &after, &survivors);
+        assert!(
+            migration.restore_bytes() > 0,
+            "whole-node loss must strand at least one MetaOp"
+        );
+        // The full gauntlet passes and counts both the per-event recovery
+        // check and the cadence-monotonicity check.
+        let stats = check_scenario(&scenario, &tiny_cfg(), None).unwrap_or_else(|v| panic!("{v}"));
+        assert!(stats.recovery_checked >= 2, "{stats:?}");
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod device;
 mod error;
 mod group;
 mod link;
+mod storage;
 mod topology;
 
 pub use bandwidth::{InterconnectSpec, LinkClass};
@@ -50,4 +51,5 @@ pub use device::{DeviceId, GpuSpec, NodeId};
 pub use error::ClusterError;
 pub use group::DeviceGroup;
 pub use link::{collective_footprint, transfer_footprint, LinkId, LinkOccupancy};
+pub use storage::{storage_footprint, StorageSpec};
 pub use topology::{ClusterSpec, Island, NodeSpec};

@@ -30,6 +30,13 @@ pub enum LinkId {
     Uplink(NodeId),
     /// The ingress side of a node's inter-island network interface.
     Downlink(NodeId),
+    /// A node's link to the checkpoint storage fabric (see
+    /// [`StorageSpec`](crate::StorageSpec)). Checkpoint writes and restores
+    /// of that node's devices share it.
+    StorageLink(NodeId),
+    /// The shared storage spine every storage transfer crosses — the
+    /// oversubscription point of the checkpoint tier.
+    StorageSpine,
 }
 
 impl std::fmt::Display for LinkId {
@@ -38,6 +45,8 @@ impl std::fmt::Display for LinkId {
             LinkId::IslandBus(n) => write!(f, "bus:{n}"),
             LinkId::Uplink(n) => write!(f, "up:{n}"),
             LinkId::Downlink(n) => write!(f, "down:{n}"),
+            LinkId::StorageLink(n) => write!(f, "store:{n}"),
+            LinkId::StorageSpine => write!(f, "spine"),
         }
     }
 }

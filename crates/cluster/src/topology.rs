@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use crate::{ClusterError, DeviceGroup, DeviceId, GpuSpec, InterconnectSpec, LinkClass, NodeId};
+use crate::{
+    ClusterError, DeviceGroup, DeviceId, GpuSpec, InterconnectSpec, LinkClass, NodeId, StorageSpec,
+};
 
 /// Description of a single node (server) of the cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +39,7 @@ pub struct Island {
 pub struct ClusterSpec {
     gpu: GpuSpec,
     interconnect: InterconnectSpec,
+    storage: StorageSpec,
     nodes: Vec<NodeSpec>,
 }
 
@@ -83,8 +86,17 @@ impl ClusterSpec {
         Self {
             gpu,
             interconnect,
+            storage: StorageSpec::default(),
             nodes,
         }
+    }
+
+    /// Replaces the checkpoint storage tier description (defaults to
+    /// [`StorageSpec::disaggregated_nvme`]).
+    #[must_use]
+    pub fn with_storage(mut self, storage: StorageSpec) -> Self {
+        self.storage = storage;
+        self
     }
 
     /// The per-GPU hardware description.
@@ -97,6 +109,12 @@ impl ClusterSpec {
     #[must_use]
     pub fn interconnect(&self) -> &InterconnectSpec {
         &self.interconnect
+    }
+
+    /// The checkpoint storage tier description.
+    #[must_use]
+    pub fn storage(&self) -> &StorageSpec {
+        &self.storage
     }
 
     /// The nodes of the cluster.

@@ -55,6 +55,14 @@ pub struct TopologyImpact {
     pub migration_bytes: u64,
     /// Serialized α-β estimate of the migration time, seconds.
     pub migration_cost_s: f64,
+    /// Distinct re-placed MetaOps whose every old replica died: no survivor
+    /// can source their state, so it must be re-materialised from the
+    /// checkpoint tier. Always counted, whether or not the caller models
+    /// checkpoints.
+    pub rematerialized_metaops: usize,
+    /// State bytes of the re-materialised MetaOps' new placements, restored
+    /// from the checkpoint tier rather than migrated from survivors.
+    pub restore_bytes: u64,
 }
 
 /// Tunable knobs of the planner.
@@ -136,6 +144,12 @@ pub struct ReplanOutcome {
     /// Serialized α-β estimate of the migration time, seconds
     /// ([`TopologyImpact::migration_cost_s`]).
     pub migration_cost: f64,
+    /// Re-placed MetaOps that lost every replica and must restore from the
+    /// checkpoint tier ([`TopologyImpact::rematerialized_metaops`]).
+    pub rematerialized_metaops: usize,
+    /// State bytes restored from the checkpoint tier
+    /// ([`TopologyImpact::restore_bytes`]).
+    pub restore_bytes: u64,
 }
 
 impl ReplanOutcome {
@@ -161,7 +175,7 @@ impl ReplanOutcome {
 
 /// A long-lived Spindle planning session bound to one cluster.
 ///
-/// Unlike the one-shot [`Planner`](crate::Planner), a session *owns* its
+/// Unlike a one-shot planner invocation, a session *owns* its
 /// state: the cluster description (shared via [`Arc`]), the scalability
 /// estimator with its persistent curve cache, and a
 /// [`StructuralPlanCache`](crate::StructuralPlanCache) memoizing per-level
@@ -542,6 +556,8 @@ impl SpindleSession {
             levels_replaced: impact.levels_replaced,
             migration_bytes: impact.migration_bytes,
             migration_cost: impact.migration_cost_s,
+            rematerialized_metaops: impact.rematerialized_metaops,
+            restore_bytes: impact.restore_bytes,
         })
     }
 
@@ -912,8 +928,18 @@ impl SpindleSession {
                 .filter(|d| d.index() < device_space && present[d.index()])
                 .filter_map(|&d| self.cluster.node_of(d).ok())
                 .collect();
+            // Every old replica died: the MetaOp cannot be migrated at all —
+            // its new sites restore from the checkpoint tier. Count it so
+            // lost state is surfaced, never silently dropped.
+            let rematerialized = !old_sites[m].is_empty() && old_nodes.is_empty();
+            if rematerialized && !new_sites[m].is_empty() {
+                impact.rematerialized_metaops += 1;
+            }
             for &d in new_sites[m].iter().filter(|d| !old_sites[m].contains(d)) {
                 impact.migration_bytes += bytes;
+                if rematerialized {
+                    impact.restore_bytes += bytes;
+                }
                 let class = match self.cluster.node_of(d) {
                     Ok(node) if old_nodes.contains(&node) => LinkClass::IntraIsland,
                     _ => LinkClass::InterIsland,
@@ -1317,6 +1343,10 @@ mod tests {
         );
         assert!(churned.migration_bytes > 0, "placement shift moves bytes");
         assert!(churned.migration_cost > 0.0);
+        // One lost device out of a replicated placement leaves survivors for
+        // every MetaOp: nothing has to come back from the checkpoint tier.
+        assert_eq!(churned.rematerialized_metaops, 0);
+        assert_eq!(churned.restore_bytes, 0);
         churned.plan.check_invariants(capacity).unwrap();
         assert!(
             !placed_devices(&churned.plan).contains(&dead),

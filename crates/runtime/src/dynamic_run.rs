@@ -20,7 +20,10 @@ use spindle_graph::ComputationGraph;
 use spindle_workloads::{ArrivalSchedule, DeviceChurnEvent, DeviceChurnKind, ScheduleEvent};
 
 use crate::metrics::UtilizationSample;
-use crate::migrate::{migration_bytes, migration_flows, price_migration};
+use crate::migrate::{migration_flows, price_migration};
+use crate::recovery::{
+    background_checkpoint_flows, price_checkpoint_write, price_restore, CheckpointPolicy,
+};
 use crate::sim::{FaultSpec, SimConfig, Simulator};
 use crate::{RuntimeEngine, RuntimeError};
 
@@ -56,6 +59,13 @@ pub struct PhaseRunReport {
     pub gap: f64,
     /// Training iterations executed before the next task-mix change.
     pub iterations: u64,
+    /// Checkpoints written during the phase at the configured cadence.
+    pub checkpoints_written: u64,
+    /// Steady-state checkpoint-write charge of the phase, seconds: full
+    /// synchronous stalls, or (with
+    /// [`CheckpointPolicy::async_overlap`]) only the contention-induced
+    /// iteration slowdown measured by the event simulator.
+    pub checkpoint_write_s: f64,
     /// Utilization trace of one simulated iteration of this phase.
     pub utilization_trace: Vec<UtilizationSample>,
 }
@@ -94,6 +104,19 @@ pub struct ChurnRunReport {
     pub sim_migration_s: f64,
     /// In-flight compute seconds the device death discarded mid-wave.
     pub wasted_compute_s: f64,
+    /// Distinct MetaOps whose every replica died, forcing a checkpoint
+    /// restore (counted whether or not a [`CheckpointPolicy`] is active).
+    pub rematerialized_metaops: usize,
+    /// State bytes that had to come back from the checkpoint tier.
+    pub restore_bytes: u64,
+    /// Makespan of the restore flows over the contended storage links,
+    /// seconds (0 without an active [`CheckpointPolicy`]).
+    pub restore_s: f64,
+    /// Lost progress re-run after the event, seconds: the discarded
+    /// in-flight iteration ([`wasted_compute_s`](Self::wasted_compute_s))
+    /// plus — when state was re-materialised — every iteration since the
+    /// last checkpoint, re-run at the post-churn iteration time.
+    pub replay_s: f64,
     /// Simulated iteration time before the event, seconds (0 when no phase
     /// was active yet).
     pub iteration_before_s: f64,
@@ -146,14 +169,42 @@ impl DynamicRunReport {
         self.phases.iter().map(|p| p.gap.abs()).fold(0.0, f64::max)
     }
 
-    /// Total simulated seconds lost to device churn: discarded in-flight
-    /// compute plus contention-priced migration makespans.
+    /// Total contention-priced migration makespans over all churn events,
+    /// seconds.
+    #[must_use]
+    pub fn migration_s(&self) -> f64 {
+        self.churn.iter().map(|c| c.sim_migration_s).sum()
+    }
+
+    /// Total checkpoint-restore makespans over all churn events, seconds.
+    #[must_use]
+    pub fn restore_s(&self) -> f64 {
+        self.churn.iter().map(|c| c.restore_s).sum()
+    }
+
+    /// Total lost-progress replay over all churn events, seconds (includes
+    /// the discarded in-flight compute).
+    #[must_use]
+    pub fn replay_s(&self) -> f64 {
+        self.churn.iter().map(|c| c.replay_s).sum()
+    }
+
+    /// Total steady-state checkpoint-write charge over all phases, seconds.
+    #[must_use]
+    pub fn checkpoint_write_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.checkpoint_write_s).sum()
+    }
+
+    /// Total simulated seconds lost to device churn and recovery:
+    /// contention-priced migration makespans, checkpoint restores,
+    /// lost-progress replay (which includes discarded in-flight compute)
+    /// and steady-state checkpoint writes —
+    /// [`migration_s`](Self::migration_s) + [`restore_s`](Self::restore_s) +
+    /// [`replay_s`](Self::replay_s) +
+    /// [`checkpoint_write_s`](Self::checkpoint_write_s).
     #[must_use]
     pub fn churn_overhead_s(&self) -> f64 {
-        self.churn
-            .iter()
-            .map(|c| c.wasted_compute_s + c.sim_migration_s)
-            .sum()
+        self.migration_s() + self.restore_s() + self.replay_s() + self.checkpoint_write_s()
     }
 
     /// Fraction of MetaLevels spliced from the structural plan cache over
@@ -198,6 +249,9 @@ impl fmt::Display for DynamicRunReport {
                 self.churn_overhead_s()
             )?;
         }
+        if self.checkpoint_write_s() > 0.0 {
+            write!(f, ", {:.3} s checkpoint writes", self.checkpoint_write_s())?;
+        }
         Ok(())
     }
 }
@@ -211,16 +265,18 @@ impl fmt::Display for DynamicRunReport {
 pub struct DynamicRunLoop<'s> {
     session: &'s mut SpindleSession,
     sim_config: SimConfig,
+    checkpoint_policy: CheckpointPolicy,
 }
 
 impl<'s> DynamicRunLoop<'s> {
     /// Creates a run loop over `session` with the default simulator
     /// configuration (serialized, contention-free — the oracle-matching
-    /// setup).
+    /// setup) and checkpoint modeling off.
     pub fn new(session: &'s mut SpindleSession) -> Self {
         Self {
             session,
             sim_config: SimConfig::default(),
+            checkpoint_policy: CheckpointPolicy::default(),
         }
     }
 
@@ -228,6 +284,15 @@ impl<'s> DynamicRunLoop<'s> {
     #[must_use]
     pub fn with_sim_config(mut self, config: SimConfig) -> Self {
         self.sim_config = config;
+        self
+    }
+
+    /// Enables checkpoint modeling: steady-state write charges at the
+    /// policy's cadence, priced restores of all-replicas-dead MetaOps, and
+    /// lost-progress replay back to the last checkpoint.
+    #[must_use]
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint_policy = policy;
         self
     }
 
@@ -284,6 +349,34 @@ impl<'s> DynamicRunLoop<'s> {
                     };
                     total_simulated_s += iterations as f64 * sim.total_s();
 
+                    // Steady-state checkpoint writes at the configured
+                    // cadence: synchronous stalls priced over the storage
+                    // tier, or (async_overlap) the contention-induced
+                    // iteration slowdown with the write's background flows
+                    // injected into the event simulator.
+                    let checkpoints_written = self.checkpoint_policy.checkpoints_in(iterations);
+                    let checkpoint_write_s = if checkpoints_written == 0 {
+                        0.0
+                    } else if self.checkpoint_policy.async_overlap {
+                        let mut bg_config = self.sim_config.clone();
+                        bg_config.background_flows =
+                            background_checkpoint_flows(&cluster, &plan, &self.checkpoint_policy);
+                        let loaded = Simulator::new(Arc::clone(&plan), &cluster)
+                            .with_graph(&arrival.graph)
+                            .with_config(bg_config)
+                            .run_iteration()?;
+                        checkpoints_written as f64 * (loaded.total_s() - sim.total_s()).max(0.0)
+                    } else {
+                        checkpoints_written as f64
+                            * price_checkpoint_write(
+                                &cluster,
+                                &plan,
+                                &self.checkpoint_policy,
+                                self.sim_config.contention,
+                            )
+                    };
+                    total_simulated_s += checkpoint_write_s;
+
                     phases.push(PhaseRunReport {
                         label: arrival.label.clone(),
                         arrival_s: arrival.at_s,
@@ -298,6 +391,8 @@ impl<'s> DynamicRunLoop<'s> {
                         analytical_iteration_s: analytical.iteration_time_s(),
                         gap: sim.gap_vs(analytical.iteration_time_s()),
                         iterations,
+                        checkpoints_written,
+                        checkpoint_write_s,
                         utilization_trace: sim.utilization_trace().to_vec(),
                     });
                     active = Some((&arrival.graph, plan, sim.total_s(), arrival.at_s));
@@ -306,7 +401,8 @@ impl<'s> DynamicRunLoop<'s> {
                 ScheduleEvent::Churn(event) => {
                     let report = self.on_churn(event, &mut active)?;
                     total_replan_ms += report.replan_ms;
-                    total_simulated_s += report.wasted_compute_s + report.sim_migration_s;
+                    total_simulated_s +=
+                        report.replay_s + report.sim_migration_s + report.restore_s;
                     churn.push(report);
                 }
             }
@@ -353,7 +449,7 @@ impl<'s> DynamicRunLoop<'s> {
             self.session.restore_devices(&device_ids);
         }
 
-        let Some((graph, old_plan, iter_before_s, _)) = active.take() else {
+        let Some((graph, old_plan, iter_before_s, since_s)) = active.take() else {
             // Topology changed before any task arrived: nothing to re-plan.
             return Ok(ChurnRunReport {
                 at_s: event.at_s,
@@ -368,6 +464,10 @@ impl<'s> DynamicRunLoop<'s> {
                 planner_migration_s: 0.0,
                 sim_migration_s: 0.0,
                 wasted_compute_s,
+                rematerialized_metaops: 0,
+                restore_bytes: 0,
+                restore_s: 0.0,
+                replay_s: wasted_compute_s,
                 iteration_before_s: 0.0,
                 iteration_after_s: 0.0,
             });
@@ -387,16 +487,42 @@ impl<'s> DynamicRunLoop<'s> {
         // Price the actual migration flow set through the contention model.
         // The flows — not the planner's loss-side estimate — are the bytes
         // reported: a restore moves parameters back onto returned devices
-        // even though the planner charges no loss migration for it.
-        let flows = migration_flows(&old_plan, &new_plan, &cluster);
-        let moved_bytes = migration_bytes(&flows);
-        let sim_migration_s = price_migration(&cluster, &flows, self.sim_config.contention);
+        // even though the planner charges no loss migration for it. MetaOps
+        // whose every replica died cannot be moved at all: their state comes
+        // back from the checkpoint tier over the storage links.
+        let migration = migration_flows(&old_plan, &new_plan, &cluster);
+        let moved_bytes = migration.migration_bytes();
+        let sim_migration_s =
+            price_migration(&cluster, &migration.flows, self.sim_config.contention);
+        let rematerialized_metaops = migration.rematerialized_metaops();
+        let restore_bytes = migration.restore_bytes();
+        let policy = &self.checkpoint_policy;
+        let restore_s = if policy.enabled() && !migration.restores.is_empty() {
+            price_restore(
+                &cluster,
+                &migration.restores,
+                policy,
+                self.sim_config.contention,
+            )
+        } else {
+            0.0
+        };
 
         let sim = Simulator::new(Arc::clone(&new_plan), &cluster)
             .with_graph(graph)
             .with_config(self.sim_config.clone())
             .run_iteration()?;
         let iteration_after_s = sim.total_s();
+
+        // Lost progress: the aborted in-flight iteration is always re-run;
+        // when state was re-materialised it is only as fresh as the last
+        // checkpoint, so every iteration past the last cadence boundary is
+        // re-run too, at the post-churn iteration time.
+        let mut replay_s = wasted_compute_s;
+        if policy.enabled() && !migration.restores.is_empty() && iter_before_s > 0.0 {
+            let iters_done = ((event.at_s - since_s).max(0.0) / iter_before_s).floor() as u64;
+            replay_s += policy.replay_iterations(iters_done) as f64 * iteration_after_s;
+        }
         *active = Some((graph, new_plan, iteration_after_s, event.at_s));
 
         Ok(ChurnRunReport {
@@ -412,6 +538,10 @@ impl<'s> DynamicRunLoop<'s> {
             planner_migration_s,
             sim_migration_s,
             wasted_compute_s,
+            rematerialized_metaops,
+            restore_bytes,
+            restore_s,
+            replay_s,
             iteration_before_s: iter_before_s,
             iteration_after_s,
         })
@@ -542,6 +672,132 @@ mod tests {
         // The restore re-planned on the full device set again: the next
         // removal of the same devices would be a real loss.
         assert_eq!(session.removed_devices().len(), 0);
+    }
+
+    #[test]
+    fn recovery_components_are_exactly_zero_without_policy_or_faults() {
+        let workload = DynamicWorkload::multitask_clip_schedule().unwrap();
+        let schedule = ArrivalSchedule::from_workload(&workload, 0.05);
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+        let report = DynamicRunLoop::new(&mut session).run(&schedule).unwrap();
+        assert_eq!(report.migration_s(), 0.0);
+        assert_eq!(report.restore_s(), 0.0);
+        assert_eq!(report.replay_s(), 0.0);
+        assert_eq!(report.checkpoint_write_s(), 0.0);
+        assert_eq!(report.churn_overhead_s(), 0.0);
+        for phase in &report.phases {
+            assert_eq!(phase.checkpoints_written, 0);
+            assert_eq!(phase.checkpoint_write_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn full_node_loss_restores_from_checkpoints_and_replays() {
+        use crate::recovery::CheckpointPolicy;
+        use spindle_workloads::{DeviceChurnEvent, DeviceChurnKind};
+        let base = ArrivalSchedule::multitask_clip_arrivals(3, 1, 40.0).unwrap();
+        // Learn the lone phase's iteration time so the kill can land 10.5
+        // iterations in: 10 done, 10 % cadence(3) = 1 iteration to replay.
+        let mut probe_session = SpindleSession::new(ClusterSpec::homogeneous(2, 4));
+        let probe = DynamicRunLoop::new(&mut probe_session)
+            .with_sim_config(SimConfig::contended())
+            .run(&base)
+            .unwrap();
+        let iter_s = probe.phases[0].sim_iteration_s;
+        // Kill an entire node mid-run: MetaOps placed only there lose every
+        // replica and must be re-materialised from the checkpoint tier.
+        let churn = vec![DeviceChurnEvent {
+            at_s: iter_s * 10.5,
+            kind: DeviceChurnKind::Remove,
+            devices: (4..8).collect(),
+            label: "node down".into(),
+        }];
+        let schedule = base.with_device_churn(churn);
+
+        // Baseline: same trace without checkpoint modeling — the pre-policy
+        // accounting (wasted compute + migration only).
+        let mut bare_session = SpindleSession::new(ClusterSpec::homogeneous(2, 4));
+        let bare = DynamicRunLoop::new(&mut bare_session)
+            .with_sim_config(SimConfig::contended())
+            .run(&schedule)
+            .unwrap();
+        assert_eq!(bare.restore_s(), 0.0, "no policy prices no restores");
+        assert_eq!(bare.checkpoint_write_s(), 0.0);
+
+        let mut session = SpindleSession::new(ClusterSpec::homogeneous(2, 4));
+        let report = DynamicRunLoop::new(&mut session)
+            .with_sim_config(SimConfig::contended())
+            .with_checkpoint_policy(CheckpointPolicy::every(3))
+            .run(&schedule)
+            .unwrap();
+        let c = &report.churn[0];
+        // The dead node hosted some MetaOp exclusively: restore accounting
+        // fires whether or not a policy is active...
+        assert!(c.rematerialized_metaops > 0, "scenario must kill a MetaOp");
+        assert!(c.restore_bytes > 0);
+        assert_eq!(
+            c.rematerialized_metaops,
+            bare.churn[0].rematerialized_metaops
+        );
+        assert_eq!(c.restore_bytes, bare.churn[0].restore_bytes);
+        // ...but only the policy prices it and replays lost progress: one
+        // iteration past the last cadence boundary, at the post-churn pace.
+        assert!(c.restore_s > 0.0);
+        assert!(
+            (c.replay_s - (c.wasted_compute_s + c.iteration_after_s)).abs() < 1e-9,
+            "10 iterations done, cadence 3: exactly one to replay"
+        );
+        assert!(c.replay_s >= c.wasted_compute_s);
+        assert!(report.replay_s() > 0.0);
+        // Steady-state writes are charged at the cadence.
+        assert!(report.checkpoint_write_s() > 0.0);
+        for phase in &report.phases {
+            assert_eq!(
+                phase.checkpoints_written,
+                phase.iterations / 3,
+                "cadence accounting"
+            );
+        }
+        // The recovery-aware total strictly exceeds the pre-policy figure.
+        assert!(report.churn_overhead_s() > bare.churn_overhead_s());
+        // And the pre-policy figure still equals the historical formula.
+        let historical: f64 = bare
+            .churn
+            .iter()
+            .map(|c| c.wasted_compute_s + c.sim_migration_s)
+            .sum();
+        assert!((bare.churn_overhead_s() - historical).abs() < 1e-12);
+    }
+
+    #[test]
+    fn async_overlap_charges_at_most_the_synchronous_stall() {
+        use crate::recovery::CheckpointPolicy;
+        let schedule = ArrivalSchedule::multitask_clip_arrivals(7, 3, 60.0).unwrap();
+        let sync_policy = CheckpointPolicy::every(2);
+        let mut s1 = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+        let sync = DynamicRunLoop::new(&mut s1)
+            .with_sim_config(SimConfig::contended())
+            .with_checkpoint_policy(sync_policy)
+            .run(&schedule)
+            .unwrap();
+        let mut s2 = SpindleSession::new(ClusterSpec::homogeneous(2, 8));
+        let overlapped = DynamicRunLoop::new(&mut s2)
+            .with_sim_config(SimConfig::contended())
+            .with_checkpoint_policy(CheckpointPolicy {
+                async_overlap: true,
+                ..sync_policy
+            })
+            .run(&schedule)
+            .unwrap();
+        assert!(sync.checkpoint_write_s() > 0.0);
+        // Overlapping the write hides everything except the contention it
+        // induces on the training traffic.
+        assert!(
+            overlapped.checkpoint_write_s() <= sync.checkpoint_write_s() + 1e-9,
+            "async {} vs sync {}",
+            overlapped.checkpoint_write_s(),
+            sync.checkpoint_write_s()
+        );
     }
 
     #[test]

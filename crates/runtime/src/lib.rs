@@ -68,6 +68,7 @@ mod localize;
 mod metrics;
 mod migrate;
 mod param_groups;
+mod recovery;
 mod sim;
 mod transmission;
 
@@ -79,9 +80,17 @@ pub use localize::LocalizedPlan;
 pub use metrics::{
     sample_utilization_trace, ComputeInterval, IterationReport, TimeBreakdown, UtilizationSample,
 };
-pub use migrate::{migration_bytes, migration_flows, price_migration, MigrationFlow};
+pub use migrate::{
+    migration_bytes, migration_flows, price_migration, MigrationFlow, MigrationPlan, RestoreFlow,
+};
 pub use param_groups::ParamGroupPool;
-pub use sim::{CommMode, FaultReport, FaultSpec, SimConfig, SimReport, Simulator, Straggler};
+pub use recovery::{
+    adam_state_bytes, background_checkpoint_flows, checkpoint_flows, full_state_bytes,
+    price_checkpoint_write, price_restore, CheckpointPolicy,
+};
+pub use sim::{
+    BackgroundFlow, CommMode, FaultReport, FaultSpec, SimConfig, SimReport, Simulator, Straggler,
+};
 pub use transmission::{
     derive_transmission_sites, derive_transmissions, total_transmission_time, Transmission,
     TransmissionKind, TransmissionSite,

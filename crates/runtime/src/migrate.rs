@@ -33,27 +33,85 @@ pub struct MigrationFlow {
     pub bytes: u64,
 }
 
-/// Derives the migration flows implied by re-placing `old` as `new` on
+/// One checkpoint-restore transfer: `bytes` of MetaOp state stream from the
+/// storage tier onto a device that must re-materialise a replica no survivor
+/// holds. Priced by [`price_restore`](crate::price_restore) over the storage
+/// links, not the compute fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreFlow {
+    /// The MetaOp whose state is restored.
+    pub metaop: MetaOpId,
+    /// The device receiving the restored shard.
+    pub to: DeviceId,
+    /// State bytes restored (the MetaOp's per-device memory footprint —
+    /// scaled to checkpoint bytes by the active
+    /// [`CheckpointPolicy`](crate::CheckpointPolicy) at pricing time).
+    pub bytes: u64,
+}
+
+/// The full recovery work implied by re-placing a plan after churn: state
+/// that can *move* from surviving replicas, and state that must be
+/// *re-materialised* from the last checkpoint because every replica died.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Parameter moves from surviving replicas, priced over the compute
+    /// fabric by [`price_migration`].
+    pub flows: Vec<MigrationFlow>,
+    /// Restores of all-replicas-dead MetaOps, one per receiving device,
+    /// priced over the storage tier.
+    pub restores: Vec<RestoreFlow>,
+}
+
+impl MigrationPlan {
+    /// Total bytes moved between surviving devices.
+    #[must_use]
+    pub fn migration_bytes(&self) -> u64 {
+        migration_bytes(&self.flows)
+    }
+
+    /// Total state bytes that must be restored from storage.
+    #[must_use]
+    pub fn restore_bytes(&self) -> u64 {
+        self.restores.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Number of distinct MetaOps that lost every replica.
+    #[must_use]
+    pub fn rematerialized_metaops(&self) -> usize {
+        let mut ids: Vec<MetaOpId> = self.restores.iter().map(|f| f.metaop).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+/// Derives the recovery work implied by re-placing `old` as `new` on
 /// `cluster` (the post-churn cluster: its device set is the survivor set).
 ///
 /// For every device that hosts a MetaOp in `new` but did not in `old`, one
-/// flow is emitted from the nearest surviving old replica — a same-node
-/// replica if one exists, otherwise the first surviving replica. MetaOps
-/// with no surviving replica (all old hosts died) or no annotated memory
-/// emit no flow: their state cannot be *moved*, it must be re-materialised.
+/// [`MigrationFlow`] is emitted from the nearest surviving old replica — a
+/// same-node replica if one exists, otherwise the first surviving replica.
+/// A MetaOp whose old replicas *all* died cannot be moved: each of its new
+/// sites gets a [`RestoreFlow`] from storage instead, so lost state is
+/// always counted, never silently dropped. MetaOps with no annotated memory
+/// or absent from the old plan (fresh arrivals) emit nothing.
 #[must_use]
 pub fn migration_flows(
     old: &ExecutionPlan,
     new: &ExecutionPlan,
     cluster: &ClusterSpec,
-) -> Vec<MigrationFlow> {
+) -> MigrationPlan {
     let survivors = cluster.all_devices();
+    let mut old_metaops: Vec<MetaOpId> = Vec::new();
     let mut old_sites: BTreeMap<MetaOpId, Vec<DeviceId>> = BTreeMap::new();
     for wave in old.waves() {
         for entry in &wave.entries {
             let Some(group) = &entry.placement else {
                 continue;
             };
+            if !old_metaops.contains(&entry.metaop) {
+                old_metaops.push(entry.metaop);
+            }
             let sites = old_sites.entry(entry.metaop).or_default();
             for d in group.iter() {
                 if survivors.contains(d) && !sites.contains(&d) {
@@ -62,19 +120,17 @@ pub fn migration_flows(
             }
         }
     }
-    let mut flows = Vec::new();
+    let mut plan = MigrationPlan::default();
     let mut new_seen: BTreeMap<MetaOpId, Vec<DeviceId>> = BTreeMap::new();
     for wave in new.waves() {
         for entry in &wave.entries {
             let Some(group) = &entry.placement else {
                 continue;
             };
-            let Some(sources) = old_sites.get(&entry.metaop) else {
-                continue;
-            };
-            if sources.is_empty() || entry.memory_per_device == 0 {
+            if !old_metaops.contains(&entry.metaop) || entry.memory_per_device == 0 {
                 continue;
             }
+            let sources = old_sites.get(&entry.metaop).map_or(&[][..], Vec::as_slice);
             let seen = new_seen.entry(entry.metaop).or_default();
             for d in group.iter() {
                 if seen.contains(&d) {
@@ -84,13 +140,23 @@ pub fn migration_flows(
                 if sources.contains(&d) {
                     continue;
                 }
+                if sources.is_empty() {
+                    // Every old replica died: the shard must come back from
+                    // the checkpoint tier.
+                    plan.restores.push(RestoreFlow {
+                        metaop: entry.metaop,
+                        to: d,
+                        bytes: entry.memory_per_device,
+                    });
+                    continue;
+                }
                 let node = cluster.node_of(d).ok();
                 let from = sources
                     .iter()
                     .copied()
                     .find(|&s| cluster.node_of(s).ok() == node && node.is_some())
                     .unwrap_or(sources[0]);
-                flows.push(MigrationFlow {
+                plan.flows.push(MigrationFlow {
                     metaop: entry.metaop,
                     from,
                     to: d,
@@ -99,7 +165,7 @@ pub fn migration_flows(
             }
         }
     }
-    flows
+    plan
 }
 
 /// Total bytes moved by a flow set.
@@ -204,9 +270,15 @@ mod tests {
         let cluster = ClusterSpec::homogeneous(2, 4);
         let g = graph();
         let plan = SpindleSession::new(cluster.clone()).plan(&g).unwrap();
-        let flows = migration_flows(&plan, &plan, &cluster);
-        assert!(flows.is_empty(), "same placement moves nothing: {flows:?}");
-        assert_eq!(price_migration(&cluster, &flows, true), 0.0);
+        let migration = migration_flows(&plan, &plan, &cluster);
+        assert!(
+            migration.flows.is_empty(),
+            "same placement moves nothing: {:?}",
+            migration.flows
+        );
+        assert!(migration.restores.is_empty());
+        assert_eq!(migration.rematerialized_metaops(), 0);
+        assert_eq!(price_migration(&cluster, &migration.flows, true), 0.0);
     }
 
     #[test]
@@ -218,7 +290,7 @@ mod tests {
         session.remove_devices(&[DeviceId(7)]).unwrap();
         let new = session.replan(&g).unwrap().plan;
         let shrunk = session.cluster_handle();
-        let flows = migration_flows(&old, &new, &shrunk);
+        let flows = migration_flows(&old, &new, &shrunk).flows;
         // Every flow originates at a survivor and lands on a survivor that
         // did not previously host the MetaOp.
         for flow in &flows {
@@ -235,6 +307,58 @@ mod tests {
                 contended >= relaxed - 1e-12,
                 "contention can only slow migration: {contended} vs {relaxed}"
             );
+        }
+    }
+
+    #[test]
+    fn all_dead_metaops_are_surfaced_as_restores_never_dropped() {
+        // A multi-task mix partitions across the two nodes, so killing node 1
+        // takes every replica of the MetaOps confined to it: their state must
+        // be re-materialised, not migrated.
+        let full = ClusterSpec::homogeneous(2, 4);
+        let g = spindle_workloads::multitask_clip(5).unwrap();
+        let mut session = SpindleSession::new(full.clone());
+        let old = session.plan(&g).unwrap();
+        let dead: Vec<DeviceId> = (4..8).map(DeviceId).collect();
+
+        // Ground truth from the old plan: MetaOps whose replica sites —
+        // unioned across every wave — live entirely inside the dead set.
+        let mut sites: BTreeMap<MetaOpId, Vec<DeviceId>> = BTreeMap::new();
+        let mut stateful: Vec<MetaOpId> = Vec::new();
+        for wave in old.waves() {
+            for entry in &wave.entries {
+                let group = entry.placement.as_ref().unwrap();
+                sites.entry(entry.metaop).or_default().extend(group.iter());
+                if entry.memory_per_device > 0 && !stateful.contains(&entry.metaop) {
+                    stateful.push(entry.metaop);
+                }
+            }
+        }
+        let all_dead: Vec<MetaOpId> = sites
+            .iter()
+            .filter(|(id, devs)| stateful.contains(id) && devs.iter().all(|d| dead.contains(d)))
+            .map(|(id, _)| *id)
+            .collect();
+        assert!(
+            !all_dead.is_empty(),
+            "the scenario must actually kill some MetaOp's every replica"
+        );
+
+        session.remove_devices(&dead).unwrap();
+        let new = session.replan(&g).unwrap().plan;
+        let shrunk = session.cluster_handle();
+        let migration = migration_flows(&old, &new, &shrunk);
+        // Regression: the all-dead MetaOps are counted, not silently skipped.
+        assert_eq!(migration.rematerialized_metaops(), all_dead.len());
+        assert!(migration.restore_bytes() > 0);
+        for restore in &migration.restores {
+            assert!(all_dead.contains(&restore.metaop));
+            assert!(!dead.contains(&restore.to), "restore lands on a survivor");
+            assert!(restore.bytes > 0);
+        }
+        // And no migration flow claims to source from a dead device.
+        for flow in &migration.flows {
+            assert!(!dead.contains(&flow.from));
         }
     }
 

@@ -1,0 +1,405 @@
+//! Checkpoint/restore semantics: priced recovery of replicas no survivor
+//! holds, and steady-state checkpoint-write charges.
+//!
+//! [`migration_flows`](crate::migration_flows) partitions post-churn state
+//! movement into migratable flows (a surviving replica exists) and
+//! [`RestoreFlow`](crate::RestoreFlow)s (every replica died). This module
+//! prices the second kind: restore traffic streams from the checkpoint tier
+//! over the cluster's [`StorageSpec`](spindle_cluster::StorageSpec) links —
+//! per-node storage links behind a shared, oversubscribed spine — using the
+//! same concurrent next-completion advance the migration pricer applies to
+//! the compute fabric. On top of that, a [`CheckpointPolicy`] fixes *what*
+//! can be restored: state is only as fresh as the last checkpoint, so a
+//! re-materialised MetaOp drags every iteration since that checkpoint back
+//! with it (lost-progress replay), and the checkpoints themselves cost
+//! steady-state write stalls (synchronous) or background storage flows
+//! contending with training traffic (`async_overlap`).
+
+use std::collections::BTreeMap;
+
+use spindle_cluster::{ClusterSpec, LinkId, NodeId};
+use spindle_core::ExecutionPlan;
+
+use crate::migrate::RestoreFlow;
+use crate::sim::BackgroundFlow;
+
+/// The identity sizing: checkpoint bytes equal the MetaOp's resident state
+/// bytes (the default of [`CheckpointPolicy`]).
+#[must_use]
+pub fn full_state_bytes(state_bytes: u64) -> u64 {
+    state_bytes
+}
+
+/// Adam-style sizing: parameters plus two optimizer moments, three times the
+/// resident state bytes.
+#[must_use]
+pub fn adam_state_bytes(state_bytes: u64) -> u64 {
+    state_bytes.saturating_mul(3)
+}
+
+/// When and how big checkpoints are.
+///
+/// `cadence_iters: None` disables checkpoint modeling entirely: no write
+/// charges, no restore pricing, no replay — the optimistic pre-checkpoint
+/// behavior, and the default.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointPolicy {
+    /// A checkpoint is written every this many iterations (`None` = never).
+    pub cadence_iters: Option<u32>,
+    /// Maps a MetaOp shard's resident state bytes to its checkpoint bytes
+    /// (e.g. [`adam_state_bytes`] for params + Adam moments).
+    pub bytes_per_metaop_fn: fn(u64) -> u64,
+    /// `true` overlaps checkpoint writes with training: instead of a full
+    /// synchronous stall, the write runs as background storage flows that
+    /// contend with the iteration's own traffic in the event simulator, and
+    /// only the induced slowdown is charged.
+    pub async_overlap: bool,
+}
+
+impl CheckpointPolicy {
+    /// A synchronous checkpoint every `cadence_iters` iterations with the
+    /// default (full-state) sizing.
+    #[must_use]
+    pub fn every(cadence_iters: u32) -> Self {
+        Self {
+            cadence_iters: Some(cadence_iters.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Checkpoint bytes of one shard holding `state_bytes` of resident state.
+    #[must_use]
+    pub fn checkpoint_bytes(&self, state_bytes: u64) -> u64 {
+        (self.bytes_per_metaop_fn)(state_bytes)
+    }
+
+    /// `true` when checkpoint modeling is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.cadence_iters.is_some()
+    }
+
+    /// Number of checkpoints written during `iterations` steady-state
+    /// iterations (the phase starts from a checkpointed state).
+    #[must_use]
+    pub fn checkpoints_in(&self, iterations: u64) -> u64 {
+        match self.cadence_iters {
+            Some(k) => iterations / u64::from(k.max(1)),
+            None => 0,
+        }
+    }
+
+    /// Iterations lost when state must come back from the last checkpoint
+    /// after `iterations_done` steady-state iterations — the progress past
+    /// the most recent cadence boundary.
+    #[must_use]
+    pub fn replay_iterations(&self, iterations_done: u64) -> u64 {
+        match self.cadence_iters {
+            Some(k) => iterations_done % u64::from(k.max(1)),
+            None => 0,
+        }
+    }
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        Self {
+            cadence_iters: None,
+            bytes_per_metaop_fn: full_state_bytes,
+            async_overlap: false,
+        }
+    }
+}
+
+/// Prices a set of storage transfers (restores *or* checkpoint writes — the
+/// tier is symmetric) on `cluster`: all flows start concurrently; with
+/// `contended`, each flow runs at the rate of its most contended stage —
+/// equal-share on its node's storage link, equal-share of the spine scaled
+/// by the oversubscription ratio (see
+/// [`StorageSpec::slowdown`](spindle_cluster::StorageSpec::slowdown)).
+/// Flow bytes are scaled through `policy.bytes_per_metaop_fn` first. Returns
+/// the makespan of the transfer set, seconds.
+#[must_use]
+pub fn price_restore(
+    cluster: &ClusterSpec,
+    flows: &[RestoreFlow],
+    policy: &CheckpointPolicy,
+    contended: bool,
+) -> f64 {
+    struct Active {
+        remaining_s: f64,
+        node: Option<NodeId>,
+    }
+    let storage = cluster.storage();
+    let mut active: Vec<Active> = flows
+        .iter()
+        .map(|f| Active {
+            remaining_s: storage.transfer_time(policy.checkpoint_bytes(f.bytes)),
+            node: cluster.node_of(f.to).ok(),
+        })
+        .collect();
+    let mut now = 0.0_f64;
+    while !active.is_empty() {
+        let mut node_flows: BTreeMap<Option<NodeId>, usize> = BTreeMap::new();
+        for flow in &active {
+            *node_flows.entry(flow.node).or_insert(0) += 1;
+        }
+        let spine_flows = active.len();
+        let factor = |flow: &Active| {
+            if contended {
+                storage.slowdown(node_flows[&flow.node], spine_flows)
+            } else {
+                1.0
+            }
+        };
+        // Next completion at current rates; rates only change at completions.
+        let step = active
+            .iter()
+            .map(|f| f.remaining_s * factor(f))
+            .fold(f64::INFINITY, f64::min);
+        now += step;
+        for flow in &mut active {
+            let f = factor(flow);
+            flow.remaining_s -= step / f;
+        }
+        let eps = 1e-12 * now.max(1.0);
+        active.retain(|f| f.remaining_s > eps);
+    }
+    now
+}
+
+/// The storage flows of one full checkpoint of `plan`: every placed MetaOp
+/// shard (one per hosting device, deduplicated across waves) writes its
+/// state bytes to the tier. The same flow set read in reverse is a full
+/// restore, so [`price_restore`] prices both directions.
+#[must_use]
+pub fn checkpoint_flows(plan: &ExecutionPlan) -> Vec<RestoreFlow> {
+    let mut seen: BTreeMap<spindle_core::MetaOpId, Vec<spindle_cluster::DeviceId>> =
+        BTreeMap::new();
+    let mut flows = Vec::new();
+    for wave in plan.waves() {
+        for entry in &wave.entries {
+            let Some(group) = &entry.placement else {
+                continue;
+            };
+            if entry.memory_per_device == 0 {
+                continue;
+            }
+            let sites = seen.entry(entry.metaop).or_default();
+            for d in group.iter() {
+                if !sites.contains(&d) {
+                    sites.push(d);
+                    flows.push(RestoreFlow {
+                        metaop: entry.metaop,
+                        to: d,
+                        bytes: entry.memory_per_device,
+                    });
+                }
+            }
+        }
+    }
+    flows
+}
+
+/// Prices one synchronous full checkpoint write of `plan` on `cluster`: the
+/// stall the training timeline pays per cadence boundary when
+/// `async_overlap` is off.
+#[must_use]
+pub fn price_checkpoint_write(
+    cluster: &ClusterSpec,
+    plan: &ExecutionPlan,
+    policy: &CheckpointPolicy,
+    contended: bool,
+) -> f64 {
+    price_restore(cluster, &checkpoint_flows(plan), policy, contended)
+}
+
+/// Builds the background-flow set of one `async_overlap` checkpoint write
+/// for injection into the event simulator
+/// ([`SimConfig::background_flows`](crate::SimConfig)): each shard's write
+/// leaves its node through the node's network egress (where it contends with
+/// the iteration's inter-island traffic) and then crosses its storage link
+/// and the shared spine.
+#[must_use]
+pub fn background_checkpoint_flows(
+    cluster: &ClusterSpec,
+    plan: &ExecutionPlan,
+    policy: &CheckpointPolicy,
+) -> Vec<BackgroundFlow> {
+    let storage = cluster.storage();
+    checkpoint_flows(plan)
+        .iter()
+        .filter_map(|f| {
+            let node = cluster.node_of(f.to).ok()?;
+            Some(BackgroundFlow {
+                nominal_s: storage.transfer_time(policy.checkpoint_bytes(f.bytes)),
+                footprint: vec![
+                    LinkId::Uplink(node),
+                    LinkId::StorageLink(node),
+                    LinkId::StorageSpine,
+                ],
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spindle_cluster::{DeviceId, StorageSpec};
+    use spindle_core::{MetaOpId, SpindleSession};
+    use spindle_graph::{GraphBuilder, Modality, OpKind, TensorShape};
+
+    fn plan_on(nodes: usize, gpus: usize) -> (ExecutionPlan, ClusterSpec) {
+        let mut b = GraphBuilder::new();
+        let t = b.add_task("t", [Modality::Vision, Modality::Text], 32);
+        let tower = b
+            .add_op_chain(
+                t,
+                OpKind::Encoder(Modality::Vision),
+                TensorShape::new(32, 197, 768),
+                6,
+            )
+            .unwrap();
+        let loss = b
+            .add_op(t, OpKind::ContrastiveLoss, TensorShape::new(32, 1, 768))
+            .unwrap();
+        b.add_flow(*tower.last().unwrap(), loss).unwrap();
+        let graph = b.build().unwrap();
+        let cluster = ClusterSpec::homogeneous(nodes, gpus);
+        let plan = SpindleSession::new(cluster.clone()).plan(&graph).unwrap();
+        (plan, cluster)
+    }
+
+    #[test]
+    fn policy_cadence_accounting() {
+        let p = CheckpointPolicy::every(4);
+        assert!(p.enabled());
+        assert_eq!(p.checkpoints_in(11), 2);
+        assert_eq!(p.replay_iterations(11), 3);
+        assert_eq!(p.replay_iterations(8), 0);
+        let off = CheckpointPolicy::default();
+        assert!(!off.enabled());
+        assert_eq!(off.checkpoints_in(100), 0);
+        assert_eq!(off.replay_iterations(100), 0);
+    }
+
+    #[test]
+    fn lone_restore_matches_the_storage_spec() {
+        let (_, cluster) = plan_on(1, 4);
+        let policy = CheckpointPolicy::every(1);
+        let flows = vec![RestoreFlow {
+            metaop: MetaOpId(0),
+            to: DeviceId(0),
+            bytes: 1 << 30,
+        }];
+        let t = price_restore(&cluster, &flows, &policy, true);
+        let expected = cluster.storage().transfer_time(1 << 30);
+        assert!((t - expected).abs() < 1e-9, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn same_node_restores_share_the_storage_link() {
+        let (_, cluster) = plan_on(2, 4);
+        let policy = CheckpointPolicy::every(1);
+        let same_node: Vec<RestoreFlow> = (0..3)
+            .map(|i| RestoreFlow {
+                metaop: MetaOpId(i),
+                to: DeviceId(i),
+                bytes: 1 << 30,
+            })
+            .collect();
+        let lone = price_restore(&cluster, &same_node[..1], &policy, true);
+        let shared = price_restore(&cluster, &same_node, &policy, true);
+        assert!(
+            shared > lone * 2.5,
+            "three flows on one storage link must run near a third rate: {shared} vs {lone}"
+        );
+        // Spread across nodes, the same three flows only meet at the spine,
+        // which has 4x node-link headroom — no slowdown.
+        let spread: Vec<RestoreFlow> = (0..2)
+            .map(|i| RestoreFlow {
+                metaop: MetaOpId(i),
+                to: DeviceId(4 * i),
+                bytes: 1 << 30,
+            })
+            .collect();
+        let spread_t = price_restore(&cluster, &spread, &policy, true);
+        assert!((spread_t - lone).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscribed_spine_throttles_cluster_wide_restores() {
+        // 8 nodes, one flow each: the 2x-oversubscribed default spine halves
+        // every flow's rate even though each node link is alone.
+        let (_, cluster) = plan_on(8, 1);
+        let policy = CheckpointPolicy::every(1);
+        let flows: Vec<RestoreFlow> = (0..8)
+            .map(|i| RestoreFlow {
+                metaop: MetaOpId(i),
+                to: DeviceId(i),
+                bytes: 1 << 30,
+            })
+            .collect();
+        let lone = price_restore(&cluster, &flows[..1], &policy, true);
+        let all = price_restore(&cluster, &flows, &policy, true);
+        assert!(
+            (all / lone - 2.0).abs() < 0.05,
+            "8 node-disjoint flows over a 4x spine must halve: {all} vs {lone}"
+        );
+        // Uncontended pricing ignores the sharing entirely.
+        let relaxed = price_restore(&cluster, &flows, &policy, false);
+        assert!((relaxed - lone).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_flows_cover_every_placed_shard_once() {
+        let (plan, cluster) = plan_on(2, 4);
+        let flows = checkpoint_flows(&plan);
+        assert!(!flows.is_empty());
+        let mut keys: Vec<(MetaOpId, DeviceId)> = flows.iter().map(|f| (f.metaop, f.to)).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "no shard is written twice");
+        let policy = CheckpointPolicy::every(1);
+        let write = price_checkpoint_write(&cluster, &plan, &policy, true);
+        assert!(write > 0.0);
+        // Bigger checkpoints (Adam sizing) can only take longer.
+        let adam = CheckpointPolicy {
+            bytes_per_metaop_fn: adam_state_bytes,
+            ..policy
+        };
+        assert!(price_checkpoint_write(&cluster, &plan, &adam, true) > write);
+    }
+
+    #[test]
+    fn slower_storage_prices_higher() {
+        let (plan, cluster) = plan_on(2, 4);
+        let policy = CheckpointPolicy::every(1);
+        let fast = price_checkpoint_write(&cluster, &plan, &policy, true);
+        let slow_cluster = cluster.clone().with_storage(StorageSpec {
+            node_bandwidth: 1e9,
+            spine_bandwidth: 4e9,
+            latency_s: 2e-3,
+        });
+        let slow = price_checkpoint_write(&slow_cluster, &plan, &policy, true);
+        assert!(slow > fast * 2.0, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn background_flows_name_egress_and_storage_links() {
+        let (plan, cluster) = plan_on(2, 4);
+        let policy = CheckpointPolicy::every(1);
+        let bg = background_checkpoint_flows(&cluster, &plan, &policy);
+        assert_eq!(bg.len(), checkpoint_flows(&plan).len());
+        for flow in &bg {
+            assert!(flow.nominal_s > 0.0);
+            assert!(flow.footprint.contains(&LinkId::StorageSpine));
+            assert!(flow
+                .footprint
+                .iter()
+                .any(|l| matches!(l, LinkId::Uplink(_))));
+        }
+    }
+}

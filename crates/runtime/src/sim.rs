@@ -102,6 +102,25 @@ pub struct FaultReport {
     pub completed_waves: usize,
 }
 
+/// A flow that runs *underneath* the iteration — checkpoint writes being
+/// streamed out while training continues ([`CheckpointPolicy::async_overlap`]
+/// mode, see [`background_checkpoint_flows`](crate::background_checkpoint_flows)).
+/// Background flows are issued at iteration start, contend for their
+/// footprint links like any training flow, but never gate a stage barrier:
+/// the iteration ends when the plan's own work ends, and whatever background
+/// service is still outstanding simply continues past the horizon. They only
+/// have an observable effect under [`CommMode::Overlapped`] with contention
+/// enabled — in serialized or contention-free runs they are skipped.
+///
+/// [`CheckpointPolicy::async_overlap`]: crate::CheckpointPolicy
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackgroundFlow {
+    /// Service time of the flow alone on its links, seconds.
+    pub nominal_s: f64,
+    /// The shared links the flow occupies.
+    pub footprint: Vec<LinkId>,
+}
+
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -122,6 +141,10 @@ pub struct SimConfig {
     pub speed_factors: BTreeMap<DeviceId, f64>,
     /// Injected straggler windows.
     pub stragglers: Vec<Straggler>,
+    /// Background flows (e.g. an overlapped checkpoint write) issued at
+    /// iteration start; observable only with [`CommMode::Overlapped`] and
+    /// contention.
+    pub background_flows: Vec<BackgroundFlow>,
     /// Engine knobs shared with the analytical engine (utilization-trace
     /// resolution).
     pub engine: EngineConfig,
@@ -136,6 +159,7 @@ impl Default for SimConfig {
             compute_jitter: 0.0,
             speed_factors: BTreeMap::new(),
             stragglers: Vec::new(),
+            background_flows: Vec::new(),
             engine: EngineConfig::default(),
         }
     }
@@ -364,8 +388,15 @@ struct FlowSpec {
 
 #[derive(Debug, Clone, Copy)]
 enum FlowLabel {
-    Transmission { from: MetaOpId, to: MetaOpId },
-    Sync { group: usize },
+    Transmission {
+        from: MetaOpId,
+        to: MetaOpId,
+    },
+    Sync {
+        group: usize,
+    },
+    /// A background flow: contends for links but never gates a stage.
+    Background,
 }
 
 #[derive(Debug)]
@@ -466,6 +497,23 @@ impl<'a> Run<'a> {
     }
 
     fn execute(&mut self) {
+        // Background flows contend from t=0; without overlapped contention
+        // they could never interact with the iteration, so skip them.
+        if self.config.comm_mode == CommMode::Overlapped && self.config.contention {
+            let specs: Vec<FlowSpec> = self
+                .config
+                .background_flows
+                .iter()
+                .map(|bg| FlowSpec {
+                    nominal_s: bg.nominal_s,
+                    footprint: bg.footprint.clone(),
+                    label: FlowLabel::Background,
+                })
+                .collect();
+            for spec in specs {
+                self.start_flow(spec);
+            }
+        }
         if self.localized.plan().num_waves() == 0 {
             self.start_sync();
         } else {
@@ -723,6 +771,7 @@ impl<'a> Run<'a> {
             FlowLabel::Sync { group } => {
                 self.log.push(self.now, SimEventKind::SyncStart { group });
             }
+            FlowLabel::Background => {}
         }
         if !self.config.contention {
             // Rates never change without contention: schedule the completion
@@ -815,6 +864,9 @@ impl<'a> Run<'a> {
                 self.log.push(self.now, SimEventKind::SyncEnd { group });
                 self.syncs_executed += 1;
             }
+            // Background flows gate nothing: release their links (already
+            // done above) and leave every stage counter untouched.
+            FlowLabel::Background => return,
         }
         self.outstanding_flows -= 1;
         if self.config.comm_mode == CommMode::Serialized {
@@ -1241,6 +1293,56 @@ mod tests {
         assert_eq!(fault.killed_entries, 0);
         assert_eq!(fault.wasted_compute_s, 0.0);
         assert!((report.total_s() - at_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_flows_slow_only_contended_overlapped_runs() {
+        let (plan, graph, cluster) = plan_on(2, 8);
+        // A long background write out of every node's egress: overlapped
+        // contended iterations share their uplinks with it.
+        let background: Vec<BackgroundFlow> = (0..2)
+            .map(|n| BackgroundFlow {
+                nominal_s: 10.0,
+                footprint: vec![
+                    LinkId::Uplink(spindle_cluster::NodeId(n)),
+                    LinkId::StorageLink(spindle_cluster::NodeId(n)),
+                    LinkId::StorageSpine,
+                ],
+            })
+            .collect();
+        let nominal = Simulator::new(plan.clone(), &cluster)
+            .with_graph(&graph)
+            .with_config(SimConfig::contended())
+            .run_iteration()
+            .unwrap();
+        let loaded = Simulator::new(plan.clone(), &cluster)
+            .with_graph(&graph)
+            .with_config(SimConfig {
+                background_flows: background.clone(),
+                ..SimConfig::contended()
+            })
+            .run_iteration()
+            .unwrap();
+        assert!(
+            loaded.total_s() > nominal.total_s(),
+            "background egress traffic must slow the contended iteration: {} vs {}",
+            loaded.total_s(),
+            nominal.total_s()
+        );
+        // The same flows in the serialized oracle are skipped entirely.
+        let serialized = Simulator::new(plan.clone(), &cluster)
+            .with_graph(&graph)
+            .with_config(SimConfig {
+                background_flows: background,
+                ..SimConfig::default()
+            })
+            .run_iteration()
+            .unwrap();
+        let baseline = Simulator::new(plan, &cluster)
+            .with_graph(&graph)
+            .run_iteration()
+            .unwrap();
+        assert!((serialized.total_s() - baseline.total_s()).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Client-side retry backoff, shared by every caller that honours the
+//! service's retry hints.
+//!
+//! The daemon answers backpressure ([`SubmitError::QueueFull`]) and quota
+//! rejections ([`SubmitError::Throttled`]) with a *hint* — its own average
+//! re-plan time, floored at [`MIN_RETRY_HINT`] so a fast service never tells
+//! clients to hammer a full queue. Clients turn that hint into an actual
+//! wait with [`Backoff`]: capped exponential growth per consecutive
+//! rejection, multiplied by seeded jitter so a fleet of generators does not
+//! retry in lockstep. The `loadgen` binary and the in-repo examples all go
+//! through this one implementation, so hint semantics cannot drift between
+//! the server and its callers.
+//!
+//! [`SubmitError::QueueFull`]: crate::SubmitError::QueueFull
+//! [`SubmitError::Throttled`]: crate::SubmitError::Throttled
+
+use std::time::Duration;
+
+use spindle_graph::XorShift64Star;
+
+/// Hard ceiling on one backpressure wait. The hint tracks the service's
+/// average re-plan time, so the exponential ramp only matters when the queue
+/// stays full across several retries; 20 ms keeps even that case responsive.
+pub const BACKOFF_CAP: Duration = Duration::from_millis(20);
+
+/// Floor on the retry hint the service suggests. Re-plans served from warm
+/// caches finish in microseconds; a sub-100 µs hint would have callers
+/// spinning on a full queue.
+pub const MIN_RETRY_HINT: Duration = Duration::from_micros(100);
+
+/// Capped jittered exponential backoff over the service's retry hints.
+///
+/// One instance carries the jitter RNG; seed it per client so concurrent
+/// clients desynchronise deterministically.
+#[derive(Debug)]
+pub struct Backoff {
+    rng: XorShift64Star,
+}
+
+impl Backoff {
+    /// A backoff source whose jitter stream is seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: XorShift64Star::new(seed),
+        }
+    }
+
+    /// The wait before retry number `attempt` (0-based) of one submission:
+    /// `retry_hint` doubled per failed attempt (shift saturates at 2¹⁰),
+    /// multiplied by a jitter in `[0.5, 1.5)`, capped at [`BACKOFF_CAP`].
+    pub fn delay(&mut self, retry_hint: Duration, attempt: u32) -> Duration {
+        let base = retry_hint
+            .saturating_mul(1u32 << attempt.min(10))
+            .min(BACKOFF_CAP);
+        let jitter = 0.5 + self.rng.next_f64();
+        Duration::from_secs_f64(base.as_secs_f64() * jitter).min(BACKOFF_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_capped_jittered_and_grow_with_attempts() {
+        let mut backoff = Backoff::new(7);
+        let hint = Duration::from_micros(500);
+        for attempt in 0..64 {
+            let d = backoff.delay(hint, attempt);
+            assert!(d <= BACKOFF_CAP, "attempt {attempt}: {d:?}");
+            assert!(
+                d >= hint / 2 || d == BACKOFF_CAP,
+                "attempt {attempt}: {d:?}"
+            );
+        }
+        // Pre-cap, the expected delay doubles: compare jitter-free bases.
+        let base = |attempt: u32| {
+            hint.saturating_mul(1u32 << attempt.min(10))
+                .min(BACKOFF_CAP)
+        };
+        assert_eq!(base(1), 2 * base(0));
+        assert_eq!(base(30), BACKOFF_CAP);
+    }
+
+    #[test]
+    fn different_seeds_desynchronise_the_jitter() {
+        let hint = Duration::from_millis(1);
+        let mut a = Backoff::new(1);
+        let mut b = Backoff::new(2);
+        let distinct = (0..8).any(|i| a.delay(hint, i) != b.delay(hint, i));
+        assert!(distinct, "seeded jitter streams must differ");
+    }
+
+    #[test]
+    fn zero_hint_never_panics_and_stays_zero() {
+        let mut backoff = Backoff::new(3);
+        assert_eq!(backoff.delay(Duration::ZERO, 9), Duration::ZERO);
+    }
+}

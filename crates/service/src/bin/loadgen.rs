@@ -27,28 +27,11 @@ use std::time::{Duration, Instant};
 
 use spindle_cluster::ClusterSpec;
 use spindle_core::PlannerConfig;
-use spindle_graph::XorShift64Star;
 use spindle_service::{
-    ApiCompletion, LocalClient, ServiceApi, ServiceConfig, SubmitError, TcpClient, TcpIngress,
-    WireStats,
+    ApiCompletion, Backoff, LocalClient, ServiceApi, ServiceConfig, SubmitError, TcpClient,
+    TcpIngress, WireStats,
 };
 use spindle_workloads::TenantFleet;
-
-/// Hard ceiling on one backpressure wait. `retry_hint` tracks the service's
-/// average re-plan time, so the exponential ramp only matters when the queue
-/// stays full across several retries; 20 ms keeps even that case responsive.
-const BACKOFF_CAP: Duration = Duration::from_millis(20);
-
-/// Capped exponential backoff for one backpressure retry: `retry_hint`
-/// doubled per failed attempt, multiplied by a seeded jitter in
-/// `[0.5, 1.5)` so a fleet of generators does not retry in lockstep.
-fn backoff_delay(retry_hint: Duration, attempt: u32, rng: &mut XorShift64Star) -> Duration {
-    let base = retry_hint
-        .saturating_mul(1u32 << attempt.min(10))
-        .min(BACKOFF_CAP);
-    let jitter = 0.5 + rng.next_f64();
-    Duration::from_secs_f64(base.as_secs_f64() * jitter).min(BACKOFF_CAP)
-}
 
 fn quick_mode() -> bool {
     std::env::var("SPINDLE_BENCH_QUICK").is_ok_and(|v| v == "1" || v == "true")
@@ -119,7 +102,7 @@ fn replay<A: ServiceApi>(
     };
     let mut rejections = 0u64;
     let mut throttled = 0u64;
-    let mut backoff_rng = XorShift64Star::new(0x10ad_9e4e ^ fleet.events().len() as u64);
+    let mut backoff = Backoff::new(0x10ad_9e4e ^ fleet.events().len() as u64);
     let start = Instant::now();
     for event in fleet.events() {
         // Opportunistically drain finished work between submissions.
@@ -144,7 +127,7 @@ fn replay<A: ServiceApi>(
             // (doubled per consecutive rejection, jittered, capped), draining
             // completions while we wait — each one frees a queue slot soon
             // after, so waiting on completions *is* the backoff.
-            let delay = backoff_delay(retry_hint, attempt, &mut backoff_rng);
+            let delay = backoff.delay(retry_hint, attempt);
             attempt += 1;
             let wait_until = Instant::now() + delay;
             loop {

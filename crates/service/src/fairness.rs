@@ -264,11 +264,13 @@ mod tests {
 
     #[test]
     fn byte_quota_charges_wire_bytes() {
-        let mut config = FairnessConfig::default();
-        config.default_policy = TenantPolicy {
-            byte_rate: 1000.0,
-            byte_burst: 2500.0,
-            ..TenantPolicy::unlimited()
+        let config = FairnessConfig {
+            default_policy: TenantPolicy {
+                byte_rate: 1000.0,
+                byte_burst: 2500.0,
+                ..TenantPolicy::unlimited()
+            },
+            ..FairnessConfig::default()
         };
         let mut throttle = TenantThrottle::new(config);
         let start = t0();
@@ -284,11 +286,13 @@ mod tests {
 
     #[test]
     fn oversized_costs_hint_a_full_refill_not_forever() {
-        let mut config = FairnessConfig::default();
-        config.default_policy = TenantPolicy {
-            byte_rate: 100.0,
-            byte_burst: 50.0,
-            ..TenantPolicy::unlimited()
+        let config = FairnessConfig {
+            default_policy: TenantPolicy {
+                byte_rate: 100.0,
+                byte_burst: 50.0,
+                ..TenantPolicy::unlimited()
+            },
+            ..FairnessConfig::default()
         };
         let mut throttle = TenantThrottle::new(config);
         // A 1000-byte graph can never fit a 50-byte bucket; the hint is the

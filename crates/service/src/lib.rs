@@ -71,6 +71,7 @@
 #![warn(missing_debug_implementations)]
 
 mod api;
+pub mod backoff;
 mod coalesce;
 mod fairness;
 mod listener;
@@ -78,6 +79,7 @@ pub mod proto;
 mod service;
 
 pub use api::{ApiCompletion, LocalClient, ServiceApi, TcpClient};
+pub use backoff::{Backoff, BACKOFF_CAP, MIN_RETRY_HINT};
 pub use coalesce::{CoalescedReplan, CoalescingQueue};
 pub use fairness::{FairnessConfig, TenantPolicy, TenantThrottle};
 pub use listener::TcpIngress;

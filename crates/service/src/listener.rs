@@ -4,8 +4,12 @@
 //! the service; connections never touch a worker thread directly. The loop
 //! is plain `std::net` in nonblocking mode — accept what's pending, pump
 //! each connection's reads through its [`FrameDecoder`], route finished
-//! re-plans back to the tenant's connection, sleep ~200µs when nothing
-//! moved. Partial frames stay buffered per connection; a malformed or
+//! re-plans back to the tenant's connection, and back off adaptively when
+//! nothing moved: a burst of bare yields first (a reply is usually one
+//! scheduler quantum away), then sleeps that double from 20 µs up to a 2 ms
+//! cap, reset by any progress. A busy loop keeps sub-quantum latency; a
+//! long-idle one parks in millisecond naps instead of waking 5000 times a
+//! second. Partial frames stay buffered per connection; a malformed or
 //! oversized frame kills *only* its connection (after a best-effort
 //! [`Response::Error`]) and never a worker.
 //!
@@ -30,8 +34,52 @@ use spindle_cluster::ClusterSpec;
 use crate::proto::{ErrorCode, FrameDecoder, ReplanSummary, Request, Response, PROTO_VERSION};
 use crate::{Completion, PlanService, ServiceConfig, ServiceStats, SubmitError};
 
-/// Idle sleep of the acceptor loop when no connection made progress.
-const IDLE_SLEEP: Duration = Duration::from_micros(200);
+/// Idle rounds the acceptor spends merely yielding before it starts
+/// sleeping.
+const IDLE_SPINS: u32 = 64;
+
+/// First (shortest) idle sleep once the yield burst is exhausted.
+const IDLE_SLEEP_MIN: Duration = Duration::from_micros(20);
+
+/// Ceiling on one idle sleep. Bounds worst-case wake-up latency after a
+/// long-idle stretch while keeping the parked acceptor near zero CPU.
+const IDLE_SLEEP_MAX: Duration = Duration::from_millis(2);
+
+/// Adaptive idle strategy of the acceptor loop: spin (yield) while traffic
+/// is likely imminent, then exponentially longer sleeps up to
+/// [`IDLE_SLEEP_MAX`]. Any progress resets the escalation.
+#[derive(Debug, Default)]
+struct IdleBackoff {
+    idle_rounds: u32,
+}
+
+/// What the acceptor should do after `idle_rounds` consecutive rounds with
+/// no progress: `None` yields, `Some(d)` sleeps `d`.
+fn idle_pause(idle_rounds: u32) -> Option<Duration> {
+    if idle_rounds <= IDLE_SPINS {
+        return None;
+    }
+    let doublings = (idle_rounds - IDLE_SPINS - 1).min(7);
+    Some(
+        IDLE_SLEEP_MIN
+            .saturating_mul(1 << doublings)
+            .min(IDLE_SLEEP_MAX),
+    )
+}
+
+impl IdleBackoff {
+    fn reset(&mut self) {
+        self.idle_rounds = 0;
+    }
+
+    fn wait(&mut self) {
+        self.idle_rounds = self.idle_rounds.saturating_add(1);
+        match idle_pause(self.idle_rounds) {
+            None => std::thread::yield_now(),
+            Some(pause) => std::thread::sleep(pause),
+        }
+    }
+}
 
 /// A running TCP ingress: the listener, its acceptor thread and the
 /// [`PlanService`] behind them.
@@ -317,6 +365,7 @@ fn serve(
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut owner: HashMap<u64, usize> = HashMap::new();
     let mut shutdown_requested = false;
+    let mut idle = IdleBackoff::default();
     while !shutdown_requested && !stop.load(Ordering::Acquire) {
         let mut progressed = false;
         // Accept whatever is pending.
@@ -384,8 +433,10 @@ fn serve(
             progressed = true;
             route(&done, &mut conns, &owner);
         }
-        if !progressed {
-            std::thread::sleep(IDLE_SLEEP);
+        if progressed {
+            idle.reset();
+        } else {
+            idle.wait();
         }
     }
     // Drain: the service plans every accepted event before its workers
@@ -403,4 +454,40 @@ fn serve(
         conn.flush_blocking();
     }
     stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_pause_spins_then_escalates_to_the_cap() {
+        for round in 0..=IDLE_SPINS {
+            assert_eq!(idle_pause(round), None, "round {round} should yield");
+        }
+        assert_eq!(idle_pause(IDLE_SPINS + 1), Some(IDLE_SLEEP_MIN));
+        let mut last = Duration::ZERO;
+        for round in IDLE_SPINS + 1..IDLE_SPINS + 64 {
+            let pause = idle_pause(round).expect("past the yield burst");
+            assert!(pause >= IDLE_SLEEP_MIN && pause <= IDLE_SLEEP_MAX);
+            assert!(
+                pause >= last,
+                "round {round}: {pause:?} shrank from {last:?}"
+            );
+            last = pause;
+        }
+        assert_eq!(last, IDLE_SLEEP_MAX, "escalation must reach the cap");
+        assert_eq!(idle_pause(u32::MAX), Some(IDLE_SLEEP_MAX));
+    }
+
+    #[test]
+    fn progress_resets_the_escalation() {
+        let mut idle = IdleBackoff {
+            idle_rounds: IDLE_SPINS + 32,
+        };
+        idle.reset();
+        assert_eq!(idle.idle_rounds, 0);
+        idle.wait();
+        assert_eq!(idle.idle_rounds, 1);
+    }
 }

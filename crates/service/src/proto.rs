@@ -37,7 +37,11 @@ use spindle_graph::{
 use crate::ServiceStats;
 
 /// The wire-protocol version this build speaks.
-pub const PROTO_VERSION: u16 = 1;
+///
+/// v2 extended [`ReplanSummary`] and the stats frame with recovery
+/// accounting (re-materialised MetaOps, restore bytes); the layout change is
+/// not decodable by v1 peers, so the version was bumped.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Upper bound on a frame's payload length. Anything larger is rejected
 /// before buffering — a single malformed length prefix must not make the
@@ -269,6 +273,10 @@ pub struct WireStats {
     pub errors: u64,
     /// Total planning time, nanoseconds.
     pub plan_nanos: u64,
+    /// MetaOps re-materialised from checkpoints across all re-plans.
+    pub rematerialized_metaops: u64,
+    /// State bytes read back from the checkpoint tier across all re-plans.
+    pub restore_bytes: u64,
 }
 
 impl From<ServiceStats> for WireStats {
@@ -281,6 +289,8 @@ impl From<ServiceStats> for WireStats {
             topology_replans: s.topology_replans,
             errors: s.errors,
             plan_nanos: s.plan_nanos,
+            rematerialized_metaops: s.rematerialized_metaops,
+            restore_bytes: s.restore_bytes,
         }
     }
 }
@@ -295,6 +305,8 @@ impl From<WireStats> for ServiceStats {
             topology_replans: s.topology_replans,
             errors: s.errors,
             plan_nanos: s.plan_nanos,
+            rematerialized_metaops: s.rematerialized_metaops,
+            restore_bytes: s.restore_bytes,
         }
     }
 }
@@ -340,6 +352,10 @@ pub struct ReplanSummary {
     pub migration_bytes: u64,
     /// Bit pattern of the estimated migration time in seconds.
     pub migration_cost_bits: u64,
+    /// MetaOps that lost every replica and must restore from checkpoints.
+    pub rematerialized_metaops: u32,
+    /// State bytes of those MetaOps that must be read back from storage.
+    pub restore_bytes: u64,
 }
 
 impl ReplanSummary {
@@ -385,6 +401,8 @@ impl ReplanSummary {
             levels_replaced: outcome.levels_replaced as u32,
             migration_bytes: outcome.migration_bytes,
             migration_cost_bits: outcome.migration_cost.to_bits(),
+            rematerialized_metaops: outcome.rematerialized_metaops as u32,
+            restore_bytes: outcome.restore_bytes,
         }
     }
 
@@ -765,6 +783,8 @@ fn put_summary(out: &mut Vec<u8>, s: &ReplanSummary) {
     put_u32(out, s.levels_replaced);
     put_u64(out, s.migration_bytes);
     put_u64(out, s.migration_cost_bits);
+    put_u32(out, s.rematerialized_metaops);
+    put_u64(out, s.restore_bytes);
 }
 
 fn read_summary(r: &mut Reader<'_>) -> Result<ReplanSummary, WireError> {
@@ -786,6 +806,8 @@ fn read_summary(r: &mut Reader<'_>) -> Result<ReplanSummary, WireError> {
         levels_replaced: r.u32()?,
         migration_bytes: r.u64()?,
         migration_cost_bits: r.u64()?,
+        rematerialized_metaops: r.u32()?,
+        restore_bytes: r.u64()?,
     })
 }
 
@@ -846,6 +868,8 @@ impl Response {
                 put_u64(&mut p, stats.topology_replans);
                 put_u64(&mut p, stats.errors);
                 put_u64(&mut p, stats.plan_nanos);
+                put_u64(&mut p, stats.rematerialized_metaops);
+                put_u64(&mut p, stats.restore_bytes);
             }
             Self::TopologyAck { workers } => {
                 put_u8(&mut p, TAG_TOPOLOGY_ACK);
@@ -900,6 +924,8 @@ impl Response {
                 topology_replans: r.u64()?,
                 errors: r.u64()?,
                 plan_nanos: r.u64()?,
+                rematerialized_metaops: r.u64()?,
+                restore_bytes: r.u64()?,
             }),
             TAG_TOPOLOGY_ACK => Self::TopologyAck { workers: r.u32()? },
             TAG_ERROR => {
@@ -1100,6 +1126,8 @@ mod tests {
                 levels_replaced: (rng.next_u64() % 40) as u32,
                 migration_bytes: rng.next_u64(),
                 migration_cost_bits: rng.next_u64(),
+                rematerialized_metaops: (rng.next_u64() % 64) as u32,
+                restore_bytes: rng.next_u64(),
             };
             let responses = [
                 Response::HelloAck {
@@ -1134,6 +1162,8 @@ mod tests {
                     topology_replans: rng.next_u64(),
                     errors: rng.next_u64(),
                     plan_nanos: rng.next_u64(),
+                    rematerialized_metaops: rng.next_u64(),
+                    restore_bytes: rng.next_u64(),
                 }),
                 Response::TopologyAck {
                     workers: (rng.next_u64() % 64) as u32,

@@ -15,11 +15,9 @@ use spindle_core::{PlanError, PlannerConfig, ReplanOutcome, SpindleSession};
 use spindle_estimator::ScalabilityEstimator;
 use spindle_graph::ComputationGraph;
 
+use crate::backoff::MIN_RETRY_HINT;
 use crate::proto::graph_wire_len;
 use crate::{CoalescingQueue, FairnessConfig, TenantThrottle};
-
-/// Fallback retry hint before the service has completed any re-plan.
-const MIN_RETRY_HINT: Duration = Duration::from_micros(100);
 
 // Sessions migrate between worker threads during `resize`; this fails to
 // compile if `SpindleSession` ever stops being `Send`.
@@ -144,6 +142,12 @@ pub struct ServiceStats {
     pub errors: u64,
     /// Total time spent planning, nanoseconds.
     pub plan_nanos: u64,
+    /// MetaOps that lost every replica to topology changes and had to be
+    /// re-materialised from checkpoints, summed over all tenants.
+    pub rematerialized_metaops: u64,
+    /// State bytes those re-materialisations read back from the checkpoint
+    /// tier, summed over all tenants.
+    pub restore_bytes: u64,
 }
 
 impl ServiceStats {
@@ -174,6 +178,8 @@ struct Counters {
     topology_replans: AtomicU64,
     errors: AtomicU64,
     plan_nanos: AtomicU64,
+    rematerialized_metaops: AtomicU64,
+    restore_bytes: AtomicU64,
 }
 
 /// One tenant's state in flight between workers during a re-shard.
@@ -570,6 +576,8 @@ impl PlanService {
             topology_replans: self.counters.topology_replans.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             plan_nanos: self.counters.plan_nanos.load(Ordering::Relaxed),
+            rematerialized_metaops: self.counters.rematerialized_metaops.load(Ordering::Relaxed),
+            restore_bytes: self.counters.restore_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -836,7 +844,13 @@ fn plan_one(
         .plan_nanos
         .fetch_add(plan_time.as_nanos() as u64, Ordering::Relaxed);
     match &result {
-        Ok(_) => {
+        Ok(outcome) => {
+            counters
+                .rematerialized_metaops
+                .fetch_add(outcome.rematerialized_metaops as u64, Ordering::Relaxed);
+            counters
+                .restore_bytes
+                .fetch_add(outcome.restore_bytes, Ordering::Relaxed);
             state
                 .last_graph
                 .insert(replan.tenant, Arc::clone(&replan.graph));
@@ -905,6 +919,14 @@ fn apply_topology(
         };
         let plan_time = started.elapsed();
         counters.topology_replans.fetch_add(1, Ordering::Relaxed);
+        if let Ok(outcome) = &result {
+            counters
+                .rematerialized_metaops
+                .fetch_add(outcome.rematerialized_metaops as u64, Ordering::Relaxed);
+            counters
+                .restore_bytes
+                .fetch_add(outcome.restore_bytes, Ordering::Relaxed);
+        }
         if let Err(error) = &result {
             counters.errors.fetch_add(1, Ordering::Relaxed);
             if matches!(error, PlanError::Panicked { .. }) {

@@ -41,6 +41,12 @@ pub struct FuzzBounds {
     pub max_straggler_windows: usize,
     /// Maximum device-level churn events (removals/restores) per draw.
     pub max_device_churn: usize,
+    /// Maximum checkpoint cadence in iterations (≥ 1); a quarter of draws
+    /// disable checkpoint modeling instead.
+    pub max_checkpoint_cadence: u32,
+    /// Maximum per-node storage bandwidth in GB/s (≥ 2; draws land in
+    /// `[1, max)`).
+    pub max_storage_gbps: u64,
 }
 
 impl FuzzBounds {
@@ -56,6 +62,8 @@ impl FuzzBounds {
             max_churn_events: 3,
             max_straggler_windows: 2,
             max_device_churn: 2,
+            max_checkpoint_cadence: 16,
+            max_storage_gbps: 16,
         }
     }
 
@@ -72,6 +80,8 @@ impl FuzzBounds {
             max_churn_events: 6,
             max_straggler_windows: 4,
             max_device_churn: 4,
+            max_checkpoint_cadence: 64,
+            max_storage_gbps: 40,
         }
     }
 }
@@ -190,6 +200,12 @@ pub struct Scenario {
     pub straggler_windows: Vec<StragglerWindow>,
     /// Device-level churn trace exercising elastic re-planning.
     pub device_churn: Vec<DeviceChurnDraw>,
+    /// Checkpoint cadence in iterations for the recovery pass (`None`
+    /// disables checkpoint modeling for this draw).
+    pub checkpoint_cadence: Option<u32>,
+    /// Per-node bandwidth of the checkpoint storage tier, GB/s; the spine
+    /// keeps the default 4x node-link ratio.
+    pub storage_gbps: f64,
 }
 
 const MODALITIES: [Modality; 8] = [
@@ -335,6 +351,16 @@ impl Scenario {
                 });
             }
         }
+        // Checkpoint/restore dimensions for the recovery invariants, drawn
+        // last so the earlier fields of historical (seed, index) pairs stay
+        // stable: a cadence (a quarter of draws disable modeling) and the
+        // storage tier's per-node bandwidth.
+        let checkpoint_cadence = if rng.next_u64() % 4 == 0 {
+            None
+        } else {
+            Some(range(&mut rng, 1, u64::from(bounds.max_checkpoint_cadence) + 1) as u32)
+        };
+        let storage_gbps = 1.0 + (bounds.max_storage_gbps.max(2) - 1) as f64 * rng.next_f64();
         Self {
             seed,
             index,
@@ -347,6 +373,8 @@ impl Scenario {
             overlap_comm,
             straggler_windows,
             device_churn,
+            checkpoint_cadence,
+            storage_gbps,
         }
     }
 
@@ -582,7 +610,8 @@ impl Scenario {
     pub fn label(&self) -> String {
         format!(
             "draw {} (seed {}): {} tasks ({} active), {}x{} GPUs, {} churn events, \
-             {} slow devices, {} stragglers, {} device-churn events, {} comm",
+             {} slow devices, {} stragglers, {} device-churn events, {} comm, \
+             ckpt {}, storage {:.1} GB/s",
             self.index,
             self.seed,
             self.tasks.len(),
@@ -597,7 +626,10 @@ impl Scenario {
                 "overlapped"
             } else {
                 "serialized"
-            }
+            },
+            self.checkpoint_cadence
+                .map_or_else(|| "off".to_string(), |k| format!("every {k}")),
+            self.storage_gbps
         )
     }
 
@@ -670,7 +702,13 @@ impl Scenario {
                 e.devices
             );
         }
-        out.push_str("]}");
+        let _ = write!(
+            out,
+            "], \"checkpoint_cadence\": {}, \"storage_gbps\": {:.3}}}",
+            self.checkpoint_cadence
+                .map_or_else(|| "null".to_string(), |k| k.to_string()),
+            self.storage_gbps
+        );
         out
     }
 }
@@ -728,6 +766,15 @@ mod tests {
                     down.retain(|d| !e.devices.contains(d));
                 }
             }
+            // Recovery dimensions stay within bounds.
+            if let Some(k) = s.checkpoint_cadence {
+                assert!(k >= 1 && k <= bounds.max_checkpoint_cadence);
+            }
+            assert!(
+                s.storage_gbps >= 1.0 && s.storage_gbps <= bounds.max_storage_gbps as f64,
+                "storage bandwidth out of bounds: {}",
+                s.storage_gbps
+            );
             // Every phase graph builds and stays non-empty.
             let phases = s.phases().unwrap();
             assert_eq!(phases.len(), s.churn.len() + 1);
@@ -789,6 +836,8 @@ mod tests {
             "\"overlap_comm\"",
             "\"straggler_windows\"",
             "\"device_churn\"",
+            "\"checkpoint_cadence\"",
+            "\"storage_gbps\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -204,3 +204,129 @@ fn half_cluster_loss_degrades_simulated_time_proportionally() {
         "losing half the cluster sped the iteration up: {before:.4}s -> {after:.4}s"
     );
 }
+
+/// A seeded walk of loss/restore cycles with an active checkpoint policy:
+/// every re-plan's recovery accounting (re-materialised MetaOps, restore
+/// bytes, priced restore stall) is internally consistent, the whole-node
+/// kills in the walk actually strand MetaOps (ground truth fires), and the
+/// entire walk is bit-identical when replayed — recovery pricing adds no
+/// nondeterminism.
+#[test]
+fn seeded_loss_restore_cycles_account_recovery_deterministically() {
+    use spindle::cluster::StorageSpec;
+    use spindle::runtime::{migration_flows, price_restore, CheckpointPolicy};
+
+    #[derive(Debug, PartialEq)]
+    struct Record {
+        makespan_bits: u64,
+        num_waves: usize,
+        rematerialized: usize,
+        restore_bytes: u64,
+        restore_price_bits: u64,
+    }
+
+    let walk = || -> Vec<Record> {
+        let cluster =
+            ClusterSpec::homogeneous(2, 4).with_storage(StorageSpec::disaggregated_nvme());
+        let graph = multitask_clip(5).unwrap();
+        let policy = CheckpointPolicy::every(4);
+        let mut session = SpindleSession::new(cluster.clone());
+        let mut prev_plan = session.plan(&graph).unwrap();
+        let mut rng = XorShift64Star::new(0x0C1C_7E57);
+        let mut records = Vec::new();
+        for step in 0..10 {
+            let removed_before = session.removed_devices().to_vec();
+            let alive: Vec<DeviceId> = (0..8)
+                .map(DeviceId)
+                .filter(|d| !removed_before.contains(d))
+                .collect();
+            match rng.next_u64() % 3 {
+                // Kill the whole second island (whatever of it still lives):
+                // the all-replicas-dead case checkpoints exist for.
+                0 => {
+                    let node1: Vec<DeviceId> = alive.iter().copied().filter(|d| d.0 >= 4).collect();
+                    if node1.is_empty() || alive.len() - node1.len() < 2 {
+                        continue;
+                    }
+                    session.remove_devices(&node1).unwrap();
+                }
+                // Lose one random device, keeping enough survivors.
+                1 => {
+                    if alive.len() <= 3 {
+                        continue;
+                    }
+                    let victim = alive[(rng.next_u64() % alive.len() as u64) as usize];
+                    session.remove_devices(&[victim]).unwrap();
+                }
+                // Capacity comes back.
+                _ => {
+                    if removed_before.is_empty() {
+                        continue;
+                    }
+                    session.restore_devices(&removed_before);
+                }
+            }
+            let outcome = session.replan(&graph).unwrap();
+            let survivors = session.cluster_handle();
+            outcome
+                .plan
+                .check_invariants(survivors.device_memory_bytes())
+                .unwrap();
+            let migration = migration_flows(&prev_plan, &outcome.plan, &survivors);
+            let price = price_restore(&survivors, &migration.restores, &policy, true);
+            let context = format!("step {step}");
+            // Internal consistency of the runtime's partition.
+            assert_eq!(
+                migration.restore_bytes() > 0,
+                migration.rematerialized_metaops() > 0,
+                "{context}: bytes vs count"
+            );
+            assert_eq!(
+                price > 0.0,
+                !migration.restores.is_empty(),
+                "{context}: priced {price}s for {} restores",
+                migration.restores.len()
+            );
+            assert!(price.is_finite(), "{context}");
+            // The planner's own counters never claim a restore the runtime
+            // partition disproves.
+            assert_eq!(
+                outcome.rematerialized_metaops > 0,
+                outcome.restore_bytes > 0,
+                "{context}: session counters disagree"
+            );
+            if outcome.restore_bytes > 0 {
+                assert!(
+                    migration.restore_bytes() > 0,
+                    "{context}: session reports {} restore bytes, runtime found none",
+                    outcome.restore_bytes
+                );
+            }
+            records.push(Record {
+                makespan_bits: outcome.plan.makespan().to_bits(),
+                num_waves: outcome.plan.num_waves(),
+                rematerialized: migration.rematerialized_metaops(),
+                restore_bytes: migration.restore_bytes(),
+                restore_price_bits: price.to_bits(),
+            });
+            prev_plan = outcome.plan;
+        }
+        // Close the walk: full restore must recur bit-identically cold.
+        let still_down = session.removed_devices().to_vec();
+        if !still_down.is_empty() {
+            session.restore_devices(&still_down);
+        }
+        let warm = session.replan(&graph).unwrap();
+        let cold = SpindleSession::new(cluster).plan(&graph).unwrap();
+        assert_eq!(warm.plan.waves(), cold.waves(), "post-walk warm vs cold");
+        records
+    };
+
+    let first = walk();
+    let second = walk();
+    assert!(
+        first.iter().any(|r| r.restore_bytes > 0),
+        "the walk's whole-node kills never stranded a MetaOp — no ground truth exercised"
+    );
+    assert_eq!(first, second, "replaying the walk diverged");
+}

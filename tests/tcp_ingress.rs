@@ -261,3 +261,52 @@ fn graph_wire_len_matches_encoded_length_for_fleet_graphs() {
         assert_eq!(bytes.len(), proto::graph_wire_len(&g), "batch {batch}");
     }
 }
+
+/// The acceptor loop backs off adaptively when idle (yield burst, then
+/// sleeps doubling up to a 2 ms cap), so a bound-but-quiet ingress must burn
+/// almost no CPU. Measured per-thread via `/proc`, so concurrent tests in
+/// this binary cannot pollute the reading.
+#[cfg(target_os = "linux")]
+#[test]
+fn idle_ingress_burns_almost_no_cpu() {
+    fn ingress_thread_jiffies() -> Option<u64> {
+        for entry in std::fs::read_dir("/proc/self/task").ok()? {
+            let path = entry.ok()?.path();
+            let comm = std::fs::read_to_string(path.join("comm")).unwrap_or_default();
+            if comm.trim_end() != "spindle-ingress" {
+                continue;
+            }
+            let stat = std::fs::read_to_string(path.join("stat")).ok()?;
+            // Skip past the parenthesised comm; the remainder is
+            // whitespace-separated with state first, utime/stime at overall
+            // fields 14 and 15.
+            let rest = stat.rsplit_once(')')?.1;
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            let utime: u64 = fields.get(11)?.parse().ok()?;
+            let stime: u64 = fields.get(12)?.parse().ok()?;
+            return Some(utime + stime);
+        }
+        None
+    }
+
+    let ingress = ingress();
+    let mut client = TcpClient::connect(ingress.local_addr()).expect("connect");
+    client.submit(1, &graph(8)).expect("submit");
+    client
+        .poll_completion(Duration::from_secs(30))
+        .expect("completion");
+    // Let the acceptor escalate past its yield burst before sampling.
+    std::thread::sleep(Duration::from_millis(100));
+    let before = ingress_thread_jiffies().expect("ingress thread visible in /proc");
+    std::thread::sleep(Duration::from_millis(500));
+    let after = ingress_thread_jiffies().expect("ingress thread visible in /proc");
+    // 500 ms is 50 jiffies at the usual USER_HZ=100. The old fixed 200 µs
+    // poll woke 5000 times a second; the adaptive backoff parks in capped
+    // naps, so even a generous bound of ~15% of a core must hold.
+    assert!(
+        after - before <= 8,
+        "idle acceptor used {} jiffies over 500 ms",
+        after - before
+    );
+    ingress.shutdown();
+}
